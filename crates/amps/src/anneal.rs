@@ -1,0 +1,189 @@
+//! Simulated-annealing area minimization under a delay constraint.
+//!
+//! An ablation baseline: a generic stochastic optimizer given the same
+//! objective as the constant-sensitivity method (minimum `ΣC_IN` subject
+//! to `T ≤ Tc`). It typically lands close to the deterministic optimum —
+//! after a few orders of magnitude more delay evaluations.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use pops_core::bounds::tmin;
+use pops_core::OptimizeError;
+use pops_delay::{Library, TimedPath};
+
+use crate::greedy::GreedyResult;
+
+/// Annealing schedule options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnnealOptions {
+    /// Moves per temperature level.
+    pub moves_per_level: usize,
+    /// Temperature levels.
+    pub levels: usize,
+    /// Initial temperature as a fraction of the initial area.
+    pub initial_temp_fraction: f64,
+    /// Geometric cooling factor per level.
+    pub cooling: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AnnealOptions {
+    fn default() -> Self {
+        AnnealOptions {
+            moves_per_level: 400,
+            levels: 60,
+            initial_temp_fraction: 0.05,
+            cooling: 0.9,
+            seed: 0xBEEF_CAFE,
+        }
+    }
+}
+
+/// Minimize total input capacitance subject to `T ≤ tc_ps` by simulated
+/// annealing, starting from the minimum-delay sizing.
+///
+/// # Errors
+///
+/// [`OptimizeError::Infeasible`] if even the minimum-delay sizing misses
+/// the constraint.
+pub fn anneal_area_under_constraint(
+    lib: &Library,
+    path: &TimedPath,
+    tc_ps: f64,
+    options: &AnnealOptions,
+) -> Result<GreedyResult, OptimizeError> {
+    let start = tmin(lib, path);
+    if start.delay_ps > tc_ps {
+        return Err(OptimizeError::Infeasible {
+            tc_ps,
+            tmin_ps: start.delay_ps,
+        });
+    }
+    let cref = lib.min_drive_ff();
+    let mut rng = StdRng::seed_from_u64(options.seed);
+
+    let mut current = start.sizes.clone();
+    let mut current_area: f64 = current.iter().sum();
+    let mut best = current.clone();
+    let mut best_area = current_area;
+    let mut evaluations = 1usize;
+
+    let mut temp = options.initial_temp_fraction * current_area;
+    for _ in 0..options.levels {
+        for _ in 0..options.moves_per_level {
+            if path.len() < 2 {
+                break;
+            }
+            let i = 1 + rng.gen_range(0..path.len() - 1);
+            let factor = ((rng.gen::<f64>() - 0.5) * 0.6).exp();
+            let old = current[i];
+            current[i] = (old * factor).max(cref);
+            let delay = path.delay(lib, &current).total_ps;
+            evaluations += 1;
+            if delay > tc_ps {
+                current[i] = old; // reject infeasible moves outright
+                continue;
+            }
+            let new_area: f64 = current.iter().sum();
+            let delta = new_area - current_area;
+            let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / temp).exp();
+            if accept {
+                current_area = new_area;
+                if new_area < best_area {
+                    best_area = new_area;
+                    best = current.clone();
+                }
+            } else {
+                current[i] = old;
+            }
+        }
+        temp *= options.cooling;
+    }
+
+    let delay_ps = path.delay(lib, &best).total_ps;
+    Ok(GreedyResult {
+        total_cin_ff: best_area,
+        delay_ps,
+        sizes: best,
+        iterations: options.levels * options.moves_per_level,
+        evaluations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pops_core::bounds::delay_bounds;
+    use pops_core::sensitivity::distribute_constraint;
+    use pops_delay::PathStage;
+    use pops_netlist::CellKind;
+
+    fn lib() -> Library {
+        Library::cmos025()
+    }
+
+    fn path() -> TimedPath {
+        use CellKind::*;
+        TimedPath::new(
+            vec![
+                PathStage::new(Inv),
+                PathStage::new(Nand2),
+                PathStage::new(Nor2),
+                PathStage::new(Inv),
+                PathStage::new(Nand2),
+            ],
+            2.7,
+            100.0,
+        )
+    }
+
+    #[test]
+    fn annealing_stays_feasible() {
+        let lib = lib();
+        let p = path();
+        let b = delay_bounds(&lib, &p);
+        let tc = 1.3 * b.tmin_ps;
+        let r = anneal_area_under_constraint(&lib, &p, tc, &AnnealOptions::default()).unwrap();
+        assert!(r.delay_ps <= tc * 1.0001);
+    }
+
+    #[test]
+    fn annealing_recovers_area_from_the_tmin_start() {
+        let lib = lib();
+        let p = path();
+        let b = delay_bounds(&lib, &p);
+        let tc = 1.5 * b.tmin_ps;
+        let r = anneal_area_under_constraint(&lib, &p, tc, &AnnealOptions::default()).unwrap();
+        let tmin_area: f64 = b.tmin_sizes.iter().sum();
+        assert!(r.total_cin_ff < tmin_area);
+    }
+
+    #[test]
+    fn deterministic_beats_or_matches_annealing_with_far_fewer_evals() {
+        let lib = lib();
+        let p = path();
+        let b = delay_bounds(&lib, &p);
+        let tc = 1.25 * b.tmin_ps;
+        let sa = anneal_area_under_constraint(&lib, &p, tc, &AnnealOptions::default()).unwrap();
+        let pops = distribute_constraint(&lib, &p, tc).unwrap();
+        assert!(
+            pops.total_cin_ff <= sa.total_cin_ff * 1.02,
+            "pops {} vs anneal {}",
+            pops.total_cin_ff,
+            sa.total_cin_ff
+        );
+        assert!(sa.evaluations > 1000);
+    }
+
+    #[test]
+    fn infeasible_constraint_rejected() {
+        let lib = lib();
+        let p = path();
+        let b = delay_bounds(&lib, &p);
+        let err = anneal_area_under_constraint(&lib, &p, 0.5 * b.tmin_ps, &AnnealOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, OptimizeError::Infeasible { .. }));
+    }
+}

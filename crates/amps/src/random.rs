@@ -1,0 +1,178 @@
+//! Pseudo-random sizing search.
+//!
+//! §3.1 of the paper compares its deterministic `Tmin` against "a
+//! pseudo-random sizing technique" — global random sampling followed by
+//! random local perturbation, the simplest stochastic sizer.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use pops_delay::{Library, TimedPath};
+
+use crate::greedy::GreedyResult;
+
+/// Options for the random searcher.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomSearchOptions {
+    /// Global random samples.
+    pub samples: usize,
+    /// Local perturbation rounds after the best global sample.
+    pub refinement_rounds: usize,
+    /// RNG seed (deterministic runs).
+    pub seed: u64,
+    /// Upper size bound as a multiple of the minimum drive.
+    pub max_size_factor: f64,
+}
+
+impl Default for RandomSearchOptions {
+    fn default() -> Self {
+        RandomSearchOptions {
+            samples: 2000,
+            refinement_rounds: 2000,
+            seed: 0xA3B1_05C7,
+            max_size_factor: 256.0,
+        }
+    }
+}
+
+/// Randomly search for a minimum-delay sizing.
+///
+/// Phase 1 samples log-uniform sizings; phase 2 perturbs the best one
+/// coordinate at a time, keeping improvements.
+pub fn random_min_delay(
+    lib: &Library,
+    path: &TimedPath,
+    options: &RandomSearchOptions,
+) -> GreedyResult {
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    let cref = lib.min_drive_ff();
+    let cmax = cref * options.max_size_factor;
+    let log_span = (cmax / cref).ln();
+
+    let mut best = path.min_sizes(lib);
+    let mut best_delay = path.delay(lib, &best).total_ps;
+    let mut evaluations = 1usize;
+
+    for _ in 0..options.samples {
+        let mut probe = best.clone();
+        for p in probe.iter_mut().skip(1) {
+            *p = cref * (rng.gen::<f64>() * log_span).exp();
+        }
+        let d = path.delay(lib, &probe).total_ps;
+        evaluations += 1;
+        if d < best_delay {
+            best_delay = d;
+            best = probe;
+        }
+    }
+
+    for _ in 0..options.refinement_rounds {
+        if path.len() < 2 {
+            break;
+        }
+        let i = 1 + rng.gen_range(0..path.len() - 1);
+        let factor = (rng.gen::<f64>() - 0.5).exp(); // e^±0.5 spread
+        let old = best[i];
+        best[i] = (old * factor).clamp(cref, cmax);
+        let d = path.delay(lib, &best).total_ps;
+        evaluations += 1;
+        if d < best_delay {
+            best_delay = d;
+        } else {
+            best[i] = old;
+        }
+    }
+
+    GreedyResult {
+        total_cin_ff: best.iter().sum(),
+        delay_ps: best_delay,
+        sizes: best,
+        iterations: options.samples + options.refinement_rounds,
+        evaluations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pops_core::bounds::delay_bounds;
+    use pops_delay::PathStage;
+    use pops_netlist::CellKind;
+
+    fn lib() -> Library {
+        Library::cmos025()
+    }
+
+    fn path() -> TimedPath {
+        use CellKind::*;
+        TimedPath::new(
+            vec![
+                PathStage::new(Inv),
+                PathStage::new(Nor3),
+                PathStage::new(Nand2),
+                PathStage::new(Inv),
+            ],
+            2.7,
+            120.0,
+        )
+    }
+
+    #[test]
+    fn random_search_improves_on_min_sizing() {
+        let lib = lib();
+        let p = path();
+        let start = p.delay(&lib, &p.min_sizes(&lib)).total_ps;
+        let r = random_min_delay(&lib, &p, &RandomSearchOptions::default());
+        assert!(r.delay_ps < start);
+    }
+
+    #[test]
+    fn deterministic_under_a_seed() {
+        let lib = lib();
+        let p = path();
+        let a = random_min_delay(&lib, &p, &RandomSearchOptions::default());
+        let b = random_min_delay(&lib, &p, &RandomSearchOptions::default());
+        assert_eq!(a.sizes, b.sizes);
+    }
+
+    #[test]
+    fn pops_tmin_beats_random_search() {
+        // Fig. 2: "for each case the minimum value obtained is lower than
+        // that resulting from a pseudo-random sizing technique".
+        let lib = lib();
+        let p = path();
+        let rand = random_min_delay(&lib, &p, &RandomSearchOptions::default());
+        let pops = delay_bounds(&lib, &p);
+        assert!(
+            pops.tmin_ps <= rand.delay_ps,
+            "pops {} vs random {}",
+            pops.tmin_ps,
+            rand.delay_ps
+        );
+    }
+
+    #[test]
+    fn more_samples_do_not_hurt() {
+        let lib = lib();
+        let p = path();
+        let small = random_min_delay(
+            &lib,
+            &p,
+            &RandomSearchOptions {
+                samples: 50,
+                refinement_rounds: 0,
+                ..Default::default()
+            },
+        );
+        let large = random_min_delay(
+            &lib,
+            &p,
+            &RandomSearchOptions {
+                samples: 5000,
+                refinement_rounds: 0,
+                ..Default::default()
+            },
+        );
+        assert!(large.delay_ps <= small.delay_ps);
+    }
+}

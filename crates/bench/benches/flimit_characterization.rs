@@ -1,0 +1,36 @@
+//! Bench the `Flimit` library characterization (the pre-processing step
+//! of the Fig. 7 protocol — "Library characterization (Flimit
+//! determination)").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pops_core::buffer::{flimit, flimit_table};
+use pops_delay::Library;
+use pops_netlist::CellKind;
+use std::hint::black_box;
+
+fn bench_flimit(c: &mut Criterion) {
+    let lib = Library::cmos025();
+    let mut group = c.benchmark_group("flimit");
+    for gate in [CellKind::Inv, CellKind::Nand3, CellKind::Nor3] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(gate),
+            &gate,
+            |b, &g| b.iter(|| black_box(flimit(&lib, CellKind::Inv, g))),
+        );
+    }
+    group.finish();
+
+    let gates = [
+        CellKind::Inv,
+        CellKind::Nand2,
+        CellKind::Nand3,
+        CellKind::Nor2,
+        CellKind::Nor3,
+    ];
+    c.bench_function("flimit_table_5", |b| {
+        b.iter(|| black_box(flimit_table(&lib, &gates)))
+    });
+}
+
+criterion_group!(benches, bench_flimit);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Bench the `Tmin` link-equation fixed point (Fig. 1's engine) as the
+//! path length grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pops_core::bounds::{tmin, tmin_with, TminOptions};
+use pops_delay::{Library, PathStage, TimedPath};
+use pops_netlist::CellKind;
+use std::hint::black_box;
+
+fn path_of(n: usize, lib: &Library) -> TimedPath {
+    use CellKind::*;
+    let cycle = [Inv, Nand2, Nor2, Inv, Nand3, Nor3];
+    let stages: Vec<PathStage> = (0..n)
+        .map(|i| PathStage::with_load(cycle[i % cycle.len()], (i % 3) as f64 * 4.0))
+        .collect();
+    TimedPath::new(stages, lib.min_drive_ff(), 120.0)
+}
+
+fn bench_tmin(c: &mut Criterion) {
+    let lib = Library::cmos025();
+    let mut group = c.benchmark_group("tmin_bounds");
+    for n in [8usize, 16, 32, 64, 128] {
+        let path = path_of(n, &lib);
+        group.bench_with_input(BenchmarkId::new("tmin", n), &path, |b, p| {
+            b.iter(|| black_box(tmin(&lib, p)))
+        });
+        group.bench_with_input(BenchmarkId::new("tmin_no_polish", n), &path, |b, p| {
+            b.iter(|| {
+                black_box(tmin_with(
+                    &lib,
+                    p,
+                    &TminOptions {
+                        polish: false,
+                        ..Default::default()
+                    },
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tmin);
+criterion_main!(benches);

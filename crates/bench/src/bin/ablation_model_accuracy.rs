@@ -1,0 +1,132 @@
+//! Ablation — accuracy of the reconstructed closed-form model (eqs. 1–3)
+//! against the transistor-level simulator, across cells, sizings and
+//! loads; plus the analytic-vs-numeric gradient residual.
+
+use pops_bench::{print_table, write_artifact};
+use pops_core::gradient::analytic_gradient;
+use pops_delay::{Library, PathStage, TimedPath};
+use pops_netlist::CellKind;
+use pops_spice::path_sim::simulate_path;
+use pops_spice::ElectricalParams;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Case {
+    label: String,
+    model_ps: f64,
+    spice_ps: f64,
+    ratio: f64,
+}
+
+#[derive(Serialize)]
+struct Artifact {
+    cases: Vec<Case>,
+    rank_agreement: bool,
+    max_gradient_err_rel: f64,
+}
+
+fn main() {
+    let lib = Library::cmos025();
+    let params = ElectricalParams::cmos025();
+
+    // A spread of path shapes and sizings.
+    let mut cases = Vec::new();
+    let mut table = Vec::new();
+    let paths: Vec<(&str, TimedPath, Vec<f64>)> = build_cases(&lib);
+    for (label, path, sizes) in &paths {
+        let model = path.delay(&lib, sizes).total_ps;
+        let spice = simulate_path(&params, &lib, path, sizes).total_delay_ps;
+        let ratio = model / spice;
+        table.push(vec![
+            label.to_string(),
+            format!("{model:.1}"),
+            format!("{spice:.1}"),
+            format!("{ratio:.2}"),
+        ]);
+        cases.push(Case {
+            label: label.to_string(),
+            model_ps: model,
+            spice_ps: spice,
+            ratio,
+        });
+    }
+    println!("Ablation — closed-form model vs transistor-level simulation\n");
+    print_table(&["case", "model (ps)", "spice (ps)", "model/spice"], &table);
+
+    // Ranking agreement: the model must order the cases like the sim.
+    let mut by_model: Vec<usize> = (0..cases.len()).collect();
+    by_model.sort_by(|&a, &b| cases[a].model_ps.total_cmp(&cases[b].model_ps));
+    let mut by_spice: Vec<usize> = (0..cases.len()).collect();
+    by_spice.sort_by(|&a, &b| cases[a].spice_ps.total_cmp(&cases[b].spice_ps));
+    let rank_agreement = by_model == by_spice;
+    println!("\nranking agreement (model vs spice): {rank_agreement}");
+
+    // Gradient residual on a representative path.
+    let (_, grad_path, grad_sizes) = &paths[1];
+    let ana = analytic_gradient(&lib, grad_path, grad_sizes);
+    let num = grad_path.gradient(&lib, grad_sizes);
+    let scale = num.iter().fold(0.0f64, |m, g| m.max(g.abs()));
+    let max_rel = ana
+        .iter()
+        .zip(&num)
+        .skip(1)
+        .map(|(a, n)| (a - n).abs() / scale)
+        .fold(0.0f64, f64::max);
+    println!("max analytic-vs-numeric gradient error (scaled): {max_rel:.2e}");
+
+    write_artifact(
+        "ablation_model_accuracy",
+        &Artifact {
+            cases,
+            rank_agreement,
+            max_gradient_err_rel: max_rel,
+        },
+    );
+}
+
+fn build_cases(lib: &Library) -> Vec<(&'static str, TimedPath, Vec<f64>)> {
+    use CellKind::*;
+    let cref = lib.min_drive_ff();
+    let mut out = Vec::new();
+
+    let chain = TimedPath::new(vec![PathStage::new(Inv); 5], cref, 60.0);
+    let min = chain.min_sizes(lib);
+    out.push(("inv chain, min sizes", chain.clone(), min));
+    out.push((
+        "inv chain, tapered",
+        chain.clone(),
+        vec![cref, 2.0 * cref, 4.0 * cref, 8.0 * cref, 16.0 * cref],
+    ));
+
+    let mixed = TimedPath::new(
+        vec![
+            PathStage::new(Inv),
+            PathStage::with_load(Nand3, 10.0),
+            PathStage::new(Nor2),
+            PathStage::new(Inv),
+        ],
+        cref,
+        45.0,
+    );
+    let min = mixed.min_sizes(lib);
+    out.push(("mixed path, min sizes", mixed.clone(), min));
+    out.push((
+        "mixed path, uniform 4x",
+        mixed.clone(),
+        vec![cref, 4.0 * cref, 4.0 * cref, 4.0 * cref],
+    ));
+
+    let nor_heavy = TimedPath::new(
+        vec![
+            PathStage::new(Inv),
+            PathStage::new(Nor3),
+            PathStage::new(Nor3),
+            PathStage::new(Inv),
+        ],
+        cref,
+        30.0,
+    );
+    let min = nor_heavy.min_sizes(lib);
+    out.push(("nor3 pair, min sizes", nor_heavy, min));
+    out
+}

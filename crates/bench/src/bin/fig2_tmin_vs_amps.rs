@@ -1,0 +1,85 @@
+//! Fig. 2 — minimum delay `Tmin` per circuit: POPS (deterministic link
+//! equations) vs AMPS (iterative industrial baseline), with the POPS
+//! sizing cross-validated by the transistor-level simulator (the paper's
+//! "delay values are obtained from SPICE simulations").
+
+use pops_amps::{greedy_min_delay, random_min_delay, GreedyOptions, RandomSearchOptions};
+use pops_bench::paper_ref::table3_row;
+use pops_bench::report::ns;
+use pops_bench::{fig2_workloads, print_table, write_artifact};
+use pops_core::bounds::tmin;
+use pops_delay::Library;
+use pops_spice::path_sim::simulate_path;
+use pops_spice::ElectricalParams;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    circuit: String,
+    gates: usize,
+    pops_tmin_ns: f64,
+    amps_tmin_ns: f64,
+    spice_ns: f64,
+    paper_pops_ns: Option<f64>,
+}
+
+fn main() {
+    let lib = Library::cmos025();
+    let params = ElectricalParams::cmos025();
+
+    println!("Fig. 2 — Tmin: POPS vs AMPS (with SPICE-substitute validation)\n");
+
+    let mut rows = Vec::new();
+    let mut table = Vec::new();
+    for w in fig2_workloads(&lib) {
+        let pops = tmin(&lib, &w.path);
+        let greedy = greedy_min_delay(&lib, &w.path, &GreedyOptions::default());
+        let random = random_min_delay(
+            &lib,
+            &w.path,
+            &RandomSearchOptions {
+                samples: 400,
+                refinement_rounds: 400,
+                ..Default::default()
+            },
+        );
+        let amps = greedy.delay_ps.min(random.delay_ps);
+        let spice = simulate_path(&params, &lib, &w.path, &pops.sizes).total_delay_ps;
+        let paper = table3_row(w.name).map(|r| r.1);
+        table.push(vec![
+            w.name.to_string(),
+            w.gate_count.to_string(),
+            ns(pops.delay_ps),
+            ns(amps),
+            ns(spice),
+            paper.map(|p| format!("{p:.2}")).unwrap_or_else(|| "-".into()),
+            if pops.delay_ps <= amps * 1.005 { "yes" } else { "NO" }.to_string(),
+        ]);
+        rows.push(Row {
+            circuit: w.name.to_string(),
+            gates: w.gate_count,
+            pops_tmin_ns: pops.delay_ps / 1000.0,
+            amps_tmin_ns: amps / 1000.0,
+            spice_ns: spice / 1000.0,
+            paper_pops_ns: paper,
+        });
+    }
+    print_table(
+        &[
+            "circuit",
+            "gates",
+            "POPS Tmin (ns)",
+            "AMPS Tmin (ns)",
+            "SPICE-sub (ns)",
+            "paper POPS (ns)",
+            "POPS <= AMPS",
+        ],
+        &table,
+    );
+    println!(
+        "\nShape check (paper): POPS' deterministic minimum undercuts the \
+         iterative tool on every circuit."
+    );
+
+    write_artifact("fig2_tmin_vs_amps", &rows);
+}

@@ -1,0 +1,86 @@
+//! Fig. 4 — implementation area (ΣW) of the critical path under the hard
+//! constraint `Tc = 1.2·Tmin`: POPS' constant sensitivity method vs the
+//! AMPS-style iterative sizer.
+
+use pops_amps::{greedy_size_for_constraint, GreedyOptions};
+use pops_bench::{fig2_workloads, print_table, write_artifact};
+use pops_core::bounds::delay_bounds;
+use pops_core::sensitivity::distribute_constraint;
+use pops_delay::Library;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    circuit: String,
+    tc_ps: f64,
+    pops_area_um: f64,
+    amps_greedy_area_um: f64,
+    amps_recovered_area_um: f64,
+    pops_saving_vs_greedy_pct: f64,
+}
+
+fn main() {
+    let lib = Library::cmos025();
+    println!("Fig. 4 — area under Tc = 1.2 * Tmin: POPS vs AMPS\n");
+    println!(
+        "(AMPS column = plain TILOS-style greedy; +recovery = greedy followed \
+         by an area-recovery pass, the strongest iterative variant)\n"
+    );
+
+    let mut rows = Vec::new();
+    let mut table = Vec::new();
+    for w in fig2_workloads(&lib) {
+        let b = delay_bounds(&lib, &w.path);
+        let tc = 1.2 * b.tmin_ps;
+        let pops = distribute_constraint(&lib, &w.path, tc).expect("tc > tmin is feasible");
+        let plain = greedy_size_for_constraint(
+            &lib,
+            &w.path,
+            tc,
+            &GreedyOptions {
+                area_recovery: false,
+                ..Default::default()
+            },
+        )
+        .expect("feasible");
+        let recovered =
+            greedy_size_for_constraint(&lib, &w.path, tc, &GreedyOptions::default())
+                .expect("feasible");
+        let pops_area = lib.process().width_um(pops.total_cin_ff);
+        let plain_area = lib.process().width_um(plain.total_cin_ff);
+        let recovered_area = lib.process().width_um(recovered.total_cin_ff);
+        let saving = (plain_area - pops_area) / plain_area * 100.0;
+        table.push(vec![
+            w.name.to_string(),
+            format!("{:.2}", tc / 1000.0),
+            format!("{pops_area:.1}"),
+            format!("{plain_area:.1}"),
+            format!("{recovered_area:.1}"),
+            format!("{saving:+.1}%"),
+        ]);
+        rows.push(Row {
+            circuit: w.name.to_string(),
+            tc_ps: tc,
+            pops_area_um: pops_area,
+            amps_greedy_area_um: plain_area,
+            amps_recovered_area_um: recovered_area,
+            pops_saving_vs_greedy_pct: saving,
+        });
+    }
+    print_table(
+        &[
+            "circuit",
+            "Tc (ns)",
+            "POPS sigmaW (um)",
+            "AMPS sigmaW (um)",
+            "AMPS+recovery (um)",
+            "POPS saving",
+        ],
+        &table,
+    );
+    println!(
+        "\nShape check (paper): \"the equal sensitivity method results in a \
+         smaller area/power implementation\" on every circuit."
+    );
+    write_artifact("fig4_area_vs_amps", &rows);
+}

@@ -1,0 +1,132 @@
+//! Fig. 8 — path implementation area (ΣW) per circuit for the three
+//! constraint domains (hard / medium / weak), comparing pure sizing,
+//! local buffer insertion, and buffer insertion with global sizing.
+
+use pops_bench::{fig2_workloads, print_table, write_artifact};
+use pops_core::bounds::{delay_bounds, golden_min};
+use pops_core::buffer::insert_buffers;
+use pops_core::sensitivity::distribute_constraint;
+use pops_delay::Library;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    circuit: String,
+    domain: String,
+    tc_over_tmin: f64,
+    sizing_um: Option<f64>,
+    local_buff_um: Option<f64>,
+    global_buff_um: Option<f64>,
+}
+
+fn main() {
+    let lib = Library::cmos025();
+    println!("Fig. 8 — area per constraint domain: sizing / local buff / global buff\n");
+
+    let mut rows = Vec::new();
+    for (domain, factor) in [("hard", 1.1), ("medium", 1.8), ("weak", 2.7)] {
+        println!("== {domain} constraint (Tc = {factor} * Tmin) ==");
+        let mut table = Vec::new();
+        for w in fig2_workloads(&lib) {
+            let b = delay_bounds(&lib, &w.path);
+            let tc = factor * b.tmin_ps;
+
+            // Pure sizing.
+            let sizing = distribute_constraint(&lib, &w.path, tc)
+                .ok()
+                .map(|s| lib.process().width_um(s.total_cin_ff));
+
+            // Buffered structure (shared by the two buffering variants).
+            let (buffered, _) = insert_buffers(&lib, &w.path);
+
+            // Local buffering: original gates keep the sizing-only
+            // solution; only the inserted buffers are scaled (bisected) to
+            // just meet Tc.
+            let local = local_buffer_area(&lib, &w, &buffered, tc);
+
+            // Global: full constant-sensitivity re-sizing of the buffered
+            // path.
+            let global = distribute_constraint(&lib, &buffered.path, tc)
+                .ok()
+                .map(|s| lib.process().width_um(s.total_cin_ff));
+
+            let show = |a: &Option<f64>| {
+                a.map(|v| format!("{v:.0}")).unwrap_or_else(|| "inf.".into())
+            };
+            table.push(vec![
+                w.name.to_string(),
+                show(&sizing),
+                show(&local),
+                show(&global),
+            ]);
+            rows.push(Row {
+                circuit: w.name.to_string(),
+                domain: domain.to_string(),
+                tc_over_tmin: factor,
+                sizing_um: sizing,
+                local_buff_um: local,
+                global_buff_um: global,
+            });
+        }
+        print_table(
+            &["circuit", "sizing (um)", "local buff (um)", "global buff (um)"],
+            &table,
+        );
+        println!();
+    }
+    println!(
+        "Shape check (paper): roughly equivalent areas in the weak/medium \
+         domains; under hard constraints global buffering yields the \
+         important saving."
+    );
+    write_artifact("fig8_area_domains", &rows);
+}
+
+/// Area of the "local buffering" variant: sizing-only gate sizes, buffers
+/// scaled by a single factor bisected to just meet `tc`.
+fn local_buffer_area(
+    lib: &Library,
+    w: &pops_bench::Workload,
+    buffered: &pops_core::buffer::BufferedPath,
+    tc: f64,
+) -> Option<f64> {
+    let base = distribute_constraint(lib, &w.path, tc).ok()?;
+    if buffered.inserted_at.is_empty() {
+        return Some(lib.process().width_um(base.total_cin_ff));
+    }
+    // Rebuild the buffered sizing: original stages keep `base` sizes,
+    // buffer stages get `scale * CREF`.
+    let make_sizes = |scale: f64| {
+        let mut sizes = Vec::with_capacity(buffered.path.len());
+        let mut base_iter = base.sizes.iter();
+        for i in 0..buffered.path.len() {
+            if buffered.inserted_at.contains(&i) {
+                sizes.push(scale * lib.min_drive_ff());
+            } else {
+                sizes.push(*base_iter.next().expect("stage counts line up"));
+            }
+        }
+        sizes
+    };
+    let delay_at = |scale: f64| buffered.path.delay(lib, &make_sizes(scale)).total_ps;
+    // Find the buffer scale minimizing delay, then the smallest scale
+    // meeting tc on the decreasing branch.
+    let best_scale = golden_min(delay_at, 1.0, 64.0);
+    if delay_at(best_scale) > tc {
+        return None; // local buffering alone cannot meet tc
+    }
+    let (mut lo, mut hi) = (1.0f64, best_scale);
+    if delay_at(lo) <= tc {
+        hi = lo;
+    }
+    for _ in 0..50 {
+        let mid = 0.5 * (lo + hi);
+        if delay_at(mid) <= tc {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    let sizes = make_sizes(hi);
+    Some(lib.process().width_um(sizes.iter().sum()))
+}

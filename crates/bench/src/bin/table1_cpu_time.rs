@@ -1,0 +1,97 @@
+//! Table 1 — CPU time to satisfy a path delay constraint: POPS'
+//! deterministic distribution vs the AMPS-style iterative sizer.
+//!
+//! The paper reports a two-orders-of-magnitude speedup. Wall-clock
+//! milliseconds on today's hardware are far smaller than 2005's, so the
+//! column to compare is the *ratio*.
+
+use std::time::Instant;
+
+use pops_amps::{greedy_size_for_constraint, GreedyOptions};
+use pops_bench::paper_ref::TABLE1_CPU_TIME;
+use pops_bench::{paper_workloads, print_table, write_artifact};
+use pops_core::bounds::delay_bounds;
+use pops_core::sensitivity::distribute_constraint;
+use pops_delay::Library;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    circuit: String,
+    gates: usize,
+    pops_ms: f64,
+    amps_ms: f64,
+    speedup: f64,
+    paper_speedup: Option<f64>,
+}
+
+fn time_ms(mut f: impl FnMut()) -> f64 {
+    // Repeat fast bodies for stable numbers.
+    let t0 = Instant::now();
+    let mut reps = 0u32;
+    loop {
+        f();
+        reps += 1;
+        if t0.elapsed().as_millis() >= 50 || reps >= 100 {
+            break;
+        }
+    }
+    t0.elapsed().as_secs_f64() * 1000.0 / reps as f64
+}
+
+fn main() {
+    let lib = Library::cmos025();
+    println!("Table 1 — CPU time for constraint distribution (Tc = 1.2 * Tmin)\n");
+
+    let mut rows = Vec::new();
+    let mut table = Vec::new();
+    for w in paper_workloads(&lib) {
+        let b = delay_bounds(&lib, &w.path);
+        let tc = 1.2 * b.tmin_ps;
+        let pops_ms = time_ms(|| {
+            let _ = distribute_constraint(&lib, &w.path, tc);
+        });
+        let t0 = Instant::now();
+        let _ = greedy_size_for_constraint(&lib, &w.path, tc, &GreedyOptions::default());
+        let amps_ms = t0.elapsed().as_secs_f64() * 1000.0;
+        let speedup = amps_ms / pops_ms;
+        let paper = TABLE1_CPU_TIME
+            .iter()
+            .find(|r| r.0 == w.name)
+            .map(|r| r.3 / r.2);
+        table.push(vec![
+            w.name.to_string(),
+            w.gate_count.to_string(),
+            format!("{pops_ms:.2}"),
+            format!("{amps_ms:.2}"),
+            format!("{speedup:.0}x"),
+            paper
+                .map(|s| format!("{s:.0}x"))
+                .unwrap_or_else(|| "-".into()),
+        ]);
+        rows.push(Row {
+            circuit: w.name.to_string(),
+            gates: w.gate_count,
+            pops_ms,
+            amps_ms,
+            speedup,
+            paper_speedup: paper,
+        });
+    }
+    print_table(
+        &[
+            "circuit",
+            "gates",
+            "POPS (ms)",
+            "AMPS (ms)",
+            "speedup",
+            "paper speedup",
+        ],
+        &table,
+    );
+    println!(
+        "\nShape check (paper): \"a two order of magnitude speed up of the \
+         constraint distribution step\"."
+    );
+    write_artifact("table1_cpu_time", &rows);
+}

@@ -1,0 +1,83 @@
+//! Table 2 — the buffer-insertion fan-out limit `Flimit` for a gate
+//! driven by an inverter: closed-form calculation vs transistor-level
+//! simulation (the paper's HSPICE column).
+
+use pops_bench::paper_ref::TABLE2_FLIMIT;
+use pops_bench::{print_table, write_artifact};
+use pops_core::buffer::{flimit, flimit_with};
+use pops_delay::{Edge, Library};
+use pops_netlist::CellKind;
+use pops_spice::path_sim::simulate_path;
+use pops_spice::ElectricalParams;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    gate: String,
+    calculated: f64,
+    simulated: f64,
+    paper_calculated: f64,
+    paper_simulated: f64,
+}
+
+fn main() {
+    let lib = Library::cmos025();
+    let params = ElectricalParams::cmos025();
+    let gates = [
+        CellKind::Inv,
+        CellKind::Nand2,
+        CellKind::Nand3,
+        CellKind::Nor2,
+        CellKind::Nor3,
+    ];
+
+    println!("Table 2 — fan-out limit Flimit (gate driven by an inverter)\n");
+
+    let mut rows = Vec::new();
+    let mut table = Vec::new();
+    for (idx, &gate) in gates.iter().enumerate() {
+        let calc = flimit(&lib, CellKind::Inv, gate).expect("crossover exists");
+        // Simulated column: worst-edge delay from the transient simulator.
+        let sim_eval = |path: &pops_delay::TimedPath, sizes: &[f64]| {
+            let rising = simulate_path(&params, &lib, path, sizes).total_delay_ps;
+            let falling_path = path
+                .clone()
+                .with_input_conditions(Edge::Falling, path.input_transition_ps());
+            let falling = simulate_path(&params, &lib, &falling_path, sizes).total_delay_ps;
+            rising.max(falling)
+        };
+        let sim =
+            flimit_with(&lib, CellKind::Inv, gate, sim_eval).expect("crossover exists");
+        let (name, paper_calc, paper_sim) = TABLE2_FLIMIT[idx];
+        table.push(vec![
+            format!("inv -> {gate}"),
+            format!("{calc:.1}"),
+            format!("{sim:.1}"),
+            format!("{paper_calc:.1}"),
+            format!("{paper_sim:.1}"),
+        ]);
+        rows.push(Row {
+            gate: name.to_string(),
+            calculated: calc,
+            simulated: sim,
+            paper_calculated: paper_calc,
+            paper_simulated: paper_sim,
+        });
+    }
+    print_table(
+        &[
+            "pair",
+            "calc.",
+            "simul.",
+            "paper calc.",
+            "paper simul.",
+        ],
+        &table,
+    );
+    println!(
+        "\nShape check (paper): strict ordering inv > nand2 > nand3 > nor2 > \
+         nor3 — \"greater is the logical weight of the gate, lower is the \
+         limit\"."
+    );
+    write_artifact("table2_flimit", &rows);
+}

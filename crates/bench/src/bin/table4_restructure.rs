@@ -1,0 +1,127 @@
+//! Table 4 — buffer insertion vs De Morgan logic restructuring: path
+//! area under hard and medium constraints on the NOR-bearing circuits.
+
+use pops_bench::paper_ref::{TABLE4_HARD, TABLE4_MEDIUM};
+use pops_bench::{print_table, write_artifact};
+use pops_core::bounds::delay_bounds;
+use pops_core::buffer::insert_buffers;
+use pops_core::restructure::restructure_critical;
+use pops_core::sensitivity::distribute_constraint;
+use pops_delay::{Library, PathStage, TimedPath};
+use pops_netlist::CellKind;
+use serde::Serialize;
+
+/// A NOR-dominated path with heavily loaded critical NOR nodes — the
+/// situation real technology-mapped ISCAS'85 critical paths present (and
+/// the reason the paper restructures at all). The synthetic suite's
+/// spines carry milder NOR loading, so this microbenchmark demonstrates
+/// the §4.2 effect directly; the cXXXX rows report the suite behaviour.
+fn nor_micro(lib: &Library) -> TimedPath {
+    use CellKind::*;
+    TimedPath::new(
+        vec![
+            PathStage::new(Inv),
+            PathStage::with_load(Nor3, 60.0),
+            PathStage::new(Nand2),
+            PathStage::with_load(Nor3, 80.0),
+            PathStage::new(Inv),
+        ],
+        lib.min_drive_ff(),
+        150.0,
+    )
+}
+
+#[derive(Serialize)]
+struct Row {
+    circuit: String,
+    constraint: String,
+    buffered_um: Option<f64>,
+    restructured_um: Option<f64>,
+    gain_pct: Option<f64>,
+    paper_gain_pct: Option<u32>,
+}
+
+/// Minimal path holder so suite workloads and the microbenchmark share
+/// one code path below.
+struct Borrowed {
+    path: TimedPath,
+}
+
+fn main() {
+    let lib = Library::cmos025();
+    let circuits = ["nor_micro", "c1355", "c1908", "c5315", "c7552"];
+    println!("Table 4 — buffer insertion vs logic restructuring (sigmaW)\n");
+
+    let mut rows = Vec::new();
+    for (constraint, factor, paper) in [
+        ("hard", 1.15, TABLE4_HARD),
+        ("medium", 1.8, TABLE4_MEDIUM),
+    ] {
+        println!("== {constraint} constraint (Tc = {factor} * Tmin) ==");
+        let mut table = Vec::new();
+        for name in circuits {
+            let path = if name == "nor_micro" {
+                nor_micro(&lib)
+            } else {
+                pops_bench::workload(&lib, name).path
+            };
+            let w = Borrowed { path };
+            let b = delay_bounds(&lib, &w.path);
+            let tc = factor * b.tmin_ps;
+
+            let (buffered, _) = insert_buffers(&lib, &w.path);
+            let buff_area = distribute_constraint(&lib, &buffered.path, tc)
+                .ok()
+                .map(|s| lib.process().width_um(s.total_cin_ff));
+
+            let rest = restructure_critical(&lib, &w.path);
+            let rest_area = distribute_constraint(&lib, &rest.path, tc).ok().map(|s| {
+                lib.process()
+                    .width_um(s.total_cin_ff + rest.side_inverter_cin_ff)
+            });
+
+            let gain = match (buff_area, rest_area) {
+                (Some(bu), Some(re)) => Some((bu - re) / bu * 100.0),
+                _ => None,
+            };
+            let paper_gain = paper.iter().find(|r| r.0 == name).map(|r| r.3);
+            let show = |a: Option<f64>| {
+                a.map(|v| format!("{v:.0}")).unwrap_or_else(|| "inf.".into())
+            };
+            table.push(vec![
+                name.to_string(),
+                show(buff_area),
+                show(rest_area),
+                gain.map(|g| format!("{g:+.0}%")).unwrap_or_else(|| "-".into()),
+                paper_gain
+                    .map(|g| format!("{g}%"))
+                    .unwrap_or_else(|| "- (unreadable in scan)".into()),
+            ]);
+            rows.push(Row {
+                circuit: name.to_string(),
+                constraint: constraint.to_string(),
+                buffered_um: buff_area,
+                restructured_um: rest_area,
+                gain_pct: gain,
+                paper_gain_pct: paper_gain,
+            });
+        }
+        print_table(
+            &[
+                "circuit",
+                "buff sigmaW (um)",
+                "restruct sigmaW (um)",
+                "gain",
+                "paper gain",
+            ],
+            &table,
+        );
+        println!();
+    }
+    println!(
+        "Shape check (paper): \"deterministic logic structure modification on \
+         critical path supplies a non negligible area (power) save\" — \
+         restructuring beats buffering, more so under hard constraints."
+    );
+    write_artifact("table4_restructure", &rows);
+}

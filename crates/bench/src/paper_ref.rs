@@ -1,0 +1,106 @@
+//! The paper's published numbers, kept next to our measurements in every
+//! table so drift is visible at a glance.
+//!
+//! Values are transcribed from Verle et al., DATE 2005. Absolute numbers
+//! reflect the authors' proprietary 0.25 µm foundry deck and the real
+//! (unavailable) technology-mapped netlists; the reproduction targets the
+//! *shape*: orderings, crossovers, gain signs and rough factors.
+
+/// Table 1 — CPU time (ms) for constraint distribution: (circuit, gate
+/// count on path, POPS ms, AMPS ms).
+pub const TABLE1_CPU_TIME: &[(&str, usize, f64, f64)] = &[
+    ("adder16", 99, 159.0, 23700.0),
+    ("fpd", 14, 19.0, 6120.0),
+    ("c432", 29, 29.0, 9950.0),
+    ("c499", 29, 30.0, 9050.0),
+    ("c880", 28, 29.0, 9850.0),
+    ("c1355", 30, 49.0, 11400.0),
+    ("c1908", 44, 49.0, 11760.0),
+    ("c3540", 58, 69.0, 15890.0),
+    ("c5315", 60, 90.0, 19400.0),
+    ("c6288", 116, 210.0, 21920.0),
+    ("c7552", 47, 69.0, 16400.0),
+];
+
+/// Table 2 — fan-out limit for a gate driven by an inverter:
+/// (gate, calculated, simulated).
+pub const TABLE2_FLIMIT: &[(&str, f64, f64)] = &[
+    ("INV", 5.7, 5.9),
+    ("NAND2", 4.9, 5.4),
+    ("NAND3", 4.5, 5.2),
+    ("NOR2", 3.8, 3.5),
+    ("NOR3", 2.7, 2.5),
+];
+
+/// Table 3 — minimum delay (ns): (circuit, sizing Tmin, buffered Tmin,
+/// gain %). Fig. 2's POPS series equals the sizing column.
+pub const TABLE3_TMIN: &[(&str, f64, f64, u32)] = &[
+    ("adder16", 4.53, 4.39, 3),
+    ("c432", 2.22, 1.97, 13),
+    ("c499", 1.79, 1.64, 9),
+    ("c880", 2.09, 1.71, 22),
+    ("c1355", 2.16, 1.89, 14),
+    ("c1908", 2.66, 2.32, 15),
+    ("c3540", 3.29, 3.21, 2),
+    ("c5315", 3.57, 3.20, 12),
+    ("c6288", 7.98, 7.74, 3),
+    ("c7552", 3.08, 2.60, 18),
+];
+
+/// Table 4 — area (ΣW µm) under a hard constraint: (circuit, buffered,
+/// restructured, gain %). The paper's c7552 hard row is unreadable in
+/// the source scan ("X"); it is omitted here.
+pub const TABLE4_HARD: &[(&str, f64, f64, u32)] = &[
+    ("c1355", 1522.0, 1286.0, 16),
+    ("c1908", 2848.0, 2547.0, 11),
+    ("c5315", 1770.0, 1578.0, 11),
+];
+
+/// Table 4 — area (ΣW µm) under a medium constraint.
+pub const TABLE4_MEDIUM: &[(&str, f64, f64, u32)] = &[
+    ("c1355", 240.0, 230.0, 4),
+    ("c1908", 280.0, 250.0, 11),
+    ("c5315", 500.0, 472.0, 6),
+    ("c7552", 344.0, 325.0, 6),
+];
+
+/// Fig. 6 — the constraint-domain boundaries (in units of Tmin).
+pub const DOMAIN_HARD_BOUNDARY: f64 = 1.2;
+/// Fig. 6 — weak/medium boundary (in units of Tmin).
+pub const DOMAIN_WEAK_BOUNDARY: f64 = 2.5;
+
+/// Look up a Table 3 row by circuit name.
+pub fn table3_row(name: &str) -> Option<&'static (&'static str, f64, f64, u32)> {
+    TABLE3_TMIN.iter().find(|r| r.0 == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_covers_all_eleven_circuits() {
+        assert_eq!(TABLE1_CPU_TIME.len(), 11);
+    }
+
+    #[test]
+    fn table3_gains_match_the_columns() {
+        for &(name, sizing, buffered, gain) in TABLE3_TMIN {
+            let computed = ((sizing - buffered) / sizing * 100.0).round() as u32;
+            // The paper's printed gains do not always match its own
+            // columns (c880: 2.09 -> 1.71 is 18 %, printed as 22 %);
+            // allow the published slack.
+            assert!(
+                computed.abs_diff(gain) <= 5,
+                "{name}: computed {computed} vs published {gain}"
+            );
+        }
+    }
+
+    #[test]
+    fn flimit_reference_is_ordered() {
+        for w in TABLE2_FLIMIT.windows(2) {
+            assert!(w[0].1 > w[1].1);
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Console tables and machine-readable result artifacts.
+
+use std::fs;
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+/// Print an aligned console table.
+///
+/// ```
+/// pops_bench::print_table(
+///     &["circuit", "Tmin (ns)"],
+///     &[vec!["c432".to_string(), "2.21".to_string()]],
+/// );
+/// ```
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let ncol = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), ncol, "row width must match header width");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line = |sep: &str| {
+        let cells: Vec<String> = widths.iter().map(|w| sep.repeat(*w + 2)).collect();
+        format!("+{}+", cells.join("+"))
+    };
+    println!("{}", line("-"));
+    let header_cells: Vec<String> = headers
+        .iter()
+        .zip(&widths)
+        .map(|(h, w)| format!(" {h:<w$} "))
+        .collect();
+    println!("|{}|", header_cells.join("|"));
+    println!("{}", line("="));
+    for row in rows {
+        let cells: Vec<String> = row
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!(" {c:<w$} "))
+            .collect();
+        println!("|{}|", cells.join("|"));
+    }
+    println!("{}", line("-"));
+}
+
+/// Directory where experiment artifacts are written.
+pub fn results_dir() -> PathBuf {
+    let target = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into());
+    PathBuf::from(target).join("paper_results")
+}
+
+/// Serialize an experiment result to `target/paper_results/<name>.json`.
+///
+/// Failures to write are reported on stderr but do not abort the
+/// experiment (the console table is the primary output).
+pub fn write_artifact<T: Serialize>(name: &str, value: &T) {
+    let dir = results_dir();
+    if let Err(e) = fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = fs::write(&path, json) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            } else {
+                println!("[artifact] {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialize {name}: {e}"),
+    }
+}
+
+/// Format picoseconds as nanoseconds with two decimals (the paper's
+/// Tmin unit).
+pub fn ns(ps: f64) -> String {
+    format!("{:.2}", ps / 1000.0)
+}
+
+/// Format a relative gain as a percentage (the paper's "gain" rows).
+pub fn gain_pct(before: f64, after: f64) -> String {
+    format!("{:.0}%", (before - after) / before * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ns_formats_two_decimals() {
+        assert_eq!(ns(4530.0), "4.53");
+        assert_eq!(ns(999.5), "1.00");
+    }
+
+    #[test]
+    fn gain_formats_percent() {
+        assert_eq!(gain_pct(100.0, 87.0), "13%");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_rows_panic() {
+        print_table(&["a", "b"], &[vec!["x".into()]]);
+    }
+}

@@ -1,0 +1,412 @@
+//! Path delay bounds: `Tmax` and `Tmin` (§3.1, Figs. 1–2).
+//!
+//! * `Tmax` — the "pseudo-upper bound (at minimum area)": every gate at
+//!   the minimum available drive.
+//! * `Tmin` — the inferior bound, obtained by cancelling `∂T/∂C_IN(i)`
+//!   for every interior gate: the eq. (4) link equations
+//!   `C_IN(i) = √( (A_i/A_{i−1}) · C_IN(i−1) · C_L(i) )`,
+//!   solved by the paper's iterative backward/forward sweeps from an
+//!   initial solution seeded at `C_REF` (Fig. 1 shows the trajectory).
+
+use pops_delay::{Library, TimedPath};
+
+use crate::gradient::operating_point;
+
+/// One recorded sweep of the `Tmin` iteration (the data behind Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TminIteration {
+    /// `Σ C_IN / C_REF` after this sweep (Fig. 1's x-axis).
+    pub total_cin_over_cref: f64,
+    /// Path delay after this sweep (ps).
+    pub delay_ps: f64,
+}
+
+/// Result of the `Tmin` search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TminResult {
+    /// Sizing achieving the minimum delay.
+    pub sizes: Vec<f64>,
+    /// The minimum path delay (ps).
+    pub delay_ps: f64,
+    /// Per-sweep trajectory (for Fig. 1).
+    pub trace: Vec<TminIteration>,
+    /// Sweeps used.
+    pub iterations: usize,
+}
+
+/// Both delay bounds of a path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DelayBounds {
+    /// Minimum achievable delay (ps).
+    pub tmin_ps: f64,
+    /// Delay with every gate at minimum drive (ps).
+    pub tmax_ps: f64,
+    /// Sizing achieving `tmin_ps`.
+    pub tmin_sizes: Vec<f64>,
+}
+
+impl DelayBounds {
+    /// Is a constraint achievable by sizing alone (structure conserved)?
+    pub fn is_feasible(&self, tc_ps: f64) -> bool {
+        tc_ps >= self.tmin_ps
+    }
+}
+
+/// Options for the `Tmin` fixed-point iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TminOptions {
+    /// Initial interior sizing (fF); the paper seeds with `C_REF`.
+    pub start_cin_ff: Option<f64>,
+    /// Maximum number of sweeps.
+    pub max_sweeps: usize,
+    /// Relative convergence tolerance on sizes.
+    pub tolerance: f64,
+    /// Run exact per-coordinate golden-section polish after the link
+    /// equations converge (guarantees a true local — hence, by convexity,
+    /// global — minimum of the full model).
+    pub polish: bool,
+}
+
+impl Default for TminOptions {
+    fn default() -> Self {
+        TminOptions {
+            start_cin_ff: None,
+            max_sweeps: 200,
+            tolerance: 1e-10,
+            polish: true,
+        }
+    }
+}
+
+/// `Tmax`: path delay with all gates at minimum drive.
+pub fn tmax(lib: &Library, path: &TimedPath) -> f64 {
+    let sizes = path.min_sizes(lib);
+    path.delay(lib, &sizes).total_ps
+}
+
+/// `Tmin` with default options.
+pub fn tmin(lib: &Library, path: &TimedPath) -> TminResult {
+    tmin_with(lib, path, &TminOptions::default())
+}
+
+/// `Tmin` via the paper's iterative link-equation sweeps (eq. 4).
+///
+/// Every sweep recomputes the `A_i` coefficients at the current operating
+/// point, applies
+/// `C_IN(i) ← √((A_i/A_{i−1}) · C_IN(i−1) · C_L(i))` forward over the
+/// interior stages, and records the (`ΣC_IN/C_REF`, delay) pair. The
+/// paper's observation that "the final value Tmin is conserved whatever
+/// is the initial solution, ie the C_REF value" is covered by tests.
+pub fn tmin_with(lib: &Library, path: &TimedPath, options: &TminOptions) -> TminResult {
+    let n = path.len();
+    let cref = lib.min_drive_ff();
+    let mut sizes = path.min_sizes(lib);
+    if let Some(start) = options.start_cin_ff {
+        assert!(start > 0.0, "start size must be positive");
+        for s in sizes.iter_mut().skip(1) {
+            *s = start;
+        }
+    }
+
+    let mut trace = Vec::new();
+    let mut iterations = 0;
+    record(lib, path, &sizes, cref, &mut trace);
+
+    for sweep in 0..options.max_sweeps {
+        iterations = sweep + 1;
+        let op = operating_point(lib, path, &sizes);
+        let mut max_rel_change: f64 = 0.0;
+        // Forward sweep over interior stages. C_L(i) uses the *current*
+        // neighbour sizes, exactly as the paper's backward-initialized
+        // iteration does. The Miller corrections (frozen at the current
+        // point) make the fixed point a true stationary point of the
+        // full model.
+        for i in 1..n {
+            let cl = path.stage_load_ff(i, &sizes);
+            let upstream = op.a[i - 1] / sizes[i - 1] + op.up_corr[i - 1] + op.own_corr[i];
+            let target = (op.a[i] * cl / upstream.max(1e-12)).sqrt();
+            let new = target.max(cref);
+            max_rel_change = max_rel_change.max((new - sizes[i]).abs() / sizes[i]);
+            sizes[i] = new;
+        }
+        record(lib, path, &sizes, cref, &mut trace);
+        if max_rel_change < options.tolerance {
+            break;
+        }
+    }
+
+    if options.polish && n > 1 {
+        polish(lib, path, &mut sizes, cref);
+        record(lib, path, &sizes, cref, &mut trace);
+    }
+
+    let delay_ps = path.delay(lib, &sizes).total_ps;
+    TminResult {
+        sizes,
+        delay_ps,
+        trace,
+        iterations,
+    }
+}
+
+/// Compute both bounds.
+pub fn delay_bounds(lib: &Library, path: &TimedPath) -> DelayBounds {
+    let t = tmin(lib, path);
+    DelayBounds {
+        tmin_ps: t.delay_ps,
+        tmax_ps: tmax(lib, path),
+        tmin_sizes: t.sizes,
+    }
+}
+
+fn record(
+    lib: &Library,
+    path: &TimedPath,
+    sizes: &[f64],
+    cref: f64,
+    trace: &mut Vec<TminIteration>,
+) {
+    trace.push(TminIteration {
+        total_cin_over_cref: sizes.iter().sum::<f64>() / cref,
+        delay_ps: path.delay(lib, sizes).total_ps,
+    });
+}
+
+/// Cyclic per-coordinate golden-section descent on the exact model.
+///
+/// The path delay is convex in each coordinate on a bounded path, so this
+/// converges to the exact minimizer; a handful of cycles suffices after
+/// the link equations have done the heavy lifting.
+fn polish(lib: &Library, path: &TimedPath, sizes: &mut [f64], cref: f64) {
+    const CYCLES: usize = 6;
+    for _ in 0..CYCLES {
+        for i in 1..sizes.len() {
+            let best = golden_min(
+                |c| {
+                    let mut probe = sizes.to_vec();
+                    probe[i] = c;
+                    path.delay(lib, &probe).total_ps
+                },
+                cref,
+                (sizes[i] * 16.0).max(cref * 64.0),
+            );
+            sizes[i] = best;
+        }
+    }
+}
+
+/// Golden-section minimization of a unimodal scalar function on
+/// `[lo, hi]`, returning the argmin.
+///
+/// Exposed because several harness experiments need 1-D searches over
+/// the same convex delay landscapes the optimizers exploit.
+///
+/// # Example
+///
+/// ```
+/// let x = pops_core::bounds::golden_min(|x| (x - 2.0_f64).powi(2), 0.0, 10.0);
+/// assert!((x - 2.0).abs() < 1e-6);
+/// ```
+pub fn golden_min(f: impl Fn(f64) -> f64, lo: f64, hi: f64) -> f64 {
+    const INV_PHI: f64 = 0.618_033_988_749_894_8;
+    let mut a = lo;
+    let mut b = hi;
+    let mut c = b - INV_PHI * (b - a);
+    let mut d = a + INV_PHI * (b - a);
+    let mut fc = f(c);
+    let mut fd = f(d);
+    for _ in 0..80 {
+        if fc < fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - INV_PHI * (b - a);
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + INV_PHI * (b - a);
+            fd = f(d);
+        }
+        if (b - a).abs() < 1e-9 * (1.0 + b.abs()) {
+            break;
+        }
+    }
+    0.5 * (a + b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pops_delay::PathStage;
+    use pops_netlist::CellKind;
+
+    fn lib() -> Library {
+        Library::cmos025()
+    }
+
+    fn chain(n: usize, terminal: f64) -> TimedPath {
+        TimedPath::new(
+            vec![PathStage::new(CellKind::Inv); n],
+            Library::cmos025().min_drive_ff(),
+            terminal,
+        )
+    }
+
+    fn mixed() -> TimedPath {
+        use CellKind::*;
+        TimedPath::new(
+            vec![
+                PathStage::new(Inv),
+                PathStage::with_load(Nand2, 6.0),
+                PathStage::new(Nor2),
+                PathStage::new(Inv),
+                PathStage::with_load(Nand3, 10.0),
+                PathStage::new(Inv),
+            ],
+            2.7,
+            120.0,
+        )
+    }
+
+    #[test]
+    fn tmin_below_tmax() {
+        let lib = lib();
+        for path in [chain(5, 200.0), mixed()] {
+            let b = delay_bounds(&lib, &path);
+            assert!(
+                b.tmin_ps < b.tmax_ps,
+                "tmin {} !< tmax {}",
+                b.tmin_ps,
+                b.tmax_ps
+            );
+        }
+    }
+
+    #[test]
+    fn tmin_is_independent_of_the_start_point() {
+        // The paper: "the final value Tmin is conserved whatever is the
+        // initial solution, ie the CREF value".
+        let lib = lib();
+        let path = mixed();
+        let mut results = Vec::new();
+        for start in [2.7, 10.0, 40.0, 120.0] {
+            let r = tmin_with(
+                &lib,
+                &path,
+                &TminOptions {
+                    start_cin_ff: Some(start),
+                    ..Default::default()
+                },
+            );
+            results.push(r.delay_ps);
+        }
+        for w in results.windows(2) {
+            assert!(
+                (w[0] - w[1]).abs() < 1e-3 * w[0],
+                "Tmin differs across starts: {results:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn tmin_gradient_vanishes_in_the_interior() {
+        let lib = lib();
+        let path = mixed();
+        let r = tmin(&lib, &path);
+        let grad = path.gradient(&lib, &r.sizes);
+        // Scale: compare against the gradient magnitude at min sizes.
+        let ref_grad = path
+            .gradient(&lib, &path.min_sizes(&lib))
+            .iter()
+            .map(|g| g.abs())
+            .fold(0.0f64, f64::max);
+        for (i, g) in grad.iter().enumerate().skip(1) {
+            // Clamped-at-CREF coordinates may keep positive gradient.
+            if r.sizes[i] > lib.min_drive_ff() * 1.001 {
+                assert!(
+                    g.abs() < 0.02 * ref_grad,
+                    "stage {i} gradient {g} (ref {ref_grad})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_random_probe_beats_tmin() {
+        let lib = lib();
+        let path = mixed();
+        let r = tmin(&lib, &path);
+        // Deterministic pseudo-random probes around the optimum.
+        let mut seed = 0x9E3779B97F4A7C15u64;
+        let mut rand = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for _ in 0..200 {
+            let mut probe = r.sizes.clone();
+            for p in probe.iter_mut().skip(1) {
+                *p = (*p * (0.25 + 3.0 * rand())).max(lib.min_drive_ff());
+            }
+            let d = path.delay(&lib, &probe).total_ps;
+            assert!(d >= r.delay_ps - 1e-6, "probe {d} < tmin {}", r.delay_ps);
+        }
+    }
+
+    #[test]
+    fn trace_is_recorded_and_delay_monotonically_improves_late() {
+        let lib = lib();
+        let path = chain(7, 400.0);
+        let r = tmin(&lib, &path);
+        assert!(r.trace.len() >= 3);
+        // Final recorded delay equals the reported Tmin.
+        let last = r.trace.last().unwrap();
+        assert!((last.delay_ps - r.delay_ps).abs() < 1e-9);
+        // The trace ends strictly better than it starts (Fig. 1's descent).
+        assert!(r.trace[0].delay_ps > r.delay_ps);
+    }
+
+    #[test]
+    fn single_gate_path_has_equal_bounds() {
+        let lib = lib();
+        let path = chain(1, 50.0);
+        let b = delay_bounds(&lib, &path);
+        assert!((b.tmin_ps - b.tmax_ps).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heavier_terminal_load_raises_tmin() {
+        let lib = lib();
+        let light = delay_bounds(&lib, &chain(5, 50.0));
+        let heavy = delay_bounds(&lib, &chain(5, 500.0));
+        assert!(heavy.tmin_ps > light.tmin_ps);
+    }
+
+    #[test]
+    fn feasibility_uses_tmin() {
+        let lib = lib();
+        let b = delay_bounds(&lib, &chain(4, 100.0));
+        assert!(b.is_feasible(b.tmin_ps * 1.01));
+        assert!(!b.is_feasible(b.tmin_ps * 0.99));
+    }
+
+    #[test]
+    fn golden_min_finds_parabola_vertex() {
+        let x = golden_min(|x| (x - 3.25) * (x - 3.25), 0.0, 10.0);
+        assert!((x - 3.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tmin_sizes_taper_toward_a_heavy_load() {
+        // Classic tapered-buffer shape: monotone increasing sizes.
+        let lib = lib();
+        let path = chain(4, 600.0);
+        let r = tmin(&lib, &path);
+        for w in r.sizes.windows(2) {
+            assert!(w[1] > w[0], "sizes should taper up: {:?}", r.sizes);
+        }
+    }
+}

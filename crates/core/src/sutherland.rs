@@ -1,0 +1,204 @@
+//! Equal-delay constraint distribution (§3.2's strawman).
+//!
+//! "The simplest method is the Sutherland method, directly deduced from
+//! Mead's optimization rule of an ideal inverter array: the same delay
+//! constraint is imposed on each element of the path. If this supplies a
+//! very fast method for distributing the constraint, this is at the cost
+//! of an over-sizing of the gates with an important logical weight value."
+//!
+//! The ablation benchmark compares this to the constant-sensitivity
+//! method (Fig. 4).
+
+use pops_delay::{Library, TimedPath};
+
+use crate::bounds::golden_min;
+use crate::error::OptimizeError;
+
+/// Result of the equal-delay distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SutherlandSolution {
+    /// Final sizing.
+    pub sizes: Vec<f64>,
+    /// Achieved path delay (ps).
+    pub delay_ps: f64,
+    /// Total input capacitance (fF).
+    pub total_cin_ff: f64,
+    /// Full passes used.
+    pub passes: usize,
+}
+
+/// Size cap as a multiple of `C_REF` (prevents runaway sizes on
+/// infeasible per-stage budgets).
+const MAX_SIZE_FACTOR: f64 = 4000.0;
+
+/// Distribute `tc_ps` by giving every stage the same delay budget.
+///
+/// Iterates backward passes: each interior stage is sized (by scalar
+/// minimization of the absolute budget error) so its delay matches
+/// `tc / n` under the current slopes and loads; the per-stage budget is
+/// then rescaled by the achieved total and the pass repeats.
+///
+/// # Errors
+///
+/// [`OptimizeError::Infeasible`] when the equal-delay budget cannot be
+/// met even with capped maximum sizes.
+pub fn equal_delay_distribution(
+    lib: &Library,
+    path: &TimedPath,
+    tc_ps: f64,
+) -> Result<SutherlandSolution, OptimizeError> {
+    assert!(tc_ps > 0.0, "constraint must be positive");
+    let n = path.len();
+    let cref = lib.min_drive_ff();
+    let cmax = cref * MAX_SIZE_FACTOR;
+    let mut sizes = path.min_sizes(lib);
+    let mut budget = tc_ps / n as f64;
+    let mut passes = 0;
+
+    const MAX_PASSES: usize = 40;
+    for pass in 0..MAX_PASSES {
+        passes = pass + 1;
+        // Backward sweep: output stages first (their loads are known).
+        for i in (1..n).rev() {
+            let stage_delay = |c: f64| {
+                let mut probe = sizes.clone();
+                probe[i] = c;
+                path.delay(lib, &probe).stages[i].delay_ps
+            };
+            // The stage delay is U-shaped in its own size: first falling
+            // (drive strength) then rising again (the stage loads its own
+            // driver, degrading its input slope). Only the falling branch
+            // is meaningful — a gate must never "meet" its budget by
+            // being slowed through self-loading. Find the branch first.
+            let c_fastest = golden_min(stage_delay, cref, cmax);
+            let d_fastest = stage_delay(c_fastest);
+            sizes[i] = if stage_delay(cref) <= budget {
+                cref
+            } else if d_fastest >= budget {
+                c_fastest
+            } else {
+                // Bisect d(c) = budget on the decreasing branch.
+                let (mut lo, mut hi) = (cref, c_fastest);
+                for _ in 0..60 {
+                    let mid = 0.5 * (lo + hi);
+                    if stage_delay(mid) > budget {
+                        lo = mid;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                0.5 * (lo + hi)
+            };
+        }
+        let total = path.delay(lib, &sizes).total_ps;
+        if total <= tc_ps {
+            return Ok(SutherlandSolution {
+                total_cin_ff: sizes.iter().sum(),
+                delay_ps: total,
+                sizes,
+                passes,
+            });
+        }
+        // Tighten the per-stage budget proportionally and retry.
+        budget *= (tc_ps / total).max(0.5);
+        if budget < 1e-3 {
+            break;
+        }
+    }
+
+    let total = path.delay(lib, &sizes).total_ps;
+    if total <= tc_ps {
+        Ok(SutherlandSolution {
+            total_cin_ff: sizes.iter().sum(),
+            delay_ps: total,
+            sizes,
+            passes,
+        })
+    } else {
+        Err(OptimizeError::Infeasible {
+            tc_ps,
+            tmin_ps: total,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::delay_bounds;
+    use crate::sensitivity::distribute_constraint;
+    use pops_delay::PathStage;
+    use pops_netlist::CellKind;
+
+    fn lib() -> Library {
+        Library::cmos025()
+    }
+
+    fn weighted_path() -> TimedPath {
+        use CellKind::*;
+        // Deliberately includes heavy-logical-weight gates (NOR3) that the
+        // equal-delay rule over-sizes.
+        TimedPath::new(
+            vec![
+                PathStage::new(Inv),
+                PathStage::new(Nor3),
+                PathStage::new(Nand2),
+                PathStage::new(Nor3),
+                PathStage::new(Inv),
+                PathStage::new(Nand3),
+                PathStage::new(Inv),
+            ],
+            2.7,
+            100.0,
+        )
+    }
+
+    #[test]
+    fn meets_a_feasible_constraint() {
+        let lib = lib();
+        let path = weighted_path();
+        let b = delay_bounds(&lib, &path);
+        let tc = 1.5 * b.tmin_ps;
+        let sol = equal_delay_distribution(&lib, &path, tc).unwrap();
+        assert!(sol.delay_ps <= tc * 1.0001);
+    }
+
+    #[test]
+    fn constant_sensitivity_needs_less_area() {
+        // The paper's §3.2 claim (Fig. 4): equal-delay over-sizes gates
+        // with big logical weights; the sensitivity method is cheaper.
+        let lib = lib();
+        let path = weighted_path();
+        let b = delay_bounds(&lib, &path);
+        let tc = 1.4 * b.tmin_ps;
+        let suth = equal_delay_distribution(&lib, &path, tc).unwrap();
+        let sens = distribute_constraint(&lib, &path, tc).unwrap();
+        assert!(
+            sens.total_cin_ff < suth.total_cin_ff,
+            "sensitivity {} !< sutherland {}",
+            sens.total_cin_ff,
+            suth.total_cin_ff
+        );
+    }
+
+    #[test]
+    fn impossible_budget_errors_out() {
+        let lib = lib();
+        let path = weighted_path();
+        let b = delay_bounds(&lib, &path);
+        let err = equal_delay_distribution(&lib, &path, 0.5 * b.tmin_ps).unwrap_err();
+        assert!(matches!(err, OptimizeError::Infeasible { .. }));
+    }
+
+    #[test]
+    fn loose_budget_stays_small() {
+        let lib = lib();
+        let path = weighted_path();
+        let b = delay_bounds(&lib, &path);
+        let sol = equal_delay_distribution(&lib, &path, 5.0 * b.tmax_ps).unwrap();
+        // With a generous budget, no gate should balloon.
+        for &s in &sol.sizes {
+            assert!(s < 50.0 * lib.min_drive_ff(), "size {s}");
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Closed-form CMOS timing model from Verle et al., DATE 2005 (eqs. 1–3).
+//!
+//! The model expresses, for every gate in its environment:
+//!
+//! * the **output transition time** `τ_out = τ · S · C_L / C_IN` (eq. 2),
+//!   where the symmetry factor `S` folds in the P/N configuration ratio
+//!   `k`, the N/P drive ratio `R` and the logical weight `DW` of the
+//!   series transistor array (eq. 3);
+//! * the **switching delay** (eq. 1)
+//!   `t = v_T/2 · τ_in + ½ (1 + 2·C_M/(C_M + C_L)) · τ_out`,
+//!   which captures the input-slope effect (first term) and the
+//!   input-to-output Miller coupling `C_M` (second term).
+//!
+//! On a *bounded* path (input drive and terminal load fixed) the resulting
+//! path delay is a convex function of the gate input capacitances — the
+//! property every optimization in `pops-core` relies on.
+//!
+//! # Example
+//!
+//! ```
+//! use pops_delay::{Library, Edge};
+//! use pops_netlist::CellKind;
+//!
+//! let lib = Library::cmos025();
+//! // A min-size inverter driving four copies of itself (FO4):
+//! let cref = lib.process().c_ref_ff;
+//! let d = lib.delay(CellKind::Inv, cref, 4.0 * cref, 40.0, Edge::Rising);
+//! assert!(d.delay_ps > 0.0);
+//! assert_eq!(d.output_edge, Edge::Falling);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod library;
+pub mod model;
+pub mod path;
+pub mod power;
+pub mod process;
+
+pub use library::{CellTiming, Library};
+pub use model::{Edge, GateDelay};
+pub use path::{PathDelay, PathStage, StageDelay, TimedPath};
+pub use process::Process;

@@ -1,0 +1,101 @@
+//! Process-level electrical parameters.
+
+/// Electrical description of a CMOS process node.
+///
+/// Units throughout the workspace: capacitance in **fF**, time in **ps**,
+/// width in **µm**, voltage in **V**.
+///
+/// # Example
+///
+/// ```
+/// let p = pops_delay::Process::cmos025();
+/// assert!(p.vtn_reduced() > 0.0 && p.vtn_reduced() < 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Process {
+    /// Unit transition time `τ` of the process (ps) — eq. (2)'s metric.
+    pub tau_ps: f64,
+    /// Supply voltage (V).
+    pub vdd: f64,
+    /// NMOS threshold voltage (V).
+    pub vtn: f64,
+    /// PMOS threshold voltage magnitude (V).
+    pub vtp: f64,
+    /// `R`: current available in an NMOS relative to a PMOS of identical
+    /// width (mobility ratio), eq. (3).
+    pub r_ratio: f64,
+    /// `C_REF`: input capacitance of the minimum-drive inverter (fF); the
+    /// normalization unit of Fig. 1's x-axis.
+    pub c_ref_ff: f64,
+    /// Gate capacitance per µm of transistor width (fF/µm); converts input
+    /// capacitance to the `ΣW` area metric the paper reports.
+    pub cg_per_um: f64,
+    /// Minimum drawn transistor width (µm).
+    pub min_width_um: f64,
+}
+
+impl Process {
+    /// The 0.25 µm-class process used for every experiment in the paper.
+    ///
+    /// Values are representative of a generic 2.5 V, 0.25 µm bulk CMOS
+    /// node (the paper's foundry deck is proprietary): `τ` calibrated so a
+    /// fanout-4 inverter delay lands near 90 ps.
+    pub fn cmos025() -> Self {
+        Process {
+            tau_ps: 15.0,
+            vdd: 2.5,
+            vtn: 0.50,
+            vtp: 0.55,
+            r_ratio: 2.4,
+            c_ref_ff: 2.7,
+            cg_per_um: 1.8,
+            min_width_um: 0.5,
+        }
+    }
+
+    /// Reduced NMOS threshold `v_TN = V_TN / V_DD` (eq. 1).
+    pub fn vtn_reduced(&self) -> f64 {
+        self.vtn / self.vdd
+    }
+
+    /// Reduced PMOS threshold `v_TP = V_TP / V_DD` (eq. 1).
+    pub fn vtp_reduced(&self) -> f64 {
+        self.vtp / self.vdd
+    }
+
+    /// Convert an input capacitance (fF) into total transistor width (µm).
+    pub fn width_um(&self, cin_ff: f64) -> f64 {
+        cin_ff / self.cg_per_um
+    }
+}
+
+impl Default for Process {
+    fn default() -> Self {
+        Process::cmos025()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduced_thresholds_are_physical() {
+        let p = Process::cmos025();
+        assert!((0.1..0.4).contains(&p.vtn_reduced()));
+        assert!((0.1..0.4).contains(&p.vtp_reduced()));
+    }
+
+    #[test]
+    fn width_conversion_is_linear() {
+        let p = Process::cmos025();
+        let w1 = p.width_um(1.0);
+        let w5 = p.width_um(5.0);
+        assert!((w5 - 5.0 * w1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_is_cmos025() {
+        assert_eq!(Process::default(), Process::cmos025());
+    }
+}

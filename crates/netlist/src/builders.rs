@@ -1,0 +1,308 @@
+//! Structural netlist builders.
+//!
+//! These produce the concrete circuits the paper experiments on directly:
+//! inverter chains and mixed-gate arrays (Fig. 1/3/6 use 11- and 13-gate
+//! paths), plus a genuine gate-level ripple-carry adder used as the
+//! `Adder16` workload.
+
+use crate::cell::CellKind;
+use crate::circuit::{Circuit, NetId};
+use crate::error::NetlistError;
+
+/// Build a chain of `n` inverters: `in -> inv -> inv -> ... -> out`.
+///
+/// The canonical tapered-buffer optimization testbed (Mead & Rem, ref.
+/// [15] of the paper).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Example
+///
+/// ```
+/// let c = pops_netlist::builders::inverter_chain(5);
+/// assert_eq!(c.gate_count(), 5);
+/// assert_eq!(c.depth().unwrap(), 5);
+/// ```
+pub fn inverter_chain(n: usize) -> Circuit {
+    assert!(n > 0, "inverter_chain requires at least one stage");
+    let mut c = Circuit::new(format!("inv_chain_{n}"));
+    let mut prev = c.add_input("in");
+    for i in 0..n {
+        prev = c
+            .add_gate(CellKind::Inv, &[prev], format!("s{i}"))
+            .expect("arity is correct by construction");
+    }
+    c.mark_output(prev);
+    c
+}
+
+/// Build a single path ("gate array" in the paper's wording) whose stages
+/// use the given cells in order. Side inputs of multi-input cells are tied
+/// to dedicated primary inputs so that the circuit is well formed and the
+/// main path is the unique longest path.
+///
+/// The paper's Fig. 3 uses an 11-gate array and Fig. 6 a 13-gate array.
+///
+/// # Errors
+///
+/// Propagates construction errors (they indicate a bug in the cell list,
+/// e.g. an arity-0 cell).
+///
+/// # Example
+///
+/// ```
+/// use pops_netlist::{builders::gate_array, CellKind};
+///
+/// # fn main() -> Result<(), pops_netlist::NetlistError> {
+/// let cells = [CellKind::Inv, CellKind::Nand2, CellKind::Nor2];
+/// let c = gate_array("demo", &cells)?;
+/// assert_eq!(c.gate_count(), 3);
+/// assert_eq!(c.depth().unwrap(), 3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn gate_array(name: &str, cells: &[CellKind]) -> Result<Circuit, NetlistError> {
+    let mut c = Circuit::new(name);
+    let mut prev = c.add_input("in");
+    for (i, &kind) in cells.iter().enumerate() {
+        let mut inputs = vec![prev];
+        for pin in 1..kind.num_inputs() {
+            inputs.push(c.add_input(format!("side_{i}_{pin}")));
+        }
+        prev = c.add_gate(kind, &inputs, format!("s{i}"))?;
+    }
+    c.mark_output(prev);
+    Ok(c)
+}
+
+/// The paper's 11-gate path used for the Fig. 3 constant-sensitivity
+/// illustration: a representative mix of inverters, NANDs and NORs.
+pub fn eleven_gate_path() -> Circuit {
+    use CellKind::*;
+    gate_array(
+        "array11",
+        &[Inv, Nand2, Inv, Nor2, Nand3, Inv, Nor3, Nand2, Inv, Nor2, Inv],
+    )
+    .expect("static cell list is valid")
+}
+
+/// The paper's 13-gate array used for the Fig. 6 constraint-domain
+/// exploration.
+pub fn thirteen_gate_array() -> Circuit {
+    use CellKind::*;
+    gate_array(
+        "array13",
+        &[
+            Inv, Nand2, Nor2, Inv, Nand3, Inv, Nor3, Nand2, Inv, Nor2, Nand2, Inv, Inv,
+        ],
+    )
+    .expect("static cell list is valid")
+}
+
+/// One full adder in NAND-only form. Returns `(sum, carry_out)`.
+///
+/// Decomposition (9 NAND2 gates, the `NAND(a,b)` term shared between the
+/// propagate XOR and the carry):
+/// `p = a XOR b`, `sum = p XOR cin`, `cout = NAND(NAND(a,b), NAND(p,cin))`.
+fn full_adder(
+    c: &mut Circuit,
+    a: NetId,
+    b: NetId,
+    cin: NetId,
+    tag: &str,
+) -> Result<(NetId, NetId), NetlistError> {
+    // p = a XOR b, exposing the shared NAND(a, b) term.
+    let nab = c.add_gate(CellKind::Nand2, &[a, b], format!("{tag}_nab"))?;
+    let pa = c.add_gate(CellKind::Nand2, &[a, nab], format!("{tag}_pa"))?;
+    let pb = c.add_gate(CellKind::Nand2, &[b, nab], format!("{tag}_pb"))?;
+    let p = c.add_gate(CellKind::Nand2, &[pa, pb], format!("{tag}_p"))?;
+    // sum = p XOR cin, exposing NAND(p, cin) for the carry.
+    let npc = c.add_gate(CellKind::Nand2, &[p, cin], format!("{tag}_npc"))?;
+    let sa = c.add_gate(CellKind::Nand2, &[p, npc], format!("{tag}_sa"))?;
+    let sb = c.add_gate(CellKind::Nand2, &[cin, npc], format!("{tag}_sb"))?;
+    let sum = c.add_gate(CellKind::Nand2, &[sa, sb], format!("{tag}_s_x"))?;
+    let cout = c.add_gate(CellKind::Nand2, &[nab, npc], format!("{tag}_co"))?;
+    Ok((sum, cout))
+}
+
+/// Build an `n`-bit ripple-carry adder from NAND2 gates only
+/// (XORs decomposed). Inputs `a0..a{n-1}`, `b0..b{n-1}`, `cin`; outputs
+/// `sum0..sum{n-1}`, `cout`.
+///
+/// # Panics
+///
+/// Panics if `bits == 0`.
+///
+/// # Example
+///
+/// ```
+/// let adder = pops_netlist::builders::ripple_carry_adder(4);
+/// assert_eq!(adder.primary_outputs().len(), 5); // 4 sums + carry
+/// ```
+pub fn ripple_carry_adder(bits: usize) -> Circuit {
+    assert!(bits > 0, "adder needs at least one bit");
+    let mut c = Circuit::new(format!("adder{bits}"));
+    let a: Vec<NetId> = (0..bits).map(|i| c.add_input(format!("a{i}"))).collect();
+    let b: Vec<NetId> = (0..bits).map(|i| c.add_input(format!("b{i}"))).collect();
+    let mut carry = c.add_input("cin");
+    for i in 0..bits {
+        let (sum, cout) = full_adder(&mut c, a[i], b[i], carry, &format!("fa{i}"))
+            .expect("full adder construction is statically valid");
+        c.mark_output(sum);
+        carry = cout;
+    }
+    c.mark_output(carry);
+    c
+}
+
+/// A balanced tree of XOR2 gates over `leaves` inputs (parity function),
+/// characteristic of the ECAT-style c499/c1355 structure.
+///
+/// # Panics
+///
+/// Panics if `leaves < 2`.
+pub fn xor_tree(leaves: usize) -> Circuit {
+    assert!(leaves >= 2, "xor tree needs at least two leaves");
+    let mut c = Circuit::new(format!("xor_tree_{leaves}"));
+    let mut frontier: Vec<NetId> = (0..leaves).map(|i| c.add_input(format!("x{i}"))).collect();
+    let mut level = 0usize;
+    while frontier.len() > 1 {
+        let mut next = Vec::with_capacity(frontier.len().div_ceil(2));
+        for (j, pair) in frontier.chunks(2).enumerate() {
+            if pair.len() == 2 {
+                let y = c
+                    .add_gate(CellKind::Xor2, &[pair[0], pair[1]], format!("t{level}_{j}"))
+                    .expect("arity correct");
+                next.push(y);
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        frontier = next;
+        level += 1;
+    }
+    c.mark_output(frontier[0]);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn inverter_chain_inverts_odd_lengths() {
+        for n in 1..6 {
+            let c = inverter_chain(n);
+            let out = c
+                .evaluate(&[("in", true)].into_iter().collect())
+                .unwrap();
+            let y = out.values().next().copied().unwrap();
+            assert_eq!(y, n % 2 == 0, "chain of {n}");
+        }
+    }
+
+    #[test]
+    fn gate_array_depth_equals_length() {
+        let c = eleven_gate_path();
+        assert_eq!(c.gate_count(), 11);
+        assert_eq!(c.depth().unwrap(), 11);
+        let c = thirteen_gate_array();
+        assert_eq!(c.gate_count(), 13);
+        assert_eq!(c.depth().unwrap(), 13);
+    }
+
+    fn add_via_circuit(c: &Circuit, bits: usize, a: u64, b: u64, cin: bool) -> u64 {
+        let mut vals: HashMap<String, bool> = HashMap::new();
+        for i in 0..bits {
+            vals.insert(format!("a{i}"), a >> i & 1 == 1);
+            vals.insert(format!("b{i}"), b >> i & 1 == 1);
+        }
+        vals.insert("cin".into(), cin);
+        let borrowed: HashMap<&str, bool> = vals.iter().map(|(k, &v)| (k.as_str(), v)).collect();
+        let out = c.evaluate(&borrowed).unwrap();
+        let mut result = 0u64;
+        for i in 0..bits {
+            // sum nets are named fa{i}_s_x by the builder
+            if out[&format!("fa{i}_s_x")] {
+                result |= 1 << i;
+            }
+        }
+        if out[&format!("fa{}_co", bits - 1)] {
+            result |= 1 << bits;
+        }
+        result
+    }
+
+    #[test]
+    fn four_bit_adder_is_correct_exhaustively() {
+        let bits = 4;
+        let c = ripple_carry_adder(bits);
+        for a in 0..16u64 {
+            for b in 0..16u64 {
+                for cin in [false, true] {
+                    let expect = a + b + cin as u64;
+                    assert_eq!(add_via_circuit(&c, bits, a, b, cin), expect, "{a}+{b}+{cin}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sixteen_bit_adder_spot_checks() {
+        let bits = 16;
+        let c = ripple_carry_adder(bits);
+        for (a, b, cin) in [
+            (0u64, 0u64, false),
+            (0xFFFF, 1, false),
+            (0x8000, 0x8000, false),
+            (12345, 54321, true),
+            (0xFFFF, 0xFFFF, true),
+        ] {
+            let expect = a + b + cin as u64;
+            assert_eq!(add_via_circuit(&c, bits, a, b, cin), expect);
+        }
+    }
+
+    #[test]
+    fn adder16_gate_count_is_nine_per_bit() {
+        let c = ripple_carry_adder(16);
+        assert_eq!(c.gate_count(), 16 * 9);
+    }
+
+    #[test]
+    fn xor_tree_computes_parity() {
+        let leaves = 8;
+        let c = xor_tree(leaves);
+        for bits in 0..(1u32 << leaves) {
+            let mut vals: HashMap<String, bool> = HashMap::new();
+            for i in 0..leaves {
+                vals.insert(format!("x{i}"), bits >> i & 1 == 1);
+            }
+            let borrowed: HashMap<&str, bool> =
+                vals.iter().map(|(k, &v)| (k.as_str(), v)).collect();
+            let out = c.evaluate(&borrowed).unwrap();
+            let parity = bits.count_ones() % 2 == 1;
+            assert_eq!(out.values().next().copied().unwrap(), parity);
+        }
+    }
+
+    #[test]
+    fn xor_tree_depth_is_logarithmic() {
+        let c = xor_tree(16);
+        assert_eq!(c.depth().unwrap(), 4);
+        let c = xor_tree(9);
+        assert_eq!(c.depth().unwrap(), 4);
+    }
+
+    #[test]
+    fn builders_validate() {
+        ripple_carry_adder(8).validate().unwrap();
+        inverter_chain(7).validate().unwrap();
+        xor_tree(5).validate().unwrap();
+        eleven_gate_path().validate().unwrap();
+        thirteen_gate_array().validate().unwrap();
+    }
+}

@@ -1,0 +1,389 @@
+//! The static CMOS cell library used throughout the reproduction.
+//!
+//! The paper's experiments involve inverters, buffers, NAND2/NAND3,
+//! NOR2/NOR3 (Table 2), plus the AND/OR/XOR cells occurring in the ISCAS'85
+//! benchmarks. Each [`CellKind`] knows its logic function, its pin count,
+//! whether it inverts, and its De Morgan dual (the §4.2 restructuring move).
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::NetlistError;
+
+/// A static CMOS combinational cell.
+///
+/// The numeric suffix is the number of inputs. `Inv` and `Buf` are
+/// single-input. All cells are single-output.
+///
+/// # Example
+///
+/// ```
+/// use pops_netlist::CellKind;
+///
+/// assert_eq!(CellKind::Nand3.num_inputs(), 3);
+/// assert!(CellKind::Nand3.is_inverting());
+/// assert_eq!(CellKind::Nor2.demorgan_dual(), Some(CellKind::Nand2));
+/// assert_eq!(CellKind::Nand2.evaluate(&[true, false]), true);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CellKind {
+    /// Inverter.
+    Inv,
+    /// Non-inverting buffer (two cascaded inverter stages in one cell).
+    Buf,
+    /// 2-input NAND.
+    Nand2,
+    /// 3-input NAND.
+    Nand3,
+    /// 4-input NAND.
+    Nand4,
+    /// 2-input NOR.
+    Nor2,
+    /// 3-input NOR.
+    Nor3,
+    /// 4-input NOR.
+    Nor4,
+    /// 2-input AND (NAND + output inverter internally).
+    And2,
+    /// 3-input AND.
+    And3,
+    /// 4-input AND.
+    And4,
+    /// 2-input OR (NOR + output inverter internally).
+    Or2,
+    /// 3-input OR.
+    Or3,
+    /// 4-input OR.
+    Or4,
+    /// 2-input XOR.
+    Xor2,
+    /// 2-input XNOR.
+    Xnor2,
+}
+
+/// All library cells, in a stable order (useful for characterization loops).
+pub const ALL_CELLS: [CellKind; 16] = [
+    CellKind::Inv,
+    CellKind::Buf,
+    CellKind::Nand2,
+    CellKind::Nand3,
+    CellKind::Nand4,
+    CellKind::Nor2,
+    CellKind::Nor3,
+    CellKind::Nor4,
+    CellKind::And2,
+    CellKind::And3,
+    CellKind::And4,
+    CellKind::Or2,
+    CellKind::Or3,
+    CellKind::Or4,
+    CellKind::Xor2,
+    CellKind::Xnor2,
+];
+
+impl CellKind {
+    /// Number of input pins of the cell.
+    ///
+    /// ```
+    /// # use pops_netlist::CellKind;
+    /// assert_eq!(CellKind::Inv.num_inputs(), 1);
+    /// assert_eq!(CellKind::Nor4.num_inputs(), 4);
+    /// ```
+    pub fn num_inputs(self) -> usize {
+        use CellKind::*;
+        match self {
+            Inv | Buf => 1,
+            Nand2 | Nor2 | And2 | Or2 | Xor2 | Xnor2 => 2,
+            Nand3 | Nor3 | And3 | Or3 => 3,
+            Nand4 | Nor4 | And4 | Or4 => 4,
+        }
+    }
+
+    /// Whether the cell logically inverts its (first) input: a rising input
+    /// edge produces a falling output edge.
+    ///
+    /// For XOR/XNOR the polarity depends on the side-input value; following
+    /// the paper's path-delay convention we classify them by their behaviour
+    /// with non-controlling side inputs (XOR passes the edge, XNOR inverts).
+    pub fn is_inverting(self) -> bool {
+        use CellKind::*;
+        matches!(self, Inv | Nand2 | Nand3 | Nand4 | Nor2 | Nor3 | Nor4 | Xnor2)
+    }
+
+    /// The De Morgan dual used by the §4.2 restructuring step:
+    /// `NORn(a…) = NANDn(¬a…)` with inverted inputs/outputs, and vice versa.
+    ///
+    /// Returns `None` for cells that have no series-stack dual (inverters,
+    /// buffers, XOR family and the compound AND/OR cells, which the paper
+    /// does not restructure).
+    pub fn demorgan_dual(self) -> Option<CellKind> {
+        use CellKind::*;
+        match self {
+            Nand2 => Some(Nor2),
+            Nand3 => Some(Nor3),
+            Nand4 => Some(Nor4),
+            Nor2 => Some(Nand2),
+            Nor3 => Some(Nand3),
+            Nor4 => Some(Nand4),
+            _ => None,
+        }
+    }
+
+    /// Evaluate the cell's logic function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.num_inputs()`.
+    ///
+    /// ```
+    /// # use pops_netlist::CellKind;
+    /// assert_eq!(CellKind::Xor2.evaluate(&[true, false]), true);
+    /// assert_eq!(CellKind::Nor3.evaluate(&[false, false, false]), true);
+    /// ```
+    pub fn evaluate(self, inputs: &[bool]) -> bool {
+        assert_eq!(
+            inputs.len(),
+            self.num_inputs(),
+            "cell {self} expects {} inputs, got {}",
+            self.num_inputs(),
+            inputs.len()
+        );
+        use CellKind::*;
+        match self {
+            Inv => !inputs[0],
+            Buf => inputs[0],
+            Nand2 | Nand3 | Nand4 => !inputs.iter().all(|&b| b),
+            Nor2 | Nor3 | Nor4 => !inputs.iter().any(|&b| b),
+            And2 | And3 | And4 => inputs.iter().all(|&b| b),
+            Or2 | Or3 | Or4 => inputs.iter().any(|&b| b),
+            Xor2 => inputs[0] ^ inputs[1],
+            Xnor2 => !(inputs[0] ^ inputs[1]),
+        }
+    }
+
+    /// Number of series transistors in the N pull-down stack.
+    ///
+    /// This drives the falling-edge logical weight `DW_HL` in the delay
+    /// model: NANDs stack their NMOS devices in series.
+    pub fn series_nmos(self) -> usize {
+        use CellKind::*;
+        match self {
+            Inv | Buf => 1,
+            Nand2 => 2,
+            Nand3 => 3,
+            Nand4 => 4,
+            Nor2 | Nor3 | Nor4 => 1,
+            // Compound cells: first stage stack (AND = NAND stage).
+            And2 => 2,
+            And3 => 3,
+            And4 => 4,
+            Or2 | Or3 | Or4 => 1,
+            // XOR-family transmission/branch structures behave like a
+            // 2-stack on both edges.
+            Xor2 | Xnor2 => 2,
+        }
+    }
+
+    /// Number of series transistors in the P pull-up stack.
+    ///
+    /// Drives the rising-edge logical weight `DW_LH`: NORs stack their PMOS
+    /// devices in series, which is why they are the least efficient cells
+    /// (lowest `Flimit` in Table 2 of the paper).
+    pub fn series_pmos(self) -> usize {
+        use CellKind::*;
+        match self {
+            Inv | Buf => 1,
+            Nand2 | Nand3 | Nand4 => 1,
+            Nor2 => 2,
+            Nor3 => 3,
+            Nor4 => 4,
+            And2 | And3 | And4 => 1,
+            Or2 => 2,
+            Or3 => 3,
+            Or4 => 4,
+            Xor2 | Xnor2 => 2,
+        }
+    }
+
+    /// Canonical library name (upper-case, as used in `.bench` dumps).
+    pub fn name(self) -> &'static str {
+        use CellKind::*;
+        match self {
+            Inv => "NOT",
+            Buf => "BUF",
+            Nand2 | Nand3 | Nand4 => "NAND",
+            Nor2 | Nor3 | Nor4 => "NOR",
+            And2 | And3 | And4 => "AND",
+            Or2 | Or3 | Or4 => "OR",
+            Xor2 => "XOR",
+            Xnor2 => "XNOR",
+        }
+    }
+
+    /// Resolve a `.bench` operator name plus an input count into a cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownCell`] if the operator is unknown or
+    /// the arity is unsupported (e.g. a 7-input NAND).
+    pub fn from_op(op: &str, arity: usize) -> Result<CellKind, NetlistError> {
+        use CellKind::*;
+        let unknown = || NetlistError::UnknownCell {
+            op: op.to_string(),
+            arity,
+        };
+        match (op.to_ascii_uppercase().as_str(), arity) {
+            ("NOT" | "INV", 1) => Ok(Inv),
+            ("BUF" | "BUFF", 1) => Ok(Buf),
+            ("NAND", 2) => Ok(Nand2),
+            ("NAND", 3) => Ok(Nand3),
+            ("NAND", 4) => Ok(Nand4),
+            ("NOR", 2) => Ok(Nor2),
+            ("NOR", 3) => Ok(Nor3),
+            ("NOR", 4) => Ok(Nor4),
+            ("AND", 2) => Ok(And2),
+            ("AND", 3) => Ok(And3),
+            ("AND", 4) => Ok(And4),
+            ("OR", 2) => Ok(Or2),
+            ("OR", 3) => Ok(Or3),
+            ("OR", 4) => Ok(Or4),
+            ("XOR", 2) => Ok(Xor2),
+            ("XNOR", 2) => Ok(Xnor2),
+            _ => Err(unknown()),
+        }
+    }
+}
+
+impl fmt::Display for CellKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let n = self.num_inputs();
+        if n > 1 {
+            write!(f, "{}{}", self.name(), n)
+        } else {
+            f.write_str(self.name())
+        }
+    }
+}
+
+impl FromStr for CellKind {
+    type Err = NetlistError;
+
+    /// Parses display names such as `"NAND2"`, `"NOT"`, `"NOR3"`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        let split = s.find(|c: char| c.is_ascii_digit());
+        let (op, arity) = match split {
+            Some(i) => {
+                let arity: usize = s[i..].parse().map_err(|_| NetlistError::UnknownCell {
+                    op: s.to_string(),
+                    arity: 0,
+                })?;
+                (&s[..i], arity)
+            }
+            None => (s, 1),
+        };
+        CellKind::from_op(op, arity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_is_consistent_with_display_suffix() {
+        for cell in ALL_CELLS {
+            let shown = cell.to_string();
+            if cell.num_inputs() > 1 {
+                assert!(
+                    shown.ends_with(&cell.num_inputs().to_string()),
+                    "{shown} should end with its arity"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn display_round_trips_through_from_str() {
+        for cell in ALL_CELLS {
+            let round: CellKind = cell.to_string().parse().expect("parse display name");
+            assert_eq!(round, cell);
+        }
+    }
+
+    #[test]
+    fn demorgan_dual_is_an_involution_on_nand_nor() {
+        for cell in ALL_CELLS {
+            if let Some(dual) = cell.demorgan_dual() {
+                assert_eq!(dual.demorgan_dual(), Some(cell));
+                assert_eq!(dual.num_inputs(), cell.num_inputs());
+            }
+        }
+    }
+
+    #[test]
+    fn demorgan_dual_complements_with_inverted_inputs() {
+        // NORn(a..) == NANDn(!a..) inverted at the *inputs* only:
+        // De Morgan: !(a|b) == (!a)&(!b) == !NAND(!a,!b) — so
+        // NOR(a,b) == INV(NAND(INV a, INV b)) is false; the identity is
+        // NOR(a,b) == AND(!a,!b), i.e. NAND(!a,!b) == !NOR(a,b).
+        for (cell, n) in [(CellKind::Nor2, 2), (CellKind::Nor3, 3), (CellKind::Nor4, 4)] {
+            let dual = cell.demorgan_dual().unwrap();
+            for pattern in 0..(1u32 << n) {
+                let ins: Vec<bool> = (0..n).map(|i| pattern >> i & 1 == 1).collect();
+                let inv: Vec<bool> = ins.iter().map(|b| !b).collect();
+                assert_eq!(cell.evaluate(&ins), !dual.evaluate(&inv), "{cell} vs {dual}");
+            }
+        }
+    }
+
+    #[test]
+    fn nand_truth_table() {
+        assert!(CellKind::Nand2.evaluate(&[false, false]));
+        assert!(CellKind::Nand2.evaluate(&[true, false]));
+        assert!(!CellKind::Nand2.evaluate(&[true, true]));
+    }
+
+    #[test]
+    fn nor_truth_table() {
+        assert!(CellKind::Nor2.evaluate(&[false, false]));
+        assert!(!CellKind::Nor2.evaluate(&[true, false]));
+        assert!(!CellKind::Nor2.evaluate(&[true, true]));
+    }
+
+    #[test]
+    fn xor_xnor_are_complements() {
+        for a in [false, true] {
+            for b in [false, true] {
+                assert_ne!(
+                    CellKind::Xor2.evaluate(&[a, b]),
+                    CellKind::Xnor2.evaluate(&[a, b])
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn series_stacks_match_cell_structure() {
+        assert_eq!(CellKind::Nand4.series_nmos(), 4);
+        assert_eq!(CellKind::Nand4.series_pmos(), 1);
+        assert_eq!(CellKind::Nor4.series_pmos(), 4);
+        assert_eq!(CellKind::Nor4.series_nmos(), 1);
+        assert_eq!(CellKind::Inv.series_nmos(), 1);
+    }
+
+    #[test]
+    fn from_op_rejects_unknown() {
+        assert!(CellKind::from_op("MAJ", 3).is_err());
+        assert!(CellKind::from_op("NAND", 9).is_err());
+    }
+
+    #[test]
+    fn inverting_classification() {
+        assert!(CellKind::Nor3.is_inverting());
+        assert!(!CellKind::And2.is_inverting());
+        assert!(!CellKind::Buf.is_inverting());
+        assert!(!CellKind::Xor2.is_inverting());
+        assert!(CellKind::Xnor2.is_inverting());
+    }
+}

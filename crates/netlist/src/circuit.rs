@@ -1,0 +1,609 @@
+//! Arena-based combinational circuit graph.
+//!
+//! A [`Circuit`] owns two arenas — nets and gates — indexed by the opaque
+//! ids [`NetId`] and [`GateId`]. Every net has at most one driver (a
+//! primary input or a gate output) and any number of loads (gate input
+//! pins or primary outputs). The graph must be acyclic; [`Circuit::topo_order`]
+//! both checks this and provides the evaluation/timing order used by the
+//! STA and optimizer crates.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::cell::CellKind;
+use crate::error::NetlistError;
+
+/// Opaque index of a net within a [`Circuit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub(crate) u32);
+
+/// Opaque index of a gate within a [`Circuit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GateId(pub(crate) u32);
+
+impl NetId {
+    /// Raw index (stable for the lifetime of the circuit).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl GateId {
+    /// Raw index (stable for the lifetime of the circuit).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for GateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// What drives a net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetDriver {
+    /// The net is a primary input of the circuit.
+    PrimaryInput,
+    /// The net is driven by the output of a gate.
+    Gate(GateId),
+}
+
+/// A net: one driver, many loads.
+#[derive(Debug, Clone)]
+pub struct Net {
+    name: String,
+    driver: Option<NetDriver>,
+    /// `(gate, pin index)` pairs loading this net.
+    loads: Vec<(GateId, usize)>,
+    is_output: bool,
+}
+
+impl Net {
+    /// Net name as declared.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The driver, if the net is driven yet.
+    pub fn driver(&self) -> Option<NetDriver> {
+        self.driver
+    }
+
+    /// Gate input pins loading this net.
+    pub fn loads(&self) -> &[(GateId, usize)] {
+        &self.loads
+    }
+
+    /// Whether the net is marked as a primary output.
+    pub fn is_output(&self) -> bool {
+        self.is_output
+    }
+
+    /// Fan-out count (number of gate input pins driven).
+    pub fn fanout(&self) -> usize {
+        self.loads.len()
+    }
+}
+
+/// A gate instance: a cell plus its net connections.
+#[derive(Debug, Clone)]
+pub struct Gate {
+    kind: CellKind,
+    inputs: Vec<NetId>,
+    output: NetId,
+}
+
+impl Gate {
+    /// The library cell implementing this gate.
+    pub fn kind(&self) -> CellKind {
+        self.kind
+    }
+
+    /// Input nets, in pin order.
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// Output net.
+    pub fn output(&self) -> NetId {
+        self.output
+    }
+}
+
+/// A combinational gate-level circuit.
+///
+/// # Example
+///
+/// ```
+/// use pops_netlist::{CellKind, Circuit};
+///
+/// # fn main() -> Result<(), pops_netlist::NetlistError> {
+/// let mut c = Circuit::new("half_adder");
+/// let a = c.add_input("a");
+/// let b = c.add_input("b");
+/// let s = c.add_gate(CellKind::Xor2, &[a, b], "sum")?;
+/// let co = c.add_gate(CellKind::And2, &[a, b], "carry")?;
+/// c.mark_output(s);
+/// c.mark_output(co);
+/// assert_eq!(c.gate_count(), 2);
+/// assert_eq!(c.primary_inputs().len(), 2);
+/// assert!(c.topo_order().is_ok());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Circuit {
+    name: String,
+    nets: Vec<Net>,
+    gates: Vec<Gate>,
+    inputs: Vec<NetId>,
+    outputs: Vec<NetId>,
+    by_name: HashMap<String, NetId>,
+}
+
+impl Circuit {
+    /// Create an empty circuit with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Circuit {
+            name: name.into(),
+            nets: Vec::new(),
+            gates: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            by_name: HashMap::new(),
+        }
+    }
+
+    /// Circuit name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of gates.
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Number of nets.
+    pub fn net_count(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Primary input nets, in declaration order.
+    pub fn primary_inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// Primary output nets, in declaration order.
+    pub fn primary_outputs(&self) -> &[NetId] {
+        &self.outputs
+    }
+
+    /// Iterate over all gate ids.
+    pub fn gate_ids(&self) -> impl Iterator<Item = GateId> + '_ {
+        (0..self.gates.len() as u32).map(GateId)
+    }
+
+    /// Iterate over all net ids.
+    pub fn net_ids(&self) -> impl Iterator<Item = NetId> + '_ {
+        (0..self.nets.len() as u32).map(NetId)
+    }
+
+    /// Access a gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this circuit.
+    pub fn gate(&self, id: GateId) -> &Gate {
+        &self.gates[id.index()]
+    }
+
+    /// Access a net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this circuit.
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.index()]
+    }
+
+    /// Look a net up by name.
+    pub fn net_by_name(&self, name: &str) -> Option<NetId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Create an undriven, unnamed-load net.
+    ///
+    /// If `name` collides with an existing net, a fresh suffixed name is
+    /// generated (netlist builders rely on this for internal nets).
+    pub fn add_net(&mut self, name: impl Into<String>) -> NetId {
+        let mut name = name.into();
+        if self.by_name.contains_key(&name) {
+            let mut i = 1usize;
+            loop {
+                let candidate = format!("{name}_{i}");
+                if !self.by_name.contains_key(&candidate) {
+                    name = candidate;
+                    break;
+                }
+                i += 1;
+            }
+        }
+        let id = NetId(self.nets.len() as u32);
+        self.by_name.insert(name.clone(), id);
+        self.nets.push(Net {
+            name,
+            driver: None,
+            loads: Vec::new(),
+            is_output: false,
+        });
+        id
+    }
+
+    /// Declare a primary input net.
+    pub fn add_input(&mut self, name: impl Into<String>) -> NetId {
+        let id = self.add_net(name);
+        self.nets[id.index()].driver = Some(NetDriver::PrimaryInput);
+        self.inputs.push(id);
+        id
+    }
+
+    /// Add a gate driving a freshly created net named `output_name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::ArityMismatch`] if `inputs` does not match
+    /// the cell's pin count, or [`NetlistError::InvalidId`] if an input net
+    /// id is out of range.
+    pub fn add_gate(
+        &mut self,
+        kind: CellKind,
+        inputs: &[NetId],
+        output_name: impl Into<String>,
+    ) -> Result<NetId, NetlistError> {
+        let out = self.add_net(output_name);
+        self.add_gate_driving(kind, inputs, out)?;
+        Ok(out)
+    }
+
+    /// Add a gate driving an existing (so far undriven) net.
+    ///
+    /// # Errors
+    ///
+    /// As [`Circuit::add_gate`], plus [`NetlistError::MultipleDrivers`] if
+    /// `output` already has a driver.
+    pub fn add_gate_driving(
+        &mut self,
+        kind: CellKind,
+        inputs: &[NetId],
+        output: NetId,
+    ) -> Result<GateId, NetlistError> {
+        if inputs.len() != kind.num_inputs() {
+            return Err(NetlistError::ArityMismatch {
+                cell: kind.to_string(),
+                expected: kind.num_inputs(),
+                got: inputs.len(),
+            });
+        }
+        for &net in inputs.iter().chain(std::iter::once(&output)) {
+            if net.index() >= self.nets.len() {
+                return Err(NetlistError::InvalidId(format!("net {net}")));
+            }
+        }
+        if self.nets[output.index()].driver.is_some() {
+            return Err(NetlistError::MultipleDrivers(
+                self.nets[output.index()].name.clone(),
+            ));
+        }
+        let gid = GateId(self.gates.len() as u32);
+        for (pin, &net) in inputs.iter().enumerate() {
+            self.nets[net.index()].loads.push((gid, pin));
+        }
+        self.nets[output.index()].driver = Some(NetDriver::Gate(gid));
+        self.gates.push(Gate {
+            kind,
+            inputs: inputs.to_vec(),
+            output,
+        });
+        Ok(gid)
+    }
+
+    /// Mark a net as a primary output.
+    pub fn mark_output(&mut self, net: NetId) {
+        if !self.nets[net.index()].is_output {
+            self.nets[net.index()].is_output = true;
+            self.outputs.push(net);
+        }
+    }
+
+    /// Gates in a valid topological (fanin-before-fanout) order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] if the circuit is
+    /// cyclic, or [`NetlistError::UndefinedNet`] if some gate input net has
+    /// no driver.
+    pub fn topo_order(&self) -> Result<Vec<GateId>, NetlistError> {
+        // Kahn's algorithm over gates; a gate becomes ready once all of its
+        // input nets are resolved (primary inputs start resolved).
+        let mut unresolved: Vec<usize> = self
+            .gates
+            .iter()
+            .map(|g| {
+                g.inputs
+                    .iter()
+                    .filter(|&&n| {
+                        !matches!(self.nets[n.index()].driver, Some(NetDriver::PrimaryInput))
+                    })
+                    .count()
+            })
+            .collect();
+        for gate in &self.gates {
+            for &n in &gate.inputs {
+                if self.nets[n.index()].driver.is_none() {
+                    return Err(NetlistError::UndefinedNet(
+                        self.nets[n.index()].name.clone(),
+                    ));
+                }
+            }
+        }
+        let mut ready: Vec<GateId> = self
+            .gate_ids()
+            .filter(|&g| unresolved[g.index()] == 0)
+            .collect();
+        let mut order = Vec::with_capacity(self.gates.len());
+        while let Some(gid) = ready.pop() {
+            order.push(gid);
+            let out = self.gates[gid.index()].output;
+            for &(load, _) in &self.nets[out.index()].loads {
+                unresolved[load.index()] -= 1;
+                if unresolved[load.index()] == 0 {
+                    ready.push(load);
+                }
+            }
+        }
+        if order.len() != self.gates.len() {
+            return Err(NetlistError::CombinationalCycle);
+        }
+        Ok(order)
+    }
+
+    /// Logic level of every gate: 1 + max level over fanin gates
+    /// (primary inputs are level 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Circuit::topo_order`] errors.
+    pub fn logic_levels(&self) -> Result<Vec<usize>, NetlistError> {
+        let order = self.topo_order()?;
+        let mut level = vec![0usize; self.gates.len()];
+        for gid in order {
+            let mut lvl = 1;
+            for &n in self.gates[gid.index()].inputs() {
+                if let Some(NetDriver::Gate(src)) = self.nets[n.index()].driver {
+                    lvl = lvl.max(level[src.index()] + 1);
+                }
+            }
+            level[gid.index()] = lvl;
+        }
+        Ok(level)
+    }
+
+    /// Depth of the circuit in gate levels (0 for an empty circuit).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Circuit::topo_order`] errors.
+    pub fn depth(&self) -> Result<usize, NetlistError> {
+        Ok(self.logic_levels()?.into_iter().max().unwrap_or(0))
+    }
+
+    /// Evaluate the circuit on the given primary-input assignment and
+    /// return the value of every *named output* net.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::MissingInputValue`] if an input has no value,
+    /// plus any [`Circuit::topo_order`] error.
+    pub fn evaluate(
+        &self,
+        input_values: &HashMap<&str, bool>,
+    ) -> Result<HashMap<String, bool>, NetlistError> {
+        let values = self.evaluate_all(input_values)?;
+        Ok(self
+            .outputs
+            .iter()
+            .map(|&n| (self.nets[n.index()].name.clone(), values[n.index()]))
+            .collect())
+    }
+
+    /// Evaluate the circuit and return the value of *every* net, indexed by
+    /// [`NetId::index`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Circuit::evaluate`].
+    pub fn evaluate_all(
+        &self,
+        input_values: &HashMap<&str, bool>,
+    ) -> Result<Vec<bool>, NetlistError> {
+        let order = self.topo_order()?;
+        let mut values = vec![false; self.nets.len()];
+        for &n in &self.inputs {
+            let name = self.nets[n.index()].name.as_str();
+            match input_values.get(name) {
+                Some(&v) => values[n.index()] = v,
+                None => return Err(NetlistError::MissingInputValue(name.to_string())),
+            }
+        }
+        let mut buf = Vec::with_capacity(4);
+        for gid in order {
+            let gate = &self.gates[gid.index()];
+            buf.clear();
+            buf.extend(gate.inputs.iter().map(|&n| values[n.index()]));
+            values[gate.output.index()] = gate.kind.evaluate(&buf);
+        }
+        Ok(values)
+    }
+
+    /// Structural sanity check: every output reachable, every net driven,
+    /// acyclic. Builders call this before handing circuits to timing.
+    ///
+    /// # Errors
+    ///
+    /// The first violation found, as a [`NetlistError`].
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        for net in &self.nets {
+            if net.driver.is_none() && (net.is_output || !net.loads.is_empty()) {
+                return Err(NetlistError::UndefinedNet(net.name.clone()));
+            }
+        }
+        self.topo_order()?;
+        Ok(())
+    }
+
+    /// Total number of gate input pins (a cheap size proxy used in reports).
+    pub fn pin_count(&self) -> usize {
+        self.gates.iter().map(|g| g.inputs.len()).sum()
+    }
+
+    /// Histogram of cell kinds used.
+    pub fn cell_histogram(&self) -> HashMap<CellKind, usize> {
+        let mut h = HashMap::new();
+        for g in &self.gates {
+            *h.entry(g.kind).or_insert(0) += 1;
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn and_of_two() -> (Circuit, NetId) {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let n = c.add_gate(CellKind::Nand2, &[a, b], "n").unwrap();
+        let y = c.add_gate(CellKind::Inv, &[n], "y").unwrap();
+        c.mark_output(y);
+        (c, y)
+    }
+
+    #[test]
+    fn build_and_evaluate() {
+        let (c, _) = and_of_two();
+        for (a, b) in [(false, false), (false, true), (true, false), (true, true)] {
+            let out = c
+                .evaluate(&[("a", a), ("b", b)].into_iter().collect())
+                .unwrap();
+            assert_eq!(out["y"], a && b);
+        }
+    }
+
+    #[test]
+    fn topo_order_is_fanin_first() {
+        let (c, _) = and_of_two();
+        let order = c.topo_order().unwrap();
+        let pos: HashMap<GateId, usize> =
+            order.iter().enumerate().map(|(i, &g)| (g, i)).collect();
+        for gid in c.gate_ids() {
+            for &n in c.gate(gid).inputs() {
+                if let Some(NetDriver::Gate(src)) = c.net(n).driver() {
+                    assert!(pos[&src] < pos[&gid]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn arity_mismatch_is_rejected() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let err = c.add_gate(CellKind::Nand2, &[a], "n").unwrap_err();
+        assert!(matches!(err, NetlistError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn double_drive_is_rejected() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let n = c.add_gate(CellKind::Inv, &[a], "n").unwrap();
+        let err = c.add_gate_driving(CellKind::Inv, &[a], n).unwrap_err();
+        assert!(matches!(err, NetlistError::MultipleDrivers(_)));
+    }
+
+    #[test]
+    fn undriven_loaded_net_fails_validation() {
+        let mut c = Circuit::new("t");
+        let ghost = c.add_net("ghost");
+        let _ = c.add_gate(CellKind::Inv, &[ghost], "y").unwrap();
+        assert!(matches!(
+            c.validate(),
+            Err(NetlistError::UndefinedNet(name)) if name == "ghost"
+        ));
+    }
+
+    #[test]
+    fn net_name_collision_gets_suffixed() {
+        let mut c = Circuit::new("t");
+        let a = c.add_net("x");
+        let b = c.add_net("x");
+        assert_ne!(a, b);
+        assert_eq!(c.net(a).name(), "x");
+        assert_eq!(c.net(b).name(), "x_1");
+    }
+
+    #[test]
+    fn levels_and_depth() {
+        let (c, _) = and_of_two();
+        let levels = c.logic_levels().unwrap();
+        assert_eq!(levels.iter().max(), Some(&2));
+        assert_eq!(c.depth().unwrap(), 2);
+    }
+
+    #[test]
+    fn fanout_counts_pins() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let _x = c.add_gate(CellKind::Inv, &[a], "x").unwrap();
+        let _y = c.add_gate(CellKind::Inv, &[a], "y").unwrap();
+        let _z = c.add_gate(CellKind::Nand2, &[a, a], "z").unwrap();
+        // 'a' drives inv, inv and both pins of the nand: 4 pins.
+        assert_eq!(c.net(a).fanout(), 4);
+    }
+
+    #[test]
+    fn missing_input_value_is_reported() {
+        let (c, _) = and_of_two();
+        let err = c
+            .evaluate(&[("a", true)].into_iter().collect())
+            .unwrap_err();
+        assert!(matches!(err, NetlistError::MissingInputValue(n) if n == "b"));
+    }
+
+    #[test]
+    fn histogram_counts_cells() {
+        let (c, _) = and_of_two();
+        let h = c.cell_histogram();
+        assert_eq!(h[&CellKind::Nand2], 1);
+        assert_eq!(h[&CellKind::Inv], 1);
+    }
+
+    #[test]
+    fn mark_output_is_idempotent() {
+        let (mut c, y) = and_of_two();
+        c.mark_output(y);
+        c.mark_output(y);
+        assert_eq!(c.primary_outputs().len(), 1);
+    }
+}

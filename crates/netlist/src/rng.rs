@@ -1,0 +1,154 @@
+//! A tiny deterministic PRNG (SplitMix64) for reproducible benchmark
+//! generation.
+//!
+//! The library deliberately avoids a `rand` dependency so that the
+//! benchmark *suite* is bit-identical across platforms and dependency
+//! upgrades — the paper's experiments must be regenerable forever.
+
+/// SplitMix64 pseudo-random generator.
+///
+/// Passes BigCrush when used as a 64-bit generator; more than adequate for
+/// generating benchmark topologies.
+///
+/// # Example
+///
+/// ```
+/// use pops_netlist::rng::SplitMix64;
+///
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // deterministic
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "below() requires a positive bound");
+        // Lemire-style rejection-free mapping is unnecessary here;
+        // modulo bias is irrelevant at these bounds.
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Pick an index according to integer weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or sums to zero.
+    pub fn weighted(&mut self, weights: &[u32]) -> usize {
+        let total: u64 = weights.iter().map(|&w| w as u64).sum();
+        assert!(total > 0, "weighted() requires a positive total weight");
+        let mut draw = self.next_u64() % total;
+        for (i, &w) in weights.iter().enumerate() {
+            if draw < w as u64 {
+                return i;
+            }
+            draw -= w as u64;
+        }
+        unreachable!("draw bounded by total weight")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = SplitMix64::new(3);
+        for _ in 0..1000 {
+            assert!(r.below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SplitMix64::new(11);
+        for _ in 0..1000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_mean_is_roughly_half() {
+        let mut r = SplitMix64::new(5);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| r.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn weighted_respects_zero_weight_entries() {
+        let mut r = SplitMix64::new(9);
+        for _ in 0..1000 {
+            let i = r.weighted(&[0, 5, 0, 5]);
+            assert!(i == 1 || i == 3);
+        }
+    }
+
+    #[test]
+    fn weighted_is_roughly_proportional() {
+        let mut r = SplitMix64::new(13);
+        let mut counts = [0usize; 2];
+        let n = 30_000;
+        for _ in 0..n {
+            counts[r.weighted(&[1, 3])] += 1;
+        }
+        let frac = counts[1] as f64 / n as f64;
+        assert!((frac - 0.75).abs() < 0.02, "frac {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive bound")]
+    fn below_zero_bound_panics() {
+        SplitMix64::new(0).below(0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Circuit statistics: the structural summaries used to sanity-check the
+//! benchmark suite against the published ISCAS'85 profiles.
+
+use std::collections::HashMap;
+
+use crate::cell::CellKind;
+use crate::circuit::{Circuit, NetDriver};
+use crate::error::NetlistError;
+
+/// Structural summary of a circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CircuitStats {
+    /// Total gate count.
+    pub gates: usize,
+    /// Total net count.
+    pub nets: usize,
+    /// Primary inputs / outputs.
+    pub inputs: usize,
+    /// Primary outputs.
+    pub outputs: usize,
+    /// Logic depth in gate levels.
+    pub depth: usize,
+    /// Gates per logic level (index 1..=depth; index 0 unused).
+    pub gates_per_level: Vec<usize>,
+    /// Fan-out histogram: `fanout_histogram[k]` = nets driving `k` pins
+    /// (capped at the last bucket).
+    pub fanout_histogram: Vec<usize>,
+    /// Maximum fan-out over all nets.
+    pub max_fanout: usize,
+    /// Mean fan-out over driven nets.
+    pub mean_fanout: f64,
+    /// Cell usage counts.
+    pub cell_mix: HashMap<CellKind, usize>,
+}
+
+/// Cap of the fan-out histogram (nets above land in the last bucket).
+const FANOUT_BUCKETS: usize = 17;
+
+/// Compute the statistics of a circuit.
+///
+/// # Errors
+///
+/// Propagates [`Circuit::topo_order`] errors (cyclic/undriven circuits).
+///
+/// # Example
+///
+/// ```
+/// use pops_netlist::{builders::ripple_carry_adder, stats::circuit_stats};
+///
+/// # fn main() -> Result<(), pops_netlist::NetlistError> {
+/// let s = circuit_stats(&ripple_carry_adder(4))?;
+/// assert_eq!(s.gates, 36);
+/// assert!(s.max_fanout >= 2); // shared NAND terms fan out
+/// # Ok(())
+/// # }
+/// ```
+pub fn circuit_stats(circuit: &Circuit) -> Result<CircuitStats, NetlistError> {
+    let levels = circuit.logic_levels()?;
+    let depth = levels.iter().copied().max().unwrap_or(0);
+    let mut gates_per_level = vec![0usize; depth + 1];
+    for &l in &levels {
+        gates_per_level[l] += 1;
+    }
+
+    let mut fanout_histogram = vec![0usize; FANOUT_BUCKETS];
+    let mut max_fanout = 0usize;
+    let mut fanout_sum = 0usize;
+    let mut driven = 0usize;
+    for net in circuit.net_ids() {
+        if matches!(
+            circuit.net(net).driver(),
+            Some(NetDriver::Gate(_)) | Some(NetDriver::PrimaryInput)
+        ) {
+            let f = circuit.net(net).fanout();
+            fanout_histogram[f.min(FANOUT_BUCKETS - 1)] += 1;
+            max_fanout = max_fanout.max(f);
+            fanout_sum += f;
+            driven += 1;
+        }
+    }
+
+    Ok(CircuitStats {
+        gates: circuit.gate_count(),
+        nets: circuit.net_count(),
+        inputs: circuit.primary_inputs().len(),
+        outputs: circuit.primary_outputs().len(),
+        depth,
+        gates_per_level,
+        fanout_histogram,
+        max_fanout,
+        mean_fanout: if driven > 0 {
+            fanout_sum as f64 / driven as f64
+        } else {
+            0.0
+        },
+        cell_mix: circuit.cell_histogram(),
+    })
+}
+
+impl CircuitStats {
+    /// Fraction of gates whose cell belongs to the NOR family — the
+    /// §4.2 restructuring candidates.
+    pub fn nor_fraction(&self) -> f64 {
+        if self.gates == 0 {
+            return 0.0;
+        }
+        let nors: usize = self
+            .cell_mix
+            .iter()
+            .filter(|(k, _)| matches!(k, CellKind::Nor2 | CellKind::Nor3 | CellKind::Nor4))
+            .map(|(_, &n)| n)
+            .sum();
+        nors as f64 / self.gates as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{inverter_chain, ripple_carry_adder};
+    use crate::suite;
+
+    #[test]
+    fn chain_stats() {
+        let s = circuit_stats(&inverter_chain(5)).unwrap();
+        assert_eq!(s.gates, 5);
+        assert_eq!(s.depth, 5);
+        assert_eq!(s.inputs, 1);
+        // One gate per level.
+        assert!(s.gates_per_level[1..].iter().all(|&n| n == 1));
+        assert_eq!(s.max_fanout, 1);
+    }
+
+    #[test]
+    fn adder_stats_match_structure() {
+        let s = circuit_stats(&ripple_carry_adder(8)).unwrap();
+        assert_eq!(s.gates, 72);
+        assert_eq!(s.inputs, 17); // 8 + 8 + cin
+        assert_eq!(s.outputs, 9); // 8 sums + cout
+        assert!(s.mean_fanout > 1.0);
+        assert_eq!(s.cell_mix[&CellKind::Nand2], 72);
+    }
+
+    #[test]
+    fn suite_stats_match_profiles() {
+        for name in ["c432", "c6288"] {
+            let profile = suite::BenchmarkSuite::new().profile(name).unwrap();
+            let s = circuit_stats(&suite::circuit(name).unwrap()).unwrap();
+            assert_eq!(s.gates, profile.total_gates);
+            assert_eq!(s.depth, profile.path_gates);
+            assert_eq!(s.inputs, profile.n_inputs);
+        }
+    }
+
+    #[test]
+    fn c6288_is_nor_dominated() {
+        // The multiplier profile is NOR-rich (like the real c6288).
+        let s = circuit_stats(&suite::circuit("c6288").unwrap()).unwrap();
+        assert!(s.nor_fraction() > 0.4, "NOR fraction {}", s.nor_fraction());
+        let s = circuit_stats(&suite::circuit("c1355").unwrap()).unwrap();
+        assert!(s.nor_fraction() < 0.3);
+    }
+
+    #[test]
+    fn histogram_counts_every_driven_net() {
+        let c = ripple_carry_adder(2);
+        let s = circuit_stats(&c).unwrap();
+        let total: usize = s.fanout_histogram.iter().sum();
+        // Every PI and gate output net is counted once.
+        assert_eq!(total, c.primary_inputs().len() + c.gate_count());
+    }
+}

@@ -1,0 +1,49 @@
+//! Transistor-level transient simulation — the workspace's stand-in for
+//! the HSPICE validation runs of the paper.
+//!
+//! The paper validates its closed-form model (and the Table 2 `Flimit`
+//! values) against SPICE. The original foundry deck is proprietary, so
+//! this crate implements the minimal electrical machinery that exercises
+//! the same code paths:
+//!
+//! * [`mosfet`] — Sakurai–Newton alpha-power-law MOSFET I–V curves,
+//! * [`stage`] — reduction of a switching CMOS gate (non-controlling side
+//!   inputs) to an equivalent pull-up/pull-down stage,
+//! * [`transient`] — RK4 integration of the output-node ODE including the
+//!   input-to-output Miller coupling, plus waveform measurements
+//!   (50 % delay, 20–80 % transition),
+//! * [`path_sim`] — stage-by-stage simulation of a sized
+//!   [`pops_delay::TimedPath`], each stage driven by the previous stage's
+//!   simulated waveform.
+//!
+//! # Example
+//!
+//! ```
+//! use pops_delay::Library;
+//! use pops_netlist::CellKind;
+//! use pops_spice::{path_sim::simulate_path, ElectricalParams};
+//! use pops_delay::{PathStage, TimedPath};
+//!
+//! let lib = Library::cmos025();
+//! let params = ElectricalParams::cmos025();
+//! let path = TimedPath::new(
+//!     vec![PathStage::new(CellKind::Inv); 3],
+//!     lib.min_drive_ff(),
+//!     20.0,
+//! );
+//! let sizes = path.min_sizes(&lib);
+//! let result = simulate_path(&params, &lib, &path, &sizes);
+//! assert!(result.total_delay_ps > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod mosfet;
+pub mod path_sim;
+pub mod stage;
+pub mod transient;
+
+pub use mosfet::{ElectricalParams, MosfetKind};
+pub use stage::EquivalentStage;
+pub use transient::{simulate_stage, Waveform};

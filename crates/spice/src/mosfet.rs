@@ -1,0 +1,181 @@
+//! Sakurai–Newton alpha-power-law MOSFET model.
+//!
+//! The alpha-power law captures velocity saturation in short-channel
+//! devices with three parameters per polarity: threshold `V_T`, the
+//! velocity-saturation index `α` (2 = long-channel square law, →1 = fully
+//! velocity saturated) and the drive factor `β` (µA per µm of width at
+//! 1 V of overdrive).
+
+/// Device polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MosfetKind {
+    /// N-channel.
+    Nmos,
+    /// P-channel.
+    Pmos,
+}
+
+/// Electrical parameters of the simulated process (0.25 µm class).
+///
+/// Consistent with [`pops_delay::Process::cmos025`]: same supply, same
+/// thresholds, and an N/P drive ratio near the `R = 2.4` the closed-form
+/// model uses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElectricalParams {
+    /// Supply voltage (V).
+    pub vdd: f64,
+    /// NMOS threshold (V).
+    pub vtn: f64,
+    /// PMOS threshold magnitude (V).
+    pub vtp: f64,
+    /// Velocity-saturation index for NMOS.
+    pub alpha_n: f64,
+    /// Velocity-saturation index for PMOS.
+    pub alpha_p: f64,
+    /// NMOS drive factor (µA/µm at 1 V overdrive).
+    pub beta_n: f64,
+    /// PMOS drive factor (µA/µm at 1 V overdrive).
+    pub beta_p: f64,
+    /// Saturation-voltage factor: `V_DSAT = k_sat · (V_GS − V_T)^(α/2)`.
+    pub k_sat: f64,
+    /// Gate capacitance per µm of width (fF/µm).
+    pub cg_per_um: f64,
+}
+
+impl ElectricalParams {
+    /// Generic 0.25 µm parameters.
+    ///
+    /// Drive sanity: an NMOS at full gate drive (`V_GS = 2.5` V) delivers
+    /// `β_n · 2.0^1.3 ≈ 550` µA/µm — typical for the node.
+    pub fn cmos025() -> Self {
+        ElectricalParams {
+            vdd: 2.5,
+            vtn: 0.50,
+            vtp: 0.55,
+            alpha_n: 1.30,
+            alpha_p: 1.45,
+            beta_n: 224.0,
+            beta_p: 88.0,
+            k_sat: 0.7,
+            cg_per_um: 1.8,
+        }
+    }
+
+    /// Threshold voltage for a device kind (V, magnitude).
+    pub fn vt(&self, kind: MosfetKind) -> f64 {
+        match kind {
+            MosfetKind::Nmos => self.vtn,
+            MosfetKind::Pmos => self.vtp,
+        }
+    }
+
+    /// Drain current (µA) of a device of `width_um` at gate-source
+    /// overdrive `vgs` and drain-source voltage `vds` (both magnitudes,
+    /// ≥ 0; PMOS quantities are mirrored by the caller).
+    ///
+    /// Implements the Sakurai–Newton model:
+    ///
+    /// * cutoff: `vgs ≤ V_T → 0`;
+    /// * saturation (`vds ≥ V_DSAT`): `β·W·(vgs − V_T)^α`;
+    /// * triode: parabolic interpolation
+    ///   `I_sat · (2 − vds/V_DSAT) · (vds/V_DSAT)`.
+    pub fn drain_current(&self, kind: MosfetKind, width_um: f64, vgs: f64, vds: f64) -> f64 {
+        let vt = self.vt(kind);
+        if vgs <= vt || vds <= 0.0 {
+            return 0.0;
+        }
+        let (alpha, beta) = match kind {
+            MosfetKind::Nmos => (self.alpha_n, self.beta_n),
+            MosfetKind::Pmos => (self.alpha_p, self.beta_p),
+        };
+        let ov = vgs - vt;
+        let i_sat = beta * width_um * ov.powf(alpha);
+        let v_dsat = self.k_sat * ov.powf(alpha / 2.0);
+        if vds >= v_dsat {
+            i_sat
+        } else {
+            let x = vds / v_dsat;
+            i_sat * (2.0 - x) * x
+        }
+    }
+}
+
+impl Default for ElectricalParams {
+    fn default() -> Self {
+        ElectricalParams::cmos025()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> ElectricalParams {
+        ElectricalParams::cmos025()
+    }
+
+    #[test]
+    fn cutoff_region_conducts_nothing() {
+        let p = p();
+        assert_eq!(p.drain_current(MosfetKind::Nmos, 1.0, 0.3, 1.0), 0.0);
+        assert_eq!(p.drain_current(MosfetKind::Pmos, 1.0, 0.5, 1.0), 0.0);
+        assert_eq!(p.drain_current(MosfetKind::Nmos, 1.0, 1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn saturation_current_scales_with_width() {
+        let p = p();
+        let i1 = p.drain_current(MosfetKind::Nmos, 1.0, 2.5, 2.5);
+        let i3 = p.drain_current(MosfetKind::Nmos, 3.0, 2.5, 2.5);
+        assert!((i3 - 3.0 * i1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_drive_current_is_realistic() {
+        let p = p();
+        let i = p.drain_current(MosfetKind::Nmos, 1.0, 2.5, 2.5);
+        assert!((400.0..700.0).contains(&i), "NMOS {i} µA/µm");
+        let ip = p.drain_current(MosfetKind::Pmos, 1.0, 2.5, 2.5);
+        assert!((150.0..320.0).contains(&ip), "PMOS {ip} µA/µm");
+    }
+
+    #[test]
+    fn n_over_p_ratio_matches_closed_form_r() {
+        let p = p();
+        let r = p.drain_current(MosfetKind::Nmos, 1.0, 2.5, 2.5)
+            / p.drain_current(MosfetKind::Pmos, 1.0, 2.5, 2.5);
+        assert!((r - 2.4).abs() < 0.4, "R = {r}");
+    }
+
+    #[test]
+    fn triode_current_is_continuous_at_vdsat() {
+        let p = p();
+        let ov: f64 = 1.5;
+        let v_dsat = p.k_sat * ov.powf(p.alpha_n / 2.0);
+        let just_below = p.drain_current(MosfetKind::Nmos, 1.0, ov + p.vtn, v_dsat - 1e-9);
+        let just_above = p.drain_current(MosfetKind::Nmos, 1.0, ov + p.vtn, v_dsat + 1e-9);
+        assert!((just_below - just_above).abs() < 1e-3);
+    }
+
+    #[test]
+    fn triode_current_increases_with_vds() {
+        let p = p();
+        let mut last = 0.0;
+        for vds in [0.05, 0.1, 0.2, 0.4] {
+            let i = p.drain_current(MosfetKind::Nmos, 1.0, 2.5, vds);
+            assert!(i > last);
+            last = i;
+        }
+    }
+
+    #[test]
+    fn current_is_monotone_in_gate_drive() {
+        let p = p();
+        let mut last = 0.0;
+        for vgs in [0.8, 1.2, 1.6, 2.0, 2.5] {
+            let i = p.drain_current(MosfetKind::Nmos, 1.0, vgs, 2.5);
+            assert!(i > last);
+            last = i;
+        }
+    }
+}

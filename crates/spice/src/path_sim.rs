@@ -1,0 +1,220 @@
+//! Full-path transient simulation.
+//!
+//! Mirrors the paper's validation methodology: "The delay values are
+//! obtained from SPICE simulations of the corresponding path
+//! implementations" (§3.1). Each stage is integrated with the *actual*
+//! waveform produced by its predecessor, so slope effects propagate
+//! exactly as they would in SPICE.
+
+use pops_delay::{Library, TimedPath};
+
+use crate::mosfet::ElectricalParams;
+use crate::stage::EquivalentStage;
+use crate::transient::{propagation_delay_ps, simulate_stage, Waveform};
+
+/// Result of simulating a sized path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathSimResult {
+    /// 50 %-to-50 % delay from path input to path output (ps).
+    pub total_delay_ps: f64,
+    /// Per-stage 50 %-to-50 % delays (ps).
+    pub stage_delays_ps: Vec<f64>,
+    /// Waveform at the path output.
+    pub final_waveform: Waveform,
+}
+
+/// Integration step used for path simulation (ps).
+const DT_PS: f64 = 0.1;
+
+/// Simulate a sized [`TimedPath`] stage by stage.
+///
+/// Boundary conditions match the closed-form evaluation: the input is a
+/// ramp of the path's input transition time, stage `i` drives its
+/// off-path load plus stage `i+1`'s input capacitance, and the last stage
+/// drives the terminal load.
+///
+/// Behaviorally non-inverting cells (BUF/AND/OR/XOR) are simulated as
+/// their inverting first stage with ideal polarity restoration (waveform
+/// mirroring) — the same single-stage abstraction the closed-form model
+/// uses.
+///
+/// # Panics
+///
+/// Panics if `sizes.len() != path.len()` or a stage output never crosses
+/// mid-rail (a non-functional sizing, e.g. zero-width devices).
+///
+/// # Example
+///
+/// ```
+/// use pops_delay::{Library, PathStage, TimedPath};
+/// use pops_netlist::CellKind;
+/// use pops_spice::{path_sim::simulate_path, ElectricalParams};
+///
+/// let lib = Library::cmos025();
+/// let path = TimedPath::new(
+///     vec![PathStage::new(CellKind::Nand2), PathStage::new(CellKind::Inv)],
+///     lib.min_drive_ff(),
+///     15.0,
+/// );
+/// let sizes = path.min_sizes(&lib);
+/// let r = simulate_path(&ElectricalParams::cmos025(), &lib, &path, &sizes);
+/// assert_eq!(r.stage_delays_ps.len(), 2);
+/// ```
+pub fn simulate_path(
+    params: &ElectricalParams,
+    lib: &Library,
+    path: &TimedPath,
+    sizes: &[f64],
+) -> PathSimResult {
+    assert_eq!(sizes.len(), path.len(), "one size per stage");
+    let vdd = params.vdd;
+
+    let rising_input = matches!(path.input_edge(), pops_delay::Edge::Rising);
+    let (v0, v1) = if rising_input { (0.0, vdd) } else { (vdd, 0.0) };
+    let mut vin = Waveform::ramp(0.0, path.input_transition_ps(), v0, v1, DT_PS);
+
+    let mut stage_delays = Vec::with_capacity(path.len());
+    let mut total = 0.0;
+    for (i, stage) in path.stages().iter().enumerate() {
+        let eq = EquivalentStage::from_cell(params, lib, stage.cell, sizes[i]);
+        let c_ext = path.stage_load_ff(i, sizes);
+        let raw = simulate_stage(params, &eq, c_ext, &vin);
+        let vout = if eq.inverting {
+            raw
+        } else {
+            raw.mirrored(vdd)
+        };
+        let d = propagation_delay_ps(&vin, &vout, vdd)
+            .unwrap_or_else(|| panic!("stage {i} output never crossed mid-rail"));
+        stage_delays.push(d);
+        total += d;
+        vin = vout;
+    }
+
+    PathSimResult {
+        total_delay_ps: total,
+        stage_delays_ps: stage_delays,
+        final_waveform: vin,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pops_delay::PathStage;
+    use pops_netlist::CellKind;
+
+    fn setup() -> (ElectricalParams, Library) {
+        (ElectricalParams::cmos025(), Library::cmos025())
+    }
+
+    fn inv_path(n: usize, terminal: f64) -> TimedPath {
+        TimedPath::new(
+            vec![PathStage::new(CellKind::Inv); n],
+            Library::cmos025().min_drive_ff(),
+            terminal,
+        )
+    }
+
+    #[test]
+    fn path_delay_is_sum_of_stage_delays() {
+        let (p, lib) = setup();
+        let path = inv_path(4, 20.0);
+        let sizes = path.min_sizes(&lib);
+        let r = simulate_path(&p, &lib, &path, &sizes);
+        let sum: f64 = r.stage_delays_ps.iter().sum();
+        assert!((r.total_delay_ps - sum).abs() < 1e-9);
+        assert!(r.total_delay_ps > 0.0);
+    }
+
+    #[test]
+    fn longer_paths_take_longer() {
+        let (p, lib) = setup();
+        let d = |n: usize| {
+            let path = inv_path(n, 20.0);
+            let sizes = path.min_sizes(&lib);
+            simulate_path(&p, &lib, &path, &sizes).total_delay_ps
+        };
+        assert!(d(6) > d(3));
+    }
+
+    #[test]
+    fn tapered_sizing_beats_min_sizing_into_heavy_load() {
+        let (p, lib) = setup();
+        let path = inv_path(3, 300.0);
+        let min = path.min_sizes(&lib);
+        let d_min = simulate_path(&p, &lib, &path, &min).total_delay_ps;
+        // Geometric taper toward the big load.
+        let tapered = vec![min[0], min[0] * 4.0, min[0] * 16.0];
+        let d_tapered = simulate_path(&p, &lib, &path, &tapered).total_delay_ps;
+        assert!(
+            d_tapered < d_min,
+            "tapered {d_tapered} should beat min {d_min}"
+        );
+    }
+
+    #[test]
+    fn closed_form_model_tracks_simulation_shape() {
+        // Model-vs-SPICE agreement (the paper's Fig. 2 claim): relative
+        // delays of differently sized paths must rank identically and the
+        // absolute values must agree within a loose band.
+        let (p, lib) = setup();
+        let path = inv_path(5, 100.0);
+        let configs: Vec<Vec<f64>> = vec![
+            path.min_sizes(&lib),
+            vec![2.7, 5.0, 9.0, 16.0, 28.0],
+            vec![2.7, 8.0, 8.0, 8.0, 8.0],
+        ];
+        let mut model: Vec<f64> = Vec::new();
+        let mut sim: Vec<f64> = Vec::new();
+        for sizes in &configs {
+            model.push(path.delay(&lib, sizes).total_ps);
+            sim.push(simulate_path(&p, &lib, &path, sizes).total_delay_ps);
+        }
+        // Same ranking.
+        let mut model_rank: Vec<usize> = (0..3).collect();
+        model_rank.sort_by(|&a, &b| model[a].total_cmp(&model[b]));
+        let mut sim_rank: Vec<usize> = (0..3).collect();
+        sim_rank.sort_by(|&a, &b| sim[a].total_cmp(&sim[b]));
+        assert_eq!(model_rank, sim_rank);
+        // Loose absolute agreement (the paper reports model accuracy vs
+        // SPICE; we accept a 2x band for the reconstructed parameters).
+        for (m, s) in model.iter().zip(&sim) {
+            let ratio = m / s;
+            assert!((0.5..2.0).contains(&ratio), "model {m} vs sim {s}");
+        }
+    }
+
+    #[test]
+    fn non_inverting_cells_preserve_polarity() {
+        let (p, lib) = setup();
+        let path = TimedPath::new(
+            vec![PathStage::new(CellKind::And2), PathStage::new(CellKind::Buf)],
+            lib.min_drive_ff(),
+            15.0,
+        );
+        let sizes = path.min_sizes(&lib);
+        let r = simulate_path(&p, &lib, &path, &sizes);
+        // Rising path input through two non-inverting stages: output high.
+        assert!(r.final_waveform.final_value() > 0.9 * p.vdd);
+    }
+
+    #[test]
+    fn mixed_gate_path_runs() {
+        let (p, lib) = setup();
+        let path = TimedPath::new(
+            vec![
+                PathStage::new(CellKind::Inv),
+                PathStage::with_load(CellKind::Nand3, 12.0),
+                PathStage::new(CellKind::Nor2),
+                PathStage::new(CellKind::Inv),
+            ],
+            lib.min_drive_ff(),
+            25.0,
+        );
+        let sizes = path.min_sizes(&lib);
+        let r = simulate_path(&p, &lib, &path, &sizes);
+        assert_eq!(r.stage_delays_ps.len(), 4);
+        assert!(r.total_delay_ps > 0.0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Per-gate sizing state of a netlist.
+
+use pops_delay::Library;
+use pops_netlist::{Circuit, GateId};
+
+/// Input capacitance assigned to every gate of a circuit (fF, per input
+/// pin — the same sizing variable the path optimizers use).
+///
+/// # Example
+///
+/// ```
+/// use pops_netlist::builders::inverter_chain;
+/// use pops_delay::Library;
+/// use pops_sta::Sizing;
+///
+/// let c = inverter_chain(3);
+/// let lib = Library::cmos025();
+/// let mut s = Sizing::minimum(&c, &lib);
+/// let g0 = c.gate_ids().next().unwrap();
+/// s.set(g0, 2.0 * lib.min_drive_ff());
+/// assert!(s.cin_ff(g0) > lib.min_drive_ff());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sizing {
+    cins: Vec<f64>,
+}
+
+impl Sizing {
+    /// All gates at the library's minimum drive (the paper's `Tmax`
+    /// configuration).
+    pub fn minimum(circuit: &Circuit, lib: &Library) -> Self {
+        Sizing {
+            cins: vec![lib.min_drive_ff(); circuit.gate_count()],
+        }
+    }
+
+    /// All gates at a uniform input capacitance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cin_ff <= 0`.
+    pub fn uniform(circuit: &Circuit, cin_ff: f64) -> Self {
+        assert!(cin_ff > 0.0, "input capacitance must be positive");
+        Sizing {
+            cins: vec![cin_ff; circuit.gate_count()],
+        }
+    }
+
+    /// Input capacitance of a gate (fF).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate id is out of range.
+    pub fn cin_ff(&self, gate: GateId) -> f64 {
+        self.cins[gate.index()]
+    }
+
+    /// Set the input capacitance of a gate (fF).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate id is out of range or `cin_ff <= 0`.
+    pub fn set(&mut self, gate: GateId, cin_ff: f64) {
+        assert!(cin_ff > 0.0, "input capacitance must be positive");
+        self.cins[gate.index()] = cin_ff;
+    }
+
+    /// Number of gates covered.
+    pub fn len(&self) -> usize {
+        self.cins.len()
+    }
+
+    /// True when the sizing covers no gates.
+    pub fn is_empty(&self) -> bool {
+        self.cins.is_empty()
+    }
+
+    /// Total input capacitance (fF) — the area/power proxy.
+    pub fn total_cin_ff(&self) -> f64 {
+        self.cins.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pops_netlist::builders::inverter_chain;
+
+    #[test]
+    fn minimum_sizing_uses_cref() {
+        let c = inverter_chain(4);
+        let lib = Library::cmos025();
+        let s = Sizing::minimum(&c, &lib);
+        assert_eq!(s.len(), 4);
+        for g in c.gate_ids() {
+            assert_eq!(s.cin_ff(g), lib.min_drive_ff());
+        }
+    }
+
+    #[test]
+    fn set_and_total() {
+        let c = inverter_chain(2);
+        let lib = Library::cmos025();
+        let mut s = Sizing::minimum(&c, &lib);
+        let g = c.gate_ids().next().unwrap();
+        s.set(g, 10.0);
+        assert_eq!(s.cin_ff(g), 10.0);
+        assert!((s.total_cin_ff() - (10.0 + lib.min_drive_ff())).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_size_rejected() {
+        let c = inverter_chain(1);
+        let lib = Library::cmos025();
+        let mut s = Sizing::minimum(&c, &lib);
+        s.set(c.gate_ids().next().unwrap(), 0.0);
+    }
+}

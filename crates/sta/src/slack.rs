@@ -1,0 +1,200 @@
+//! Required times and slacks — the backward STA pass.
+//!
+//! POPS decides *where* to spend optimization effort from path slacks:
+//! a negative-slack net sits on a path that misses the constraint. The
+//! backward pass propagates required times from the primary outputs
+//! through the same arcs (and the same arc delays) the forward pass
+//! used.
+
+use pops_delay::model::{gate_delay_with_output_edge, Edge};
+use pops_delay::Library;
+use pops_netlist::{Circuit, NetId, NetlistError};
+
+use crate::analysis::{compatible_input_edges, EdgeDir, TimingReport};
+use crate::sizing::Sizing;
+
+/// Result of the backward (required-time) pass.
+#[derive(Debug, Clone)]
+pub struct SlackReport {
+    /// `required[net][edge]` in ps; `+inf` where unconstrained.
+    required: Vec<[f64; 2]>,
+    /// Copy of the forward arrivals for slack computation.
+    arrival: Vec<[f64; 2]>,
+}
+
+fn eidx(e: Edge) -> usize {
+    match e {
+        Edge::Rising => 0,
+        Edge::Falling => 1,
+    }
+}
+
+impl SlackReport {
+    /// Required time of a net for an edge (ps).
+    pub fn required_ps(&self, net: NetId, edge: EdgeDir) -> f64 {
+        self.required[net.index()][eidx(edge.into())]
+    }
+
+    /// Slack of a net for an edge (ps): `required − arrival`. Negative
+    /// means the net lies on a violating path.
+    pub fn slack_ps(&self, net: NetId, edge: EdgeDir) -> f64 {
+        let i = eidx(edge.into());
+        self.required[net.index()][i] - self.arrival[net.index()][i]
+    }
+
+    /// Worst (most negative) slack over both edges of a net.
+    pub fn worst_slack_ps(&self, net: NetId) -> f64 {
+        self.slack_ps(net, EdgeDir::Rising)
+            .min(self.slack_ps(net, EdgeDir::Falling))
+    }
+
+    /// Worst slack over the whole design.
+    pub fn worst_slack_overall_ps(&self) -> f64 {
+        (0..self.required.len())
+            .map(|i| {
+                (self.required[i][0] - self.arrival[i][0])
+                    .min(self.required[i][1] - self.arrival[i][1])
+            })
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Backward pass: compute required times against a cycle constraint
+/// `tc_ps` applied at every primary output.
+///
+/// Must be called with the same circuit/sizing the `report` was computed
+/// from (arc delays are re-derived with the report's slopes).
+///
+/// # Errors
+///
+/// Propagates [`Circuit::topo_order`] errors.
+pub fn required_times(
+    circuit: &Circuit,
+    lib: &Library,
+    sizing: &Sizing,
+    report: &TimingReport,
+    tc_ps: f64,
+) -> Result<SlackReport, NetlistError> {
+    let order = circuit.topo_order()?;
+    let n_nets = circuit.net_count();
+    let mut required = vec![[f64::INFINITY; 2]; n_nets];
+    let mut arrival = vec![[f64::NEG_INFINITY; 2]; n_nets];
+
+    for net in circuit.net_ids() {
+        for (i, dir) in [(0usize, EdgeDir::Rising), (1, EdgeDir::Falling)] {
+            arrival[net.index()][i] = report.arrival_ps(net, dir);
+        }
+        if circuit.net(net).is_output() {
+            required[net.index()] = [tc_ps; 2];
+        }
+    }
+
+    const EDGES: [Edge; 2] = [Edge::Rising, Edge::Falling];
+    for &gid in order.iter().rev() {
+        let gate = circuit.gate(gid);
+        let out = gate.output();
+        let cin = sizing.cin_ff(gid);
+        let load = report.net_load_ff(out);
+        for out_edge in EDGES {
+            let req_out = required[out.index()][eidx(out_edge)];
+            if req_out == f64::INFINITY {
+                continue;
+            }
+            for &in_net in gate.inputs() {
+                for &in_edge in compatible_input_edges(gate.kind(), out_edge) {
+                    let dir: EdgeDir = in_edge.into();
+                    let slope = report.slope_ps(in_net, dir);
+                    let d = gate_delay_with_output_edge(
+                        lib,
+                        gate.kind(),
+                        cin,
+                        load,
+                        slope,
+                        in_edge,
+                        out_edge,
+                    );
+                    let candidate = req_out - d.delay_ps;
+                    let slot = &mut required[in_net.index()][eidx(in_edge)];
+                    if candidate < *slot {
+                        *slot = candidate;
+                    }
+                }
+            }
+        }
+    }
+
+    Ok(SlackReport { required, arrival })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use pops_netlist::builders::{inverter_chain, ripple_carry_adder};
+
+    fn setup(c: &Circuit) -> (Library, Sizing, TimingReport) {
+        let lib = Library::cmos025();
+        let s = Sizing::minimum(c, &lib);
+        let r = analyze(c, &lib, &s).unwrap();
+        (lib, s, r)
+    }
+
+    #[test]
+    fn slack_zero_at_exact_constraint_on_critical_output() {
+        let c = inverter_chain(5);
+        let (lib, s, r) = setup(&c);
+        let tc = r.critical_delay_ps();
+        let slacks = required_times(&c, &lib, &s, &r, tc).unwrap();
+        // The critical output's slack is exactly zero.
+        let worst = slacks.worst_slack_overall_ps();
+        assert!(worst.abs() < 1e-6, "worst slack {worst}");
+    }
+
+    #[test]
+    fn slack_is_negative_under_an_impossible_constraint() {
+        let c = inverter_chain(4);
+        let (lib, s, r) = setup(&c);
+        let slacks =
+            required_times(&c, &lib, &s, &r, 0.5 * r.critical_delay_ps()).unwrap();
+        assert!(slacks.worst_slack_overall_ps() < 0.0);
+    }
+
+    #[test]
+    fn slack_is_positive_under_a_loose_constraint() {
+        let c = ripple_carry_adder(4);
+        let (lib, s, r) = setup(&c);
+        let slacks =
+            required_times(&c, &lib, &s, &r, 2.0 * r.critical_delay_ps()).unwrap();
+        assert!(slacks.worst_slack_overall_ps() > 0.0);
+    }
+
+    #[test]
+    fn critical_path_nets_carry_the_worst_slack() {
+        let c = ripple_carry_adder(4);
+        let (lib, s, r) = setup(&c);
+        let tc = r.critical_delay_ps();
+        let slacks = required_times(&c, &lib, &s, &r, tc).unwrap();
+        let worst = slacks.worst_slack_overall_ps();
+        let path = r.critical_path();
+        // Every gate output along the critical path carries (close to)
+        // the design-worst slack.
+        let last = *path.gates.last().unwrap();
+        let out = c.gate(last).output();
+        assert!(
+            (slacks.worst_slack_ps(out) - worst).abs() < 1e-6,
+            "endpoint slack {} vs worst {worst}",
+            slacks.worst_slack_ps(out)
+        );
+    }
+
+    #[test]
+    fn moving_the_constraint_shifts_slack_linearly() {
+        let c = inverter_chain(3);
+        let (lib, s, r) = setup(&c);
+        let t0 = r.critical_delay_ps();
+        let s1 = required_times(&c, &lib, &s, &r, t0).unwrap();
+        let s2 = required_times(&c, &lib, &s, &r, t0 + 100.0).unwrap();
+        let d = s2.worst_slack_overall_ps() - s1.worst_slack_overall_ps();
+        assert!((d - 100.0).abs() < 1e-6, "slack shift {d}");
+    }
+}

@@ -1,0 +1,71 @@
+//! Library characterization and buffer insertion: Table 2's `Flimit`
+//! metric in action.
+//!
+//! ```sh
+//! cargo run --release --example buffer_exploration
+//! ```
+//!
+//! First characterizes the fan-out limit of every (inverter → gate) pair,
+//! then shows the limit doing its job on an overloaded NOR3 node: below
+//! `Flimit` a buffer hurts, above it the buffer wins.
+
+use pops::core::bounds::tmin;
+use pops::core::buffer::{flimit_table, over_limit_nodes};
+use pops::prelude::*;
+
+fn main() {
+    let lib = Library::cmos025();
+
+    // 1. Library characterization (the protocol's preprocessing step).
+    let gates = [
+        CellKind::Inv,
+        CellKind::Nand2,
+        CellKind::Nand3,
+        CellKind::Nand4,
+        CellKind::Nor2,
+        CellKind::Nor3,
+        CellKind::Nor4,
+        CellKind::Xor2,
+    ];
+    println!("Flimit (gate driven by an inverter):");
+    for entry in flimit_table(&lib, &gates) {
+        println!("  inv -> {:<6}  {:>5.1}", entry.gate.to_string(), entry.flimit);
+    }
+
+    // 2. A path with one overloaded node.
+    let path = TimedPath::new(
+        vec![
+            PathStage::new(CellKind::Inv),
+            PathStage::with_load(CellKind::Nor3, 140.0), // heavy off-path fanout
+            PathStage::new(CellKind::Nand2),
+            PathStage::new(CellKind::Inv),
+        ],
+        lib.min_drive_ff(),
+        180.0,
+    );
+    let base = tmin(&lib, &path);
+    println!("\nTmin without buffers: {:.1} ps", base.delay_ps);
+    println!("over-limit nodes (stage, fanout/Flimit):");
+    for (stage, excess) in over_limit_nodes(&lib, &path, &base.sizes) {
+        println!("  stage {stage}: {excess:.2}x over the limit");
+    }
+
+    // 3. Insert buffers and compare (Table 3's experiment).
+    let (buffered, buffered_tmin) = insert_buffers(&lib, &path);
+    println!(
+        "Tmin with {} inserted buffer stage(s): {:.1} ps ({:.0}% gain)",
+        buffered.buffer_count(),
+        buffered_tmin.delay_ps,
+        (base.delay_ps - buffered_tmin.delay_ps) / base.delay_ps * 100.0
+    );
+
+    // 4. The §4.2 alternative: restructure the NOR3 instead.
+    if let Some(restructured) = demorgan_restructure(&lib, &path) {
+        let r_tmin = tmin(&lib, &restructured.path);
+        println!(
+            "Tmin after De Morgan restructuring ({} NOR replaced): {:.1} ps",
+            restructured.replacement_count(),
+            r_tmin.delay_ps
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! Quickstart: size one bounded path under a delay constraint.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Walks the exact flow of the paper's Fig. 7 protocol on a small path:
+//! delay bounds first (feasibility), then constraint classification, then
+//! the cheapest technique.
+
+use pops::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let lib = Library::cmos025();
+
+    // A 6-gate bounded path. The input gate's size is pinned by the latch
+    // that feeds it; the terminal load is the next latch. One NOR3 node
+    // carries heavy off-path fan-out — the interesting node.
+    let path = TimedPath::new(
+        vec![
+            PathStage::new(CellKind::Inv),
+            PathStage::new(CellKind::Nand2),
+            PathStage::with_load(CellKind::Nor3, 45.0),
+            PathStage::new(CellKind::Inv),
+            PathStage::new(CellKind::Nand3),
+            PathStage::new(CellKind::Inv),
+        ],
+        lib.min_drive_ff(),
+        120.0,
+    );
+
+    // Step 1 — design-space exploration: Tmin / Tmax bounds.
+    let bounds = delay_bounds(&lib, &path);
+    println!("Tmin = {:.1} ps   Tmax = {:.1} ps", bounds.tmin_ps, bounds.tmax_ps);
+
+    // Step 2 — pick a constraint in each domain and run the protocol.
+    for (label, factor) in [("weak", 2.8), ("medium", 1.6), ("hard", 1.08)] {
+        let tc = factor * bounds.tmin_ps;
+        let outcome = optimize(&lib, &path, tc, &ProtocolOptions::default())?;
+        println!(
+            "{label:>6}: Tc = {tc:7.1} ps -> {:?} via {:?}, delay {:.1} ps, area {:.1} um \
+             ({} buffers, {} restructured)",
+            outcome.class,
+            outcome.technique,
+            outcome.delay_ps,
+            outcome.area_um,
+            outcome.inserted_buffers,
+            outcome.restructured_gates,
+        );
+    }
+
+    // Step 3 — an infeasible constraint is reported, not looped on.
+    let impossible = 0.3 * bounds.tmin_ps;
+    match optimize(&lib, &path, impossible, &ProtocolOptions::default()) {
+        Err(OptimizeError::Infeasible { tc_ps, tmin_ps }) => {
+            println!("infeasible: Tc = {tc_ps:.1} ps < best achievable {tmin_ps:.1} ps");
+        }
+        other => println!("unexpected: {other:?}"),
+    }
+    Ok(())
+}

@@ -1,0 +1,131 @@
+//! Integration: closed-form model vs the transistor-level simulator —
+//! the paper's SPICE-validation axis, asserted as testable bands.
+
+use pops::prelude::*;
+use pops::spice::path_sim::simulate_path;
+use pops::spice::ElectricalParams;
+
+fn setup() -> (ElectricalParams, Library) {
+    (ElectricalParams::cmos025(), Library::cmos025())
+}
+
+#[test]
+fn model_and_simulator_agree_on_ranking_across_sizings() {
+    let (params, lib) = setup();
+    let path = TimedPath::new(
+        vec![
+            PathStage::new(CellKind::Inv),
+            PathStage::new(CellKind::Nand2),
+            PathStage::new(CellKind::Nor2),
+            PathStage::new(CellKind::Inv),
+        ],
+        lib.min_drive_ff(),
+        80.0,
+    );
+    let cref = lib.min_drive_ff();
+    let sizings: Vec<Vec<f64>> = vec![
+        path.min_sizes(&lib),
+        vec![cref, 3.0 * cref, 3.0 * cref, 3.0 * cref],
+        vec![cref, 2.0 * cref, 4.0 * cref, 8.0 * cref],
+        vec![cref, 8.0 * cref, 4.0 * cref, 2.0 * cref],
+    ];
+    let model: Vec<f64> = sizings
+        .iter()
+        .map(|s| path.delay(&lib, s).total_ps)
+        .collect();
+    let sim: Vec<f64> = sizings
+        .iter()
+        .map(|s| simulate_path(&params, &lib, &path, s).total_delay_ps)
+        .collect();
+    let rank = |xs: &[f64]| {
+        let mut idx: Vec<usize> = (0..xs.len()).collect();
+        idx.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
+        idx
+    };
+    assert_eq!(rank(&model), rank(&sim), "model {model:?} vs sim {sim:?}");
+}
+
+#[test]
+fn absolute_agreement_within_a_factor_of_two() {
+    let (params, lib) = setup();
+    for terminal in [20.0, 60.0, 150.0] {
+        let path = TimedPath::new(
+            vec![PathStage::new(CellKind::Inv); 4],
+            lib.min_drive_ff(),
+            terminal,
+        );
+        let sizes = path.min_sizes(&lib);
+        let model = path.delay(&lib, &sizes).total_ps;
+        let sim = simulate_path(&params, &lib, &path, &sizes).total_delay_ps;
+        let ratio = model / sim;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "terminal {terminal}: model {model} vs sim {sim}"
+        );
+    }
+}
+
+#[test]
+fn tmin_sizing_is_also_fast_under_the_simulator() {
+    // The optimizer's Tmin sizing must beat the min-drive sizing when
+    // *measured by the independent simulator*, not just by its own model.
+    let (params, lib) = setup();
+    let path = TimedPath::new(
+        vec![
+            PathStage::new(CellKind::Inv),
+            PathStage::with_load(CellKind::Nor3, 40.0),
+            PathStage::new(CellKind::Nand2),
+            PathStage::new(CellKind::Inv),
+        ],
+        lib.min_drive_ff(),
+        200.0,
+    );
+    let min_sizes = path.min_sizes(&lib);
+    let opt = tmin(&lib, &path);
+    let sim_min = simulate_path(&params, &lib, &path, &min_sizes).total_delay_ps;
+    let sim_opt = simulate_path(&params, &lib, &path, &opt.sizes).total_delay_ps;
+    assert!(
+        sim_opt < sim_min,
+        "simulator disagrees: optimized {sim_opt} vs min {sim_min}"
+    );
+}
+
+#[test]
+fn buffer_benefit_confirmed_by_the_simulator_above_flimit() {
+    // Table 2's crossover, cross-checked end-to-end: above the analytic
+    // Flimit, the simulator also prefers the buffered structure.
+    let (params, lib) = setup();
+    let gate = CellKind::Nor3;
+    let limit = flimit(&lib, CellKind::Inv, gate).expect("crossover exists");
+    let cref = lib.min_drive_ff();
+    let cin = 4.0 * cref;
+    let fanout = 2.5 * limit;
+    let terminal = fanout * cin;
+
+    let direct = TimedPath::new(
+        vec![PathStage::new(CellKind::Inv), PathStage::new(gate)],
+        cin,
+        terminal,
+    );
+    let d_direct = simulate_path(&params, &lib, &direct, &[cin, cin]).total_delay_ps;
+
+    let buffered = TimedPath::new(
+        vec![
+            PathStage::new(CellKind::Inv),
+            PathStage::new(gate),
+            PathStage::new(CellKind::Inv),
+        ],
+        cin,
+        terminal,
+    );
+    // Size the buffer near the geometric mean of its source/sink caps.
+    let buf = (cin * terminal).sqrt();
+    let d_buffered =
+        simulate_path(&params, &lib, &buffered, &[cin, cin, buf]).total_delay_ps;
+    assert!(
+        d_buffered < d_direct,
+        "simulator: buffered {d_buffered} !< direct {d_direct} at F = {fanout:.1}"
+    );
+}
+
+use pops::core::bounds::tmin;
