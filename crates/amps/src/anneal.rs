@@ -5,8 +5,7 @@
 //! to `T ≤ Tc`). It typically lands close to the deterministic optimum —
 //! after a few orders of magnitude more delay evaluations.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pops_netlist::rng::SplitMix64;
 
 use pops_core::bounds::tmin;
 use pops_core::OptimizeError;
@@ -62,7 +61,7 @@ pub fn anneal_area_under_constraint(
         });
     }
     let cref = lib.min_drive_ff();
-    let mut rng = StdRng::seed_from_u64(options.seed);
+    let mut rng = SplitMix64::new(options.seed);
 
     let mut current = start.sizes.clone();
     let mut current_area: f64 = current.iter().sum();
@@ -76,8 +75,8 @@ pub fn anneal_area_under_constraint(
             if path.len() < 2 {
                 break;
             }
-            let i = 1 + rng.gen_range(0..path.len() - 1);
-            let factor = ((rng.gen::<f64>() - 0.5) * 0.6).exp();
+            let i = 1 + rng.below(path.len() - 1);
+            let factor = ((rng.next_f64() - 0.5) * 0.6).exp();
             let old = current[i];
             current[i] = (old * factor).max(cref);
             let delay = path.delay(lib, &current).total_ps;
@@ -88,7 +87,7 @@ pub fn anneal_area_under_constraint(
             }
             let new_area: f64 = current.iter().sum();
             let delta = new_area - current_area;
-            let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / temp).exp();
+            let accept = delta <= 0.0 || rng.next_f64() < (-delta / temp).exp();
             if accept {
                 current_area = new_area;
                 if new_area < best_area {
@@ -182,8 +181,9 @@ mod tests {
         let lib = lib();
         let p = path();
         let b = delay_bounds(&lib, &p);
-        let err = anneal_area_under_constraint(&lib, &p, 0.5 * b.tmin_ps, &AnnealOptions::default())
-            .unwrap_err();
+        let err =
+            anneal_area_under_constraint(&lib, &p, 0.5 * b.tmin_ps, &AnnealOptions::default())
+                .unwrap_err();
         assert!(matches!(err, OptimizeError::Infeasible { .. }));
     }
 }

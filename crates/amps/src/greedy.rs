@@ -285,9 +285,8 @@ mod tests {
         let lib = lib();
         let p = path();
         let b = delay_bounds(&lib, &p);
-        let r =
-            greedy_size_for_constraint(&lib, &p, 1.2 * b.tmin_ps, &GreedyOptions::default())
-                .unwrap();
+        let r = greedy_size_for_constraint(&lib, &p, 1.2 * b.tmin_ps, &GreedyOptions::default())
+            .unwrap();
         assert!(r.evaluations > 10 * p.len());
     }
 

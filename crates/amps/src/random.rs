@@ -4,8 +4,7 @@
 //! pseudo-random sizing technique" — global random sampling followed by
 //! random local perturbation, the simplest stochastic sizer.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pops_netlist::rng::SplitMix64;
 
 use pops_delay::{Library, TimedPath};
 
@@ -44,7 +43,7 @@ pub fn random_min_delay(
     path: &TimedPath,
     options: &RandomSearchOptions,
 ) -> GreedyResult {
-    let mut rng = StdRng::seed_from_u64(options.seed);
+    let mut rng = SplitMix64::new(options.seed);
     let cref = lib.min_drive_ff();
     let cmax = cref * options.max_size_factor;
     let log_span = (cmax / cref).ln();
@@ -56,7 +55,7 @@ pub fn random_min_delay(
     for _ in 0..options.samples {
         let mut probe = best.clone();
         for p in probe.iter_mut().skip(1) {
-            *p = cref * (rng.gen::<f64>() * log_span).exp();
+            *p = cref * (rng.next_f64() * log_span).exp();
         }
         let d = path.delay(lib, &probe).total_ps;
         evaluations += 1;
@@ -70,8 +69,8 @@ pub fn random_min_delay(
         if path.len() < 2 {
             break;
         }
-        let i = 1 + rng.gen_range(0..path.len() - 1);
-        let factor = (rng.gen::<f64>() - 0.5).exp(); // e^±0.5 spread
+        let i = 1 + rng.below(path.len() - 1);
+        let factor = (rng.next_f64() - 0.5).exp(); // e^±0.5 spread
         let old = best[i];
         best[i] = (old * factor).clamp(cref, cmax);
         let d = path.delay(lib, &best).total_ps;

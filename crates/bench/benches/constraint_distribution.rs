@@ -1,42 +1,30 @@
-//! Criterion counterpart of Table 1: deterministic constant-sensitivity
+//! Micro-bench counterpart of Table 1: deterministic constant-sensitivity
 //! distribution vs the TILOS-style iterative baseline, per circuit.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pops_amps::{greedy_size_for_constraint, GreedyOptions};
+use pops_bench::microbench::Runner;
 use pops_bench::workload;
 use pops_core::bounds::delay_bounds;
 use pops_core::sensitivity::distribute_constraint;
 use pops_delay::Library;
-use std::hint::black_box;
 
-fn bench_constraint_distribution(c: &mut Criterion) {
+fn main() {
     let lib = Library::cmos025();
-    let mut group = c.benchmark_group("constraint_distribution");
-    group.sample_size(10);
+    let mut runner = Runner::new("constraint_distribution");
     for name in ["fpd", "c432", "c1908", "c6288"] {
         let w = workload(&lib, name);
         let b = delay_bounds(&lib, &w.path);
         let tc = 1.2 * b.tmin_ps;
-        group.bench_with_input(BenchmarkId::new("pops", name), &w, |bench, w| {
-            bench.iter(|| black_box(distribute_constraint(&lib, &w.path, tc)))
+        runner.bench(&format!("pops/{name}"), || {
+            distribute_constraint(&lib, &w.path, tc)
         });
         // The iterative baseline is orders of magnitude slower: keep it to
         // the two smaller circuits so the suite stays runnable.
         if matches!(name, "fpd" | "c432") {
-            group.bench_with_input(BenchmarkId::new("amps_greedy", name), &w, |bench, w| {
-                bench.iter(|| {
-                    black_box(greedy_size_for_constraint(
-                        &lib,
-                        &w.path,
-                        tc,
-                        &GreedyOptions::default(),
-                    ))
-                })
+            runner.bench(&format!("amps_greedy/{name}"), || {
+                greedy_size_for_constraint(&lib, &w.path, tc, &GreedyOptions::default())
             });
         }
     }
-    group.finish();
+    runner.finish();
 }
-
-criterion_group!(benches, bench_constraint_distribution);
-criterion_main!(benches);

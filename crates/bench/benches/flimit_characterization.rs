@@ -2,23 +2,19 @@
 //! of the Fig. 7 protocol — "Library characterization (Flimit
 //! determination)").
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pops_bench::microbench::Runner;
 use pops_core::buffer::{flimit, flimit_table};
 use pops_delay::Library;
 use pops_netlist::CellKind;
-use std::hint::black_box;
 
-fn bench_flimit(c: &mut Criterion) {
+fn main() {
     let lib = Library::cmos025();
-    let mut group = c.benchmark_group("flimit");
+    let mut runner = Runner::new("flimit");
     for gate in [CellKind::Inv, CellKind::Nand3, CellKind::Nor3] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(gate),
-            &gate,
-            |b, &g| b.iter(|| black_box(flimit(&lib, CellKind::Inv, g))),
-        );
+        runner.bench(&format!("flimit/{gate}"), || {
+            flimit(&lib, CellKind::Inv, gate)
+        });
     }
-    group.finish();
 
     let gates = [
         CellKind::Inv,
@@ -27,10 +23,6 @@ fn bench_flimit(c: &mut Criterion) {
         CellKind::Nor2,
         CellKind::Nor3,
     ];
-    c.bench_function("flimit_table_5", |b| {
-        b.iter(|| black_box(flimit_table(&lib, &gates)))
-    });
+    runner.bench("flimit_table_5", || flimit_table(&lib, &gates));
+    runner.finish();
 }
-
-criterion_group!(benches, bench_flimit);
-criterion_main!(benches);

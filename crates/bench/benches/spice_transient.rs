@@ -1,24 +1,23 @@
 //! Bench the transistor-level transient simulator (the SPICE substitute
 //! behind Fig. 2's validation and Table 2's "Simulation" column).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pops_bench::microbench::Runner;
 use pops_delay::{Library, PathStage, TimedPath};
 use pops_netlist::CellKind;
 use pops_spice::path_sim::simulate_path;
 use pops_spice::{simulate_stage, ElectricalParams, EquivalentStage, Waveform};
-use std::hint::black_box;
 
-fn bench_spice(c: &mut Criterion) {
+fn main() {
     let lib = Library::cmos025();
     let params = ElectricalParams::cmos025();
+    let mut runner = Runner::new("spice_transient");
 
     let stage = EquivalentStage::from_cell(&params, &lib, CellKind::Inv, 5.4);
     let vin = Waveform::ramp(0.0, 50.0, 0.0, params.vdd, 0.1);
-    c.bench_function("spice_stage_inv", |b| {
-        b.iter(|| black_box(simulate_stage(&params, &stage, 20.0, &vin)))
+    runner.bench("spice_stage_inv", || {
+        simulate_stage(&params, &stage, 20.0, &vin)
     });
 
-    let mut group = c.benchmark_group("spice_path");
     for n in [3usize, 8, 16] {
         let path = TimedPath::new(
             vec![PathStage::new(CellKind::Inv); n],
@@ -26,12 +25,9 @@ fn bench_spice(c: &mut Criterion) {
             30.0,
         );
         let sizes = path.min_sizes(&lib);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &path, |b, p| {
-            b.iter(|| black_box(simulate_path(&params, &lib, p, &sizes)))
+        runner.bench(&format!("spice_path/{n}"), || {
+            simulate_path(&params, &lib, &path, &sizes)
         });
     }
-    group.finish();
+    runner.finish();
 }
-
-criterion_group!(benches, bench_spice);
-criterion_main!(benches);

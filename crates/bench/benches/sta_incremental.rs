@@ -1,0 +1,128 @@
+//! Incremental vs full STA on the sizing loop's hot operation: resize
+//! one gate, then re-query the critical delay.
+//!
+//! `full` re-runs `analyze()` from scratch per iteration (what the flow
+//! did before the incremental engine). The incremental side sweeps a
+//! probe over **every** gate of the circuit — resize by 1.2×, re-query
+//! the critical delay, revert (two dirty-cone updates, the
+//! sensitivity/greedy probing pattern) — timing each probe individually.
+//!
+//! Cone sizes are heavily skewed (median cone ≈ 20 gates, while the few
+//! gates next to the primary inputs fan out to a third of the circuit),
+//! so both the median (typical-gate) and mean per-probe times are
+//! reported. Results are recorded as a baseline in
+//! `BENCH_sta_incremental.json` at the repository root.
+
+use std::path::Path;
+use std::time::Instant;
+
+use pops_bench::json::ToJson;
+use pops_bench::microbench::format_ns;
+use pops_delay::Library;
+use pops_netlist::suite;
+use pops_sta::analysis::analyze;
+use pops_sta::{Sizing, TimingGraph};
+
+struct CircuitBaseline {
+    circuit: String,
+    gates: usize,
+    full_reanalyze_ns: f64,
+    probe_median_ns: f64,
+    probe_mean_ns: f64,
+    speedup_median: f64,
+    speedup_mean: f64,
+}
+pops_bench::json_fields!(CircuitBaseline {
+    circuit,
+    gates,
+    full_reanalyze_ns,
+    probe_median_ns,
+    probe_mean_ns,
+    speedup_median,
+    speedup_mean
+});
+
+/// Median full-analysis time (one "iteration" of the pre-incremental
+/// sizing loop), over enough repeats to be stable.
+fn measure_full(circuit: &pops_netlist::Circuit, lib: &Library, sizing: &Sizing) -> f64 {
+    let samples = 15usize;
+    let reps = 4usize;
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            let r = analyze(circuit, lib, sizing).expect("acyclic");
+            std::hint::black_box(r.critical_delay_ps());
+        }
+        times.push(t0.elapsed().as_nanos() as f64 / reps as f64);
+    }
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn main() {
+    let lib = Library::cmos025();
+    let mut baselines = Vec::new();
+
+    for name in ["fpd", "c432", "c880", "c1908", "c6288", "c7552"] {
+        let circuit = suite::circuit(name).expect("suite circuit");
+        let sizing = Sizing::minimum(&circuit, &lib);
+        let full = measure_full(&circuit, &lib, &sizing);
+
+        let mut graph = TimingGraph::new(&circuit, &lib, &sizing).expect("acyclic");
+        let gates: Vec<_> = circuit.gate_ids().collect();
+
+        // Warm-up sweep (touch every cone once), then the measured sweep.
+        for &g in &gates {
+            let orig = graph.sizing().cin_ff(g);
+            graph.resize_gate(g, orig * 1.2);
+            graph.resize_gate(g, orig);
+        }
+        let mut probe_ns: Vec<f64> = Vec::with_capacity(gates.len());
+        for &g in &gates {
+            let orig = graph.sizing().cin_ff(g);
+            let t0 = Instant::now();
+            graph.resize_gate(g, orig * 1.2);
+            std::hint::black_box(graph.critical_delay_ps());
+            graph.resize_gate(g, orig);
+            probe_ns.push(t0.elapsed().as_nanos() as f64);
+        }
+        probe_ns.sort_by(f64::total_cmp);
+        let median = probe_ns[probe_ns.len() / 2];
+        let mean = probe_ns.iter().sum::<f64>() / probe_ns.len() as f64;
+
+        baselines.push(CircuitBaseline {
+            circuit: name.to_string(),
+            gates: circuit.gate_count(),
+            full_reanalyze_ns: full,
+            probe_median_ns: median,
+            probe_mean_ns: mean,
+            speedup_median: full / median,
+            speedup_mean: full / mean,
+        });
+    }
+
+    println!(
+        "circuit      gates   full/iter   probe median   probe mean   speedup (median / mean)"
+    );
+    for b in &baselines {
+        println!(
+            "{:<10} {:>6}  {:>10}  {:>12}  {:>11}  {:>7.1}x / {:.1}x",
+            b.circuit,
+            b.gates,
+            format_ns(b.full_reanalyze_ns),
+            format_ns(b.probe_median_ns),
+            format_ns(b.probe_mean_ns),
+            b.speedup_median,
+            b.speedup_mean,
+        );
+    }
+
+    // Record the baseline at the repository root.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root.join("BENCH_sta_incremental.json");
+    match std::fs::write(&path, baselines.to_json()) {
+        Ok(()) => println!("[baseline] {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}

@@ -1,31 +1,25 @@
 //! Bench the STA front end (analysis + critical path extraction) across
 //! the benchmark suite sizes (160 … 3512 gates).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pops_bench::microbench::Runner;
 use pops_delay::Library;
 use pops_netlist::suite;
 use pops_sta::analysis::analyze;
 use pops_sta::{k_most_critical_paths, Sizing};
-use std::hint::black_box;
 
-fn bench_sta(c: &mut Criterion) {
+fn main() {
     let lib = Library::cmos025();
-    let mut group = c.benchmark_group("sta_scaling");
+    let mut runner = Runner::new("sta_scaling");
     for name in ["c432", "c880", "c1908", "c7552"] {
         let circuit = suite::circuit(name).expect("suite circuit");
         let sizing = Sizing::minimum(&circuit, &lib);
-        group.bench_with_input(BenchmarkId::new("analyze", name), &circuit, |b, circ| {
-            b.iter(|| black_box(analyze(circ, &lib, &sizing)))
+        runner.bench(&format!("analyze/{name}"), || {
+            analyze(&circuit, &lib, &sizing)
         });
         let report = analyze(&circuit, &lib, &sizing).expect("acyclic");
-        group.bench_with_input(
-            BenchmarkId::new("k_paths_16", name),
-            &circuit,
-            |b, circ| b.iter(|| black_box(k_most_critical_paths(circ, &report, 16))),
-        );
+        runner.bench(&format!("k_paths_16/{name}"), || {
+            k_most_critical_paths(&circuit, &report, 16)
+        });
     }
-    group.finish();
+    runner.finish();
 }
-
-criterion_group!(benches, bench_sta);
-criterion_main!(benches);

@@ -1,11 +1,10 @@
 //! Bench the `Tmin` link-equation fixed point (Fig. 1's engine) as the
 //! path length grows.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pops_bench::microbench::Runner;
 use pops_core::bounds::{tmin, tmin_with, TminOptions};
 use pops_delay::{Library, PathStage, TimedPath};
 use pops_netlist::CellKind;
-use std::hint::black_box;
 
 fn path_of(n: usize, lib: &Library) -> TimedPath {
     use CellKind::*;
@@ -16,29 +15,22 @@ fn path_of(n: usize, lib: &Library) -> TimedPath {
     TimedPath::new(stages, lib.min_drive_ff(), 120.0)
 }
 
-fn bench_tmin(c: &mut Criterion) {
+fn main() {
     let lib = Library::cmos025();
-    let mut group = c.benchmark_group("tmin_bounds");
+    let mut runner = Runner::new("tmin_bounds");
     for n in [8usize, 16, 32, 64, 128] {
         let path = path_of(n, &lib);
-        group.bench_with_input(BenchmarkId::new("tmin", n), &path, |b, p| {
-            b.iter(|| black_box(tmin(&lib, p)))
-        });
-        group.bench_with_input(BenchmarkId::new("tmin_no_polish", n), &path, |b, p| {
-            b.iter(|| {
-                black_box(tmin_with(
-                    &lib,
-                    p,
-                    &TminOptions {
-                        polish: false,
-                        ..Default::default()
-                    },
-                ))
-            })
+        runner.bench(&format!("tmin/{n}"), || tmin(&lib, &path));
+        runner.bench(&format!("tmin_no_polish/{n}"), || {
+            tmin_with(
+                &lib,
+                &path,
+                &TminOptions {
+                    polish: false,
+                    ..Default::default()
+                },
+            )
         });
     }
-    group.finish();
+    runner.finish();
 }
-
-criterion_group!(benches, bench_tmin);
-criterion_main!(benches);

@@ -8,22 +8,30 @@ use pops_delay::{Library, PathStage, TimedPath};
 use pops_netlist::CellKind;
 use pops_spice::path_sim::simulate_path;
 use pops_spice::ElectricalParams;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Case {
     label: String,
     model_ps: f64,
     spice_ps: f64,
     ratio: f64,
 }
+pops_bench::json_fields!(Case {
+    label,
+    model_ps,
+    spice_ps,
+    ratio
+});
 
-#[derive(Serialize)]
 struct Artifact {
     cases: Vec<Case>,
     rank_agreement: bool,
     max_gradient_err_rel: f64,
 }
+pops_bench::json_fields!(Artifact {
+    cases,
+    rank_agreement,
+    max_gradient_err_rel
+});
 
 fn main() {
     let lib = Library::cmos025();

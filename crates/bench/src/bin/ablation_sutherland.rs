@@ -7,9 +7,7 @@ use pops_core::bounds::delay_bounds;
 use pops_core::sensitivity::distribute_constraint;
 use pops_core::sutherland::equal_delay_distribution;
 use pops_delay::Library;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     circuit: String,
     tc_ps: f64,
@@ -17,6 +15,13 @@ struct Row {
     sensitivity_um: f64,
     saving_pct: Option<f64>,
 }
+pops_bench::json_fields!(Row {
+    circuit,
+    tc_ps,
+    sutherland_um,
+    sensitivity_um,
+    saving_pct
+});
 
 fn main() {
     let lib = Library::cmos025();
@@ -35,7 +40,8 @@ fn main() {
         let saving = suth.map(|s| (s - sens_um) / s * 100.0);
         table.push(vec![
             w.name.to_string(),
-            suth.map(|s| format!("{s:.0}")).unwrap_or_else(|| "inf.".into()),
+            suth.map(|s| format!("{s:.0}"))
+                .unwrap_or_else(|| "inf.".into()),
             format!("{sens_um:.0}"),
             saving
                 .map(|s| format!("{s:+.1}%"))

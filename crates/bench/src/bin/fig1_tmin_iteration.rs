@@ -9,21 +9,28 @@ use pops_bench::{print_table, write_artifact};
 use pops_core::bounds::{tmin_with, TminOptions};
 use pops_delay::{Library, PathStage, TimedPath};
 use pops_netlist::CellKind;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct TracePoint {
     start_cin_ff: f64,
     sweep: usize,
     total_cin_over_cref: f64,
     delay_ps: f64,
 }
+pops_bench::json_fields!(TracePoint {
+    start_cin_ff,
+    sweep,
+    total_cin_over_cref,
+    delay_ps
+});
 
-#[derive(Serialize)]
 struct Fig1 {
     tmin_ps_per_start: Vec<(f64, f64)>,
     trace: Vec<TracePoint>,
 }
+pops_bench::json_fields!(Fig1 {
+    tmin_ps_per_start,
+    trace
+});
 
 fn eleven_gate_path(lib: &Library) -> TimedPath {
     use CellKind::*;
@@ -49,7 +56,11 @@ fn eleven_gate_path(lib: &Library) -> TimedPath {
 fn main() {
     let lib = Library::cmos025();
     let path = eleven_gate_path(&lib);
-    let starts = [lib.min_drive_ff(), 10.0 * lib.min_drive_ff(), 40.0 * lib.min_drive_ff()];
+    let starts = [
+        lib.min_drive_ff(),
+        10.0 * lib.min_drive_ff(),
+        40.0 * lib.min_drive_ff(),
+    ];
 
     println!("Fig. 1 — Tmin iteration: delay vs sigma(CIN)/CREF");
     println!("(paper: all starts converge to the same Tmin)\n");
@@ -80,7 +91,10 @@ fn main() {
         rows.push(vec![
             format!("{:.1}", start),
             format!("{}", r.trace.len()),
-            format!("{:.1} -> {:.1}", first.total_cin_over_cref, last.total_cin_over_cref),
+            format!(
+                "{:.1} -> {:.1}",
+                first.total_cin_over_cref, last.total_cin_over_cref
+            ),
             format!("{:.1} -> {:.1}", first.delay_ps, last.delay_ps),
             format!("{:.2}", r.delay_ps),
         ]);

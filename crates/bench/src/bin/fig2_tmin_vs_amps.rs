@@ -11,9 +11,7 @@ use pops_core::bounds::tmin;
 use pops_delay::Library;
 use pops_spice::path_sim::simulate_path;
 use pops_spice::ElectricalParams;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     circuit: String,
     gates: usize,
@@ -22,6 +20,14 @@ struct Row {
     spice_ns: f64,
     paper_pops_ns: Option<f64>,
 }
+pops_bench::json_fields!(Row {
+    circuit,
+    gates,
+    pops_tmin_ns,
+    amps_tmin_ns,
+    spice_ns,
+    paper_pops_ns
+});
 
 fn main() {
     let lib = Library::cmos025();
@@ -52,8 +58,15 @@ fn main() {
             ns(pops.delay_ps),
             ns(amps),
             ns(spice),
-            paper.map(|p| format!("{p:.2}")).unwrap_or_else(|| "-".into()),
-            if pops.delay_ps <= amps * 1.005 { "yes" } else { "NO" }.to_string(),
+            paper
+                .map(|p| format!("{p:.2}"))
+                .unwrap_or_else(|| "-".into()),
+            if pops.delay_ps <= amps * 1.005 {
+                "yes"
+            } else {
+                "NO"
+            }
+            .to_string(),
         ]);
         rows.push(Row {
             circuit: w.name.to_string(),

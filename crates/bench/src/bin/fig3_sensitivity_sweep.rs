@@ -8,14 +8,17 @@ use pops_core::bounds::{tmax, tmin};
 use pops_core::sensitivity::{design_space_sweep, SensitivityOptions};
 use pops_delay::{Library, PathStage, TimedPath};
 use pops_netlist::CellKind;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Point {
     a: f64,
     area_um: f64,
     delay_ps: f64,
 }
+pops_bench::json_fields!(Point {
+    a,
+    area_um,
+    delay_ps
+});
 
 fn eleven_gate_path(lib: &Library) -> TimedPath {
     use CellKind::*;
@@ -65,8 +68,14 @@ fn main() {
 
     let t_min = tmin(&lib, &path).delay_ps;
     let t_max = tmax(&lib, &path);
-    println!("\nT(a=0)  = {:.1} ps  (the Tmin anchor of the curve)", t_min);
-    println!("Tmax    = {:.1} ps  (minimum-drive end of the curve)", t_max);
+    println!(
+        "\nT(a=0)  = {:.1} ps  (the Tmin anchor of the curve)",
+        t_min
+    );
+    println!(
+        "Tmax    = {:.1} ps  (minimum-drive end of the curve)",
+        t_max
+    );
     println!(
         "Shape check (paper): delay rises monotonically as a goes negative, \
          area falls monotonically — one curve, fully ordered."

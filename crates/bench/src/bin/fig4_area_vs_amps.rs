@@ -7,9 +7,7 @@ use pops_bench::{fig2_workloads, print_table, write_artifact};
 use pops_core::bounds::delay_bounds;
 use pops_core::sensitivity::distribute_constraint;
 use pops_delay::Library;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     circuit: String,
     tc_ps: f64,
@@ -18,6 +16,14 @@ struct Row {
     amps_recovered_area_um: f64,
     pops_saving_vs_greedy_pct: f64,
 }
+pops_bench::json_fields!(Row {
+    circuit,
+    tc_ps,
+    pops_area_um,
+    amps_greedy_area_um,
+    amps_recovered_area_um,
+    pops_saving_vs_greedy_pct
+});
 
 fn main() {
     let lib = Library::cmos025();
@@ -43,9 +49,8 @@ fn main() {
             },
         )
         .expect("feasible");
-        let recovered =
-            greedy_size_for_constraint(&lib, &w.path, tc, &GreedyOptions::default())
-                .expect("feasible");
+        let recovered = greedy_size_for_constraint(&lib, &w.path, tc, &GreedyOptions::default())
+            .expect("feasible");
         let pops_area = lib.process().width_um(pops.total_cin_ff);
         let plain_area = lib.process().width_um(plain.total_cin_ff);
         let recovered_area = lib.process().width_um(recovered.total_cin_ff);

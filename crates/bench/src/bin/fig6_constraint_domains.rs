@@ -10,15 +10,19 @@ use pops_core::buffer::insert_buffers;
 use pops_core::sensitivity::distribute_constraint;
 use pops_delay::{Library, PathStage, TimedPath};
 use pops_netlist::CellKind;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Point {
     tc_over_tmin: f64,
     tc_ps: f64,
     sizing_area_um: Option<f64>,
     buffered_area_um: Option<f64>,
 }
+pops_bench::json_fields!(Point {
+    tc_over_tmin,
+    tc_ps,
+    sizing_area_um,
+    buffered_area_um
+});
 
 fn thirteen_gate_array(lib: &Library) -> TimedPath {
     use CellKind::*;
@@ -85,7 +89,8 @@ fn main() {
             "weak"
         };
         let show = |a: &Option<f64>| {
-            a.map(|v| format!("{v:.1}")).unwrap_or_else(|| "infeasible".into())
+            a.map(|v| format!("{v:.1}"))
+                .unwrap_or_else(|| "infeasible".into())
         };
         let winner = match (&sizing_area, &buffered_area) {
             (Some(s), Some(bu)) => {

@@ -6,9 +6,7 @@ use pops_bench::{fig2_workloads, print_table, write_artifact};
 use pops_core::bounds::delay_bounds;
 use pops_core::protocol::{optimize, ProtocolOptions, Technique};
 use pops_delay::Library;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     circuit: String,
     tc_over_tmin: f64,
@@ -19,6 +17,16 @@ struct Row {
     buffers: usize,
     restructured: usize,
 }
+pops_bench::json_fields!(Row {
+    circuit,
+    tc_over_tmin,
+    class,
+    technique,
+    delay_ps,
+    area_um,
+    buffers,
+    restructured
+});
 
 fn main() {
     let lib = Library::cmos025();

@@ -7,9 +7,7 @@ use pops_core::bounds::{delay_bounds, golden_min};
 use pops_core::buffer::insert_buffers;
 use pops_core::sensitivity::distribute_constraint;
 use pops_delay::Library;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     circuit: String,
     domain: String,
@@ -18,6 +16,14 @@ struct Row {
     local_buff_um: Option<f64>,
     global_buff_um: Option<f64>,
 }
+pops_bench::json_fields!(Row {
+    circuit,
+    domain,
+    tc_over_tmin,
+    sizing_um,
+    local_buff_um,
+    global_buff_um
+});
 
 fn main() {
     let lib = Library::cmos025();
@@ -51,7 +57,8 @@ fn main() {
                 .map(|s| lib.process().width_um(s.total_cin_ff));
 
             let show = |a: &Option<f64>| {
-                a.map(|v| format!("{v:.0}")).unwrap_or_else(|| "inf.".into())
+                a.map(|v| format!("{v:.0}"))
+                    .unwrap_or_else(|| "inf.".into())
             };
             table.push(vec![
                 w.name.to_string(),
@@ -69,7 +76,12 @@ fn main() {
             });
         }
         print_table(
-            &["circuit", "sizing (um)", "local buff (um)", "global buff (um)"],
+            &[
+                "circuit",
+                "sizing (um)",
+                "local buff (um)",
+                "global buff (um)",
+            ],
             &table,
         );
         println!();

@@ -13,9 +13,7 @@ use pops_bench::{paper_workloads, print_table, write_artifact};
 use pops_core::bounds::delay_bounds;
 use pops_core::sensitivity::distribute_constraint;
 use pops_delay::Library;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     circuit: String,
     gates: usize,
@@ -24,6 +22,14 @@ struct Row {
     speedup: f64,
     paper_speedup: Option<f64>,
 }
+pops_bench::json_fields!(Row {
+    circuit,
+    gates,
+    pops_ms,
+    amps_ms,
+    speedup,
+    paper_speedup
+});
 
 fn time_ms(mut f: impl FnMut()) -> f64 {
     // Repeat fast bodies for stable numbers.

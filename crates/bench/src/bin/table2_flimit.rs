@@ -9,9 +9,7 @@ use pops_delay::{Edge, Library};
 use pops_netlist::CellKind;
 use pops_spice::path_sim::simulate_path;
 use pops_spice::ElectricalParams;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     gate: String,
     calculated: f64,
@@ -19,6 +17,13 @@ struct Row {
     paper_calculated: f64,
     paper_simulated: f64,
 }
+pops_bench::json_fields!(Row {
+    gate,
+    calculated,
+    simulated,
+    paper_calculated,
+    paper_simulated
+});
 
 fn main() {
     let lib = Library::cmos025();
@@ -46,8 +51,7 @@ fn main() {
             let falling = simulate_path(&params, &lib, &falling_path, sizes).total_delay_ps;
             rising.max(falling)
         };
-        let sim =
-            flimit_with(&lib, CellKind::Inv, gate, sim_eval).expect("crossover exists");
+        let sim = flimit_with(&lib, CellKind::Inv, gate, sim_eval).expect("crossover exists");
         let (name, paper_calc, paper_sim) = TABLE2_FLIMIT[idx];
         table.push(vec![
             format!("inv -> {gate}"),
@@ -65,13 +69,7 @@ fn main() {
         });
     }
     print_table(
-        &[
-            "pair",
-            "calc.",
-            "simul.",
-            "paper calc.",
-            "paper simul.",
-        ],
+        &["pair", "calc.", "simul.", "paper calc.", "paper simul."],
         &table,
     );
     println!(

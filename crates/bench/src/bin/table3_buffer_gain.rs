@@ -7,9 +7,7 @@ use pops_bench::{fig2_workloads, print_table, write_artifact};
 use pops_core::bounds::tmin;
 use pops_core::buffer::insert_buffers;
 use pops_delay::Library;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     circuit: String,
     sizing_tmin_ns: f64,
@@ -18,6 +16,14 @@ struct Row {
     buffers: usize,
     paper_gain_pct: Option<u32>,
 }
+pops_bench::json_fields!(Row {
+    circuit,
+    sizing_tmin_ns,
+    buffered_tmin_ns,
+    gain_pct,
+    buffers,
+    paper_gain_pct
+});
 
 fn main() {
     let lib = Library::cmos025();
@@ -36,9 +42,7 @@ fn main() {
             ns(buffered_tmin.delay_ps),
             gain_pct(sizing.delay_ps, buffered_tmin.delay_ps),
             buffered.buffer_count().to_string(),
-            paper
-                .map(|g| format!("{g}%"))
-                .unwrap_or_else(|| "-".into()),
+            paper.map(|g| format!("{g}%")).unwrap_or_else(|| "-".into()),
         ]);
         rows.push(Row {
             circuit: w.name.to_string(),

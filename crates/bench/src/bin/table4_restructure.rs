@@ -9,7 +9,6 @@ use pops_core::restructure::restructure_critical;
 use pops_core::sensitivity::distribute_constraint;
 use pops_delay::{Library, PathStage, TimedPath};
 use pops_netlist::CellKind;
-use serde::Serialize;
 
 /// A NOR-dominated path with heavily loaded critical NOR nodes — the
 /// situation real technology-mapped ISCAS'85 critical paths present (and
@@ -31,7 +30,6 @@ fn nor_micro(lib: &Library) -> TimedPath {
     )
 }
 
-#[derive(Serialize)]
 struct Row {
     circuit: String,
     constraint: String,
@@ -40,6 +38,14 @@ struct Row {
     gain_pct: Option<f64>,
     paper_gain_pct: Option<u32>,
 }
+pops_bench::json_fields!(Row {
+    circuit,
+    constraint,
+    buffered_um,
+    restructured_um,
+    gain_pct,
+    paper_gain_pct
+});
 
 /// Minimal path holder so suite workloads and the microbenchmark share
 /// one code path below.
@@ -53,10 +59,8 @@ fn main() {
     println!("Table 4 — buffer insertion vs logic restructuring (sigmaW)\n");
 
     let mut rows = Vec::new();
-    for (constraint, factor, paper) in [
-        ("hard", 1.15, TABLE4_HARD),
-        ("medium", 1.8, TABLE4_MEDIUM),
-    ] {
+    for (constraint, factor, paper) in [("hard", 1.15, TABLE4_HARD), ("medium", 1.8, TABLE4_MEDIUM)]
+    {
         println!("== {constraint} constraint (Tc = {factor} * Tmin) ==");
         let mut table = Vec::new();
         for name in circuits {
@@ -86,13 +90,15 @@ fn main() {
             };
             let paper_gain = paper.iter().find(|r| r.0 == name).map(|r| r.3);
             let show = |a: Option<f64>| {
-                a.map(|v| format!("{v:.0}")).unwrap_or_else(|| "inf.".into())
+                a.map(|v| format!("{v:.0}"))
+                    .unwrap_or_else(|| "inf.".into())
             };
             table.push(vec![
                 name.to_string(),
                 show(buff_area),
                 show(rest_area),
-                gain.map(|g| format!("{g:+.0}%")).unwrap_or_else(|| "-".into()),
+                gain.map(|g| format!("{g:+.0}%"))
+                    .unwrap_or_else(|| "-".into()),
                 paper_gain
                     .map(|g| format!("{g}%"))
                     .unwrap_or_else(|| "- (unreadable in scan)".into()),

@@ -1,0 +1,218 @@
+//! Minimal JSON serialization for experiment artifacts.
+//!
+//! The workspace builds fully offline, so instead of `serde` the result
+//! binaries describe their rows through the [`ToJson`] trait, usually via
+//! the [`crate::json_fields!`] macro which writes a struct as a JSON
+//! object with one member per named field.
+
+/// Types that can write themselves as a JSON value.
+pub trait ToJson {
+    /// Append this value's JSON encoding to `out`.
+    fn write_json(&self, out: &mut String);
+
+    /// Encode this value as a standalone JSON string.
+    fn to_json(&self) -> String {
+        let mut s = String::new();
+        self.write_json(&mut s);
+        s
+    }
+}
+
+/// Append a quoted, escaped JSON string.
+pub fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append `"key":` (used by [`crate::json_fields!`]).
+pub fn write_key(out: &mut String, key: &str) {
+    write_str(out, key);
+    out.push(':');
+}
+
+impl ToJson for f64 {
+    fn write_json(&self, out: &mut String) {
+        if self.is_finite() {
+            out.push_str(&format!("{self}"));
+        } else {
+            // JSON has no NaN/Infinity literal.
+            out.push_str("null");
+        }
+    }
+}
+
+macro_rules! int_to_json {
+    ($($t:ty),*) => {
+        $(impl ToJson for $t {
+            fn write_json(&self, out: &mut String) {
+                out.push_str(&format!("{self}"));
+            }
+        })*
+    };
+}
+int_to_json!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ToJson for bool {
+    fn write_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl ToJson for String {
+    fn write_json(&self, out: &mut String) {
+        write_str(out, self);
+    }
+}
+
+impl ToJson for &str {
+    fn write_json(&self, out: &mut String) {
+        write_str(out, self);
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.write_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn write_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.write_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn write_json(&self, out: &mut String) {
+        self.as_slice().write_json(out);
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn write_json(&self, out: &mut String) {
+        (**self).write_json(out);
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn write_json(&self, out: &mut String) {
+        out.push('[');
+        self.0.write_json(out);
+        out.push(',');
+        self.1.write_json(out);
+        out.push(']');
+    }
+}
+
+impl<A: ToJson, B: ToJson, C: ToJson> ToJson for (A, B, C) {
+    fn write_json(&self, out: &mut String) {
+        out.push('[');
+        self.0.write_json(out);
+        out.push(',');
+        self.1.write_json(out);
+        out.push(',');
+        self.2.write_json(out);
+        out.push(']');
+    }
+}
+
+/// Implement [`ToJson`] for a struct as an object with one member per
+/// listed field.
+///
+/// ```
+/// use pops_bench::json::ToJson;
+///
+/// struct Row { name: String, value: f64 }
+/// pops_bench::json_fields!(Row { name, value });
+///
+/// let r = Row { name: "x".into(), value: 1.5 };
+/// assert_eq!(r.to_json(), r#"{"name":"x","value":1.5}"#);
+/// ```
+#[macro_export]
+macro_rules! json_fields {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl $crate::json::ToJson for $ty {
+            fn write_json(&self, out: &mut String) {
+                out.push('{');
+                let mut first = true;
+                $(
+                    if !first {
+                        out.push(',');
+                    }
+                    first = false;
+                    $crate::json::write_key(out, stringify!($field));
+                    $crate::json::ToJson::write_json(&self.$field, out);
+                )+
+                let _ = first;
+                out.push('}');
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Demo {
+        name: String,
+        score: f64,
+        count: usize,
+        missing: Option<f64>,
+        flags: Vec<bool>,
+    }
+    crate::json_fields!(Demo {
+        name,
+        score,
+        count,
+        missing,
+        flags
+    });
+
+    #[test]
+    fn object_encoding() {
+        let d = Demo {
+            name: "a\"b".into(),
+            score: 2.25,
+            count: 3,
+            missing: None,
+            flags: vec![true, false],
+        };
+        assert_eq!(
+            d.to_json(),
+            r#"{"name":"a\"b","score":2.25,"count":3,"missing":null,"flags":[true,false]}"#
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(f64::NAN.to_json(), "null");
+        assert_eq!(f64::INFINITY.to_json(), "null");
+    }
+
+    #[test]
+    fn tuples_are_arrays() {
+        assert_eq!((1.5f64, 2usize).to_json(), "[1.5,2]");
+    }
+}

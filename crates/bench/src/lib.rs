@@ -8,6 +8,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
+pub mod microbench;
 pub mod paper_ref;
 pub mod report;
 pub mod workloads;

@@ -1,0 +1,179 @@
+//! Tiny wall-clock micro-benchmark harness.
+//!
+//! The workspace builds offline, so the `benches/` targets use this
+//! criterion-free runner (`harness = false`): each benchmark calibrates
+//! an iteration count so one sample takes a measurable slice of time,
+//! collects a fixed number of samples, and reports the median per-call
+//! time. Results are printed as a table and written as a JSON artifact
+//! next to the paper-result artifacts.
+//!
+//! The statistics are deliberately simple — the harness exists to show
+//! *orders of magnitude* (e.g. incremental vs full re-analysis), not to
+//! resolve single-digit-percent regressions.
+
+use std::time::Instant;
+
+use crate::report::{print_table, write_artifact};
+
+/// Target wall time for one measured sample (batch of iterations).
+const SAMPLE_TARGET_NS: f64 = 5_000_000.0;
+/// Measured samples per benchmark.
+const SAMPLES: usize = 15;
+/// Wall time spent warming up before calibration.
+const WARMUP_NS: f64 = 20_000_000.0;
+
+/// Outcome of one benchmark: per-call times in nanoseconds.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark label (e.g. `analyze/c432`).
+    pub label: String,
+    /// Median per-call time over samples (ns).
+    pub median_ns: f64,
+    /// Fastest sample's per-call time (ns).
+    pub min_ns: f64,
+    /// Mean per-call time (ns).
+    pub mean_ns: f64,
+    /// Iterations per sample after calibration.
+    pub iters_per_sample: u64,
+    /// Samples taken.
+    pub samples: usize,
+}
+
+crate::json_fields!(BenchResult {
+    label,
+    median_ns,
+    min_ns,
+    mean_ns,
+    iters_per_sample,
+    samples
+});
+
+/// Measure one closure. The closure's return value is passed through
+/// [`std::hint::black_box`] so the work cannot be optimized away.
+pub fn bench_one<T, F: FnMut() -> T>(label: &str, mut f: F) -> BenchResult {
+    // Warm-up: run until the warm-up budget is spent (at least once).
+    let warm_start = Instant::now();
+    loop {
+        std::hint::black_box(f());
+        if warm_start.elapsed().as_nanos() as f64 >= WARMUP_NS {
+            break;
+        }
+    }
+
+    // Calibrate: how many calls fit in one sample?
+    let t0 = Instant::now();
+    std::hint::black_box(f());
+    let single_ns = (t0.elapsed().as_nanos() as f64).max(1.0);
+    let iters = (SAMPLE_TARGET_NS / single_ns).clamp(1.0, 1e9) as u64;
+
+    let mut per_call: Vec<f64> = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        per_call.push(start.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    per_call.sort_by(f64::total_cmp);
+
+    BenchResult {
+        label: label.to_string(),
+        median_ns: per_call[per_call.len() / 2],
+        min_ns: per_call[0],
+        mean_ns: per_call.iter().sum::<f64>() / per_call.len() as f64,
+        iters_per_sample: iters,
+        samples: SAMPLES,
+    }
+}
+
+/// A named group of benchmarks, printed and archived on [`Runner::finish`].
+pub struct Runner {
+    name: String,
+    results: Vec<BenchResult>,
+}
+
+impl Runner {
+    /// Start a benchmark group (usually the bench target's name).
+    pub fn new(name: impl Into<String>) -> Self {
+        Runner {
+            name: name.into(),
+            results: Vec::new(),
+        }
+    }
+
+    /// Run and record one benchmark.
+    pub fn bench<T, F: FnMut() -> T>(&mut self, label: &str, f: F) -> &BenchResult {
+        let r = bench_one(label, f);
+        println!(
+            "{:<40} {:>12}  (min {})",
+            r.label,
+            format_ns(r.median_ns),
+            format_ns(r.min_ns)
+        );
+        self.results.push(r);
+        self.results.last().expect("just pushed")
+    }
+
+    /// Recorded results so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Print the summary table and write the JSON artifact.
+    pub fn finish(self) {
+        let rows: Vec<Vec<String>> = self
+            .results
+            .iter()
+            .map(|r| {
+                vec![
+                    r.label.clone(),
+                    format_ns(r.median_ns),
+                    format_ns(r.min_ns),
+                    format!("{}", r.iters_per_sample),
+                ]
+            })
+            .collect();
+        println!();
+        print_table(&["benchmark", "median/call", "min/call", "iters"], &rows);
+        write_artifact(&format!("bench_{}", self.name), &self.results);
+    }
+}
+
+/// Human-readable time with an adaptive unit.
+pub fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::ToJson;
+
+    #[test]
+    fn formats_units() {
+        assert_eq!(format_ns(12.0), "12 ns");
+        assert_eq!(format_ns(1_500.0), "1.50 us");
+        assert_eq!(format_ns(2_500_000.0), "2.50 ms");
+    }
+
+    #[test]
+    fn result_is_json_encodable() {
+        let r = BenchResult {
+            label: "x".into(),
+            median_ns: 1.0,
+            min_ns: 1.0,
+            mean_ns: 1.0,
+            iters_per_sample: 1,
+            samples: 1,
+        };
+        assert!(r.to_json().contains("\"label\":\"x\""));
+    }
+}

@@ -3,7 +3,7 @@
 use std::fs;
 use std::path::PathBuf;
 
-use serde::Serialize;
+use crate::json::ToJson;
 
 /// Print an aligned console table.
 ///
@@ -55,22 +55,17 @@ pub fn results_dir() -> PathBuf {
 ///
 /// Failures to write are reported on stderr but do not abort the
 /// experiment (the console table is the primary output).
-pub fn write_artifact<T: Serialize>(name: &str, value: &T) {
+pub fn write_artifact<T: ToJson + ?Sized>(name: &str, value: &T) {
     let dir = results_dir();
     if let Err(e) = fs::create_dir_all(&dir) {
         eprintln!("warning: cannot create {}: {e}", dir.display());
         return;
     }
     let path = dir.join(format!("{name}.json"));
-    match serde_json::to_string_pretty(value) {
-        Ok(json) => {
-            if let Err(e) = fs::write(&path, json) {
-                eprintln!("warning: cannot write {}: {e}", path.display());
-            } else {
-                println!("[artifact] {}", path.display());
-            }
-        }
-        Err(e) => eprintln!("warning: cannot serialize {name}: {e}"),
+    if let Err(e) = fs::write(&path, value.to_json()) {
+        eprintln!("warning: cannot write {}: {e}", path.display());
+    } else {
+        println!("[artifact] {}", path.display());
     }
 }
 

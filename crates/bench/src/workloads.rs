@@ -24,13 +24,12 @@ pub struct Workload {
 /// Panics if `name` is not in the suite (the binaries iterate over known
 /// names only).
 pub fn workload(lib: &Library, name: &'static str) -> Workload {
-    let circuit = suite::circuit(name)
-        .unwrap_or_else(|| panic!("unknown benchmark circuit `{name}`"));
+    let circuit =
+        suite::circuit(name).unwrap_or_else(|| panic!("unknown benchmark circuit `{name}`"));
     let sizing = Sizing::minimum(&circuit, lib);
     let report = analyze(&circuit, lib, &sizing).expect("suite circuits are acyclic");
     let path = report.critical_path();
-    let extracted =
-        extract_timed_path(&circuit, lib, &sizing, &path, &ExtractOptions::default());
+    let extracted = extract_timed_path(&circuit, lib, &sizing, &path, &ExtractOptions::default());
     Workload {
         name,
         gate_count: extracted.timed.len(),

@@ -199,10 +199,7 @@ pub fn insert_buffers(lib: &Library, path: &TimedPath) -> (BufferedPath, TminRes
             let cell = trial.stages()[node].cell;
             trial = trial.with_stage_replaced(node, PathStage::new(cell));
             trial = trial.with_stage_inserted(node + 1, PathStage::new(CellKind::Inv));
-            trial = trial.with_stage_inserted(
-                node + 2,
-                PathStage::with_load(CellKind::Inv, off),
-            );
+            trial = trial.with_stage_inserted(node + 2, PathStage::with_load(CellKind::Inv, off));
             let trial_tmin = tmin(lib, &trial);
             if trial_tmin.delay_ps < best.delay_ps * (1.0 - 1e-6) {
                 // Accept; shift previously recorded positions.
@@ -264,8 +261,16 @@ mod tests {
         // with reconstructed parameters we accept generous bands.
         let lib = lib();
         let f = |g: CellKind| flimit(&lib, CellKind::Inv, g).unwrap();
-        assert!((3.5..9.0).contains(&f(CellKind::Inv)), "inv {}", f(CellKind::Inv));
-        assert!((1.5..5.0).contains(&f(CellKind::Nor3)), "nor3 {}", f(CellKind::Nor3));
+        assert!(
+            (3.5..9.0).contains(&f(CellKind::Inv)),
+            "inv {}",
+            f(CellKind::Inv)
+        );
+        assert!(
+            (1.5..5.0).contains(&f(CellKind::Nor3)),
+            "nor3 {}",
+            f(CellKind::Nor3)
+        );
     }
 
     #[test]
@@ -326,7 +331,10 @@ mod tests {
         let lib = lib();
         // NOR3 into a huge terminal load: clearly over-limit.
         let path = TimedPath::new(
-            vec![PathStage::new(CellKind::Inv), PathStage::new(CellKind::Nor3)],
+            vec![
+                PathStage::new(CellKind::Inv),
+                PathStage::new(CellKind::Nor3),
+            ],
             2.7,
             400.0,
         );
@@ -368,11 +376,7 @@ mod tests {
     #[test]
     fn buffer_insertion_is_a_no_op_on_light_paths() {
         let lib = lib();
-        let path = TimedPath::new(
-            vec![PathStage::new(CellKind::Inv); 4],
-            2.7,
-            15.0,
-        );
+        let path = TimedPath::new(vec![PathStage::new(CellKind::Inv); 4], 2.7, 15.0);
         let (buffered, _) = insert_buffers(&lib, &path);
         assert_eq!(buffered.buffer_count(), 0);
     }

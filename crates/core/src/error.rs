@@ -31,7 +31,10 @@ impl fmt::Display for OptimizeError {
                 "delay constraint {tc_ps:.1} ps is below the achievable minimum {tmin_ps:.1} ps"
             ),
             OptimizeError::NoConvergence { solver, iterations } => {
-                write!(f, "{solver} failed to converge after {iterations} iterations")
+                write!(
+                    f,
+                    "{solver} failed to converge after {iterations} iterations"
+                )
             }
         }
     }

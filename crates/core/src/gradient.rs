@@ -168,11 +168,7 @@ mod tests {
         // does not. With similar S factors its A must be smaller than an
         // identical interior stage's. Compare two identical inverters.
         let lib = lib();
-        let p = TimedPath::new(
-            vec![PathStage::new(CellKind::Inv); 3],
-            2.7,
-            30.0,
-        );
+        let p = TimedPath::new(vec![PathStage::new(CellKind::Inv); 3], 2.7, 30.0);
         let sizes = p.min_sizes(&lib);
         let op = operating_point(&lib, &p, &sizes);
         // Stage 1 and stage 2 share cell and (roughly) Miller factors;
@@ -209,11 +205,7 @@ mod tests {
         // For a mid-path gate: tiny size → own term dominates (negative
         // gradient); huge size → upstream loading dominates (positive).
         let lib = lib();
-        let p = TimedPath::new(
-            vec![PathStage::new(CellKind::Inv); 3],
-            2.7,
-            100.0,
-        );
+        let p = TimedPath::new(vec![PathStage::new(CellKind::Inv); 3], 2.7, 100.0);
         let mut sizes = p.min_sizes(&lib);
         sizes[1] = 2.7;
         sizes[2] = 10.0;

@@ -189,9 +189,10 @@ mod tests {
     fn area_query_is_dual_consistent() {
         let (lib, path) = setup();
         let front = ParetoFront::build(&lib, &path, &ParetoOptions::default());
-        let mid_area = 0.5
-            * (front.fastest().total_cin_ff + front.smallest().total_cin_ff);
-        let p = front.min_delay_at_area(mid_area).expect("budget above minimum");
+        let mid_area = 0.5 * (front.fastest().total_cin_ff + front.smallest().total_cin_ff);
+        let p = front
+            .min_delay_at_area(mid_area)
+            .expect("budget above minimum");
         assert!(p.total_cin_ff <= mid_area);
         // No faster point fits the budget.
         for q in front.points() {

@@ -115,10 +115,12 @@ pub struct ProtocolOutcome {
     pub restructured_gates: usize,
 }
 
-/// One candidate implementation considered by the protocol.
+/// One candidate implementation considered by the protocol. The path it
+/// was sized on is *not* stored: only the winning candidate's path is
+/// materialized (moved, or cloned once for the unmodified input), so the
+/// losing implementations cost no path copies.
 struct Candidate {
     technique: Technique,
-    path: TimedPath,
     sizes: Vec<f64>,
     delay_ps: f64,
     total_cin_ff: f64,
@@ -149,7 +151,6 @@ pub fn optimize(
         if let Ok(sol) = distribute_constraint_with(lib, path, tc_ps, &options.sensitivity) {
             candidates.push(Candidate {
                 technique: Technique::SizingOnly,
-                path: path.clone(),
                 sizes: sol.sizes,
                 delay_ps: sol.delay_ps,
                 total_cin_ff: sol.total_cin_ff,
@@ -162,6 +163,7 @@ pub fn optimize(
     let class_ratio = tc_ps / bounds.tmin_ps;
     let consider_buffers =
         options.allow_buffers && (class_ratio < WEAK_BOUNDARY || candidates.is_empty());
+    let mut buffered_path = None;
     if consider_buffers {
         // Candidate 2: buffer insertion + global sizing (§4.1).
         let (buffered, buffered_tmin) = insert_buffers(lib, path);
@@ -172,19 +174,20 @@ pub fn optimize(
             {
                 candidates.push(Candidate {
                     technique: Technique::BufferAndSizing,
-                    path: buffered.path.clone(),
                     sizes: sol.sizes,
                     delay_ps: sol.delay_ps,
                     total_cin_ff: sol.total_cin_ff,
                     inserted_buffers: buffered.buffer_count(),
                     restructured_gates: 0,
                 });
+                buffered_path = Some(buffered.path);
             }
         }
     }
 
     let consider_restructure =
         options.allow_restructuring && (class_ratio < WEAK_BOUNDARY || candidates.is_empty());
+    let mut restructured_path = None;
     if consider_restructure {
         // Candidate 3: critical-node De Morgan restructuring + global
         // sizing (§4.2).
@@ -192,21 +195,18 @@ pub fn optimize(
         if restructured.modified() {
             best_tmin = best_tmin.min(restructured.tmin.delay_ps);
             if tc_ps >= restructured.tmin.delay_ps {
-                if let Ok(sol) = distribute_constraint_with(
-                    lib,
-                    &restructured.path,
-                    tc_ps,
-                    &options.sensitivity,
-                ) {
+                if let Ok(sol) =
+                    distribute_constraint_with(lib, &restructured.path, tc_ps, &options.sensitivity)
+                {
                     candidates.push(Candidate {
                         technique: Technique::RestructureAndSizing,
-                        path: restructured.path.clone(),
                         sizes: sol.sizes,
                         delay_ps: sol.delay_ps,
                         total_cin_ff: sol.total_cin_ff + restructured.side_inverter_cin_ff,
                         inserted_buffers: restructured.inserted_buffers,
                         restructured_gates: restructured.replaced_nors,
                     });
+                    restructured_path = Some(restructured.path);
                 }
             }
         }
@@ -222,6 +222,18 @@ pub fn optimize(
         });
     };
 
+    // Materialize only the winner's path: modified paths are moved out of
+    // their builders; the unmodified input is cloned at most once.
+    let final_path = match best.technique {
+        Technique::SizingOnly => path.clone(),
+        Technique::BufferAndSizing => {
+            buffered_path.expect("buffer candidate implies a buffered path")
+        }
+        Technique::RestructureAndSizing => {
+            restructured_path.expect("restructure candidate implies a restructured path")
+        }
+    };
+
     // Classification is reported against the original Tmin; an originally
     // infeasible constraint that structure modification rescued is Hard
     // by definition.
@@ -235,7 +247,7 @@ pub fn optimize(
         class,
         technique: best.technique,
         area_um: lib.process().width_um(best.total_cin_ff),
-        path: best.path,
+        path: final_path,
         sizes: best.sizes,
         delay_ps: best.delay_ps,
         total_cin_ff: best.total_cin_ff,
@@ -332,8 +344,7 @@ mod tests {
         let lib = lib();
         let path = loaded_path();
         let b = delay_bounds(&lib, &path);
-        let err = optimize(&lib, &path, 0.2 * b.tmin_ps, &ProtocolOptions::default())
-            .unwrap_err();
+        let err = optimize(&lib, &path, 0.2 * b.tmin_ps, &ProtocolOptions::default()).unwrap_err();
         match err {
             OptimizeError::Infeasible { tmin_ps, .. } => {
                 // The reported floor must not exceed the sizing-only Tmin

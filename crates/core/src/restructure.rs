@@ -164,8 +164,7 @@ pub fn restructure_critical(lib: &Library, path: &TimedPath) -> CriticalRestruct
         }
         let host = final_path.stages()[p - 1];
         if let (true, Some(dual)) = (is_nor(host.cell), host.cell.demorgan_dual()) {
-            final_path =
-                final_path.with_stage_replaced(p - 1, PathStage::new(CellKind::Inv));
+            final_path = final_path.with_stage_replaced(p - 1, PathStage::new(CellKind::Inv));
             final_path = final_path.with_stage_replaced(p, PathStage::new(dual));
             // Stage p+1 keeps its inverter and the isolated off-path load.
             replaced += 1;
@@ -175,7 +174,11 @@ pub fn restructure_critical(lib: &Library, path: &TimedPath) -> CriticalRestruct
     }
 
     let modified = replaced > 0 || buffer_stage_count > 0;
-    let t = if modified { tmin(lib, &final_path) } else { base };
+    let t = if modified {
+        tmin(lib, &final_path)
+    } else {
+        base
+    };
 
     CriticalRestructure {
         path: final_path,
@@ -276,7 +279,10 @@ mod tests {
     fn nor_free_path_returns_none() {
         let lib = lib();
         let path = TimedPath::new(
-            vec![PathStage::new(CellKind::Inv), PathStage::new(CellKind::Nand2)],
+            vec![
+                PathStage::new(CellKind::Inv),
+                PathStage::new(CellKind::Nand2),
+            ],
             2.7,
             40.0,
         );
@@ -335,7 +341,10 @@ mod tests {
     fn critical_restructure_is_a_no_op_on_light_paths() {
         let lib = lib();
         let path = TimedPath::new(
-            vec![PathStage::new(CellKind::Inv), PathStage::new(CellKind::Nand2)],
+            vec![
+                PathStage::new(CellKind::Inv),
+                PathStage::new(CellKind::Nand2),
+            ],
             2.7,
             12.0,
         );

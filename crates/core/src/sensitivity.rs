@@ -330,7 +330,11 @@ mod tests {
         let b = delay_bounds(&lib, &path);
         let tc = 1.2 * b.tmin_ps; // the paper's hard constraint
         let sol = distribute_constraint(&lib, &path, tc).unwrap();
-        assert!(sol.delay_ps <= tc * 1.0001, "delay {} > tc {tc}", sol.delay_ps);
+        assert!(
+            sol.delay_ps <= tc * 1.0001,
+            "delay {} > tc {tc}",
+            sol.delay_ps
+        );
         // Strictly cheaper than the Tmin sizing.
         let tmin_area: f64 = b.tmin_sizes.iter().sum();
         assert!(

@@ -247,6 +247,9 @@ mod tests {
         let lib = Library::cmos025();
         let c = lib.cell(CellKind::Nand2);
         assert_eq!(c.s_factor(lib.process(), Edge::Falling), c.s_hl());
-        assert_eq!(c.s_factor(lib.process(), Edge::Rising), c.s_lh(lib.process()));
+        assert_eq!(
+            c.s_factor(lib.process(), Edge::Rising),
+            c.s_lh(lib.process())
+        );
     }
 }

@@ -193,8 +193,7 @@ mod tests {
         let sizes = path.min_sizes(&lib);
         let p = switching_power(&lib, &path, &sizes, &PowerOptions::default());
         // Lower bound: sum of sizes + terminal + off-path.
-        let floor: f64 =
-            sizes.iter().sum::<f64>() + path.terminal_load_ff() + 10.0;
+        let floor: f64 = sizes.iter().sum::<f64>() + path.terminal_load_ff() + 10.0;
         assert!(p.switched_cap_ff > floor);
     }
 

@@ -1,131 +1,150 @@
 //! Property tests on the closed-form model itself: physicality and
 //! monotonicity over the whole input domain.
-
-use proptest::prelude::*;
+//!
+//! Randomized with the in-tree deterministic [`SplitMix64`] generator
+//! (the workspace builds offline, so no external property-testing
+//! framework): each property is checked over 256 seeded random cases.
 
 use pops_delay::model::{gate_delay, Edge};
 use pops_delay::Library;
 use pops_netlist::cell::ALL_CELLS;
+use pops_netlist::rng::SplitMix64;
 use pops_netlist::CellKind;
 
-fn arb_cell() -> impl Strategy<Value = CellKind> {
-    prop::sample::select(ALL_CELLS.to_vec())
+const CASES: usize = 256;
+
+fn cell(rng: &mut SplitMix64) -> CellKind {
+    *rng.pick(&ALL_CELLS)
 }
 
-fn arb_edge() -> impl Strategy<Value = Edge> {
-    prop_oneof![Just(Edge::Rising), Just(Edge::Falling)]
+fn edge(rng: &mut SplitMix64) -> Edge {
+    if rng.chance(0.5) {
+        Edge::Rising
+    } else {
+        Edge::Falling
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn delay_and_transition_are_positive_and_finite(
-        cell in arb_cell(),
-        cin in 0.5f64..500.0,
-        cl in 0.0f64..5000.0,
-        tau_in in 0.0f64..2000.0,
-        edge in arb_edge(),
-    ) {
-        let lib = Library::cmos025();
-        let d = gate_delay(&lib, cell, cin, cl, tau_in, edge);
-        prop_assert!(d.delay_ps.is_finite());
-        prop_assert!(d.delay_ps > 0.0);
-        prop_assert!(d.output_transition_ps.is_finite());
-        prop_assert!(d.output_transition_ps > 0.0);
+#[test]
+fn delay_and_transition_are_positive_and_finite() {
+    let lib = Library::cmos025();
+    let mut rng = SplitMix64::new(0x01);
+    for _ in 0..CASES {
+        let c = cell(&mut rng);
+        let cin = rng.uniform(0.5, 500.0);
+        let cl = rng.uniform(0.0, 5000.0);
+        let tau_in = rng.uniform(0.0, 2000.0);
+        let e = edge(&mut rng);
+        let d = gate_delay(&lib, c, cin, cl, tau_in, e);
+        assert!(d.delay_ps.is_finite());
+        assert!(d.delay_ps > 0.0, "{c:?} cin={cin} cl={cl}");
+        assert!(d.output_transition_ps.is_finite());
+        assert!(d.output_transition_ps > 0.0);
     }
+}
 
-    #[test]
-    fn delay_is_monotone_in_load(
-        cell in arb_cell(),
-        cin in 1.0f64..100.0,
-        cl in 1.0f64..1000.0,
-        extra in 0.1f64..1000.0,
-        tau_in in 0.0f64..500.0,
-        edge in arb_edge(),
-    ) {
-        let lib = Library::cmos025();
-        let d1 = gate_delay(&lib, cell, cin, cl, tau_in, edge);
-        let d2 = gate_delay(&lib, cell, cin, cl + extra, tau_in, edge);
-        prop_assert!(d2.delay_ps > d1.delay_ps);
-        prop_assert!(d2.output_transition_ps > d1.output_transition_ps);
+#[test]
+fn delay_is_monotone_in_load() {
+    let lib = Library::cmos025();
+    let mut rng = SplitMix64::new(0x02);
+    for _ in 0..CASES {
+        let c = cell(&mut rng);
+        let cin = rng.uniform(1.0, 100.0);
+        let cl = rng.uniform(1.0, 1000.0);
+        let extra = rng.uniform(0.1, 1000.0);
+        let tau_in = rng.uniform(0.0, 500.0);
+        let e = edge(&mut rng);
+        let d1 = gate_delay(&lib, c, cin, cl, tau_in, e);
+        let d2 = gate_delay(&lib, c, cin, cl + extra, tau_in, e);
+        assert!(d2.delay_ps > d1.delay_ps);
+        assert!(d2.output_transition_ps > d1.output_transition_ps);
     }
+}
 
-    #[test]
-    fn delay_is_monotone_in_input_transition(
-        cell in arb_cell(),
-        cin in 1.0f64..100.0,
-        cl in 1.0f64..500.0,
-        tau_in in 0.0f64..500.0,
-        extra in 1.0f64..500.0,
-        edge in arb_edge(),
-    ) {
-        let lib = Library::cmos025();
-        let d1 = gate_delay(&lib, cell, cin, cl, tau_in, edge);
-        let d2 = gate_delay(&lib, cell, cin, cl, tau_in + extra, edge);
-        prop_assert!(d2.delay_ps > d1.delay_ps);
+#[test]
+fn delay_is_monotone_in_input_transition() {
+    let lib = Library::cmos025();
+    let mut rng = SplitMix64::new(0x03);
+    for _ in 0..CASES {
+        let c = cell(&mut rng);
+        let cin = rng.uniform(1.0, 100.0);
+        let cl = rng.uniform(1.0, 500.0);
+        let tau_in = rng.uniform(0.0, 500.0);
+        let extra = rng.uniform(1.0, 500.0);
+        let e = edge(&mut rng);
+        let d1 = gate_delay(&lib, c, cin, cl, tau_in, e);
+        let d2 = gate_delay(&lib, c, cin, cl, tau_in + extra, e);
+        assert!(d2.delay_ps > d1.delay_ps);
         // The slope term does not touch the output transition.
-        prop_assert!((d2.output_transition_ps - d1.output_transition_ps).abs() < 1e-12);
+        assert!((d2.output_transition_ps - d1.output_transition_ps).abs() < 1e-12);
     }
+}
 
-    #[test]
-    fn upsizing_at_fixed_load_never_slows_the_transition(
-        cell in arb_cell(),
-        cin in 1.0f64..100.0,
-        factor in 1.01f64..10.0,
-        cl in 1.0f64..1000.0,
-        edge in arb_edge(),
-    ) {
-        let lib = Library::cmos025();
-        let d1 = gate_delay(&lib, cell, cin, cl, 50.0, edge);
-        let d2 = gate_delay(&lib, cell, cin * factor, cl, 50.0, edge);
+#[test]
+fn upsizing_at_fixed_load_never_slows_the_transition() {
+    let lib = Library::cmos025();
+    let mut rng = SplitMix64::new(0x04);
+    for _ in 0..CASES {
+        let c = cell(&mut rng);
+        let cin = rng.uniform(1.0, 100.0);
+        let factor = rng.uniform(1.01, 10.0);
+        let cl = rng.uniform(1.0, 1000.0);
+        let e = edge(&mut rng);
+        let d1 = gate_delay(&lib, c, cin, cl, 50.0, e);
+        let d2 = gate_delay(&lib, c, cin * factor, cl, 50.0, e);
         // τ_out = τ·S·(p·c + CL)/c is strictly decreasing in c for CL > 0.
-        prop_assert!(d2.output_transition_ps < d1.output_transition_ps);
+        assert!(d2.output_transition_ps < d1.output_transition_ps);
     }
+}
 
-    #[test]
-    fn edge_polarity_is_consistent(
-        cell in arb_cell(),
-        edge in arb_edge(),
-    ) {
-        let lib = Library::cmos025();
-        let d = gate_delay(&lib, cell, 5.0, 20.0, 30.0, edge);
-        let expect = if cell.is_inverting() { edge.flipped() } else { edge };
-        prop_assert_eq!(d.output_edge, expect);
+#[test]
+fn edge_polarity_is_consistent() {
+    let lib = Library::cmos025();
+    let mut rng = SplitMix64::new(0x05);
+    for _ in 0..CASES {
+        let c = cell(&mut rng);
+        let e = edge(&mut rng);
+        let d = gate_delay(&lib, c, 5.0, 20.0, 30.0, e);
+        let expect = if c.is_inverting() { e.flipped() } else { e };
+        assert_eq!(d.output_edge, expect);
     }
+}
 
-    #[test]
-    fn transition_scale_invariance(
-        cell in arb_cell(),
-        cin in 1.0f64..50.0,
-        fanout in 0.5f64..20.0,
-        scale in 1.1f64..8.0,
-        edge in arb_edge(),
-    ) {
-        // τ_out depends on cin and CL only through the ratio CL/cin
-        // (plus the constant parasitic term): scaling both together
-        // leaves the transition unchanged.
-        let lib = Library::cmos025();
-        let d1 = gate_delay(&lib, cell, cin, fanout * cin, 40.0, edge);
-        let d2 = gate_delay(&lib, cell, scale * cin, fanout * scale * cin, 40.0, edge);
-        prop_assert!(
+#[test]
+fn transition_scale_invariance() {
+    // τ_out depends on cin and CL only through the ratio CL/cin
+    // (plus the constant parasitic term): scaling both together
+    // leaves the transition unchanged.
+    let lib = Library::cmos025();
+    let mut rng = SplitMix64::new(0x06);
+    for _ in 0..CASES {
+        let c = cell(&mut rng);
+        let cin = rng.uniform(1.0, 50.0);
+        let fanout = rng.uniform(0.5, 20.0);
+        let scale = rng.uniform(1.1, 8.0);
+        let e = edge(&mut rng);
+        let d1 = gate_delay(&lib, c, cin, fanout * cin, 40.0, e);
+        let d2 = gate_delay(&lib, c, scale * cin, fanout * scale * cin, 40.0, e);
+        assert!(
             (d1.output_transition_ps - d2.output_transition_ps).abs()
                 < 1e-9 * d1.output_transition_ps.max(1.0)
         );
     }
+}
 
-    #[test]
-    fn weaker_cells_switch_slower_at_equal_size(
-        cin in 2.0f64..50.0,
-        cl in 5.0f64..500.0,
-    ) {
-        // Fixed size and load: the NOR3's rising output (3 series PMOS)
-        // must be slower than the inverter's.
-        let lib = Library::cmos025();
+#[test]
+fn weaker_cells_switch_slower_at_equal_size() {
+    // Fixed size and load: the NOR3's rising output (3 series PMOS)
+    // must be slower than the inverter's.
+    let lib = Library::cmos025();
+    let mut rng = SplitMix64::new(0x07);
+    for _ in 0..CASES {
+        let cin = rng.uniform(2.0, 50.0);
+        let cl = rng.uniform(5.0, 500.0);
         let inv = gate_delay(&lib, CellKind::Inv, cin, cl, 40.0, Edge::Falling);
         let nor = gate_delay(&lib, CellKind::Nor3, cin, cl, 40.0, Edge::Falling);
-        prop_assert_eq!(inv.output_edge, Edge::Rising);
-        prop_assert_eq!(nor.output_edge, Edge::Rising);
-        prop_assert!(nor.delay_ps > inv.delay_ps);
+        assert_eq!(inv.output_edge, Edge::Rising);
+        assert_eq!(nor.output_edge, Edge::Rising);
+        assert!(nor.delay_ps > inv.delay_ps);
     }
 }

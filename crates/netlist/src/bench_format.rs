@@ -167,10 +167,7 @@ pub fn parse_bench(name: &str, text: &str) -> Result<Circuit, NetlistError> {
     Ok(circuit)
 }
 
-fn strip_directive<'a>(
-    line: &'a str,
-    keyword: &str,
-) -> Option<Result<&'a str, NetlistError>> {
+fn strip_directive<'a>(line: &'a str, keyword: &str) -> Option<Result<&'a str, NetlistError>> {
     let upper = line.to_ascii_uppercase();
     if !upper.starts_with(keyword) {
         return None;
@@ -285,10 +282,9 @@ OUTPUT(23)
         let c = parse_bench("c17", C17).unwrap();
         // Reference: 22 = !( !(1&3) & !(2 & !(3&6)) )
         let eval = |v1: bool, v2: bool, v3: bool, v6: bool, v7: bool| {
-            let vals: HashMap<&str, bool> =
-                [("1", v1), ("2", v2), ("3", v3), ("6", v6), ("7", v7)]
-                    .into_iter()
-                    .collect();
+            let vals: HashMap<&str, bool> = [("1", v1), ("2", v2), ("3", v3), ("6", v6), ("7", v7)]
+                .into_iter()
+                .collect();
             c.evaluate(&vals).unwrap()
         };
         for bits in 0..32u32 {

@@ -83,7 +83,9 @@ pub fn eleven_gate_path() -> Circuit {
     use CellKind::*;
     gate_array(
         "array11",
-        &[Inv, Nand2, Inv, Nor2, Nand3, Inv, Nor3, Nand2, Inv, Nor2, Inv],
+        &[
+            Inv, Nand2, Inv, Nor2, Nand3, Inv, Nor3, Nand2, Inv, Nor2, Inv,
+        ],
     )
     .expect("static cell list is valid")
 }
@@ -196,9 +198,7 @@ mod tests {
     fn inverter_chain_inverts_odd_lengths() {
         for n in 1..6 {
             let c = inverter_chain(n);
-            let out = c
-                .evaluate(&[("in", true)].into_iter().collect())
-                .unwrap();
+            let out = c.evaluate(&[("in", true)].into_iter().collect()).unwrap();
             let y = out.values().next().copied().unwrap();
             assert_eq!(y, n % 2 == 0, "chain of {n}");
         }
@@ -244,7 +244,11 @@ mod tests {
             for b in 0..16u64 {
                 for cin in [false, true] {
                     let expect = a + b + cin as u64;
-                    assert_eq!(add_via_circuit(&c, bits, a, b, cin), expect, "{a}+{b}+{cin}");
+                    assert_eq!(
+                        add_via_circuit(&c, bits, a, b, cin),
+                        expect,
+                        "{a}+{b}+{cin}"
+                    );
                 }
             }
         }

@@ -107,7 +107,10 @@ impl CellKind {
     /// with non-controlling side inputs (XOR passes the edge, XNOR inverts).
     pub fn is_inverting(self) -> bool {
         use CellKind::*;
-        matches!(self, Inv | Nand2 | Nand3 | Nand4 | Nor2 | Nor3 | Nor4 | Xnor2)
+        matches!(
+            self,
+            Inv | Nand2 | Nand3 | Nand4 | Nor2 | Nor3 | Nor4 | Xnor2
+        )
     }
 
     /// The De Morgan dual used by the §4.2 restructuring step:
@@ -327,12 +330,20 @@ mod tests {
         // De Morgan: !(a|b) == (!a)&(!b) == !NAND(!a,!b) — so
         // NOR(a,b) == INV(NAND(INV a, INV b)) is false; the identity is
         // NOR(a,b) == AND(!a,!b), i.e. NAND(!a,!b) == !NOR(a,b).
-        for (cell, n) in [(CellKind::Nor2, 2), (CellKind::Nor3, 3), (CellKind::Nor4, 4)] {
+        for (cell, n) in [
+            (CellKind::Nor2, 2),
+            (CellKind::Nor3, 3),
+            (CellKind::Nor4, 4),
+        ] {
             let dual = cell.demorgan_dual().unwrap();
             for pattern in 0..(1u32 << n) {
                 let ins: Vec<bool> = (0..n).map(|i| pattern >> i & 1 == 1).collect();
                 let inv: Vec<bool> = ins.iter().map(|b| !b).collect();
-                assert_eq!(cell.evaluate(&ins), !dual.evaluate(&inv), "{cell} vs {dual}");
+                assert_eq!(
+                    cell.evaluate(&ins),
+                    !dual.evaluate(&inv),
+                    "{cell} vs {dual}"
+                );
             }
         }
     }

@@ -316,6 +316,24 @@ impl Circuit {
         Ok(gid)
     }
 
+    /// The gate driving a net, if any (`None` for primary inputs and
+    /// undriven nets).
+    pub fn driver_gate(&self, net: NetId) -> Option<GateId> {
+        match self.nets[net.index()].driver {
+            Some(NetDriver::Gate(g)) => Some(g),
+            _ => None,
+        }
+    }
+
+    /// Gates loading a net, one entry per connected input pin (a gate
+    /// tapping the net on several pins appears once per pin).
+    ///
+    /// This is the fanout adjacency the incremental timing engine walks
+    /// when a net's arrival changes.
+    pub fn fanout_gates(&self, net: NetId) -> impl Iterator<Item = GateId> + '_ {
+        self.nets[net.index()].loads.iter().map(|&(g, _pin)| g)
+    }
+
     /// Mark a net as a primary output.
     pub fn mark_output(&mut self, net: NetId) {
         if !self.nets[net.index()].is_output {
@@ -514,8 +532,7 @@ mod tests {
     fn topo_order_is_fanin_first() {
         let (c, _) = and_of_two();
         let order = c.topo_order().unwrap();
-        let pos: HashMap<GateId, usize> =
-            order.iter().enumerate().map(|(i, &g)| (g, i)).collect();
+        let pos: HashMap<GateId, usize> = order.iter().enumerate().map(|(i, &g)| (g, i)).collect();
         for gid in c.gate_ids() {
             for &n in c.gate(gid).inputs() {
                 if let Some(NetDriver::Gate(src)) = c.net(n).driver() {

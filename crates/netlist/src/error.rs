@@ -49,7 +49,11 @@ impl fmt::Display for NetlistError {
             NetlistError::UnknownCell { op, arity } => {
                 write!(f, "unknown cell `{op}` with {arity} inputs")
             }
-            NetlistError::ArityMismatch { cell, expected, got } => {
+            NetlistError::ArityMismatch {
+                cell,
+                expected,
+                got,
+            } => {
                 write!(f, "cell {cell} expects {expected} inputs, got {got}")
             }
             NetlistError::UndefinedNet(name) => write!(f, "undefined net `{name}`"),
@@ -78,13 +82,23 @@ mod tests {
     #[test]
     fn display_is_nonempty_and_lowercase_start() {
         let samples: Vec<NetlistError> = vec![
-            NetlistError::UnknownCell { op: "MAJ".into(), arity: 3 },
-            NetlistError::ArityMismatch { cell: "NAND2".into(), expected: 2, got: 3 },
+            NetlistError::UnknownCell {
+                op: "MAJ".into(),
+                arity: 3,
+            },
+            NetlistError::ArityMismatch {
+                cell: "NAND2".into(),
+                expected: 2,
+                got: 3,
+            },
             NetlistError::UndefinedNet("x".into()),
             NetlistError::MultipleDrivers("x".into()),
             NetlistError::DuplicateNet("x".into()),
             NetlistError::CombinationalCycle,
-            NetlistError::BenchSyntax { line: 3, message: "bad token".into() },
+            NetlistError::BenchSyntax {
+                line: 3,
+                message: "bad token".into(),
+            },
             NetlistError::MissingInputValue("a".into()),
             NetlistError::InvalidId("gate 42".into()),
         ];

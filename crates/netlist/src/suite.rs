@@ -80,7 +80,14 @@ pub const PROFILES: &[CircuitProfile] = &[
         total_gates: 160,
         n_inputs: 36,
         n_outputs: 7,
-        gate_mix: &[(Nor2, 30), (Nor3, 12), (Inv, 18), (Nand2, 20), (And2, 10), (Xor2, 10)],
+        gate_mix: &[
+            (Nor2, 30),
+            (Nor3, 12),
+            (Inv, 18),
+            (Nand2, 20),
+            (And2, 10),
+            (Xor2, 10),
+        ],
         seed: 0xC432,
     },
     CircuitProfile {
@@ -98,7 +105,14 @@ pub const PROFILES: &[CircuitProfile] = &[
         total_gates: 383,
         n_inputs: 60,
         n_outputs: 26,
-        gate_mix: &[(Nand2, 30), (Nor2, 15), (And2, 15), (Inv, 20), (Nand3, 10), (Or2, 10)],
+        gate_mix: &[
+            (Nand2, 30),
+            (Nor2, 15),
+            (And2, 15),
+            (Inv, 20),
+            (Nand3, 10),
+            (Or2, 10),
+        ],
         seed: 0xC880,
     },
     CircuitProfile {
@@ -168,7 +182,14 @@ pub const PROFILES: &[CircuitProfile] = &[
         total_gates: 3512,
         n_inputs: 207,
         n_outputs: 108,
-        gate_mix: &[(Nand2, 38), (Inv, 25), (Nor2, 15), (And2, 10), (Xor2, 7), (Buf, 5)],
+        gate_mix: &[
+            (Nand2, 38),
+            (Inv, 25),
+            (Nor2, 15),
+            (And2, 10),
+            (Xor2, 7),
+            (Buf, 5),
+        ],
         seed: 0xC7552,
     },
 ];
@@ -219,12 +240,7 @@ fn pick_kind(rng: &mut SplitMix64, mix: &[(CellKind, u32)]) -> CellKind {
 /// `pool[l]` holds the nets created at layer `l` (`pool[0]` = primary
 /// inputs). With probability 0.2 a *spine* net is chosen, giving the
 /// critical path realistic off-path fan-out.
-fn sample_below(
-    rng: &mut SplitMix64,
-    pool: &[Vec<NetId>],
-    spine: &[NetId],
-    layer: usize,
-) -> NetId {
+fn sample_below(rng: &mut SplitMix64, pool: &[Vec<NetId>], spine: &[NetId], layer: usize) -> NetId {
     debug_assert!(layer >= 1);
     if layer >= 2 && !spine.is_empty() && rng.chance(0.2) {
         // Spine nets for layers 1..layer are spine[0..layer-1].
@@ -327,8 +343,7 @@ pub fn build(profile: &CircuitProfile) -> Circuit {
     let sinks: Vec<NetId> = c
         .net_ids()
         .filter(|&n| {
-            c.net(n).loads().is_empty()
-                && matches!(c.net(n).driver(), Some(NetDriver::Gate(_)))
+            c.net(n).loads().is_empty() && matches!(c.net(n).driver(), Some(NetDriver::Gate(_)))
         })
         .collect();
     for n in sinks {
@@ -367,7 +382,12 @@ mod tests {
     fn gate_counts_match_profiles() {
         for p in PROFILES {
             let c = build(p);
-            assert_eq!(c.gate_count(), p.total_gates.max(p.path_gates), "{}", p.name);
+            assert_eq!(
+                c.gate_count(),
+                p.total_gates.max(p.path_gates),
+                "{}",
+                p.name
+            );
         }
     }
 
@@ -411,7 +431,10 @@ mod tests {
             .filter_map(|l| c.net_by_name(&format!("spine{l}")))
             .filter(|&n| c.net(n).fanout() > 1)
             .count();
-        assert!(multi > 5, "expected off-path loading on the spine, got {multi}");
+        assert!(
+            multi > 5,
+            "expected off-path loading on the spine, got {multi}"
+        );
     }
 
     #[test]

@@ -79,11 +79,7 @@ pub fn simulate_path(
         let eq = EquivalentStage::from_cell(params, lib, stage.cell, sizes[i]);
         let c_ext = path.stage_load_ff(i, sizes);
         let raw = simulate_stage(params, &eq, c_ext, &vin);
-        let vout = if eq.inverting {
-            raw
-        } else {
-            raw.mirrored(vdd)
-        };
+        let vout = if eq.inverting { raw } else { raw.mirrored(vdd) };
         let d = propagation_delay_ps(&vin, &vout, vdd)
             .unwrap_or_else(|| panic!("stage {i} output never crossed mid-rail"));
         stage_delays.push(d);
@@ -189,7 +185,10 @@ mod tests {
     fn non_inverting_cells_preserve_polarity() {
         let (p, lib) = setup();
         let path = TimedPath::new(
-            vec![PathStage::new(CellKind::And2), PathStage::new(CellKind::Buf)],
+            vec![
+                PathStage::new(CellKind::And2),
+                PathStage::new(CellKind::Buf),
+            ],
             lib.min_drive_ff(),
             15.0,
         );

@@ -135,9 +135,7 @@ mod tests {
         let cells = [CellKind::Inv, CellKind::Nand3, CellKind::Nor3];
         let pullups: Vec<f64> = cells
             .iter()
-            .map(|&c| {
-                EquivalentStage::from_cell(&p, &lib, c, 6.0).pullup_current(&p, 0.0, 1.25)
-            })
+            .map(|&c| EquivalentStage::from_cell(&p, &lib, c, 6.0).pullup_current(&p, 0.0, 1.25))
             .collect();
         // NOR3 stacks P devices: weakest pull-up of the three.
         assert!(pullups[2] < pullups[1]);

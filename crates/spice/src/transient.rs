@@ -127,10 +127,7 @@ impl Waveform {
         let rising = self.samples.last()? > first;
         let (lo, hi) = (0.2 * vdd, 0.8 * vdd);
         let (t_lo, t_hi) = if rising {
-            (
-                self.crossing_time(lo, true)?,
-                self.crossing_time(hi, true)?,
-            )
+            (self.crossing_time(lo, true)?, self.crossing_time(hi, true)?)
         } else {
             (
                 self.crossing_time(hi, false)?,

@@ -67,9 +67,9 @@ impl From<EdgeDir> for Edge {
     }
 }
 
-const EDGES: [Edge; 2] = [Edge::Rising, Edge::Falling];
+pub(crate) const EDGES: [Edge; 2] = [Edge::Rising, Edge::Falling];
 
-fn eidx(e: Edge) -> usize {
+pub(crate) fn eidx(e: Edge) -> usize {
     match e {
         Edge::Rising => 0,
         Edge::Falling => 1,
@@ -91,6 +91,46 @@ pub(crate) fn compatible_input_edges(cell: CellKind, out: Edge) -> &'static [Edg
             Edge::Rising => &RISE,
             Edge::Falling => &FALL,
         },
+    }
+}
+
+/// Read-only view over a timing state: the query surface shared by the
+/// one-shot [`TimingReport`] and the incremental
+/// [`crate::incremental::TimingGraph`].
+///
+/// Consumers that only *read* timing (K-paths ranking, slack computation,
+/// the circuit-level flow) are generic over this trait, so they work
+/// unchanged whether the numbers came from a full `analyze` pass or from
+/// dirty-cone re-propagation.
+pub trait TimingView {
+    /// Worst arrival time over all primary outputs (ps).
+    fn critical_delay_ps(&self) -> f64;
+    /// Arrival time of a net for a given edge (ps), `-inf` if unreachable.
+    fn arrival_ps(&self, net: NetId, edge: EdgeDir) -> f64;
+    /// Transition time of a net for a given edge (ps).
+    fn slope_ps(&self, net: NetId, edge: EdgeDir) -> f64;
+    /// Capacitive load on a net (fF), including the latch load at
+    /// primary outputs.
+    fn net_load_ff(&self, net: NetId) -> f64;
+    /// Worst-case delay of a gate (ps) under the analyzed slopes.
+    fn gate_delay_worst_ps(&self, gate: GateId) -> f64;
+}
+
+impl TimingView for TimingReport {
+    fn critical_delay_ps(&self) -> f64 {
+        TimingReport::critical_delay_ps(self)
+    }
+    fn arrival_ps(&self, net: NetId, edge: EdgeDir) -> f64 {
+        TimingReport::arrival_ps(self, net, edge)
+    }
+    fn slope_ps(&self, net: NetId, edge: EdgeDir) -> f64 {
+        TimingReport::slope_ps(self, net, edge)
+    }
+    fn net_load_ff(&self, net: NetId) -> f64 {
+        TimingReport::net_load_ff(self, net)
+    }
+    fn gate_delay_worst_ps(&self, gate: GateId) -> f64 {
+        TimingReport::gate_delay_worst_ps(self, gate)
     }
 }
 
@@ -257,9 +297,8 @@ pub fn analyze_with(
                         continue;
                     }
                     let s_in = slope[in_net.index()][eidx(in_edge)];
-                    let d = gate_delay_with_output_edge(
-                        lib, cell, cin, load, s_in, in_edge, out_edge,
-                    );
+                    let d =
+                        gate_delay_with_output_edge(lib, cell, cin, load, s_in, in_edge, out_edge);
                     worst_gate_delay = worst_gate_delay.max(d.delay_ps);
                     let t_out = t_in + d.delay_ps;
                     if best.map(|(t, ..)| t_out > t).unwrap_or(true) {

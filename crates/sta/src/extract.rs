@@ -149,10 +149,8 @@ pub fn extract_timed_path(
     }
 
     let source_drive = sizing.cin_ff(path.gates[0]);
-    let timed = TimedPath::new(stages, source_drive, terminal).with_input_conditions(
-        pops_delay::Edge::Rising,
-        options.input_transition_ps,
-    );
+    let timed = TimedPath::new(stages, source_drive, terminal)
+        .with_input_conditions(pops_delay::Edge::Rising, options.input_transition_ps);
 
     ExtractedPath {
         timed,
@@ -202,11 +200,7 @@ mod tests {
     #[test]
     fn off_path_load_appears_on_shared_nets() {
         let (e, _) = extract("c7552");
-        let any_loaded = e
-            .timed
-            .stages()
-            .iter()
-            .any(|s| s.off_path_load_ff > 0.0);
+        let any_loaded = e.timed.stages().iter().any(|s| s.off_path_load_ff > 0.0);
         assert!(any_loaded, "suite spines carry off-path fanout");
     }
 

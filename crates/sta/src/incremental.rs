@@ -1,0 +1,806 @@
+//! Incremental static timing analysis: dirty-cone re-propagation.
+//!
+//! The optimization protocol is an iterative loop — classify, resize,
+//! re-time, repeat — and a single gate resize only perturbs its fanin
+//! nets' loads and its downstream fanout cone. A [`TimingGraph`] is
+//! built once per circuit (caching the topological order, per-gate topo
+//! rank and per-net loads) and then kept consistent through
+//! [`TimingGraph::resize_gate`] / [`TimingGraph::set_options`] mutators
+//! that re-evaluate only the affected cone, in rank order, stopping as
+//! soon as re-propagated arrivals and slopes converge onto their cached
+//! values.
+//!
+//! # Equivalence contract
+//!
+//! After any sequence of mutations the queryable state is **bit-identical**
+//! to a from-scratch [`analyze_with`](crate::analysis::analyze_with) under
+//! the same sizing and options:
+//!
+//! * a re-evaluated gate runs exactly the per-gate step of the full pass
+//!   (same arc order, same comparison, same floating-point operations);
+//! * net loads are recomputed by the same summation in the same order,
+//!   never by error-accumulating deltas;
+//! * gates are re-evaluated in topological-rank order, so every gate sees
+//!   final fanin values, and a gate whose fanin arrivals/slopes are
+//!   bit-unchanged is provably unaffected and cut off (its stored state
+//!   *is* what the full pass would recompute).
+//!
+//! The randomized equivalence suite (`tests/incremental_equivalence.rs`)
+//! asserts this against `analyze()` after every step of random resize
+//! sequences.
+
+use pops_delay::model::{gate_delay_with_output_edge, Edge};
+use pops_delay::Library;
+use pops_netlist::{CellKind, Circuit, GateId, NetId, NetlistError};
+
+use crate::analysis::{
+    compatible_input_edges, eidx, AnalyzeOptions, EdgeDir, NetlistPath, TimingView, EDGES,
+};
+use crate::sizing::Sizing;
+
+/// Cumulative work counters, for benchmarks and cone-size assertions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UpdateStats {
+    /// Gate re-evaluations performed since construction (the full
+    /// initial pass is not counted).
+    pub gates_reevaluated: usize,
+    /// Re-evaluations whose output was bit-unchanged, cutting the cone.
+    pub converged_early: usize,
+    /// Mutator calls (resize / option changes) processed.
+    pub updates: usize,
+}
+
+/// Per-gate model constants, flattened out of the library at build time.
+///
+/// `Library::cell()` is a by-kind lookup and the symmetry factors are
+/// re-derived on every call; one cone re-evaluation makes thousands of
+/// arc evaluations, so the graph caches the resolved constants per gate.
+/// Every cached value is produced by the *same* floating-point expression
+/// the model uses, so arc delays stay bit-identical to
+/// [`gate_delay_with_output_edge`].
+#[derive(Debug, Clone, Copy)]
+struct GateParams {
+    /// `C_par = cpar_factor · C_IN`.
+    cpar_factor: f64,
+    /// P/N configuration ratio `k` (Miller coupling split).
+    k: f64,
+    /// `τ · S(out_edge)`, indexed by [`eidx`] of the output edge.
+    tau_s: [f64; 2],
+}
+
+/// Per-net timing state, kept as one record for cache locality.
+#[derive(Debug, Clone, Copy)]
+struct NetTiming {
+    /// Arrival time per edge (ps); `-inf` where unreachable.
+    arrival: [f64; 2],
+    /// Transition time per edge (ps).
+    slope: [f64; 2],
+    /// Predecessor `(net, input edge)` of the worst arrival.
+    pred: [Option<(NetId, Edge)>; 2],
+    /// Capacitive load (fF) under the current sizing.
+    load: f64,
+}
+
+impl NetTiming {
+    const UNREACHED: NetTiming = NetTiming {
+        arrival: [f64::NEG_INFINITY; 2],
+        slope: [0.0; 2],
+        pred: [None, None],
+        load: 0.0,
+    };
+}
+
+/// Incrementally maintained timing state of one circuit.
+///
+/// Holds the circuit and library by reference; all sizing state lives
+/// inside the graph (query it with [`TimingGraph::sizing`]).
+///
+/// # Example
+///
+/// ```
+/// use pops_netlist::builders::ripple_carry_adder;
+/// use pops_delay::Library;
+/// use pops_sta::analysis::analyze;
+/// use pops_sta::incremental::TimingGraph;
+/// use pops_sta::Sizing;
+///
+/// # fn main() -> Result<(), pops_netlist::NetlistError> {
+/// let c = ripple_carry_adder(8);
+/// let lib = Library::cmos025();
+/// let sizing = Sizing::minimum(&c, &lib);
+/// let mut graph = TimingGraph::new(&c, &lib, &sizing)?;
+/// let before = graph.critical_delay_ps();
+///
+/// // Resize one gate: only its cone is re-timed.
+/// let g = graph.critical_path().gates[0];
+/// graph.resize_gate(g, 4.0 * lib.min_drive_ff());
+/// let after = graph.critical_delay_ps();
+/// assert_ne!(before, after);
+///
+/// // The state matches a fresh full analysis bit-for-bit.
+/// let fresh = analyze(&c, &lib, graph.sizing())?;
+/// assert_eq!(fresh.critical_delay_ps(), after);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TimingGraph<'c> {
+    circuit: &'c Circuit,
+    lib: &'c Library,
+    options: AnalyzeOptions,
+    sizing: Sizing,
+
+    /// Gates in the cached topological order.
+    topo: Vec<GateId>,
+    /// `rank[gate] = position in `topo`` — the propagation priority.
+    rank: Vec<u32>,
+    /// Driver gate of each net (`None` for primary inputs).
+    net_driver: Vec<Option<GateId>>,
+
+    /// Per-net timing record. One contiguous struct per net (instead of
+    /// parallel arrays) so a gate re-evaluation touches one cache line
+    /// per fanin net — cone updates jump around the netlist, and their
+    /// cost is dominated by memory traffic, not arithmetic.
+    nets: Vec<NetTiming>,
+    /// Worst-case delay of each gate under the current slopes.
+    gate_delay_worst: Vec<f64>,
+    critical_net: Option<(NetId, Edge)>,
+
+    /// Flattened model constants per gate (see [`GateParams`]).
+    gate_params: Vec<GateParams>,
+    /// Reduced thresholds `v_T`, indexed by [`eidx`] of the *input* edge.
+    vt: [f64; 2],
+
+    /// Cell kind per gate (flat copy: avoids chasing `circuit.gate()`
+    /// in the hot loop).
+    cell: Vec<CellKind>,
+    /// Output net per gate.
+    out_net: Vec<NetId>,
+    /// Fanin nets of all gates, flattened; gate `g`'s inputs are
+    /// `fanin[fanin_off[g] .. fanin_off[g+1]]`.
+    fanin: Vec<NetId>,
+    fanin_off: Vec<u32>,
+    /// Fanout gates of all nets, flattened; net `n`'s loads are
+    /// `fanout[fanout_off[n] .. fanout_off[n+1]]` (one entry per pin).
+    fanout: Vec<GateId>,
+    fanout_off: Vec<u32>,
+
+    /// Dirty set as a bitset over topo *ranks* (bit `r` of word `r/64`).
+    /// Propagation walks it with a forward cursor + `trailing_zeros` —
+    /// marks always target strictly higher ranks, so no priority queue
+    /// is needed to process gates in rank order.
+    dirty_bits: Vec<u64>,
+    /// Dirty gates not yet re-evaluated.
+    dirty_count: usize,
+    /// Lowest rank marked since the last propagation.
+    min_dirty_rank: u32,
+    stats: UpdateStats,
+}
+
+impl<'c> TimingGraph<'c> {
+    /// Build the graph and run the initial full timing pass under
+    /// default [`AnalyzeOptions`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist structural errors (cycles, undriven nets) from
+    /// [`Circuit::topo_order`].
+    pub fn new(
+        circuit: &'c Circuit,
+        lib: &'c Library,
+        sizing: &Sizing,
+    ) -> Result<Self, NetlistError> {
+        Self::with_options(circuit, lib, sizing, &AnalyzeOptions::default())
+    }
+
+    /// [`TimingGraph::new`] with explicit options.
+    ///
+    /// # Errors
+    ///
+    /// As [`TimingGraph::new`].
+    pub fn with_options(
+        circuit: &'c Circuit,
+        lib: &'c Library,
+        sizing: &Sizing,
+        options: &AnalyzeOptions,
+    ) -> Result<Self, NetlistError> {
+        let topo = circuit.topo_order()?;
+        let mut rank = vec![0u32; circuit.gate_count()];
+        for (i, &g) in topo.iter().enumerate() {
+            rank[g.index()] = i as u32;
+        }
+        let n_nets = circuit.net_count();
+        let net_driver = circuit.net_ids().map(|n| circuit.driver_gate(n)).collect();
+
+        let process = lib.process();
+        let gate_params = circuit
+            .gate_ids()
+            .map(|g| {
+                let cell = lib.cell(circuit.gate(g).kind());
+                let mut tau_s = [0.0f64; 2];
+                for e in EDGES {
+                    // Same product order as the model's
+                    // `process.tau_ps * s * cl_total / cin`: caching
+                    // `tau_ps * s` keeps the remaining ops bit-identical.
+                    tau_s[eidx(e)] = process.tau_ps * cell.s_factor(process, e);
+                }
+                GateParams {
+                    cpar_factor: cell.cpar_factor,
+                    k: cell.k,
+                    tau_s,
+                }
+            })
+            .collect();
+        let vt = [process.vtn_reduced(), process.vtp_reduced()];
+
+        // Flatten the netlist adjacency into contiguous arrays: the cone
+        // walk is memory-bound, and per-gate/per-net `Vec`s would cost a
+        // pointer chase per visit.
+        let cell: Vec<CellKind> = circuit.gate_ids().map(|g| circuit.gate(g).kind()).collect();
+        let out_net: Vec<NetId> = circuit
+            .gate_ids()
+            .map(|g| circuit.gate(g).output())
+            .collect();
+        let mut fanin = Vec::with_capacity(circuit.pin_count());
+        let mut fanin_off = Vec::with_capacity(circuit.gate_count() + 1);
+        fanin_off.push(0u32);
+        for g in circuit.gate_ids() {
+            fanin.extend_from_slice(circuit.gate(g).inputs());
+            fanin_off.push(fanin.len() as u32);
+        }
+        let mut fanout = Vec::with_capacity(circuit.pin_count());
+        let mut fanout_off = Vec::with_capacity(n_nets + 1);
+        fanout_off.push(0u32);
+        for n in circuit.net_ids() {
+            fanout.extend(circuit.fanout_gates(n));
+            fanout_off.push(fanout.len() as u32);
+        }
+
+        let mut graph = TimingGraph {
+            circuit,
+            lib,
+            options: options.clone(),
+            sizing: sizing.clone(),
+            topo,
+            rank,
+            net_driver,
+            nets: vec![NetTiming::UNREACHED; n_nets],
+            gate_delay_worst: vec![0.0f64; circuit.gate_count()],
+            critical_net: None,
+            gate_params,
+            vt,
+            cell,
+            out_net,
+            fanin,
+            fanin_off,
+            fanout,
+            fanout_off,
+            dirty_bits: vec![0u64; circuit.gate_count().div_ceil(64)],
+            dirty_count: 0,
+            min_dirty_rank: u32::MAX,
+            stats: UpdateStats::default(),
+        };
+        graph.full_pass();
+        Ok(graph)
+    }
+
+    /// The circuit this graph times.
+    pub fn circuit(&self) -> &'c Circuit {
+        self.circuit
+    }
+
+    /// The current sizing (the graph owns its copy; mutate it through
+    /// [`TimingGraph::resize_gate`]).
+    pub fn sizing(&self) -> &Sizing {
+        &self.sizing
+    }
+
+    /// The options the timing state currently reflects.
+    pub fn options(&self) -> &AnalyzeOptions {
+        &self.options
+    }
+
+    /// Cumulative incremental-work counters.
+    pub fn stats(&self) -> UpdateStats {
+        self.stats
+    }
+
+    /// Set one gate's input capacitance and re-time its affected cone.
+    ///
+    /// Cost is O(cone): the gate itself, the drivers of its fanin nets
+    /// (their loads changed) and every downstream gate whose arrival or
+    /// slope actually moves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate id is out of range or `cin_ff <= 0` (as
+    /// [`Sizing::set`]).
+    pub fn resize_gate(&mut self, gate: GateId, cin_ff: f64) {
+        self.resize_gates([(gate, cin_ff)]);
+    }
+
+    /// Apply a batch of resizes, then re-time all affected cones in one
+    /// rank-ordered propagation (cheaper than per-gate flushes when the
+    /// changes overlap, e.g. writing back a whole optimized path).
+    ///
+    /// # Panics
+    ///
+    /// As [`TimingGraph::resize_gate`].
+    pub fn resize_gates(&mut self, changes: impl IntoIterator<Item = (GateId, f64)>) {
+        let mut any = false;
+        for (gate, cin_ff) in changes {
+            if self.sizing.cin_ff(gate) == cin_ff {
+                continue;
+            }
+            self.sizing.set(gate, cin_ff);
+            any = true;
+            // The fanin nets' loads changed: recompute them exactly (same
+            // summation order as the full pass — no delta accumulation)
+            // and re-evaluate their driver gates.
+            for &in_net in self.circuit.gate(gate).inputs() {
+                self.recompute_net_load(in_net);
+                if let Some(driver) = self.net_driver[in_net.index()] {
+                    self.mark_dirty(driver);
+                }
+            }
+            // The gate's own drive changed.
+            self.mark_dirty(gate);
+        }
+        if any {
+            self.stats.updates += 1;
+            self.propagate();
+        }
+    }
+
+    /// Switch to new analysis options and re-time what they touch (all
+    /// primary-output loads and/or all primary-input slopes).
+    pub fn set_options(&mut self, options: &AnalyzeOptions) {
+        if self.options == *options {
+            return;
+        }
+        let po_changed = self.options.po_load_ff != options.po_load_ff;
+        let slope_changed = self.options.input_transition_ps != options.input_transition_ps;
+        self.options = options.clone();
+
+        if po_changed {
+            for net in self.circuit.net_ids() {
+                if self.circuit.net(net).is_output() {
+                    self.recompute_net_load(net);
+                    if let Some(driver) = self.net_driver[net.index()] {
+                        self.mark_dirty(driver);
+                    }
+                }
+            }
+        }
+        if slope_changed {
+            let circuit = self.circuit;
+            for &pi in circuit.primary_inputs() {
+                for e in EDGES {
+                    self.nets[pi.index()].slope[eidx(e)] = self.options.input_transition_ps;
+                }
+                for g in circuit.fanout_gates(pi) {
+                    self.mark_dirty(g);
+                }
+            }
+        }
+        self.stats.updates += 1;
+        self.propagate();
+    }
+
+    // ---- query surface (mirrors `TimingReport`) ----
+
+    /// Worst arrival time over all primary outputs (ps).
+    pub fn critical_delay_ps(&self) -> f64 {
+        self.critical_net
+            .map(|(n, e)| self.nets[n.index()].arrival[eidx(e)])
+            .unwrap_or(0.0)
+    }
+
+    /// Arrival time of a net for a given edge (ps), `-inf` if unreachable.
+    pub fn arrival_ps(&self, net: NetId, edge: EdgeDir) -> f64 {
+        self.nets[net.index()].arrival[eidx(edge.into())]
+    }
+
+    /// Transition time of a net for a given edge (ps).
+    pub fn slope_ps(&self, net: NetId, edge: EdgeDir) -> f64 {
+        self.nets[net.index()].slope[eidx(edge.into())]
+    }
+
+    /// Capacitive load on a net (fF) under the current sizing, including
+    /// the primary-output latch load where applicable.
+    pub fn net_load_ff(&self, net: NetId) -> f64 {
+        self.nets[net.index()].load
+    }
+
+    /// Worst-case delay of a gate (ps) under the current slopes.
+    pub fn gate_delay_worst_ps(&self, gate: GateId) -> f64 {
+        self.gate_delay_worst[gate.index()]
+    }
+
+    /// The most critical path: traceback from the worst primary output.
+    ///
+    /// Returns an empty path only for circuits without gates.
+    pub fn critical_path(&self) -> NetlistPath {
+        let Some((net, edge)) = self.critical_net else {
+            return NetlistPath {
+                gates: Vec::new(),
+                end_edge: EdgeDir::Rising,
+            };
+        };
+        self.path_to(net, edge)
+    }
+
+    /// Traceback the worst path ending at `net` with `edge`.
+    pub fn path_to(&self, net: NetId, edge: Edge) -> NetlistPath {
+        let mut gates = Vec::new();
+        let mut cur = Some((net, edge));
+        while let Some((n, e)) = cur {
+            if let Some(gid) = self.net_driver[n.index()] {
+                gates.push(gid);
+            }
+            cur = self.nets[n.index()].pred[eidx(e)];
+        }
+        gates.reverse();
+        NetlistPath {
+            gates,
+            end_edge: edge.into(),
+        }
+    }
+
+    /// Primary output nets.
+    pub fn outputs(&self) -> &[NetId] {
+        self.circuit.primary_outputs()
+    }
+
+    // ---- internals ----
+
+    /// Exact per-net load under the current sizing; identical summation
+    /// order to the full pass for bit-equality.
+    fn recompute_net_load(&mut self, net: NetId) {
+        let mut load = 0.0;
+        for &(g, _pin) in self.circuit.net(net).loads() {
+            load += self.sizing.cin_ff(g);
+        }
+        if self.circuit.net(net).is_output() {
+            load += self.options.po_load_ff;
+        }
+        self.nets[net.index()].load = load;
+    }
+
+    fn mark_dirty(&mut self, gate: GateId) {
+        let rank = self.rank[gate.index()];
+        let (word, bit) = (rank as usize / 64, rank % 64);
+        if self.dirty_bits[word] & (1u64 << bit) == 0 {
+            self.dirty_bits[word] |= 1u64 << bit;
+            self.dirty_count += 1;
+            if rank < self.min_dirty_rank {
+                self.min_dirty_rank = rank;
+            }
+        }
+    }
+
+    /// Drain the dirty queue in rank order; propagation stops where a
+    /// gate's re-evaluated output is bit-identical to its cached state.
+    fn propagate(&mut self) {
+        let mut any_changed = false;
+        let mut word = self.min_dirty_rank as usize / 64;
+        while self.dirty_count > 0 {
+            // Re-read each round: processing a gate may mark ranks within
+            // the current word (always above the bit just cleared).
+            let bits = self.dirty_bits[word];
+            if bits == 0 {
+                word += 1;
+                continue;
+            }
+            let bit = bits.trailing_zeros();
+            self.dirty_bits[word] &= !(1u64 << bit);
+            self.dirty_count -= 1;
+            let gate = self.topo[word * 64 + bit as usize];
+            self.stats.gates_reevaluated += 1;
+            if self.eval_gate(gate) {
+                any_changed = true;
+                let out = self.out_net[gate.index()].index();
+                let (lo, hi) = (self.fanout_off[out], self.fanout_off[out + 1]);
+                for i in lo..hi {
+                    self.mark_dirty(self.fanout[i as usize]);
+                }
+            } else {
+                self.stats.converged_early += 1;
+            }
+        }
+        self.min_dirty_rank = u32::MAX;
+        if any_changed {
+            self.recompute_critical();
+        }
+    }
+
+    /// Re-run the full pass's per-gate step for `gate`; returns whether
+    /// the output net's arrival or slope changed (bitwise).
+    fn eval_gate(&mut self, gid: GateId) -> bool {
+        let cell = self.cell[gid.index()];
+        let out = self.out_net[gid.index()];
+        let cin = self.sizing.cin_ff(gid);
+        let load = self.nets[out.index()].load;
+
+        // The arc terms that do not depend on the fanin are hoisted out of
+        // the loop; every expression reproduces the exact operation order
+        // of `gate_delay_with_output_edge`, so arc delays (and therefore
+        // the whole timing state) stay bit-identical to the full pass.
+        let p = self.gate_params[gid.index()];
+        let cl_total = p.cpar_factor * cin + load;
+        // τ_out per output edge: `(τ·S) · C_L / C_IN`.
+        let tau_out_by_edge = [p.tau_s[0] * cl_total / cin, p.tau_s[1] * cl_total / cin];
+        // Miller amplification per *input* edge (C_M couples through the
+        // P device on a rising input, the N device on a falling one).
+        let cm = [0.5 * cin * p.k / (1.0 + p.k), 0.5 * cin / (1.0 + p.k)];
+        let miller = [
+            1.0 + 2.0 * cm[0] / (cm[0] + cl_total),
+            1.0 + 2.0 * cm[1] / (cm[1] + cl_total),
+        ];
+
+        let mut new_arrival = [f64::NEG_INFINITY; 2];
+        let mut new_slope = [0.0f64; 2];
+        let mut new_pred: [Option<(NetId, Edge)>; 2] = [None, None];
+        let mut worst_gate_delay = 0.0f64;
+
+        let fanin_range =
+            self.fanin_off[gid.index()] as usize..self.fanin_off[gid.index() + 1] as usize;
+        for out_edge in EDGES {
+            let tau_out = tau_out_by_edge[eidx(out_edge)];
+            let mut best: Option<(f64, NetId, Edge)> = None;
+            for &in_net in &self.fanin[fanin_range.clone()] {
+                let fanin = &self.nets[in_net.index()];
+                for &in_edge in compatible_input_edges(cell, out_edge) {
+                    let t_in = fanin.arrival[eidx(in_edge)];
+                    if t_in == f64::NEG_INFINITY {
+                        continue;
+                    }
+                    let s_in = fanin.slope[eidx(in_edge)];
+                    let i = eidx(in_edge);
+                    let delay_ps = 0.5 * self.vt[i] * s_in + 0.5 * miller[i] * tau_out;
+                    debug_assert_eq!(
+                        delay_ps.to_bits(),
+                        gate_delay_with_output_edge(
+                            self.lib, cell, cin, load, s_in, in_edge, out_edge,
+                        )
+                        .delay_ps
+                        .to_bits(),
+                        "cached-constant arc delay must match the model"
+                    );
+                    worst_gate_delay = worst_gate_delay.max(delay_ps);
+                    let t_out = t_in + delay_ps;
+                    if best.map(|(t, ..)| t_out > t).unwrap_or(true) {
+                        best = Some((t_out, in_net, in_edge));
+                    }
+                }
+            }
+            if let Some((t, n, e)) = best {
+                let i = eidx(out_edge);
+                new_arrival[i] = t;
+                new_slope[i] = tau_out;
+                new_pred[i] = Some((n, e));
+            }
+        }
+
+        self.gate_delay_worst[gid.index()] = worst_gate_delay;
+        let o = &mut self.nets[out.index()];
+        let changed = new_arrival[0].to_bits() != o.arrival[0].to_bits()
+            || new_arrival[1].to_bits() != o.arrival[1].to_bits()
+            || new_slope[0].to_bits() != o.slope[0].to_bits()
+            || new_slope[1].to_bits() != o.slope[1].to_bits();
+        o.arrival = new_arrival;
+        o.slope = new_slope;
+        o.pred = new_pred;
+        changed
+    }
+
+    /// Initial timing: evaluate every gate once in topological order —
+    /// exactly the full pass of `analyze_with`.
+    fn full_pass(&mut self) {
+        for net in self.circuit.net_ids() {
+            self.recompute_net_load(net);
+        }
+        for &pi in self.circuit.primary_inputs() {
+            let n = &mut self.nets[pi.index()];
+            for e in EDGES {
+                n.arrival[eidx(e)] = 0.0;
+                n.slope[eidx(e)] = self.options.input_transition_ps;
+            }
+        }
+        for i in 0..self.topo.len() {
+            let gate = self.topo[i];
+            self.eval_gate(gate);
+        }
+        self.recompute_critical();
+    }
+
+    /// Same worst-output scan (and tie-breaking order) as the full pass.
+    fn recompute_critical(&mut self) {
+        let mut critical: Option<(NetId, Edge, f64)> = None;
+        for &po in self.circuit.primary_outputs() {
+            for e in EDGES {
+                let t = self.nets[po.index()].arrival[eidx(e)];
+                if t > critical.map(|(_, _, c)| c).unwrap_or(f64::NEG_INFINITY) {
+                    critical = Some((po, e, t));
+                }
+            }
+        }
+        self.critical_net = critical.map(|(n, e, _)| (n, e));
+    }
+}
+
+impl TimingView for TimingGraph<'_> {
+    fn critical_delay_ps(&self) -> f64 {
+        TimingGraph::critical_delay_ps(self)
+    }
+    fn arrival_ps(&self, net: NetId, edge: EdgeDir) -> f64 {
+        TimingGraph::arrival_ps(self, net, edge)
+    }
+    fn slope_ps(&self, net: NetId, edge: EdgeDir) -> f64 {
+        TimingGraph::slope_ps(self, net, edge)
+    }
+    fn net_load_ff(&self, net: NetId) -> f64 {
+        TimingGraph::net_load_ff(self, net)
+    }
+    fn gate_delay_worst_ps(&self, gate: GateId) -> f64 {
+        TimingGraph::gate_delay_worst_ps(self, gate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{analyze, analyze_with};
+    use pops_netlist::builders::{inverter_chain, ripple_carry_adder};
+    use pops_netlist::suite;
+
+    fn assert_matches_fresh(graph: &TimingGraph, circuit: &Circuit, lib: &Library) {
+        let fresh = analyze_with(circuit, lib, graph.sizing(), graph.options()).unwrap();
+        assert_eq!(
+            graph.critical_delay_ps().to_bits(),
+            fresh.critical_delay_ps().to_bits(),
+            "critical delay diverged"
+        );
+        for net in circuit.net_ids() {
+            for dir in [EdgeDir::Rising, EdgeDir::Falling] {
+                assert_eq!(
+                    graph.arrival_ps(net, dir).to_bits(),
+                    fresh.arrival_ps(net, dir).to_bits(),
+                    "arrival {net} {dir:?}"
+                );
+                assert_eq!(
+                    graph.slope_ps(net, dir).to_bits(),
+                    fresh.slope_ps(net, dir).to_bits(),
+                    "slope {net} {dir:?}"
+                );
+            }
+            assert_eq!(
+                graph.net_load_ff(net).to_bits(),
+                fresh.net_load_ff(net).to_bits(),
+                "load {net}"
+            );
+        }
+        for g in circuit.gate_ids() {
+            assert_eq!(
+                graph.gate_delay_worst_ps(g).to_bits(),
+                fresh.gate_delay_worst_ps(g).to_bits(),
+                "gate delay {g}"
+            );
+        }
+        assert_eq!(graph.critical_path().gates, fresh.critical_path().gates);
+    }
+
+    #[test]
+    fn initial_state_matches_full_analysis() {
+        let lib = Library::cmos025();
+        for c in [inverter_chain(6), ripple_carry_adder(8)] {
+            let s = Sizing::minimum(&c, &lib);
+            let graph = TimingGraph::new(&c, &lib, &s).unwrap();
+            assert_matches_fresh(&graph, &c, &lib);
+        }
+    }
+
+    #[test]
+    fn single_resize_matches_full_analysis() {
+        let lib = Library::cmos025();
+        let c = ripple_carry_adder(8);
+        let s = Sizing::minimum(&c, &lib);
+        let mut graph = TimingGraph::new(&c, &lib, &s).unwrap();
+        let mid = c.gate_ids().nth(c.gate_count() / 2).unwrap();
+        graph.resize_gate(mid, 5.0 * lib.min_drive_ff());
+        assert_matches_fresh(&graph, &c, &lib);
+    }
+
+    #[test]
+    fn resize_then_revert_restores_the_original_state() {
+        let lib = Library::cmos025();
+        let c = suite::circuit("fpd").unwrap();
+        let s = Sizing::minimum(&c, &lib);
+        let mut graph = TimingGraph::new(&c, &lib, &s).unwrap();
+        let before = graph.critical_delay_ps();
+        let g = graph.critical_path().gates[2];
+        let original = graph.sizing().cin_ff(g);
+        graph.resize_gate(g, 8.0 * original);
+        assert_ne!(graph.critical_delay_ps().to_bits(), before.to_bits());
+        graph.resize_gate(g, original);
+        assert_eq!(graph.critical_delay_ps().to_bits(), before.to_bits());
+        assert_matches_fresh(&graph, &c, &lib);
+    }
+
+    #[test]
+    fn batch_resize_matches_full_analysis() {
+        let lib = Library::cmos025();
+        let c = suite::circuit("c432").unwrap();
+        let s = Sizing::minimum(&c, &lib);
+        let mut graph = TimingGraph::new(&c, &lib, &s).unwrap();
+        let path = graph.critical_path();
+        let changes: Vec<(GateId, f64)> = path
+            .gates
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| (g, (2.0 + i as f64 * 0.1) * lib.min_drive_ff()))
+            .collect();
+        graph.resize_gates(changes);
+        assert_matches_fresh(&graph, &c, &lib);
+    }
+
+    #[test]
+    fn resize_touches_only_a_cone() {
+        let lib = Library::cmos025();
+        let c = suite::circuit("c880").unwrap();
+        let s = Sizing::minimum(&c, &lib);
+        let mut graph = TimingGraph::new(&c, &lib, &s).unwrap();
+        let g = c.gate_ids().nth(c.gate_count() / 2).unwrap();
+        graph.resize_gate(g, 3.0 * lib.min_drive_ff());
+        let stats = graph.stats();
+        assert!(
+            stats.gates_reevaluated < c.gate_count(),
+            "cone {} must be smaller than the circuit {}",
+            stats.gates_reevaluated,
+            c.gate_count()
+        );
+    }
+
+    #[test]
+    fn noop_resize_does_no_work() {
+        let lib = Library::cmos025();
+        let c = inverter_chain(5);
+        let s = Sizing::minimum(&c, &lib);
+        let mut graph = TimingGraph::new(&c, &lib, &s).unwrap();
+        let g = c.gate_ids().next().unwrap();
+        graph.resize_gate(g, lib.min_drive_ff());
+        assert_eq!(graph.stats().gates_reevaluated, 0);
+        assert_eq!(graph.stats().updates, 0);
+    }
+
+    #[test]
+    fn set_options_matches_full_analysis_under_new_options() {
+        let lib = Library::cmos025();
+        let c = ripple_carry_adder(6);
+        let s = Sizing::minimum(&c, &lib);
+        let mut graph = TimingGraph::new(&c, &lib, &s).unwrap();
+        let new = AnalyzeOptions {
+            po_load_ff: 42.0,
+            input_transition_ps: 120.0,
+        };
+        graph.set_options(&new);
+        assert_matches_fresh(&graph, &c, &lib);
+        let fresh = analyze_with(&c, &lib, graph.sizing(), &new).unwrap();
+        assert_eq!(
+            graph.critical_delay_ps().to_bits(),
+            fresh.critical_delay_ps().to_bits()
+        );
+    }
+
+    #[test]
+    fn timing_view_is_object_safe_over_both_backends() {
+        let lib = Library::cmos025();
+        let c = inverter_chain(4);
+        let s = Sizing::minimum(&c, &lib);
+        let report = analyze(&c, &lib, &s).unwrap();
+        let graph = TimingGraph::new(&c, &lib, &s).unwrap();
+        let views: Vec<&dyn TimingView> = vec![&report, &graph];
+        let delays: Vec<f64> = views.iter().map(|v| v.critical_delay_ps()).collect();
+        assert_eq!(delays[0].to_bits(), delays[1].to_bits());
+    }
+}

@@ -15,7 +15,7 @@ use std::collections::BinaryHeap;
 
 use pops_netlist::{Circuit, GateId, NetDriver};
 
-use crate::analysis::{EdgeDir, NetlistPath, TimingReport};
+use crate::analysis::{EdgeDir, NetlistPath, TimingView};
 
 /// A partial or complete path in the search heap, ordered by its
 /// optimistic bound (current weight + best possible completion).
@@ -50,8 +50,9 @@ impl Ord for HeapEntry {
 /// primary output. Returned in non-increasing weight order; fewer than `k`
 /// paths are returned if the circuit has fewer distinct paths.
 ///
-/// The weight of a path is the sum of [`TimingReport::gate_delay_worst_ps`]
-/// over its gates.
+/// The weight of a path is the sum of [`TimingView::gate_delay_worst_ps`]
+/// over its gates. Accepts any timing backend — a one-shot
+/// [`crate::TimingReport`] or an incremental [`crate::TimingGraph`].
 ///
 /// # Example
 ///
@@ -71,9 +72,9 @@ impl Ord for HeapEntry {
 /// # Ok(())
 /// # }
 /// ```
-pub fn k_most_critical_paths(
+pub fn k_most_critical_paths<V: TimingView + ?Sized>(
     circuit: &Circuit,
-    report: &TimingReport,
+    report: &V,
     k: usize,
 ) -> Vec<NetlistPath> {
     if k == 0 || circuit.gate_count() == 0 {
@@ -109,9 +110,11 @@ pub fn k_most_critical_paths(
     // Source gates: fed by at least one primary input.
     let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::new();
     for gid in circuit.gate_ids() {
-        let from_pi = circuit.gate(gid).inputs().iter().any(|&n| {
-            matches!(circuit.net(n).driver(), Some(NetDriver::PrimaryInput))
-        });
+        let from_pi = circuit
+            .gate(gid)
+            .inputs()
+            .iter()
+            .any(|&n| matches!(circuit.net(n).driver(), Some(NetDriver::PrimaryInput)));
         if from_pi && completion[gid.index()].is_finite() {
             heap.push(HeapEntry {
                 bound: completion[gid.index()],
@@ -169,7 +172,7 @@ pub fn k_most_critical_paths(
 
 /// Total frozen weight of a path under a report (useful for assertions
 /// and ranking displays).
-pub fn path_weight_ps(report: &TimingReport, path: &NetlistPath) -> f64 {
+pub fn path_weight_ps<V: TimingView + ?Sized>(report: &V, path: &NetlistPath) -> f64 {
     path.gates
         .iter()
         .map(|&g| report.gate_delay_worst_ps(g))
@@ -179,7 +182,7 @@ pub fn path_weight_ps(report: &TimingReport, path: &NetlistPath) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::analysis::analyze;
+    use crate::analysis::{analyze, TimingReport};
     use crate::sizing::Sizing;
     use pops_delay::Library;
     use pops_netlist::builders::{inverter_chain, ripple_carry_adder};
@@ -216,13 +219,7 @@ mod tests {
         let c = ripple_carry_adder(2);
         let (paths, r) = paths_of(&c, 1);
         // Exhaustive DFS over all PI->PO gate paths.
-        fn dfs(
-            c: &Circuit,
-            r: &TimingReport,
-            g: GateId,
-            weight: f64,
-            best: &mut f64,
-        ) {
+        fn dfs(c: &Circuit, r: &TimingReport, g: GateId, weight: f64, best: &mut f64) {
             let weight = weight + r.gate_delay_worst_ps(g);
             let out = c.gate(g).output();
             if c.net(out).is_output() {
@@ -234,9 +231,11 @@ mod tests {
         }
         let mut best = 0.0;
         for g in c.gate_ids() {
-            let from_pi = c.gate(g).inputs().iter().any(|&n| {
-                matches!(c.net(n).driver(), Some(NetDriver::PrimaryInput))
-            });
+            let from_pi = c
+                .gate(g)
+                .inputs()
+                .iter()
+                .any(|&n| matches!(c.net(n).driver(), Some(NetDriver::PrimaryInput)));
             if from_pi {
                 dfs(&c, &r, g, 0.0, &mut best);
             }

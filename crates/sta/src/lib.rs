@@ -8,6 +8,9 @@
 //!
 //! * [`analysis`] — dual-edge (rise/fall) block-based STA with slope
 //!   propagation under the eqs. (1)–(3) model,
+//! * [`incremental`] — the same timing state maintained incrementally:
+//!   gate resizes re-propagate only their dirty fanout cone (the sizing
+//!   loop's hot path),
 //! * [`kpaths`] — the K most critical paths (ref. [11]),
 //! * [`extract`] — turning a netlist path into a bounded `TimedPath`
 //!   including the off-path loading every on-path gate sees.
@@ -36,12 +39,14 @@
 
 pub mod analysis;
 pub mod extract;
+pub mod incremental;
 pub mod kpaths;
 pub mod sizing;
 pub mod slack;
 
-pub use analysis::{analyze, NetlistPath, TimingReport};
+pub use analysis::{analyze, NetlistPath, TimingReport, TimingView};
 pub use extract::{extract_timed_path, ExtractOptions};
+pub use incremental::TimingGraph;
 pub use kpaths::k_most_critical_paths;
-pub use slack::{required_times, SlackReport};
 pub use sizing::Sizing;
+pub use slack::{required_times, SlackReport};

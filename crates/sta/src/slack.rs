@@ -10,7 +10,7 @@ use pops_delay::model::{gate_delay_with_output_edge, Edge};
 use pops_delay::Library;
 use pops_netlist::{Circuit, NetId, NetlistError};
 
-use crate::analysis::{compatible_input_edges, EdgeDir, TimingReport};
+use crate::analysis::{compatible_input_edges, EdgeDir, TimingView};
 use crate::sizing::Sizing;
 
 /// Result of the backward (required-time) pass.
@@ -63,16 +63,19 @@ impl SlackReport {
 /// `tc_ps` applied at every primary output.
 ///
 /// Must be called with the same circuit/sizing the `report` was computed
-/// from (arc delays are re-derived with the report's slopes).
+/// from (arc delays are re-derived with the report's slopes). Accepts any
+/// timing backend — a one-shot [`crate::TimingReport`] or an incremental
+/// [`crate::TimingGraph`] — so the sizing loop never forces a full
+/// re-analysis just to read slacks.
 ///
 /// # Errors
 ///
 /// Propagates [`Circuit::topo_order`] errors.
-pub fn required_times(
+pub fn required_times<V: TimingView + ?Sized>(
     circuit: &Circuit,
     lib: &Library,
     sizing: &Sizing,
-    report: &TimingReport,
+    report: &V,
     tc_ps: f64,
 ) -> Result<SlackReport, NetlistError> {
     let order = circuit.topo_order()?;
@@ -129,7 +132,7 @@ pub fn required_times(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::analysis::analyze;
+    use crate::analysis::{analyze, TimingReport};
     use pops_netlist::builders::{inverter_chain, ripple_carry_adder};
 
     fn setup(c: &Circuit) -> (Library, Sizing, TimingReport) {
@@ -154,8 +157,7 @@ mod tests {
     fn slack_is_negative_under_an_impossible_constraint() {
         let c = inverter_chain(4);
         let (lib, s, r) = setup(&c);
-        let slacks =
-            required_times(&c, &lib, &s, &r, 0.5 * r.critical_delay_ps()).unwrap();
+        let slacks = required_times(&c, &lib, &s, &r, 0.5 * r.critical_delay_ps()).unwrap();
         assert!(slacks.worst_slack_overall_ps() < 0.0);
     }
 
@@ -163,8 +165,7 @@ mod tests {
     fn slack_is_positive_under_a_loose_constraint() {
         let c = ripple_carry_adder(4);
         let (lib, s, r) = setup(&c);
-        let slacks =
-            required_times(&c, &lib, &s, &r, 2.0 * r.critical_delay_ps()).unwrap();
+        let slacks = required_times(&c, &lib, &s, &r, 2.0 * r.critical_delay_ps()).unwrap();
         assert!(slacks.worst_slack_overall_ps() > 0.0);
     }
 

@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // STA at minimum drive.
     let sizing = Sizing::minimum(&adder, &lib);
     let report = analyze(&adder, &lib, &sizing)?;
-    println!("critical delay at min drive: {:.2} ns", report.critical_delay_ps() / 1000.0);
+    println!(
+        "critical delay at min drive: {:.2} ns",
+        report.critical_delay_ps() / 1000.0
+    );
 
     // The carry ripple dominates: look at the top 5 paths.
     let paths = k_most_critical_paths(&adder, &report, 5);

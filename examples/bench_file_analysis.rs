@@ -37,9 +37,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Functional sanity: evaluate one vector.
-    let values = [("1", true), ("2", false), ("3", true), ("6", false), ("7", true)]
-        .into_iter()
-        .collect();
+    let values = [
+        ("1", true),
+        ("2", false),
+        ("3", true),
+        ("6", false),
+        ("7", true),
+    ]
+    .into_iter()
+    .collect();
     let out = circuit.evaluate(&values)?;
     println!("f(1,0,1,0,1) -> 22={} 23={}", out["22"], out["23"]);
 

@@ -29,7 +29,11 @@ fn main() {
     ];
     println!("Flimit (gate driven by an inverter):");
     for entry in flimit_table(&lib, &gates) {
-        println!("  inv -> {:<6}  {:>5.1}", entry.gate.to_string(), entry.flimit);
+        println!(
+            "  inv -> {:<6}  {:>5.1}",
+            entry.gate.to_string(),
+            entry.flimit
+        );
     }
 
     // 2. A path with one overloaded node.

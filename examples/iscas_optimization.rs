@@ -23,8 +23,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let sizing = Sizing::minimum(&circuit, &lib);
         let report = analyze(&circuit, &lib, &sizing)?;
         let critical = report.critical_path();
-        let extracted =
-            extract_timed_path(&circuit, &lib, &sizing, &critical, &ExtractOptions::default());
+        let extracted = extract_timed_path(
+            &circuit,
+            &lib,
+            &sizing,
+            &critical,
+            &ExtractOptions::default(),
+        );
 
         let bounds = delay_bounds(&lib, &extracted.timed);
         for factor in [1.1, 1.8, 2.7] {

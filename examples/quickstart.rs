@@ -31,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Step 1 — design-space exploration: Tmin / Tmax bounds.
     let bounds = delay_bounds(&lib, &path);
-    println!("Tmin = {:.1} ps   Tmax = {:.1} ps", bounds.tmin_ps, bounds.tmax_ps);
+    println!(
+        "Tmin = {:.1} ps   Tmax = {:.1} ps",
+        bounds.tmin_ps, bounds.tmax_ps
+    );
 
     // Step 2 — pick a constraint in each domain and run the protocol.
     for (label, factor) in [("weak", 2.8), ("medium", 1.6), ("hard", 1.08)] {

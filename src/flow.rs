@@ -9,9 +9,9 @@
 use pops_core::protocol::{optimize, ProtocolOptions, Technique};
 use pops_core::OptimizeError;
 use pops_delay::Library;
-use pops_netlist::{Circuit, NetlistError};
-use pops_sta::analysis::{analyze, TimingReport};
-use pops_sta::{extract_timed_path, k_most_critical_paths, ExtractOptions, Sizing};
+use pops_netlist::{Circuit, GateId, NetlistError};
+use pops_sta::analysis::TimingView;
+use pops_sta::{extract_timed_path, k_most_critical_paths, ExtractOptions, Sizing, TimingGraph};
 
 /// Options for a circuit-level run.
 #[derive(Debug, Clone, PartialEq)]
@@ -137,9 +137,12 @@ pub fn optimize_circuit(
     options: &FlowOptions,
 ) -> Result<FlowResult, FlowError> {
     assert!(tc_ps > 0.0, "constraint must be positive");
-    let mut sizing = Sizing::minimum(circuit, lib);
-    let mut report = analyze(circuit, lib, &sizing)?;
-    let initial_delay_ps = report.critical_delay_ps();
+    // The timing picture is built once and kept consistent through
+    // incremental dirty-cone updates: each round's write-backs re-time
+    // only the cones the resized gates actually perturb, instead of
+    // re-running a full `analyze` pass per round.
+    let mut graph = TimingGraph::new(circuit, lib, &Sizing::minimum(circuit, lib))?;
+    let initial_delay_ps = graph.critical_delay_ps();
 
     // Structure modification cannot be written back into the netlist by
     // this flow; run the protocol with conservation only and count what
@@ -153,24 +156,24 @@ pub fn optimize_circuit(
     let mut paths_optimized = 0;
     let mut structure_recommendations = 0;
     let mut rounds = 0;
-    let mut best_sizing = sizing.clone();
+    let mut best_sizing = graph.sizing().clone();
     let mut best_delay = initial_delay_ps;
 
     for _ in 0..options.max_rounds {
         rounds += 1;
-        if report.critical_delay_ps() <= tc_ps {
+        if graph.critical_delay_ps() <= tc_ps {
             break;
         }
-        let round_start = sizing.clone();
-        let paths = k_most_critical_paths(circuit, &report, options.paths_per_round);
+        let round_start = graph.sizing().clone();
+        let paths = k_most_critical_paths(circuit, &graph, options.paths_per_round);
         let mut any_change = false;
         for path in &paths {
-            let arrival = path_endpoint_arrival(circuit, &report, path);
+            let arrival = path_endpoint_arrival(circuit, &graph, path);
             if arrival <= tc_ps {
                 continue;
             }
             let extracted =
-                extract_timed_path(circuit, lib, &sizing, path, &options.extract);
+                extract_timed_path(circuit, lib, graph.sizing(), path, &options.extract);
             let solution = match optimize(lib, &extracted.timed, tc_ps, &conserve) {
                 Ok(outcome) => {
                     debug_assert_eq!(outcome.technique, Technique::SizingOnly);
@@ -196,15 +199,21 @@ pub fn optimize_circuit(
                     *s = s.min(cap).max(lib.min_drive_ff());
                 }
                 sizes[0] = extracted.timed.source_drive_ff();
-                extracted.apply_sizes(&mut sizing, &sizes);
+                // One batched dirty-cone re-time for the whole path.
+                let changes: Vec<(GateId, f64)> = extracted
+                    .gates
+                    .iter()
+                    .copied()
+                    .zip(sizes.iter().copied())
+                    .collect();
+                graph.resize_gates(changes);
                 paths_optimized += 1;
                 any_change = true;
             }
         }
-        report = analyze(circuit, lib, &sizing)?;
-        if report.critical_delay_ps() < best_delay {
-            best_delay = report.critical_delay_ps();
-            best_sizing = sizing.clone();
+        if graph.critical_delay_ps() < best_delay {
+            best_delay = graph.critical_delay_ps();
+            best_sizing = graph.sizing().clone();
         }
         if !any_change {
             break;
@@ -222,9 +231,9 @@ pub fn optimize_circuit(
     })
 }
 
-fn path_endpoint_arrival(
+fn path_endpoint_arrival<V: TimingView + ?Sized>(
     circuit: &Circuit,
-    report: &TimingReport,
+    report: &V,
     path: &pops_sta::NetlistPath,
 ) -> f64 {
     let Some(&last) = path.gates.last() else {
@@ -241,6 +250,7 @@ mod tests {
     use super::*;
     use pops_netlist::builders::ripple_carry_adder;
     use pops_netlist::suite;
+    use pops_sta::analysis::analyze;
 
     #[test]
     fn flow_speeds_up_an_adder() {

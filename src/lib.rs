@@ -59,6 +59,7 @@ pub use pops_spice as spice;
 pub use pops_sta as sta;
 
 pub mod flow;
+pub mod gradient;
 
 /// Everything needed for typical protocol runs, in one import.
 pub mod prelude {
@@ -73,5 +74,7 @@ pub mod prelude {
     pub use pops_delay::{Edge, Library, PathStage, Process, TimedPath};
     pub use pops_netlist::prelude::*;
     pub use pops_sta::analysis::analyze;
-    pub use pops_sta::{extract_timed_path, k_most_critical_paths, ExtractOptions, Sizing};
+    pub use pops_sta::{
+        extract_timed_path, k_most_critical_paths, ExtractOptions, Sizing, TimingGraph, TimingView,
+    };
 }

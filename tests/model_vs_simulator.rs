@@ -120,8 +120,7 @@ fn buffer_benefit_confirmed_by_the_simulator_above_flimit() {
     );
     // Size the buffer near the geometric mean of its source/sink caps.
     let buf = (cin * terminal).sqrt();
-    let d_buffered =
-        simulate_path(&params, &lib, &buffered, &[cin, cin, buf]).total_delay_ps;
+    let d_buffered = simulate_path(&params, &lib, &buffered, &[cin, cin, buf]).total_delay_ps;
     assert!(
         d_buffered < d_direct,
         "simulator: buffered {d_buffered} !< direct {d_direct} at F = {fanout:.1}"
