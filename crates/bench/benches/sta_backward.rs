@@ -1,0 +1,137 @@
+//! Incremental vs full *backward* STA on the slack-driven loop's hot
+//! operation: resize one gate, then re-query the design-worst slack.
+//!
+//! `full` re-runs the whole backward pass (`required_times` over the
+//! current forward state) per query — what every slack read cost before
+//! the maintained backward state. The incremental side sweeps a probe
+//! over **every** gate of the circuit — resize by 1.2×, re-read
+//! `worst_slack_overall_ps()`, revert (two forward + two backward
+//! dirty-cone updates, the slack-driven probing pattern) — timing each
+//! probe individually. Like the forward cones, backward cone sizes are
+//! heavily skewed, so both the median (typical-gate) and mean per-probe
+//! times are reported. Results are recorded as a baseline in
+//! `BENCH_sta_backward.json` at the repository root.
+
+use std::path::Path;
+use std::time::Instant;
+
+use pops_bench::json::ToJson;
+use pops_bench::microbench::format_ns;
+use pops_delay::Library;
+use pops_netlist::suite;
+use pops_sta::{required_times, Sizing, TimingGraph};
+
+struct CircuitBaseline {
+    circuit: String,
+    gates: usize,
+    full_backward_ns: f64,
+    probe_median_ns: f64,
+    probe_mean_ns: f64,
+    speedup_median: f64,
+    speedup_mean: f64,
+}
+pops_bench::json_fields!(CircuitBaseline {
+    circuit,
+    gates,
+    full_backward_ns,
+    probe_median_ns,
+    probe_mean_ns,
+    speedup_median,
+    speedup_mean
+});
+
+/// Median time of one full backward pass + worst-slack fold (one slack
+/// query of the pre-incremental loop), over enough repeats to be stable.
+fn measure_full(
+    circuit: &pops_netlist::Circuit,
+    lib: &Library,
+    sizing: &Sizing,
+    graph: &TimingGraph,
+    tc: f64,
+) -> f64 {
+    let samples = 15usize;
+    let reps = 4usize;
+    let mut times = Vec::with_capacity(samples);
+    // Derive from a plain forward report so the graph's cached backward
+    // state cannot short-circuit the pass being measured.
+    let report =
+        pops_sta::analysis::analyze_with(circuit, lib, sizing, graph.options()).expect("acyclic");
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            let slacks = required_times(circuit, lib, sizing, &report, tc).expect("acyclic");
+            std::hint::black_box(slacks.worst_slack_overall_ps());
+        }
+        times.push(t0.elapsed().as_nanos() as f64 / reps as f64);
+    }
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn main() {
+    let lib = Library::cmos025();
+    let mut baselines = Vec::new();
+
+    for name in ["fpd", "c432", "c880", "c1908", "c6288", "c7552"] {
+        let circuit = suite::circuit(name).expect("suite circuit");
+        let sizing = Sizing::minimum(&circuit, &lib);
+        let mut graph = TimingGraph::new(&circuit, &lib, &sizing).expect("acyclic");
+        let tc = 0.9 * graph.critical_delay_ps();
+        graph.set_constraint(tc);
+        let full = measure_full(&circuit, &lib, &sizing, &graph, tc);
+
+        let gates: Vec<_> = circuit.gate_ids().collect();
+        // Warm-up sweep (touch every cone once), then the measured sweep.
+        for &g in &gates {
+            let orig = graph.sizing().cin_ff(g);
+            graph.resize_gate(g, orig * 1.2);
+            graph.resize_gate(g, orig);
+        }
+        let mut probe_ns: Vec<f64> = Vec::with_capacity(gates.len());
+        for &g in &gates {
+            let orig = graph.sizing().cin_ff(g);
+            let t0 = Instant::now();
+            graph.resize_gate(g, orig * 1.2);
+            std::hint::black_box(graph.worst_slack_overall_ps());
+            graph.resize_gate(g, orig);
+            probe_ns.push(t0.elapsed().as_nanos() as f64);
+        }
+        probe_ns.sort_by(f64::total_cmp);
+        let median = probe_ns[probe_ns.len() / 2];
+        let mean = probe_ns.iter().sum::<f64>() / probe_ns.len() as f64;
+
+        baselines.push(CircuitBaseline {
+            circuit: name.to_string(),
+            gates: circuit.gate_count(),
+            full_backward_ns: full,
+            probe_median_ns: median,
+            probe_mean_ns: mean,
+            speedup_median: full / median,
+            speedup_mean: full / mean,
+        });
+    }
+
+    println!(
+        "circuit      gates   full/query   probe median   probe mean   speedup (median / mean)"
+    );
+    for b in &baselines {
+        println!(
+            "{:<10} {:>6}  {:>11}  {:>12}  {:>11}  {:>7.1}x / {:.1}x",
+            b.circuit,
+            b.gates,
+            format_ns(b.full_backward_ns),
+            format_ns(b.probe_median_ns),
+            format_ns(b.probe_mean_ns),
+            b.speedup_median,
+            b.speedup_mean,
+        );
+    }
+
+    // Record the baseline at the repository root.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root.join("BENCH_sta_backward.json");
+    match std::fs::write(&path, baselines.to_json()) {
+        Ok(()) => println!("[baseline] {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}

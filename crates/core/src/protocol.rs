@@ -102,6 +102,11 @@ pub struct ProtocolOutcome {
     pub sizes: Vec<f64>,
     /// Achieved delay (ps).
     pub delay_ps: f64,
+    /// Achieved slack against the requested constraint (ps):
+    /// `tc − delay`, ≥ 0 within the solver tolerance. Callers driving
+    /// the protocol from a slack view (per-endpoint required times)
+    /// read the margin back from here.
+    pub slack_ps: f64,
     /// Total input capacitance (fF), including any off-path side
     /// inverters introduced by restructuring.
     pub total_cin_ff: f64,
@@ -250,6 +255,7 @@ pub fn optimize(
         path: final_path,
         sizes: best.sizes,
         delay_ps: best.delay_ps,
+        slack_ps: tc_ps - best.delay_ps,
         total_cin_ff: best.total_cin_ff,
         bounds,
         inserted_buffers: best.inserted_buffers,
@@ -392,6 +398,17 @@ mod tests {
         )
         .unwrap();
         assert!(with.total_cin_ff <= without.total_cin_ff * 1.0001);
+    }
+
+    #[test]
+    fn outcome_reports_the_achieved_slack() {
+        let lib = lib();
+        let path = loaded_path();
+        let b = delay_bounds(&lib, &path);
+        let tc = 1.4 * b.tmin_ps;
+        let out = optimize(&lib, &path, tc, &ProtocolOptions::default()).unwrap();
+        assert_eq!(out.slack_ps, tc - out.delay_ps);
+        assert!(out.slack_ps >= -1e-4 * tc, "slack {}", out.slack_ps);
     }
 
     #[test]

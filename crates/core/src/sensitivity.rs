@@ -58,6 +58,10 @@ pub struct ConstraintSolution {
     pub sizes: Vec<f64>,
     /// Achieved delay (ps), ≤ the constraint within tolerance.
     pub delay_ps: f64,
+    /// Achieved slack `tc − delay` (ps) — what a slack-driven caller
+    /// (the circuit flow sizing against per-endpoint required times)
+    /// reads back; ≥ 0 within the delay tolerance.
+    pub slack_ps: f64,
     /// Total input capacitance (fF).
     pub total_cin_ff: f64,
     /// Bisection steps used.
@@ -171,6 +175,7 @@ pub fn distribute_constraint_with(
             a: 0.0,
             sizes: at_zero.sizes,
             delay_ps: at_zero.delay_ps,
+            slack_ps: tc_ps - at_zero.delay_ps,
             total_cin_ff: at_zero.total_cin_ff,
             bisections: 0,
         });
@@ -192,6 +197,7 @@ pub fn distribute_constraint_with(
                 a: a_lo,
                 sizes: lo_point.sizes,
                 delay_ps: lo_point.delay_ps,
+                slack_ps: tc_ps - lo_point.delay_ps,
                 total_cin_ff: lo_point.total_cin_ff,
                 bisections: expansion,
             });
@@ -208,8 +214,9 @@ pub fn distribute_constraint_with(
         steps += 1;
         let mid = 0.5 * (lo + hi);
         let p = solve_for_sensitivity(lib, path, mid, options);
-        if p.delay_ps <= tc_ps {
-            // Feasible: try to shrink further (more negative a).
+        // Bisect on the sign of the achieved slack: non-negative is
+        // feasible, so try to shrink further (more negative a).
+        if tc_ps - p.delay_ps >= 0.0 {
             best = p;
             hi = mid;
         } else {
@@ -226,6 +233,7 @@ pub fn distribute_constraint_with(
         a: best.a,
         sizes: best.sizes,
         delay_ps: best.delay_ps,
+        slack_ps: tc_ps - best.delay_ps,
         total_cin_ff: best.total_cin_ff,
         bisections: steps,
     })
@@ -342,6 +350,23 @@ mod tests {
             "area {} should undercut tmin area {tmin_area}",
             sol.total_cin_ff
         );
+    }
+
+    #[test]
+    fn solution_slack_is_nonnegative_and_consistent() {
+        let lib = lib();
+        let path = eleven_gate();
+        let b = delay_bounds(&lib, &path);
+        for factor in [1.1, 1.5, 2.5] {
+            let tc = factor * b.tmin_ps;
+            let sol = distribute_constraint(&lib, &path, tc).unwrap();
+            assert_eq!(sol.slack_ps, tc - sol.delay_ps, "slack bookkeeping");
+            assert!(
+                sol.slack_ps >= -1e-5 * tc,
+                "achieved slack {} under tc {tc}",
+                sol.slack_ps
+            );
+        }
     }
 
     #[test]

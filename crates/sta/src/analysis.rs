@@ -10,6 +10,7 @@ use pops_delay::Library;
 use pops_netlist::{CellKind, Circuit, GateId, NetDriver, NetId, NetlistError};
 
 use crate::sizing::Sizing;
+use crate::slack::SlackReport;
 
 /// Options for an STA run.
 #[derive(Debug, Clone, PartialEq)]
@@ -114,6 +115,29 @@ pub trait TimingView {
     fn net_load_ff(&self, net: NetId) -> f64;
     /// Worst-case delay of a gate (ps) under the analyzed slopes.
     fn gate_delay_worst_ps(&self, gate: GateId) -> f64;
+
+    /// K-most-critical-paths completion bounds maintained by this
+    /// backend, if any: `completion[gate.index()]` is the frozen-weight
+    /// longest completion from the gate to any primary output (ps;
+    /// `-inf` off every PI→PO path). `None` makes
+    /// [`crate::k_most_critical_paths`] derive the bounds from scratch;
+    /// a [`crate::TimingGraph`] with a constraint set returns its
+    /// incrementally maintained (bit-identical) array instead.
+    fn cached_completion_ps(&self) -> Option<&[f64]> {
+        None
+    }
+
+    /// A materialized backward state under exactly `tc_ps` *and*
+    /// `sizing`, if this backend maintains one (see
+    /// [`set_constraint`](crate::incremental::TimingGraph::set_constraint)).
+    /// Lets [`crate::required_times`] skip the full backward pass; the
+    /// returned report is bit-identical to what that pass computes. A
+    /// sizing that differs from the backend's own must return `None` so
+    /// a probe sizing is never silently answered from the cache.
+    fn cached_required_times(&self, tc_ps: f64, sizing: &Sizing) -> Option<SlackReport> {
+        let _ = (tc_ps, sizing);
+        None
+    }
 }
 
 impl TimingView for TimingReport {

@@ -28,6 +28,30 @@
 //! The randomized equivalence suite (`tests/incremental_equivalence.rs`)
 //! asserts this against `analyze()` after every step of random resize
 //! sequences.
+//!
+//! # Backward state: required times, slack and k-paths bounds
+//!
+//! Slack — not just arrival — is what a constraint-driven sizing loop
+//! consults on every probe. After [`TimingGraph::set_constraint`] the
+//! graph additionally maintains the *backward* quantities under that
+//! constraint: per-net required times (the
+//! [`required_times`](crate::required_times) state) and per-gate
+//! frozen-weight completion bounds (the
+//! [`k_most_critical_paths`](crate::k_most_critical_paths) search
+//! bounds). Both are kept consistent by the same dirty-cone machinery
+//! running in *reverse* rank order — a resize dirties the fanin cone
+//! (arc delays through the gate and through the drivers of its fanin
+//! nets changed) while the forward propagation reports every net whose
+//! slope moved and every gate whose worst delay moved, seeding the
+//! backward cones on the fanout side. The same bitwise convergence rule
+//! applies: a net whose recomputed required times (or a gate whose
+//! recomputed completion bound) is bit-identical to the cached value
+//! cuts its backward cone. [`TimingGraph::set_options`] and constraint
+//! changes invalidate the backward state wholesale — required times are
+//! subtract-chains from `tc`, not `tc`-offsets — and rebuild it with
+//! one full backward pass. `tests/backward_equivalence.rs` asserts
+//! bit-identity against a fresh [`crate::required_times`] after every
+//! step of random resize sequences.
 
 use pops_delay::model::{gate_delay_with_output_edge, Edge};
 use pops_delay::Library;
@@ -37,6 +61,7 @@ use crate::analysis::{
     compatible_input_edges, eidx, AnalyzeOptions, EdgeDir, NetlistPath, TimingView, EDGES,
 };
 use crate::sizing::Sizing;
+use crate::slack::{worst_finite_slack, SlackReport, SlackView};
 
 /// Cumulative work counters, for benchmarks and cone-size assertions.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -48,6 +73,14 @@ pub struct UpdateStats {
     pub converged_early: usize,
     /// Mutator calls (resize / option changes) processed.
     pub updates: usize,
+    /// Per-net required-time re-evaluations (backward cone walks; the
+    /// constraint-setting full pass is counted too).
+    pub required_reevaluated: usize,
+    /// Required-time re-evaluations that were bit-unchanged, cutting
+    /// the backward cone.
+    pub required_converged_early: usize,
+    /// K-paths completion-bound re-evaluations.
+    pub completion_reevaluated: usize,
 }
 
 /// Per-gate model constants, flattened out of the library at build time.
@@ -66,6 +99,45 @@ struct GateParams {
     k: f64,
     /// `τ · S(out_edge)`, indexed by [`eidx`] of the output edge.
     tau_s: [f64; 2],
+}
+
+/// Fanin-independent arc terms of one gate under its current drive and
+/// load, hoisted out of the per-arc loops of the forward `eval_gate`
+/// *and* the backward `eval_required`.
+struct ArcTerms {
+    /// τ_out per *output* edge: `(τ·S) · C_L / C_IN`.
+    tau_out_by_edge: [f64; 2],
+    /// Miller amplification per *input* edge (C_M couples through the
+    /// P device on a rising input, the N device on a falling one).
+    miller: [f64; 2],
+}
+
+impl GateParams {
+    /// Compute the hoisted arc terms. This is the single home of the
+    /// delay-model arithmetic shared by the forward and backward
+    /// evaluators: every expression reproduces the exact operation
+    /// order of `gate_delay_with_output_edge`, so arc delays (and
+    /// therefore the whole timing state, both directions) stay
+    /// bit-identical to the full passes.
+    fn arc_terms(&self, cin: f64, load: f64) -> ArcTerms {
+        let cl_total = self.cpar_factor * cin + load;
+        let tau_out_by_edge = [
+            self.tau_s[0] * cl_total / cin,
+            self.tau_s[1] * cl_total / cin,
+        ];
+        let cm = [
+            0.5 * cin * self.k / (1.0 + self.k),
+            0.5 * cin / (1.0 + self.k),
+        ];
+        let miller = [
+            1.0 + 2.0 * cm[0] / (cm[0] + cl_total),
+            1.0 + 2.0 * cm[1] / (cm[1] + cl_total),
+        ];
+        ArcTerms {
+            tau_out_by_edge,
+            miller,
+        }
+    }
 }
 
 /// Per-net timing state, kept as one record for cache locality.
@@ -174,7 +246,47 @@ pub struct TimingGraph<'c> {
     dirty_count: usize,
     /// Lowest rank marked since the last propagation.
     min_dirty_rank: u32,
+
+    /// Primary-output flag per net (flat copy for the backward hot loop).
+    is_po: Vec<bool>,
+    /// Maintained backward state; `None` until
+    /// [`TimingGraph::set_constraint`].
+    backward: Option<BackwardState>,
     stats: UpdateStats,
+}
+
+/// Incrementally maintained backward timing state (see the module
+/// docs): per-net required times under a fixed constraint plus the
+/// per-gate frozen-weight k-paths completion bounds, both kept
+/// consistent by reverse-rank dirty-cone propagation.
+#[derive(Debug, Clone)]
+struct BackwardState {
+    /// The cycle constraint applied at every primary output (ps).
+    tc_ps: f64,
+    /// `required[net][edge]` (ps); `+inf` where unconstrained.
+    required: Vec<[f64; 2]>,
+    /// Frozen-weight completion bound per gate (the k-paths search
+    /// bound; `-inf` off every PI→PO path).
+    completion: Vec<f64>,
+
+    /// Required-dirty set over the topo ranks of net *drivers* (each
+    /// gate drives exactly one net, so driven nets map 1:1 onto ranks).
+    /// Walked with a descending cursor + `leading_zeros`: backward
+    /// marks always target strictly lower ranks.
+    req_bits: Vec<u64>,
+    req_count: usize,
+    /// Highest rank marked since the last backward propagation.
+    req_max_rank: u32,
+    /// Required-dirty primary-input nets: sinks of the backward walk
+    /// (no driver to propagate through), evaluated after the rank loop
+    /// drains. The bitset dedupes, the vec preserves O(dirty) drain.
+    pi_bits: Vec<u64>,
+    pi_dirty: Vec<NetId>,
+
+    /// Completion-dirty set over topo ranks, same walk as `req_bits`.
+    comp_bits: Vec<u64>,
+    comp_count: usize,
+    comp_max_rank: u32,
 }
 
 impl<'c> TimingGraph<'c> {
@@ -278,6 +390,11 @@ impl<'c> TimingGraph<'c> {
             dirty_bits: vec![0u64; circuit.gate_count().div_ceil(64)],
             dirty_count: 0,
             min_dirty_rank: u32::MAX,
+            is_po: circuit
+                .net_ids()
+                .map(|n| circuit.net(n).is_output())
+                .collect(),
+            backward: None,
             stats: UpdateStats::default(),
         };
         graph.full_pass();
@@ -339,8 +456,18 @@ impl<'c> TimingGraph<'c> {
             // and re-evaluate their driver gates.
             for &in_net in self.circuit.gate(gate).inputs() {
                 self.recompute_net_load(in_net);
+                // Backward: arcs *through this gate* moved with its
+                // C_IN, so its fanin nets' required times must be
+                // re-derived.
+                self.mark_required_net(in_net);
                 if let Some(driver) = self.net_driver[in_net.index()] {
                     self.mark_dirty(driver);
+                    // Backward: arcs through `driver` moved too (the
+                    // load on its output net changed), touching the
+                    // required times of *its* fanin nets.
+                    for &dn in self.circuit.gate(driver).inputs() {
+                        self.mark_required_net(dn);
+                    }
                 }
             }
             // The gate's own drive changed.
@@ -354,10 +481,17 @@ impl<'c> TimingGraph<'c> {
 
     /// Switch to new analysis options and re-time what they touch (all
     /// primary-output loads and/or all primary-input slopes).
+    ///
+    /// Any maintained backward state is invalidated wholesale — a latch
+    /// load shifts every primary-output arc, an input slope every
+    /// source arc — and rebuilt with one full backward pass.
     pub fn set_options(&mut self, options: &AnalyzeOptions) {
         if self.options == *options {
             return;
         }
+        // Detach the backward state so the forward propagation does not
+        // drag a partially stale backward cone along.
+        let backward = self.backward.take();
         let po_changed = self.options.po_load_ff != options.po_load_ff;
         let slope_changed = self.options.input_transition_ps != options.input_transition_ps;
         self.options = options.clone();
@@ -385,6 +519,10 @@ impl<'c> TimingGraph<'c> {
         }
         self.stats.updates += 1;
         self.propagate();
+        if backward.is_some() {
+            self.backward = backward;
+            self.rebuild_backward();
+        }
     }
 
     // ---- query surface (mirrors `TimingReport`) ----
@@ -452,6 +590,137 @@ impl<'c> TimingGraph<'c> {
         self.circuit.primary_outputs()
     }
 
+    // ---- backward query surface (mirrors `SlackReport`) ----
+
+    /// Set the cycle constraint and start maintaining the backward
+    /// state (required times, slacks, k-paths completion bounds) under
+    /// it. The first call — and every call with a *different* `tc_ps`,
+    /// since required times are subtract-chains from the constraint,
+    /// not offsets of it — runs one full backward pass; subsequent
+    /// mutations keep the state current at O(backward cone) cost.
+    ///
+    /// An infinite `tc_ps` is accepted and behaves like the full pass:
+    /// `+inf` leaves every net unconstrained (no finite slack anywhere),
+    /// which a constraint-driven loop reads as "nothing to do".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tc_ps` is NaN.
+    pub fn set_constraint(&mut self, tc_ps: f64) {
+        assert!(!tc_ps.is_nan(), "constraint must not be NaN");
+        if let Some(bw) = &self.backward {
+            if bw.tc_ps.to_bits() == tc_ps.to_bits() {
+                return;
+            }
+        }
+        let n_nets = self.circuit.net_count();
+        let n_gates = self.circuit.gate_count();
+        self.backward = Some(BackwardState {
+            tc_ps,
+            required: vec![[f64::INFINITY; 2]; n_nets],
+            completion: vec![f64::NEG_INFINITY; n_gates],
+            req_bits: vec![0u64; n_gates.div_ceil(64)],
+            req_count: 0,
+            req_max_rank: 0,
+            pi_bits: vec![0u64; n_nets.div_ceil(64)],
+            pi_dirty: Vec::new(),
+            comp_bits: vec![0u64; n_gates.div_ceil(64)],
+            comp_count: 0,
+            comp_max_rank: 0,
+        });
+        self.rebuild_backward();
+    }
+
+    /// Stop maintaining the backward state (forward-only mutations get
+    /// cheaper again).
+    pub fn clear_constraint(&mut self) {
+        self.backward = None;
+    }
+
+    /// The constraint the backward state is maintained under, if any.
+    pub fn constraint_ps(&self) -> Option<f64> {
+        self.backward.as_ref().map(|bw| bw.tc_ps)
+    }
+
+    fn backward(&self) -> &BackwardState {
+        self.backward
+            .as_ref()
+            .expect("no backward state: call TimingGraph::set_constraint before querying slack")
+    }
+
+    /// Required time of a net for an edge (ps); `+inf` where
+    /// unconstrained. Bit-identical to a fresh
+    /// [`required_times`](crate::required_times) under the same
+    /// constraint.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`TimingGraph::set_constraint`] was called.
+    pub fn required_ps(&self, net: NetId, edge: EdgeDir) -> f64 {
+        self.backward().required[net.index()][eidx(edge.into())]
+    }
+
+    /// Slack of a net for an edge (ps): `required − arrival`. Finite or
+    /// `+inf`, never NaN (see [`crate::slack`]'s module docs).
+    ///
+    /// # Panics
+    ///
+    /// As [`TimingGraph::required_ps`].
+    pub fn slack_ps(&self, net: NetId, edge: EdgeDir) -> f64 {
+        let i = eidx(edge.into());
+        self.backward().required[net.index()][i] - self.nets[net.index()].arrival[i]
+    }
+
+    /// Worst (most negative) slack over both edges of a net.
+    ///
+    /// # Panics
+    ///
+    /// As [`TimingGraph::required_ps`].
+    pub fn worst_slack_ps(&self, net: NetId) -> f64 {
+        self.slack_ps(net, EdgeDir::Rising)
+            .min(self.slack_ps(net, EdgeDir::Falling))
+    }
+
+    /// Worst finite slack over the whole design; `None` when no net
+    /// carries a finite slack (e.g. zero primary outputs).
+    ///
+    /// # Panics
+    ///
+    /// As [`TimingGraph::required_ps`].
+    pub fn worst_slack_overall_ps(&self) -> Option<f64> {
+        let bw = self.backward();
+        worst_finite_slack(
+            bw.required
+                .iter()
+                .copied()
+                .zip(self.nets.iter().map(|n| n.arrival)),
+        )
+    }
+
+    /// Frozen-weight k-paths completion bound of a gate (ps); `-inf`
+    /// off every PI→PO path. Bit-identical to
+    /// [`completion_bounds`](crate::kpaths::completion_bounds).
+    ///
+    /// # Panics
+    ///
+    /// As [`TimingGraph::required_ps`].
+    pub fn completion_ps(&self, gate: GateId) -> f64 {
+        self.backward().completion[gate.index()]
+    }
+
+    /// Materialize the maintained backward state as a [`SlackReport`],
+    /// bit-identical to a fresh [`required_times`](crate::required_times)
+    /// under the same constraint — but O(nets) with no arc evaluations.
+    ///
+    /// # Panics
+    ///
+    /// As [`TimingGraph::required_ps`].
+    pub fn slack_report(&self) -> SlackReport {
+        let bw = self.backward();
+        let arrival: Vec<[f64; 2]> = self.nets.iter().map(|n| n.arrival).collect();
+        SlackReport::from_parts(bw.tc_ps, bw.required.clone(), arrival)
+    }
+
     // ---- internals ----
 
     /// Exact per-net load under the current sizing; identical summation
@@ -512,6 +781,7 @@ impl<'c> TimingGraph<'c> {
         if any_changed {
             self.recompute_critical();
         }
+        self.propagate_backward();
     }
 
     /// Re-run the full pass's per-gate step for `gate`; returns whether
@@ -522,21 +792,12 @@ impl<'c> TimingGraph<'c> {
         let cin = self.sizing.cin_ff(gid);
         let load = self.nets[out.index()].load;
 
-        // The arc terms that do not depend on the fanin are hoisted out of
-        // the loop; every expression reproduces the exact operation order
-        // of `gate_delay_with_output_edge`, so arc delays (and therefore
-        // the whole timing state) stay bit-identical to the full pass.
-        let p = self.gate_params[gid.index()];
-        let cl_total = p.cpar_factor * cin + load;
-        // τ_out per output edge: `(τ·S) · C_L / C_IN`.
-        let tau_out_by_edge = [p.tau_s[0] * cl_total / cin, p.tau_s[1] * cl_total / cin];
-        // Miller amplification per *input* edge (C_M couples through the
-        // P device on a rising input, the N device on a falling one).
-        let cm = [0.5 * cin * p.k / (1.0 + p.k), 0.5 * cin / (1.0 + p.k)];
-        let miller = [
-            1.0 + 2.0 * cm[0] / (cm[0] + cl_total),
-            1.0 + 2.0 * cm[1] / (cm[1] + cl_total),
-        ];
+        // The arc terms that do not depend on the fanin are hoisted out
+        // of the loop (shared with the backward `eval_required`).
+        let ArcTerms {
+            tau_out_by_edge,
+            miller,
+        } = self.gate_params[gid.index()].arc_terms(cin, load);
 
         let mut new_arrival = [f64::NEG_INFINITY; 2];
         let mut new_slope = [0.0f64; 2];
@@ -582,15 +843,30 @@ impl<'c> TimingGraph<'c> {
             }
         }
 
+        let delay_changed =
+            self.gate_delay_worst[gid.index()].to_bits() != worst_gate_delay.to_bits();
         self.gate_delay_worst[gid.index()] = worst_gate_delay;
         let o = &mut self.nets[out.index()];
-        let changed = new_arrival[0].to_bits() != o.arrival[0].to_bits()
-            || new_arrival[1].to_bits() != o.arrival[1].to_bits()
-            || new_slope[0].to_bits() != o.slope[0].to_bits()
+        let slope_changed = new_slope[0].to_bits() != o.slope[0].to_bits()
             || new_slope[1].to_bits() != o.slope[1].to_bits();
+        let changed = slope_changed
+            || new_arrival[0].to_bits() != o.arrival[0].to_bits()
+            || new_arrival[1].to_bits() != o.arrival[1].to_bits();
         o.arrival = new_arrival;
         o.slope = new_slope;
         o.pred = new_pred;
+        if self.backward.is_some() {
+            // Seed the backward cones: arcs *from* `out` move with its
+            // slope; the completion bound of `gid` moves with its worst
+            // delay. (Arrival-only changes touch slack, which is read
+            // directly from the forward state, but never required times.)
+            if slope_changed {
+                self.mark_required_net(out);
+            }
+            if delay_changed {
+                self.mark_completion_gate(gid);
+            }
+        }
         changed
     }
 
@@ -627,6 +903,286 @@ impl<'c> TimingGraph<'c> {
         }
         self.critical_net = critical.map(|(n, e, _)| (n, e));
     }
+
+    // ---- backward internals ----
+
+    /// Mark a net's required times dirty (no-op without backward state).
+    fn mark_required_net(&mut self, net: NetId) {
+        let Some(bw) = self.backward.as_mut() else {
+            return;
+        };
+        Self::mark_required_in(bw, &self.rank, &self.net_driver, net);
+    }
+
+    /// Mark a gate's completion bound dirty (no-op without backward
+    /// state).
+    fn mark_completion_gate(&mut self, gate: GateId) {
+        let Some(bw) = self.backward.as_mut() else {
+            return;
+        };
+        Self::mark_completion_in(bw, &self.rank, gate);
+    }
+
+    /// Non-`self`-borrowing required-mark, usable while the backward
+    /// state is detached during propagation. Driven nets key on their
+    /// driver's rank; primary-input nets go to the sink list.
+    fn mark_required_in(
+        bw: &mut BackwardState,
+        rank: &[u32],
+        net_driver: &[Option<GateId>],
+        net: NetId,
+    ) {
+        match net_driver[net.index()] {
+            Some(driver) => {
+                let r = rank[driver.index()];
+                let (word, bit) = (r as usize / 64, r % 64);
+                if bw.req_bits[word] & (1u64 << bit) == 0 {
+                    bw.req_bits[word] |= 1u64 << bit;
+                    bw.req_count += 1;
+                    if r > bw.req_max_rank {
+                        bw.req_max_rank = r;
+                    }
+                }
+            }
+            None => {
+                let i = net.index();
+                let (word, bit) = (i / 64, i % 64);
+                if bw.pi_bits[word] & (1u64 << bit) == 0 {
+                    bw.pi_bits[word] |= 1u64 << bit;
+                    bw.pi_dirty.push(net);
+                }
+            }
+        }
+    }
+
+    /// Non-`self`-borrowing completion-mark.
+    fn mark_completion_in(bw: &mut BackwardState, rank: &[u32], gate: GateId) {
+        let r = rank[gate.index()];
+        let (word, bit) = (r as usize / 64, r % 64);
+        if bw.comp_bits[word] & (1u64 << bit) == 0 {
+            bw.comp_bits[word] |= 1u64 << bit;
+            bw.comp_count += 1;
+            if r > bw.comp_max_rank {
+                bw.comp_max_rank = r;
+            }
+        }
+    }
+
+    /// Full backward refresh: mark every net and gate dirty, then drain.
+    /// One descending sweep evaluates each exactly once — the full
+    /// backward pass, used on constraint set/changes and option changes.
+    fn rebuild_backward(&mut self) {
+        let n_gates = self.circuit.gate_count();
+        {
+            let Some(bw) = self.backward.as_mut() else {
+                return;
+            };
+            for r in 0..n_gates {
+                bw.req_bits[r / 64] |= 1u64 << (r % 64);
+                bw.comp_bits[r / 64] |= 1u64 << (r % 64);
+            }
+            bw.req_count = n_gates;
+            bw.comp_count = n_gates;
+            if n_gates > 0 {
+                bw.req_max_rank = (n_gates - 1) as u32;
+                bw.comp_max_rank = (n_gates - 1) as u32;
+            }
+            for &pi in self.circuit.primary_inputs() {
+                let i = pi.index();
+                if bw.pi_bits[i / 64] & (1u64 << (i % 64)) == 0 {
+                    bw.pi_bits[i / 64] |= 1u64 << (i % 64);
+                    bw.pi_dirty.push(pi);
+                }
+            }
+        }
+        self.propagate_backward();
+    }
+
+    /// Drain the backward dirty sets in *descending* rank order;
+    /// propagation stops where a recomputed required time / completion
+    /// bound is bit-identical to its cached value. Marks always target
+    /// strictly lower ranks (a driver's fanins rank below it), so one
+    /// descending cursor visits every dirty entry in dependency order.
+    fn propagate_backward(&mut self) {
+        let Some(mut bw) = self.backward.take() else {
+            return;
+        };
+
+        // Required times over driven nets, highest driver rank first.
+        if bw.req_count > 0 {
+            let mut word = bw.req_max_rank as usize / 64;
+            loop {
+                // Re-read each round: processing a net may mark ranks
+                // within the current word (always below the bit just
+                // cleared).
+                let bits = bw.req_bits[word];
+                if bits == 0 {
+                    if word == 0 {
+                        break;
+                    }
+                    word -= 1;
+                    continue;
+                }
+                let bit = 63 - bits.leading_zeros();
+                bw.req_bits[word] &= !(1u64 << bit);
+                bw.req_count -= 1;
+                let gate = self.topo[word * 64 + bit as usize];
+                let net = self.out_net[gate.index()];
+                self.stats.required_reevaluated += 1;
+                if self.eval_required(&mut bw, net) {
+                    for &in_net in self.circuit.gate(gate).inputs() {
+                        Self::mark_required_in(&mut bw, &self.rank, &self.net_driver, in_net);
+                    }
+                } else {
+                    self.stats.required_converged_early += 1;
+                }
+                if bw.req_count == 0 {
+                    break;
+                }
+            }
+            bw.req_max_rank = 0;
+        }
+
+        // Primary-input nets: backward sinks, nothing propagates further.
+        if !bw.pi_dirty.is_empty() {
+            let mut pi_dirty = std::mem::take(&mut bw.pi_dirty);
+            for net in pi_dirty.drain(..) {
+                let i = net.index();
+                bw.pi_bits[i / 64] &= !(1u64 << (i % 64));
+                self.stats.required_reevaluated += 1;
+                if !self.eval_required(&mut bw, net) {
+                    self.stats.required_converged_early += 1;
+                }
+            }
+            bw.pi_dirty = pi_dirty;
+        }
+
+        // Completion bounds over gates, highest rank first.
+        if bw.comp_count > 0 {
+            let mut word = bw.comp_max_rank as usize / 64;
+            loop {
+                let bits = bw.comp_bits[word];
+                if bits == 0 {
+                    if word == 0 {
+                        break;
+                    }
+                    word -= 1;
+                    continue;
+                }
+                let bit = 63 - bits.leading_zeros();
+                bw.comp_bits[word] &= !(1u64 << bit);
+                bw.comp_count -= 1;
+                let gate = self.topo[word * 64 + bit as usize];
+                self.stats.completion_reevaluated += 1;
+                if self.eval_completion(&mut bw, gate) {
+                    for &in_net in self.circuit.gate(gate).inputs() {
+                        if let Some(driver) = self.net_driver[in_net.index()] {
+                            Self::mark_completion_in(&mut bw, &self.rank, driver);
+                        }
+                    }
+                }
+                if bw.comp_count == 0 {
+                    break;
+                }
+            }
+            bw.comp_max_rank = 0;
+        }
+
+        self.backward = Some(bw);
+    }
+
+    /// Recompute one net's required times from its fanout arcs; returns
+    /// whether they changed (bitwise).
+    ///
+    /// Candidates are exactly the full backward pass's for this net —
+    /// same arc delays (via the cached constants, asserted against the
+    /// model), accumulated by the same `<` min — so the result is
+    /// bit-identical to a fresh [`crate::required_times`]: a min over
+    /// one multiset is order-independent.
+    fn eval_required(&self, bw: &mut BackwardState, net: NetId) -> bool {
+        let mut req = if self.is_po[net.index()] {
+            [bw.tc_ps; 2]
+        } else {
+            [f64::INFINITY; 2]
+        };
+        let slope = self.nets[net.index()].slope;
+        let (lo, hi) = (
+            self.fanout_off[net.index()] as usize,
+            self.fanout_off[net.index() + 1] as usize,
+        );
+        for &h in &self.fanout[lo..hi] {
+            let cell = self.cell[h.index()];
+            let h_out = self.out_net[h.index()];
+            let cin = self.sizing.cin_ff(h);
+            let load = self.nets[h_out.index()].load;
+            // Same hoisted arc terms as `eval_gate` (bit-identical to
+            // `gate_delay_with_output_edge`).
+            let ArcTerms {
+                tau_out_by_edge,
+                miller,
+            } = self.gate_params[h.index()].arc_terms(cin, load);
+            for out_edge in EDGES {
+                let req_out = bw.required[h_out.index()][eidx(out_edge)];
+                if req_out == f64::INFINITY {
+                    continue;
+                }
+                let tau_out = tau_out_by_edge[eidx(out_edge)];
+                for &in_edge in compatible_input_edges(cell, out_edge) {
+                    let i = eidx(in_edge);
+                    let delay_ps = 0.5 * self.vt[i] * slope[i] + 0.5 * miller[i] * tau_out;
+                    debug_assert_eq!(
+                        delay_ps.to_bits(),
+                        gate_delay_with_output_edge(
+                            self.lib, cell, cin, load, slope[i], in_edge, out_edge,
+                        )
+                        .delay_ps
+                        .to_bits(),
+                        "cached-constant backward arc delay must match the model"
+                    );
+                    let candidate = req_out - delay_ps;
+                    if candidate < req[i] {
+                        req[i] = candidate;
+                    }
+                }
+            }
+        }
+        let slot = &mut bw.required[net.index()];
+        let changed =
+            req[0].to_bits() != slot[0].to_bits() || req[1].to_bits() != slot[1].to_bits();
+        *slot = req;
+        changed
+    }
+
+    /// Recompute one gate's k-paths completion bound; returns whether it
+    /// changed (bitwise). Same fold, in the same successor order, as
+    /// [`crate::kpaths::completion_bounds`].
+    fn eval_completion(&self, bw: &mut BackwardState, gid: GateId) -> bool {
+        let out = self.out_net[gid.index()];
+        let mut best = if self.is_po[out.index()] {
+            0.0
+        } else {
+            f64::NEG_INFINITY
+        };
+        let (lo, hi) = (
+            self.fanout_off[out.index()] as usize,
+            self.fanout_off[out.index() + 1] as usize,
+        );
+        for &succ in &self.fanout[lo..hi] {
+            let c = bw.completion[succ.index()];
+            if c.is_finite() {
+                best = best.max(c);
+            }
+        }
+        let new = if best.is_finite() {
+            self.gate_delay_worst[gid.index()] + best
+        } else {
+            f64::NEG_INFINITY
+        };
+        let slot = &mut bw.completion[gid.index()];
+        let changed = new.to_bits() != slot.to_bits();
+        *slot = new;
+        changed
+    }
 }
 
 impl TimingView for TimingGraph<'_> {
@@ -644,6 +1200,41 @@ impl TimingView for TimingGraph<'_> {
     }
     fn gate_delay_worst_ps(&self, gate: GateId) -> f64 {
         TimingGraph::gate_delay_worst_ps(self, gate)
+    }
+    fn cached_completion_ps(&self) -> Option<&[f64]> {
+        self.backward.as_ref().map(|bw| bw.completion.as_slice())
+    }
+    fn cached_required_times(&self, tc_ps: f64, sizing: &Sizing) -> Option<SlackReport> {
+        match &self.backward {
+            Some(bw) if bw.tc_ps.to_bits() == tc_ps.to_bits() && *sizing == self.sizing => {
+                Some(self.slack_report())
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Slack queries against the maintained backward state.
+///
+/// # Panics
+///
+/// Every method panics unless [`TimingGraph::set_constraint`] was
+/// called (the inherent methods carry the same contract).
+impl SlackView for TimingGraph<'_> {
+    fn constraint_ps(&self) -> f64 {
+        self.backward().tc_ps
+    }
+    fn required_ps(&self, net: NetId, edge: EdgeDir) -> f64 {
+        TimingGraph::required_ps(self, net, edge)
+    }
+    fn slack_ps(&self, net: NetId, edge: EdgeDir) -> f64 {
+        TimingGraph::slack_ps(self, net, edge)
+    }
+    fn worst_slack_ps(&self, net: NetId) -> f64 {
+        TimingGraph::worst_slack_ps(self, net)
+    }
+    fn worst_slack_overall_ps(&self) -> Option<f64> {
+        TimingGraph::worst_slack_overall_ps(self)
     }
 }
 
@@ -790,6 +1381,174 @@ mod tests {
             graph.critical_delay_ps().to_bits(),
             fresh.critical_delay_ps().to_bits()
         );
+    }
+
+    fn assert_backward_matches_fresh(graph: &TimingGraph, circuit: &Circuit, lib: &Library) {
+        use crate::kpaths::completion_bounds;
+        use crate::slack::required_times;
+        let tc = graph.constraint_ps().expect("constraint set");
+        let fresh = analyze_with(circuit, lib, graph.sizing(), graph.options()).unwrap();
+        let slacks = required_times(circuit, lib, graph.sizing(), &fresh, tc).unwrap();
+        for net in circuit.net_ids() {
+            for dir in [EdgeDir::Rising, EdgeDir::Falling] {
+                assert_eq!(
+                    graph.required_ps(net, dir).to_bits(),
+                    slacks.required_ps(net, dir).to_bits(),
+                    "required {net} {dir:?}"
+                );
+                assert_eq!(
+                    graph.slack_ps(net, dir).to_bits(),
+                    slacks.slack_ps(net, dir).to_bits(),
+                    "slack {net} {dir:?}"
+                );
+            }
+        }
+        assert_eq!(
+            graph.worst_slack_overall_ps().map(f64::to_bits),
+            slacks.worst_slack_overall_ps().map(f64::to_bits),
+            "worst slack overall"
+        );
+        let bounds = completion_bounds(circuit, &fresh);
+        for g in circuit.gate_ids() {
+            assert_eq!(
+                graph.completion_ps(g).to_bits(),
+                bounds[g.index()].to_bits(),
+                "completion {g}"
+            );
+        }
+    }
+
+    #[test]
+    fn initial_backward_state_matches_full_backward_pass() {
+        let lib = Library::cmos025();
+        for c in [inverter_chain(6), ripple_carry_adder(8)] {
+            let s = Sizing::minimum(&c, &lib);
+            let mut graph = TimingGraph::new(&c, &lib, &s).unwrap();
+            graph.set_constraint(0.9 * graph.critical_delay_ps());
+            assert_backward_matches_fresh(&graph, &c, &lib);
+        }
+    }
+
+    #[test]
+    fn resize_keeps_backward_state_identical_to_fresh_pass() {
+        let lib = Library::cmos025();
+        let c = suite::circuit("c432").unwrap();
+        let s = Sizing::minimum(&c, &lib);
+        let mut graph = TimingGraph::new(&c, &lib, &s).unwrap();
+        graph.set_constraint(0.85 * graph.critical_delay_ps());
+        let path = graph.critical_path();
+        for (i, &g) in path.gates.iter().enumerate().take(6) {
+            graph.resize_gate(g, (2.0 + i as f64 * 0.7) * lib.min_drive_ff());
+            assert_backward_matches_fresh(&graph, &c, &lib);
+        }
+    }
+
+    #[test]
+    fn changing_the_constraint_rebuilds_required_times() {
+        let lib = Library::cmos025();
+        let c = suite::circuit("fpd").unwrap();
+        let s = Sizing::minimum(&c, &lib);
+        let mut graph = TimingGraph::new(&c, &lib, &s).unwrap();
+        let t0 = graph.critical_delay_ps();
+        graph.set_constraint(t0);
+        assert_backward_matches_fresh(&graph, &c, &lib);
+        graph.set_constraint(1.4 * t0);
+        assert_backward_matches_fresh(&graph, &c, &lib);
+        // Worst slack at the exact constraint is 0 at the critical PO.
+        graph.set_constraint(t0);
+        let worst = graph.worst_slack_overall_ps().unwrap();
+        assert!(worst.abs() < 1e-9, "worst slack {worst}");
+    }
+
+    #[test]
+    fn set_options_invalidates_and_rebuilds_backward_state() {
+        let lib = Library::cmos025();
+        let c = ripple_carry_adder(6);
+        let s = Sizing::minimum(&c, &lib);
+        let mut graph = TimingGraph::new(&c, &lib, &s).unwrap();
+        graph.set_constraint(1.1 * graph.critical_delay_ps());
+        graph.set_options(&AnalyzeOptions {
+            po_load_ff: 35.0,
+            input_transition_ps: 90.0,
+        });
+        assert_matches_fresh(&graph, &c, &lib);
+        assert_backward_matches_fresh(&graph, &c, &lib);
+    }
+
+    #[test]
+    fn backward_update_touches_only_a_cone() {
+        let lib = Library::cmos025();
+        let c = suite::circuit("c880").unwrap();
+        let s = Sizing::minimum(&c, &lib);
+        let mut graph = TimingGraph::new(&c, &lib, &s).unwrap();
+        graph.set_constraint(0.9 * graph.critical_delay_ps());
+        let after_build = graph.stats();
+        let g = c.gate_ids().nth(c.gate_count() / 2).unwrap();
+        graph.resize_gate(g, 3.0 * lib.min_drive_ff());
+        let stats = graph.stats();
+        let reevals = stats.required_reevaluated - after_build.required_reevaluated;
+        assert!(
+            reevals < c.net_count(),
+            "backward cone {} must be smaller than the circuit {}",
+            reevals,
+            c.net_count()
+        );
+    }
+
+    #[test]
+    fn slack_queries_panic_without_a_constraint() {
+        let lib = Library::cmos025();
+        let c = inverter_chain(3);
+        let s = Sizing::minimum(&c, &lib);
+        let graph = TimingGraph::new(&c, &lib, &s).unwrap();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            graph.worst_slack_overall_ps()
+        }));
+        assert!(result.is_err(), "querying slack without a constraint");
+    }
+
+    #[test]
+    fn cached_required_times_short_circuits_only_on_matching_tc() {
+        let lib = Library::cmos025();
+        let c = inverter_chain(5);
+        let s = Sizing::minimum(&c, &lib);
+        let mut graph = TimingGraph::new(&c, &lib, &s).unwrap();
+        let tc = 1.2 * graph.critical_delay_ps();
+        graph.set_constraint(tc);
+        let sizing = graph.sizing().clone();
+        assert!(TimingView::cached_required_times(&graph, tc, &sizing).is_some());
+        assert!(TimingView::cached_required_times(&graph, tc + 1.0, &sizing).is_none());
+        // A probe sizing that differs from the graph's own must miss the
+        // cache — the answer would be for the wrong sizes.
+        let mut probe = sizing.clone();
+        let g0 = c.gate_ids().next().unwrap();
+        probe.set(g0, 2.0 * probe.cin_ff(g0));
+        assert!(TimingView::cached_required_times(&graph, tc, &probe).is_none());
+        // And the materialized report agrees with the full pass.
+        let via_cache = crate::slack::required_times(&c, &lib, graph.sizing(), &graph, tc).unwrap();
+        let fresh = analyze(&c, &lib, graph.sizing()).unwrap();
+        let via_pass = crate::slack::required_times(&c, &lib, graph.sizing(), &fresh, tc).unwrap();
+        for net in c.net_ids() {
+            for dir in [EdgeDir::Rising, EdgeDir::Falling] {
+                assert_eq!(
+                    via_cache.required_ps(net, dir).to_bits(),
+                    via_pass.required_ps(net, dir).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn clear_constraint_disables_the_caches() {
+        let lib = Library::cmos025();
+        let c = inverter_chain(4);
+        let s = Sizing::minimum(&c, &lib);
+        let mut graph = TimingGraph::new(&c, &lib, &s).unwrap();
+        graph.set_constraint(100.0);
+        assert!(graph.cached_completion_ps().is_some());
+        graph.clear_constraint();
+        assert!(graph.cached_completion_ps().is_none());
+        assert_eq!(graph.constraint_ps(), None);
     }
 
     #[test]

@@ -82,30 +82,19 @@ pub fn k_most_critical_paths<V: TimingView + ?Sized>(
     }
     let w = |g: GateId| report.gate_delay_worst_ps(g);
 
-    // Best completion weight from each gate to any primary output,
-    // computed over the reverse topological order.
-    let order = circuit
-        .topo_order()
-        .expect("timing report implies an acyclic circuit");
-    let mut completion = vec![f64::NEG_INFINITY; circuit.gate_count()];
-    for &gid in order.iter().rev() {
-        let out = circuit.gate(gid).output();
-        let mut best = if circuit.net(out).is_output() {
-            0.0
-        } else {
-            f64::NEG_INFINITY
-        };
-        for &(succ, _) in circuit.net(out).loads() {
-            if completion[succ.index()].is_finite() {
-                best = best.max(completion[succ.index()]);
-            }
+    // Best completion weight from each gate to any primary output. A
+    // backend that maintains the bounds incrementally (a `TimingGraph`
+    // with a constraint set) hands over its cached array — bit-identical
+    // to the from-scratch derivation — making per-round path extraction
+    // O(cone) instead of O(circuit).
+    let derived;
+    let completion: &[f64] = match report.cached_completion_ps() {
+        Some(cached) => cached,
+        None => {
+            derived = completion_bounds(circuit, report);
+            &derived
         }
-        completion[gid.index()] = if best.is_finite() {
-            w(gid) + best
-        } else {
-            f64::NEG_INFINITY
-        };
-    }
+    };
 
     // Source gates: fed by at least one primary input.
     let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::new();
@@ -168,6 +157,41 @@ pub fn k_most_critical_paths<V: TimingView + ?Sized>(
         }
     }
     results
+}
+
+/// Best completion weight from each gate to any primary output, over
+/// the reverse topological order: `completion[g] = w(g) + max over
+/// successors` (0 at a primary output, `-inf` off every PI→PO path).
+///
+/// This is the backward analogue of the forward arrival state with the
+/// gate weights frozen at [`TimingView::gate_delay_worst_ps`]; it is
+/// both the admissible bound driving the K-paths search heap and the
+/// array [`crate::TimingGraph`] maintains incrementally (the
+/// differential suites compare the two bit-for-bit).
+pub fn completion_bounds<V: TimingView + ?Sized>(circuit: &Circuit, report: &V) -> Vec<f64> {
+    let order = circuit
+        .topo_order()
+        .expect("timing report implies an acyclic circuit");
+    let mut completion = vec![f64::NEG_INFINITY; circuit.gate_count()];
+    for &gid in order.iter().rev() {
+        let out = circuit.gate(gid).output();
+        let mut best = if circuit.net(out).is_output() {
+            0.0
+        } else {
+            f64::NEG_INFINITY
+        };
+        for &(succ, _) in circuit.net(out).loads() {
+            if completion[succ.index()].is_finite() {
+                best = best.max(completion[succ.index()]);
+            }
+        }
+        completion[gid.index()] = if best.is_finite() {
+            report.gate_delay_worst_ps(gid) + best
+        } else {
+            f64::NEG_INFINITY
+        };
+    }
+    completion
 }
 
 /// Total frozen weight of a path under a report (useful for assertions

@@ -47,6 +47,6 @@ pub mod slack;
 pub use analysis::{analyze, NetlistPath, TimingReport, TimingView};
 pub use extract::{extract_timed_path, ExtractOptions};
 pub use incremental::TimingGraph;
-pub use kpaths::k_most_critical_paths;
+pub use kpaths::{completion_bounds, k_most_critical_paths, path_weight_ps};
 pub use sizing::Sizing;
-pub use slack::{required_times, SlackReport};
+pub use slack::{required_times, SlackReport, SlackView};

@@ -5,6 +5,18 @@
 //! backward pass propagates required times from the primary outputs
 //! through the same arcs (and the same arc delays) the forward pass
 //! used.
+//!
+//! # Value domains (the NaN policy)
+//!
+//! Required times are `+inf` on unconstrained nets (no path to a
+//! primary output) and finite everywhere else; arrivals are `-inf` on
+//! forward-unreachable nets and finite everywhere else. Slack
+//! (`required − arrival`) is therefore **finite or `+inf`, never NaN**:
+//! the only NaN-producing combination (`+inf − +inf` / `-inf − -inf`)
+//! cannot occur. A `+inf` slack means "this net does not constrain the
+//! design"; [`SlackView::worst_slack_overall_ps`] skips those and
+//! returns `None` when *no* net carries a finite slack (e.g. a circuit
+//! with zero primary outputs).
 
 use pops_delay::model::{gate_delay_with_output_edge, Edge};
 use pops_delay::Library;
@@ -13,9 +25,63 @@ use pops_netlist::{Circuit, NetId, NetlistError};
 use crate::analysis::{compatible_input_edges, EdgeDir, TimingView};
 use crate::sizing::Sizing;
 
+/// Read-only view over a backward (required-time) state: the query
+/// surface shared by the one-shot [`SlackReport`] and the incremental
+/// [`crate::incremental::TimingGraph`] (after
+/// [`set_constraint`](crate::incremental::TimingGraph::set_constraint)).
+///
+/// Slack-driven consumers — candidate ranking in the sizing loop,
+/// endpoint budgets in the circuit flow — are generic over this trait,
+/// so they work unchanged whether the required times came from a full
+/// backward pass or from reverse dirty-cone propagation.
+pub trait SlackView {
+    /// The cycle constraint the required times were computed against
+    /// (ps).
+    fn constraint_ps(&self) -> f64;
+
+    /// Required time of a net for an edge (ps); `+inf` where
+    /// unconstrained.
+    fn required_ps(&self, net: NetId, edge: EdgeDir) -> f64;
+
+    /// Slack of a net for an edge (ps): `required − arrival`. Negative
+    /// means the net lies on a violating path; `+inf` means the net does
+    /// not constrain the design (see the module docs — never NaN).
+    fn slack_ps(&self, net: NetId, edge: EdgeDir) -> f64;
+
+    /// Worst (most negative) slack over both edges of a net.
+    fn worst_slack_ps(&self, net: NetId) -> f64 {
+        self.slack_ps(net, EdgeDir::Rising)
+            .min(self.slack_ps(net, EdgeDir::Falling))
+    }
+
+    /// Worst finite slack over the whole design, or `None` when no net
+    /// carries a finite slack (no primary outputs, or none reachable).
+    fn worst_slack_overall_ps(&self) -> Option<f64>;
+}
+
+/// Fold the design-worst finite slack out of `(required, arrival)`
+/// pairs. Shared by both backends so their answers are bit-identical.
+pub(crate) fn worst_finite_slack(pairs: impl Iterator<Item = ([f64; 2], [f64; 2])>) -> Option<f64> {
+    let mut worst: Option<f64> = None;
+    for (required, arrival) in pairs {
+        for i in 0..2 {
+            let slack = required[i] - arrival[i];
+            if slack.is_finite() {
+                worst = Some(match worst {
+                    Some(w) => w.min(slack),
+                    None => slack,
+                });
+            }
+        }
+    }
+    worst
+}
+
 /// Result of the backward (required-time) pass.
 #[derive(Debug, Clone)]
 pub struct SlackReport {
+    /// The constraint the pass ran against (ps).
+    tc_ps: f64,
     /// `required[net][edge]` in ps; `+inf` where unconstrained.
     required: Vec<[f64; 2]>,
     /// Copy of the forward arrivals for slack computation.
@@ -30,13 +96,31 @@ fn eidx(e: Edge) -> usize {
 }
 
 impl SlackReport {
-    /// Required time of a net for an edge (ps).
+    /// Assemble a report from raw backward state (the incremental
+    /// engine's materialization path).
+    pub(crate) fn from_parts(tc_ps: f64, required: Vec<[f64; 2]>, arrival: Vec<[f64; 2]>) -> Self {
+        SlackReport {
+            tc_ps,
+            required,
+            arrival,
+        }
+    }
+
+    /// The cycle constraint the required times were computed against
+    /// (ps).
+    pub fn constraint_ps(&self) -> f64 {
+        self.tc_ps
+    }
+
+    /// Required time of a net for an edge (ps); `+inf` where
+    /// unconstrained.
     pub fn required_ps(&self, net: NetId, edge: EdgeDir) -> f64 {
         self.required[net.index()][eidx(edge.into())]
     }
 
     /// Slack of a net for an edge (ps): `required − arrival`. Negative
-    /// means the net lies on a violating path.
+    /// means the net lies on a violating path; `+inf` means
+    /// unconstrained (never NaN — see the module docs).
     pub fn slack_ps(&self, net: NetId, edge: EdgeDir) -> f64 {
         let i = eidx(edge.into());
         self.required[net.index()][i] - self.arrival[net.index()][i]
@@ -48,14 +132,36 @@ impl SlackReport {
             .min(self.slack_ps(net, EdgeDir::Falling))
     }
 
-    /// Worst slack over the whole design.
-    pub fn worst_slack_overall_ps(&self) -> f64 {
-        (0..self.required.len())
-            .map(|i| {
-                (self.required[i][0] - self.arrival[i][0])
-                    .min(self.required[i][1] - self.arrival[i][1])
-            })
-            .fold(f64::INFINITY, f64::min)
+    /// Worst finite slack over the whole design.
+    ///
+    /// Returns `None` when no net carries a finite slack — a circuit
+    /// with zero primary outputs has nothing to constrain, and the old
+    /// `+inf` sentinel read like an infinitely relaxed design.
+    pub fn worst_slack_overall_ps(&self) -> Option<f64> {
+        worst_finite_slack(
+            self.required
+                .iter()
+                .copied()
+                .zip(self.arrival.iter().copied()),
+        )
+    }
+}
+
+impl SlackView for SlackReport {
+    fn constraint_ps(&self) -> f64 {
+        SlackReport::constraint_ps(self)
+    }
+    fn required_ps(&self, net: NetId, edge: EdgeDir) -> f64 {
+        SlackReport::required_ps(self, net, edge)
+    }
+    fn slack_ps(&self, net: NetId, edge: EdgeDir) -> f64 {
+        SlackReport::slack_ps(self, net, edge)
+    }
+    fn worst_slack_ps(&self, net: NetId) -> f64 {
+        SlackReport::worst_slack_ps(self, net)
+    }
+    fn worst_slack_overall_ps(&self) -> Option<f64> {
+        SlackReport::worst_slack_overall_ps(self)
     }
 }
 
@@ -66,7 +172,11 @@ impl SlackReport {
 /// from (arc delays are re-derived with the report's slopes). Accepts any
 /// timing backend — a one-shot [`crate::TimingReport`] or an incremental
 /// [`crate::TimingGraph`] — so the sizing loop never forces a full
-/// re-analysis just to read slacks.
+/// re-analysis just to read slacks. A backend that maintains its own
+/// backward state under exactly `tc_ps` (a `TimingGraph` after
+/// [`set_constraint`](crate::incremental::TimingGraph::set_constraint))
+/// short-circuits the whole pass: the cached state is materialized in
+/// O(nets) with no arc evaluations, bit-identical to the full pass.
 ///
 /// # Errors
 ///
@@ -78,6 +188,9 @@ pub fn required_times<V: TimingView + ?Sized>(
     report: &V,
     tc_ps: f64,
 ) -> Result<SlackReport, NetlistError> {
+    if let Some(cached) = report.cached_required_times(tc_ps, sizing) {
+        return Ok(cached);
+    }
     let order = circuit.topo_order()?;
     let n_nets = circuit.net_count();
     let mut required = vec![[f64::INFINITY; 2]; n_nets];
@@ -126,7 +239,11 @@ pub fn required_times<V: TimingView + ?Sized>(
         }
     }
 
-    Ok(SlackReport { required, arrival })
+    Ok(SlackReport {
+        tc_ps,
+        required,
+        arrival,
+    })
 }
 
 #[cfg(test)]
@@ -134,6 +251,7 @@ mod tests {
     use super::*;
     use crate::analysis::{analyze, TimingReport};
     use pops_netlist::builders::{inverter_chain, ripple_carry_adder};
+    use pops_netlist::CellKind;
 
     fn setup(c: &Circuit) -> (Library, Sizing, TimingReport) {
         let lib = Library::cmos025();
@@ -149,7 +267,7 @@ mod tests {
         let tc = r.critical_delay_ps();
         let slacks = required_times(&c, &lib, &s, &r, tc).unwrap();
         // The critical output's slack is exactly zero.
-        let worst = slacks.worst_slack_overall_ps();
+        let worst = slacks.worst_slack_overall_ps().unwrap();
         assert!(worst.abs() < 1e-6, "worst slack {worst}");
     }
 
@@ -158,7 +276,7 @@ mod tests {
         let c = inverter_chain(4);
         let (lib, s, r) = setup(&c);
         let slacks = required_times(&c, &lib, &s, &r, 0.5 * r.critical_delay_ps()).unwrap();
-        assert!(slacks.worst_slack_overall_ps() < 0.0);
+        assert!(slacks.worst_slack_overall_ps().unwrap() < 0.0);
     }
 
     #[test]
@@ -166,7 +284,7 @@ mod tests {
         let c = ripple_carry_adder(4);
         let (lib, s, r) = setup(&c);
         let slacks = required_times(&c, &lib, &s, &r, 2.0 * r.critical_delay_ps()).unwrap();
-        assert!(slacks.worst_slack_overall_ps() > 0.0);
+        assert!(slacks.worst_slack_overall_ps().unwrap() > 0.0);
     }
 
     #[test]
@@ -175,7 +293,7 @@ mod tests {
         let (lib, s, r) = setup(&c);
         let tc = r.critical_delay_ps();
         let slacks = required_times(&c, &lib, &s, &r, tc).unwrap();
-        let worst = slacks.worst_slack_overall_ps();
+        let worst = slacks.worst_slack_overall_ps().unwrap();
         let path = r.critical_path();
         // Every gate output along the critical path carries (close to)
         // the design-worst slack.
@@ -195,7 +313,37 @@ mod tests {
         let t0 = r.critical_delay_ps();
         let s1 = required_times(&c, &lib, &s, &r, t0).unwrap();
         let s2 = required_times(&c, &lib, &s, &r, t0 + 100.0).unwrap();
-        let d = s2.worst_slack_overall_ps() - s1.worst_slack_overall_ps();
+        let d = s2.worst_slack_overall_ps().unwrap() - s1.worst_slack_overall_ps().unwrap();
         assert!((d - 100.0).abs() < 1e-6, "slack shift {d}");
+    }
+
+    #[test]
+    fn zero_output_circuit_has_no_overall_slack() {
+        // A circuit whose gates feed nothing marked as a primary output:
+        // nothing is constrained, so there is no worst slack — the old
+        // `+inf` sentinel read like an infinitely relaxed design.
+        let mut c = Circuit::new("no-po");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let _y = c.add_gate(CellKind::Nand2, &[a, b], "y").unwrap();
+        let (lib, s, r) = setup(&c);
+        let slacks = required_times(&c, &lib, &s, &r, 100.0).unwrap();
+        assert_eq!(slacks.worst_slack_overall_ps(), None);
+        // Per-net queries still answer: everything is unconstrained.
+        for net in c.net_ids() {
+            assert_eq!(slacks.worst_slack_ps(net), f64::INFINITY);
+            assert!(!slacks.worst_slack_ps(net).is_nan());
+        }
+    }
+
+    #[test]
+    fn constraint_is_recorded_on_the_report() {
+        let c = inverter_chain(3);
+        let (lib, s, r) = setup(&c);
+        let slacks = required_times(&c, &lib, &s, &r, 123.5).unwrap();
+        assert_eq!(slacks.constraint_ps(), 123.5);
+        // And through the trait object surface.
+        let view: &dyn SlackView = &slacks;
+        assert_eq!(view.constraint_ps(), 123.5);
     }
 }

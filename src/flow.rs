@@ -10,7 +10,7 @@ use pops_core::protocol::{optimize, ProtocolOptions, Technique};
 use pops_core::OptimizeError;
 use pops_delay::Library;
 use pops_netlist::{Circuit, GateId, NetlistError};
-use pops_sta::analysis::TimingView;
+use pops_sta::analysis::EdgeDir;
 use pops_sta::{extract_timed_path, k_most_critical_paths, ExtractOptions, Sizing, TimingGraph};
 
 /// Options for a circuit-level run.
@@ -140,8 +140,12 @@ pub fn optimize_circuit(
     // The timing picture is built once and kept consistent through
     // incremental dirty-cone updates: each round's write-backs re-time
     // only the cones the resized gates actually perturb, instead of
-    // re-running a full `analyze` pass per round.
+    // re-running a full `analyze` pass per round. Setting the constraint
+    // additionally maintains the backward state — per-net required
+    // times and the k-paths completion bounds — so every slack read and
+    // path extraction below is O(cone), not a fresh backward pass.
     let mut graph = TimingGraph::new(circuit, lib, &Sizing::minimum(circuit, lib))?;
+    graph.set_constraint(tc_ps);
     let initial_delay_ps = graph.critical_delay_ps();
 
     // Structure modification cannot be written back into the netlist by
@@ -161,20 +165,41 @@ pub fn optimize_circuit(
 
     for _ in 0..options.max_rounds {
         rounds += 1;
-        if graph.critical_delay_ps() <= tc_ps {
+        // Slack-driven convergence: stop when no net misses its
+        // required time (equivalently the critical delay meets tc, but
+        // read straight off the maintained backward state).
+        if !matches!(graph.worst_slack_overall_ps(), Some(s) if s < 0.0) {
             break;
         }
         let round_start = graph.sizing().clone();
         let paths = k_most_critical_paths(circuit, &graph, options.paths_per_round);
         let mut any_change = false;
         for path in &paths {
-            let arrival = path_endpoint_arrival(circuit, &graph, path);
-            if arrival <= tc_ps {
+            let Some(&last) = path.gates.last() else {
+                continue;
+            };
+            let endpoint = circuit.gate(last).output();
+            // Slack-driven selection: skip endpoints already meeting
+            // their required time. At a pure primary output this is
+            // exactly `arrival <= tc`; where the PO net also feeds
+            // internal logic the requirement is tighter.
+            if graph.worst_slack_ps(endpoint) >= 0.0 {
                 continue;
             }
+            // The per-path budget is the endpoint's required time, not
+            // the raw constraint (guarded for pathological sub-zero
+            // requirements under unreachable constraints).
+            let required = graph
+                .required_ps(endpoint, EdgeDir::Rising)
+                .min(graph.required_ps(endpoint, EdgeDir::Falling));
+            let budget = if required.is_finite() && required > 0.0 {
+                required
+            } else {
+                tc_ps
+            };
             let extracted =
                 extract_timed_path(circuit, lib, graph.sizing(), path, &options.extract);
-            let solution = match optimize(lib, &extracted.timed, tc_ps, &conserve) {
+            let solution = match optimize(lib, &extracted.timed, budget, &conserve) {
                 Ok(outcome) => {
                     debug_assert_eq!(outcome.technique, Technique::SizingOnly);
                     Some(outcome.sizes)
@@ -183,7 +208,7 @@ pub fn optimize_circuit(
                     // Would need buffers/restructuring: check whether the
                     // full protocol could rescue it, then at least push
                     // the path toward its sizing Tmin.
-                    if optimize(lib, &extracted.timed, tc_ps, &options.protocol).is_ok() {
+                    if optimize(lib, &extracted.timed, budget, &options.protocol).is_ok() {
                         structure_recommendations += 1;
                     }
                     let bounds = pops_core::bounds::delay_bounds(lib, &extracted.timed);
@@ -231,20 +256,6 @@ pub fn optimize_circuit(
     })
 }
 
-fn path_endpoint_arrival<V: TimingView + ?Sized>(
-    circuit: &Circuit,
-    report: &V,
-    path: &pops_sta::NetlistPath,
-) -> f64 {
-    let Some(&last) = path.gates.last() else {
-        return 0.0;
-    };
-    let out = circuit.gate(last).output();
-    report
-        .arrival_ps(out, pops_sta::analysis::EdgeDir::Rising)
-        .max(report.arrival_ps(out, pops_sta::analysis::EdgeDir::Falling))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -285,6 +296,45 @@ mod tests {
         assert!(r.final_delay_ps < t0);
         // Area grew relative to all-minimum (speed costs capacitance).
         assert!(r.total_cin_ff > s0.total_cin_ff());
+    }
+
+    #[test]
+    fn final_sizing_slack_matches_the_reported_delay() {
+        use pops_sta::required_times;
+        let lib = Library::cmos025();
+        let adder = ripple_carry_adder(6);
+        let s0 = Sizing::minimum(&adder, &lib);
+        let t0 = analyze(&adder, &lib, &s0).unwrap().critical_delay_ps();
+        for factor in [0.85, 0.95] {
+            let tc = factor * t0;
+            let r = optimize_circuit(&adder, &lib, tc, &FlowOptions::default()).unwrap();
+            // The slack picture under the returned sizing agrees with
+            // the reported delay: in a pure-PO circuit the design-worst
+            // slack is exactly tc − critical delay, and it is
+            // non-negative precisely when the constraint was met.
+            let report = analyze(&adder, &lib, &r.sizing).unwrap();
+            let slacks = required_times(&adder, &lib, &r.sizing, &report, tc).unwrap();
+            let worst = slacks.worst_slack_overall_ps().unwrap();
+            assert!(
+                (worst - (tc - r.final_delay_ps)).abs() < 1e-9,
+                "worst slack {worst} vs tc − delay {}",
+                tc - r.final_delay_ps
+            );
+            assert_eq!(worst >= 0.0, r.final_delay_ps <= tc);
+        }
+    }
+
+    #[test]
+    fn infinite_constraint_is_a_tolerated_noop() {
+        // Pre-backward-state behavior: any tc > 0 — including +inf — is
+        // accepted, the loop sees nothing to do and reports best effort.
+        let lib = Library::cmos025();
+        let adder = ripple_carry_adder(4);
+        let s0 = Sizing::minimum(&adder, &lib);
+        let t0 = analyze(&adder, &lib, &s0).unwrap().critical_delay_ps();
+        let r = optimize_circuit(&adder, &lib, f64::INFINITY, &FlowOptions::default()).unwrap();
+        assert_eq!(r.paths_optimized, 0);
+        assert!((r.final_delay_ps - t0).abs() < 1e-9);
     }
 
     #[test]

@@ -76,6 +76,65 @@ pub fn best_upsize_candidate(graph: &mut TimingGraph, rel_step: f64) -> Option<(
         .min_by(|a, b| a.1.total_cmp(&b.1))
 }
 
+/// Finite-difference sensitivity of the design's *worst slack* to each
+/// gate's input capacitance: `∂WS/∂C_IN(g)` in ps/fF, probed through
+/// incremental forward **and backward** dirty-cone re-timing — each
+/// probe re-derives required times over the affected cone only, where a
+/// pre-incremental sweep paid one full backward pass (every arc
+/// re-evaluated) per gate. Each probe still pays one flat
+/// `worst_slack_overall_ps` fold over the net array — no arc
+/// re-evaluations, but O(nets); see the ROADMAP's incremental
+/// worst-slack tracking item for lifting that too.
+///
+/// This is the slack-driven replacement for arrival-only ranking: a
+/// *positive* entry means upsizing that gate buys slack (its drive
+/// improvement outweighs the pin load it adds on the fanin cone);
+/// gates off every critical cone report 0. The graph is returned to its
+/// exact starting state.
+///
+/// # Panics
+///
+/// Panics if `rel_step <= 0`, if no constraint is set
+/// ([`TimingGraph::set_constraint`]), or if the circuit has no
+/// constrained endpoint (no worst slack to differentiate).
+pub fn worst_slack_sensitivities(graph: &mut TimingGraph, rel_step: f64) -> Vec<f64> {
+    assert!(rel_step > 0.0, "relative step must be positive");
+    let base = graph
+        .worst_slack_overall_ps()
+        .expect("a constrained endpoint is required to differentiate worst slack");
+    let circuit = graph.circuit();
+    let mut grad = Vec::with_capacity(circuit.gate_count());
+    for g in circuit.gate_ids() {
+        let cin = graph.sizing().cin_ff(g);
+        let h = cin * rel_step;
+        graph.resize_gate(g, cin + h);
+        let probed = graph
+            .worst_slack_overall_ps()
+            .expect("probing cannot remove the constrained endpoint");
+        graph.resize_gate(g, cin);
+        grad.push((probed - base) / h);
+    }
+    grad
+}
+
+/// The gate whose upsizing buys the most slack — slack-driven candidate
+/// ranking over the whole circuit, at dirty-cone cost per probe.
+///
+/// Returns `None` when no gate improves the worst slack.
+///
+/// # Panics
+///
+/// As [`worst_slack_sensitivities`].
+pub fn best_slack_candidate(graph: &mut TimingGraph, rel_step: f64) -> Option<(GateId, f64)> {
+    let grad = worst_slack_sensitivities(graph, rel_step);
+    let circuit = graph.circuit();
+    circuit
+        .gate_ids()
+        .zip(grad)
+        .filter(|&(_, s)| s > 0.0)
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,5 +185,65 @@ mod tests {
         let cin = graph.sizing().cin_ff(g);
         graph.resize_gate(g, cin * 1.1);
         assert!(graph.critical_delay_ps() < before);
+    }
+
+    #[test]
+    fn slack_sensitivities_match_full_backward_probes() {
+        use pops_sta::required_times;
+        let lib = Library::cmos025();
+        let c = ripple_carry_adder(5);
+        let s0 = Sizing::minimum(&c, &lib);
+        let mut graph = TimingGraph::new(&c, &lib, &s0).unwrap();
+        let tc = 0.9 * graph.critical_delay_ps();
+        graph.set_constraint(tc);
+        let rel = 0.1;
+        let grad = worst_slack_sensitivities(&mut graph, rel);
+
+        // Naive reference: one full analyze + full backward pass per probe.
+        let base_report = analyze(&c, &lib, &s0).unwrap();
+        let base = required_times(&c, &lib, &s0, &base_report, tc)
+            .unwrap()
+            .worst_slack_overall_ps()
+            .unwrap();
+        for (g, &got) in c.gate_ids().zip(&grad) {
+            let mut probe = s0.clone();
+            let cin = probe.cin_ff(g);
+            probe.set(g, cin + cin * rel);
+            let r = analyze(&c, &lib, &probe).unwrap();
+            let ws = required_times(&c, &lib, &probe, &r, tc)
+                .unwrap()
+                .worst_slack_overall_ps()
+                .unwrap();
+            let want = (ws - base) / (cin * rel);
+            assert_eq!(got.to_bits(), want.to_bits(), "gate {g}");
+        }
+    }
+
+    #[test]
+    fn slack_sweep_leaves_the_graph_untouched() {
+        let lib = Library::cmos025();
+        let c = ripple_carry_adder(4);
+        let mut graph = TimingGraph::new(&c, &lib, &Sizing::minimum(&c, &lib)).unwrap();
+        graph.set_constraint(0.95 * graph.critical_delay_ps());
+        let before = graph.worst_slack_overall_ps().unwrap();
+        let _ = worst_slack_sensitivities(&mut graph, 0.05);
+        assert_eq!(
+            graph.worst_slack_overall_ps().unwrap().to_bits(),
+            before.to_bits()
+        );
+    }
+
+    #[test]
+    fn best_slack_candidate_actually_buys_slack() {
+        let lib = Library::cmos025();
+        let c = ripple_carry_adder(6);
+        let mut graph = TimingGraph::new(&c, &lib, &Sizing::minimum(&c, &lib)).unwrap();
+        graph.set_constraint(0.9 * graph.critical_delay_ps());
+        let before = graph.worst_slack_overall_ps().unwrap();
+        let (g, s) = best_slack_candidate(&mut graph, 0.1).expect("min sizing must have a move");
+        assert!(s > 0.0);
+        let cin = graph.sizing().cin_ff(g);
+        graph.resize_gate(g, cin * 1.1);
+        assert!(graph.worst_slack_overall_ps().unwrap() > before);
     }
 }

@@ -75,6 +75,7 @@ pub mod prelude {
     pub use pops_netlist::prelude::*;
     pub use pops_sta::analysis::analyze;
     pub use pops_sta::{
-        extract_timed_path, k_most_critical_paths, ExtractOptions, Sizing, TimingGraph, TimingView,
+        extract_timed_path, k_most_critical_paths, required_times, ExtractOptions, Sizing,
+        SlackView, TimingGraph, TimingView,
     };
 }
