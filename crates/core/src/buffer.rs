@@ -11,8 +11,11 @@
 //! pull-up) must be relieved at much lower loads than an inverter
 //! (Table 2: inv 5.7 … nor3 2.7).
 
+use std::collections::{HashMap, HashSet};
+
 use pops_delay::{Library, PathStage, TimedPath};
-use pops_netlist::CellKind;
+use pops_netlist::surgery::{EditOp, EditPlan};
+use pops_netlist::{CellKind, Circuit, GateId, NetDriver, NetId};
 
 use crate::bounds::{golden_min, tmin, TminResult};
 
@@ -231,6 +234,155 @@ pub fn insert_buffers(lib: &Library, path: &TimedPath) -> (BufferedPath, TminRes
     )
 }
 
+/// Memoized [`flimit`] lookups. Characterizing one (driver, gate) pair
+/// runs a bisection with a golden-section inner loop; a netlist-level
+/// planning pass touches the same handful of pairs for thousands of
+/// nets, so the cache turns the sweep into table lookups.
+#[derive(Debug, Clone, Default)]
+pub struct FlimitCache {
+    map: HashMap<(CellKind, CellKind), Option<f64>>,
+}
+
+impl FlimitCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        FlimitCache::default()
+    }
+
+    /// `Flimit` of `gate` driven by `driver`, characterized on first use.
+    pub fn get(&mut self, lib: &Library, driver: CellKind, gate: CellKind) -> Option<f64> {
+        *self
+            .map
+            .entry((driver, gate))
+            .or_insert_with(|| flimit(lib, driver, gate))
+    }
+}
+
+/// The cell driving `gate`'s first input pin — the netlist analogue of
+/// the path convention in [`over_limit_nodes`] (a primary input behaves
+/// like the latch: an inverter stage). Shared with the De Morgan
+/// planner so both selection rules read `Flimit` for the same pair.
+pub(crate) fn upstream_cell(circuit: &Circuit, gate: GateId) -> CellKind {
+    circuit
+        .gate(gate)
+        .inputs()
+        .first()
+        .and_then(|&n| match circuit.net(n).driver() {
+            Some(NetDriver::Gate(g)) => Some(circuit.gate(g).kind()),
+            _ => None,
+        })
+        .unwrap_or(CellKind::Inv)
+}
+
+/// Total capacitive load on a net (fF): the listed gate input pins
+/// under `cin_ff` plus the latch load at primary outputs — the same sum
+/// STA uses. Shared with the De Morgan planner.
+pub(crate) fn net_load_ff(circuit: &Circuit, cin_ff: &[f64], po_load_ff: f64, net: NetId) -> f64 {
+    let mut load: f64 = circuit
+        .net(net)
+        .loads()
+        .iter()
+        .map(|&(g, _)| cin_ff[g.index()])
+        .sum();
+    if circuit.net(net).is_output() {
+        load += po_load_ff;
+    }
+    load
+}
+
+/// Plan Inv-pair insertions for every candidate net driven past its
+/// `Flimit` — the netlist write-back form of [`insert_buffers`]: instead
+/// of editing an abstract [`TimedPath`], the returned [`EditPlan`]
+/// names real nets and load pins for `Circuit::insert_buffer` /
+/// `TimingGraph::apply_edits`.
+///
+/// For each net the effective fan-out `F = C_L / C_IN(driver gate)` is
+/// compared against the `Flimit` of the (upstream cell, driver cell)
+/// pair; over-limit nets get a buffer pair that takes over every load
+/// pin for which `move_pin(net, gate)` answers `true` — callers keep
+/// the timing-critical successors direct (commonly the next gate of
+/// the critical path, plus anything without slack headroom for the
+/// extra buffer stages). The latch load of a primary output always
+/// stays. Nets where nothing moves are skipped.
+///
+/// Inverter sizes follow the `Flimit` of an inverter driving an
+/// inverter as the taper: the second stage carries the moved load at
+/// that fan-out, the first loads the relieved net as lightly as the
+/// taper allows — so the insertion itself never pushes a net past the
+/// inverter limit.
+///
+/// Candidate nets may repeat; each is planned at most once.
+pub fn plan_buffer_insertions(
+    circuit: &Circuit,
+    lib: &Library,
+    cin_ff: &[f64],
+    po_load_ff: f64,
+    candidates: &[NetId],
+    mut move_pin: impl FnMut(NetId, GateId) -> bool,
+    cache: &mut FlimitCache,
+) -> EditPlan {
+    assert_eq!(
+        cin_ff.len(),
+        circuit.gate_count(),
+        "one input capacitance per gate"
+    );
+    let cref = lib.min_drive_ff();
+    let taper = cache
+        .get(lib, CellKind::Inv, CellKind::Inv)
+        .unwrap_or(4.0)
+        .max(2.0);
+    let mut plan = EditPlan::new();
+    let mut seen: HashSet<NetId> = HashSet::new();
+    for &net in candidates {
+        if !seen.insert(net) {
+            continue;
+        }
+        let Some(driver) = circuit.driver_gate(net) else {
+            continue;
+        };
+        let load = net_load_ff(circuit, cin_ff, po_load_ff, net);
+        let fanout = load / cin_ff[driver.index()];
+        let Some(limit) = cache.get(
+            lib,
+            upstream_cell(circuit, driver),
+            circuit.gate(driver).kind(),
+        ) else {
+            continue;
+        };
+        if fanout <= limit {
+            continue;
+        }
+        let mut moved = Vec::new();
+        let mut moved_cap = 0.0;
+        for &(g, pin) in circuit.net(net).loads() {
+            if !move_pin(net, g) {
+                continue;
+            }
+            moved.push((g, pin));
+            moved_cap += cin_ff[g.index()];
+        }
+        if moved.is_empty() {
+            continue;
+        }
+        if moved.len() == circuit.net(net).fanout() && !circuit.net(net).is_output() {
+            // Everything would move: on an internal net that just
+            // lengthens every path through it without isolating
+            // anything from the critical chain. (At a primary output
+            // the latch stays direct, so full pin re-homing is the
+            // classic endpoint relief and remains worthwhile.)
+            continue;
+        }
+        let second = (moved_cap / taper).max(cref);
+        let first = (second / taper).max(cref);
+        plan.push(EditOp::InsertBuffer {
+            net,
+            loads: moved,
+            stage_cin_ff: [first, second],
+        });
+    }
+    plan
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -379,6 +531,106 @@ mod tests {
         let path = TimedPath::new(vec![PathStage::new(CellKind::Inv); 4], 2.7, 15.0);
         let (buffered, _) = insert_buffers(&lib, &path);
         assert_eq!(buffered.buffer_count(), 0);
+    }
+
+    #[test]
+    fn plan_buffer_insertions_targets_only_over_limit_nets() {
+        let lib = lib();
+        let cref = lib.min_drive_ff();
+        // One heavily fanned-out NOR3 and one lightly loaded inverter.
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let d = c.add_input("d");
+        let heavy = c.add_gate(CellKind::Nor3, &[a, b, d], "heavy").unwrap();
+        let light = c.add_gate(CellKind::Inv, &[a], "light").unwrap();
+        for i in 0..24 {
+            let y = c
+                .add_gate(CellKind::Inv, &[heavy], format!("h{i}"))
+                .unwrap();
+            c.mark_output(y);
+        }
+        let z = c.add_gate(CellKind::Inv, &[light], "z").unwrap();
+        c.mark_output(z);
+        let cin: Vec<f64> = vec![cref; c.gate_count()];
+        let mut cache = FlimitCache::new();
+        let nets: Vec<NetId> = c.net_ids().collect();
+        // Keep each net's first load pin direct, as a flow would.
+        let first_load = |c: &Circuit, n: NetId| c.net(n).loads().first().map(|&(g, _)| g);
+        let plan = plan_buffer_insertions(
+            &c,
+            &lib,
+            &cin,
+            0.0,
+            &nets,
+            |n, g| first_load(&c, n) != Some(g),
+            &mut cache,
+        );
+        let targets: Vec<NetId> = plan
+            .ops()
+            .iter()
+            .map(|op| match op {
+                EditOp::InsertBuffer { net, .. } => *net,
+                other => panic!("unexpected op {other:?}"),
+            })
+            .collect();
+        assert!(targets.contains(&heavy), "24× fan-out NOR3 is over-limit");
+        assert!(!targets.contains(&light), "unit fan-out is within limit");
+    }
+
+    #[test]
+    fn planned_insertions_respect_the_inverter_taper() {
+        let lib = lib();
+        let cref = lib.min_drive_ff();
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let heavy = c.add_gate(CellKind::Inv, &[a], "heavy").unwrap();
+        let mut first_sink = None;
+        for i in 0..30 {
+            let y = c
+                .add_gate(CellKind::Inv, &[heavy], format!("s{i}"))
+                .unwrap();
+            first_sink.get_or_insert(c.driver_gate(y).unwrap());
+            c.mark_output(y);
+        }
+        let cin: Vec<f64> = vec![cref; c.gate_count()];
+        let mut cache = FlimitCache::new();
+        let keep = first_sink.unwrap();
+        let plan =
+            plan_buffer_insertions(&c, &lib, &cin, 0.0, &[heavy], |_, g| g != keep, &mut cache);
+        assert_eq!(plan.len(), 1);
+        let EditOp::InsertBuffer {
+            loads,
+            stage_cin_ff,
+            ..
+        } = &plan.ops()[0]
+        else {
+            panic!("expected a buffer op");
+        };
+        // The kept pin stays; 29 pins move.
+        assert_eq!(loads.len(), 29);
+        assert!(!loads.iter().any(|&(g, _)| g == keep));
+        let taper = cache.get(&lib, CellKind::Inv, CellKind::Inv).unwrap();
+        let moved_cap = 29.0 * cref;
+        // Second stage drives the moved load at (at most) the taper.
+        assert!(moved_cap / stage_cin_ff[1] <= taper + 1e-9);
+        assert!(stage_cin_ff[0] >= cref && stage_cin_ff[0] <= stage_cin_ff[1]);
+        // Applying the plan leaves every net at or under the limits it
+        // already respected.
+        plan.apply_to(&mut c).unwrap();
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn flimit_cache_agrees_with_direct_characterization() {
+        let lib = lib();
+        let mut cache = FlimitCache::new();
+        for gate in [CellKind::Inv, CellKind::Nor3] {
+            let direct = flimit(&lib, CellKind::Inv, gate);
+            assert_eq!(cache.get(&lib, CellKind::Inv, gate), direct);
+            // Second hit is served from the map.
+            assert_eq!(cache.get(&lib, CellKind::Inv, gate), direct);
+        }
     }
 
     #[test]

@@ -12,10 +12,14 @@
 //! the flanking inverters provide the same "load dilution" a buffer
 //! would.
 
+use std::collections::HashSet;
+
 use pops_delay::{Library, PathStage, TimedPath};
-use pops_netlist::CellKind;
+use pops_netlist::surgery::{EditOp, EditPlan};
+use pops_netlist::{CellKind, Circuit, GateId};
 
 use crate::bounds::{tmin, TminResult};
+use crate::buffer::FlimitCache;
 
 /// Result of a De Morgan restructuring pass.
 #[derive(Debug, Clone, PartialEq)]
@@ -215,6 +219,65 @@ fn is_nor(cell: CellKind) -> bool {
     matches!(cell, CellKind::Nor2 | CellKind::Nor3 | CellKind::Nor4)
 }
 
+/// Plan De Morgan rewrites for every candidate gate that is an
+/// over-limit NOR — the netlist write-back form of
+/// [`restructure_critical`]'s selection rule: "smaller is this limit
+/// value, less efficient is the gate, which becomes a good candidate".
+///
+/// Candidates (typically the gates of a critical path) are filtered to
+/// the NOR family, then kept only where the output net's effective
+/// fan-out `C_L / C_IN` exceeds the gate's `Flimit`; each survivor
+/// becomes an [`EditOp::DeMorgan`] whose inverters start at the
+/// library's minimum drive (the `(n−1)` side inverters of the paper's
+/// area accounting, plus the on-path pair, all left for the sizing
+/// rounds to grow as needed). Buffer ops from
+/// [`crate::buffer::plan_buffer_insertions`] should be ordered *before*
+/// these in a combined plan — a De Morgan rewires its gate's input
+/// pins, which would invalidate a buffer op's recorded pin list.
+///
+/// Candidate gates may repeat; each is planned at most once.
+pub fn plan_demorgan_restructure(
+    circuit: &Circuit,
+    lib: &Library,
+    cin_ff: &[f64],
+    po_load_ff: f64,
+    candidates: &[GateId],
+    cache: &mut FlimitCache,
+) -> EditPlan {
+    assert_eq!(
+        cin_ff.len(),
+        circuit.gate_count(),
+        "one input capacitance per gate"
+    );
+    let mut plan = EditPlan::new();
+    let mut seen: HashSet<GateId> = HashSet::new();
+    for &gate in candidates {
+        if !seen.insert(gate) {
+            continue;
+        }
+        let kind = circuit.gate(gate).kind();
+        if !is_nor(kind) {
+            continue;
+        }
+        // Same load summation and upstream-cell convention as the
+        // buffer planner, so both read `Flimit` identically.
+        let out = circuit.gate(gate).output();
+        let load = crate::buffer::net_load_ff(circuit, cin_ff, po_load_ff, out);
+        let upstream = crate::buffer::upstream_cell(circuit, gate);
+        let Some(limit) = cache.get(lib, upstream, kind) else {
+            continue;
+        };
+        if load / cin_ff[gate.index()] <= limit {
+            continue;
+        }
+        plan.push(EditOp::DeMorgan {
+            gate,
+            inv_cin_ff: lib.min_drive_ff(),
+        });
+    }
+    plan
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -351,6 +414,52 @@ mod tests {
         let r = restructure_critical(&lib, &path);
         assert!(!r.modified());
         assert_eq!(r.path.len(), path.len());
+    }
+
+    #[test]
+    fn plan_demorgan_picks_only_over_limit_nors() {
+        let lib = lib();
+        let cref = lib.min_drive_ff();
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        // Heavily loaded NOR2, lightly loaded NOR2, heavily loaded NAND2.
+        let heavy_nor = c.add_gate(CellKind::Nor2, &[a, b], "hn").unwrap();
+        let light_nor = c.add_gate(CellKind::Nor2, &[a, b], "ln").unwrap();
+        let heavy_nand = c.add_gate(CellKind::Nand2, &[a, b], "hd").unwrap();
+        for i in 0..20 {
+            let y = c
+                .add_gate(CellKind::Inv, &[heavy_nor], format!("x{i}"))
+                .unwrap();
+            c.mark_output(y);
+            let z = c
+                .add_gate(CellKind::Inv, &[heavy_nand], format!("w{i}"))
+                .unwrap();
+            c.mark_output(z);
+        }
+        let l = c.add_gate(CellKind::Inv, &[light_nor], "l").unwrap();
+        c.mark_output(l);
+        let cin: Vec<f64> = vec![cref; c.gate_count()];
+        let mut cache = FlimitCache::new();
+        let candidates: Vec<GateId> = c.gate_ids().collect();
+        let plan = plan_demorgan_restructure(&c, &lib, &cin, 0.0, &candidates, &mut cache);
+        let gates: Vec<GateId> = plan
+            .ops()
+            .iter()
+            .map(|op| match op {
+                EditOp::DeMorgan { gate, .. } => *gate,
+                other => panic!("unexpected op {other:?}"),
+            })
+            .collect();
+        assert_eq!(gates, vec![c.driver_gate(heavy_nor).unwrap()]);
+        // Applying keeps the netlist valid and swaps in the dual.
+        plan.apply_to(&mut c).unwrap();
+        c.validate().unwrap();
+        assert_eq!(
+            c.gate(c.driver_gate(c.net_by_name("hn_dmz").unwrap()).unwrap())
+                .kind(),
+            CellKind::Nand2
+        );
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::OnceLock;
 
 use crate::cell::CellKind;
 use crate::error::NetlistError;
@@ -147,6 +148,40 @@ pub struct Circuit {
     inputs: Vec<NetId>,
     outputs: Vec<NetId>,
     by_name: HashMap<String, NetId>,
+    /// Cached [`Circuit::topo_order`] result; reset by every structural
+    /// mutation so a stale order can never be observed.
+    topo_cache: OnceLock<Result<Vec<GateId>, NetlistError>>,
+    /// Cached [`Circuit::logic_levels`] result, invalidated likewise.
+    levels_cache: OnceLock<Result<Vec<usize>, NetlistError>>,
+}
+
+/// Record of one [`Circuit::insert_buffer`]: the Inv→Inv pair and the
+/// nets it created.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufferInsertion {
+    /// First (load-isolating) inverter; its input is the buffered net.
+    pub first: GateId,
+    /// Second (driving) inverter; it takes over the moved loads.
+    pub second: GateId,
+    /// Internal net between the two inverters.
+    pub mid_net: NetId,
+    /// New net carrying the moved load pins, driven by `second`.
+    pub out_net: NetId,
+}
+
+/// Record of one [`Circuit::demorgan_gate`]: the inverters and nets the
+/// rewrite created.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeMorganEdit {
+    /// Per-input inverters, in pin order.
+    pub input_invs: Vec<GateId>,
+    /// Their output nets — the rewired gate's new inputs, in pin order.
+    pub input_nets: Vec<NetId>,
+    /// New internal net now driven by the rewired (dual) gate.
+    pub inner_net: NetId,
+    /// Output inverter restoring the original polarity on the original
+    /// output net.
+    pub output_inv: GateId,
 }
 
 impl Circuit {
@@ -159,7 +194,16 @@ impl Circuit {
             inputs: Vec::new(),
             outputs: Vec::new(),
             by_name: HashMap::new(),
+            topo_cache: OnceLock::new(),
+            levels_cache: OnceLock::new(),
         }
+    }
+
+    /// Drop the memoized topo/level results. Every mutation of gates,
+    /// drivers or load pins must call this before returning.
+    fn invalidate_structure_caches(&mut self) {
+        self.topo_cache = OnceLock::new();
+        self.levels_cache = OnceLock::new();
     }
 
     /// Circuit name.
@@ -253,6 +297,7 @@ impl Circuit {
         let id = self.add_net(name);
         self.nets[id.index()].driver = Some(NetDriver::PrimaryInput);
         self.inputs.push(id);
+        self.invalidate_structure_caches();
         id
     }
 
@@ -313,6 +358,7 @@ impl Circuit {
             inputs: inputs.to_vec(),
             output,
         });
+        self.invalidate_structure_caches();
         Ok(gid)
     }
 
@@ -342,7 +388,271 @@ impl Circuit {
         }
     }
 
+    // ---- netlist surgery ----
+    //
+    // The structural write-back primitives: every mutation below keeps
+    // the arena append-only (existing `GateId`/`NetId` values stay
+    // valid), validates its preconditions *before* touching anything,
+    // and invalidates the topo/level caches on success.
+
+    /// Check that every `(gate, pin)` pair currently loads `net`, with
+    /// no duplicates. Shared precondition of the pin-moving edits.
+    fn check_load_pins(&self, net: NetId, loads: &[(GateId, usize)]) -> Result<(), NetlistError> {
+        if loads.is_empty() {
+            return Err(NetlistError::UnsupportedEdit(format!(
+                "no load pins to move off net `{}`",
+                self.nets[net.index()].name
+            )));
+        }
+        for (i, &(g, pin)) in loads.iter().enumerate() {
+            if g.index() >= self.gates.len() {
+                return Err(NetlistError::InvalidId(format!("gate {g}")));
+            }
+            let gate = &self.gates[g.index()];
+            if pin >= gate.inputs.len() || gate.inputs[pin] != net {
+                return Err(NetlistError::UnsupportedEdit(format!(
+                    "pin {pin} of {g} does not load net `{}`",
+                    self.nets[net.index()].name
+                )));
+            }
+            if loads[..i].contains(&(g, pin)) {
+                return Err(NetlistError::UnsupportedEdit(format!(
+                    "pin {pin} of {g} listed twice"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Move the given load pins of `net` onto a fresh, *undriven* net
+    /// and return it. The caller must attach a driver (this is the load
+    /// re-homing step of buffer insertion; [`Circuit::insert_buffer`]
+    /// does both). Primary-output status stays on the original net.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::InvalidId`] for out-of-range ids,
+    /// [`NetlistError::UnsupportedEdit`] if `loads` is empty, lists a
+    /// pin twice or names a pin that does not load `net`.
+    pub fn split_net(
+        &mut self,
+        net: NetId,
+        loads: &[(GateId, usize)],
+    ) -> Result<NetId, NetlistError> {
+        if net.index() >= self.nets.len() {
+            return Err(NetlistError::InvalidId(format!("net {net}")));
+        }
+        self.check_load_pins(net, loads)?;
+        let new = self.add_net(format!("{}_split", self.nets[net.index()].name));
+        self.nets[net.index()]
+            .loads
+            .retain(|pin| !loads.contains(pin));
+        for &(g, pin) in loads {
+            self.gates[g.index()].inputs[pin] = new;
+            self.nets[new.index()].loads.push((g, pin));
+        }
+        self.invalidate_structure_caches();
+        Ok(new)
+    }
+
+    /// Insert a polarity-preserving Inv→Inv buffer pair after `net`,
+    /// re-homing the given load pins onto the pair's output (the
+    /// paper's Fig. 5 load isolation: the relieved driver now sees the
+    /// first inverter instead of the moved pins).
+    ///
+    /// The original net keeps its driver, its remaining loads and its
+    /// primary-output status; the moved pins see the same logic value
+    /// through the double inversion.
+    ///
+    /// # Errors
+    ///
+    /// As [`Circuit::split_net`], plus [`NetlistError::UndefinedNet`]
+    /// if `net` has no driver (buffering an undriven net would leave
+    /// the pair dangling).
+    pub fn insert_buffer(
+        &mut self,
+        net: NetId,
+        loads: &[(GateId, usize)],
+    ) -> Result<BufferInsertion, NetlistError> {
+        if net.index() >= self.nets.len() {
+            return Err(NetlistError::InvalidId(format!("net {net}")));
+        }
+        if self.nets[net.index()].driver.is_none() {
+            return Err(NetlistError::UndefinedNet(
+                self.nets[net.index()].name.clone(),
+            ));
+        }
+        let out_net = self.split_net(net, loads)?;
+        let mid_net = self.add_net(format!("{}_buf", self.nets[net.index()].name));
+        let first = self.add_gate_driving(CellKind::Inv, &[net], mid_net)?;
+        let second = self.add_gate_driving(CellKind::Inv, &[mid_net], out_net)?;
+        Ok(BufferInsertion {
+            first,
+            second,
+            mid_net,
+            out_net,
+        })
+    }
+
+    /// Whether `target` is reachable from `gate`'s output through the
+    /// load/driver adjacency (i.e. `target` lies in `gate`'s transitive
+    /// fanout). Used to reject rewirings that would close a cycle.
+    fn in_fanout_cone(&self, gate: GateId, target: GateId) -> bool {
+        let mut seen = vec![false; self.gates.len()];
+        let mut stack = vec![gate];
+        seen[gate.index()] = true;
+        while let Some(g) = stack.pop() {
+            let out = self.gates[g.index()].output;
+            for &(load, _) in &self.nets[out.index()].loads {
+                if load == target {
+                    return true;
+                }
+                if !seen[load.index()] {
+                    seen[load.index()] = true;
+                    stack.push(load);
+                }
+            }
+        }
+        false
+    }
+
+    /// Swap a gate's cell and rewire its input pins; the output net is
+    /// untouched. This is the raw replacement primitive — it does *not*
+    /// preserve the logic function by itself (see
+    /// [`Circuit::demorgan_gate`] for the polarity-correct rewrite).
+    ///
+    /// All preconditions are validated *before* anything mutates —
+    /// including acyclicity: unlike construction-time `add_gate`, the
+    /// surgery primitive operates on complete circuits, so undriven
+    /// input nets are rejected and a rewiring that would close a
+    /// combinational cycle (a new input driven from the gate's own
+    /// fanout cone) fails up front instead of poisoning the circuit
+    /// for the next [`Circuit::topo_order`].
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::InvalidId`] for out-of-range ids,
+    /// [`NetlistError::ArityMismatch`] if `inputs` does not match the
+    /// new cell's pin count, [`NetlistError::UndefinedNet`] for an
+    /// undriven input and [`NetlistError::CombinationalCycle`] if the
+    /// rewiring would create a cycle.
+    pub fn replace_gate(
+        &mut self,
+        gate: GateId,
+        kind: CellKind,
+        inputs: &[NetId],
+    ) -> Result<(), NetlistError> {
+        if gate.index() >= self.gates.len() {
+            return Err(NetlistError::InvalidId(format!("gate {gate}")));
+        }
+        if inputs.len() != kind.num_inputs() {
+            return Err(NetlistError::ArityMismatch {
+                cell: kind.to_string(),
+                expected: kind.num_inputs(),
+                got: inputs.len(),
+            });
+        }
+        for &net in inputs {
+            if net.index() >= self.nets.len() {
+                return Err(NetlistError::InvalidId(format!("net {net}")));
+            }
+            // Nets already feeding the gate cannot introduce anything
+            // new; only genuinely new connections need the checks.
+            if self.gates[gate.index()].inputs.contains(&net) {
+                continue;
+            }
+            match self.nets[net.index()].driver {
+                None => {
+                    return Err(NetlistError::UndefinedNet(
+                        self.nets[net.index()].name.clone(),
+                    ));
+                }
+                Some(NetDriver::Gate(d)) => {
+                    if d == gate || self.in_fanout_cone(gate, d) {
+                        return Err(NetlistError::CombinationalCycle);
+                    }
+                }
+                Some(NetDriver::PrimaryInput) => {}
+            }
+        }
+        let old_inputs = std::mem::take(&mut self.gates[gate.index()].inputs);
+        for (pin, &n) in old_inputs.iter().enumerate() {
+            self.nets[n.index()]
+                .loads
+                .retain(|&(g, p)| !(g == gate && p == pin));
+        }
+        for (pin, &n) in inputs.iter().enumerate() {
+            self.nets[n.index()].loads.push((gate, pin));
+        }
+        let g = &mut self.gates[gate.index()];
+        g.kind = kind;
+        g.inputs = inputs.to_vec();
+        self.invalidate_structure_caches();
+        Ok(())
+    }
+
+    /// Rewrite a NAND/NOR gate into its De Morgan dual (§4.2 of the
+    /// paper): `NORn(a…)` becomes `NANDn(¬a…)` followed by an output
+    /// inverter, and vice versa. One inverter is inserted per input,
+    /// the gate itself is [`Circuit::replace_gate`]d by its dual onto a
+    /// fresh internal net, and the original output net — loads and
+    /// primary-output status untouched — is re-driven by the polarity
+    /// restoring inverter, so the logic function at the output net (and
+    /// everywhere downstream) is preserved exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::InvalidId`] for an out-of-range gate and
+    /// [`NetlistError::UnsupportedEdit`] for cells without a
+    /// series-stack dual (anything outside the NAND/NOR families).
+    pub fn demorgan_gate(&mut self, gate: GateId) -> Result<DeMorganEdit, NetlistError> {
+        if gate.index() >= self.gates.len() {
+            return Err(NetlistError::InvalidId(format!("gate {gate}")));
+        }
+        let kind = self.gates[gate.index()].kind;
+        let Some(dual) = kind.demorgan_dual() else {
+            return Err(NetlistError::UnsupportedEdit(format!(
+                "{kind} has no De Morgan dual"
+            )));
+        };
+        let old_inputs = self.gates[gate.index()].inputs.clone();
+        let y = self.gates[gate.index()].output;
+
+        let mut input_invs = Vec::with_capacity(old_inputs.len());
+        let mut input_nets = Vec::with_capacity(old_inputs.len());
+        for &a in &old_inputs {
+            let na = self.add_net(format!("{}_dm", self.nets[a.index()].name));
+            let inv = self.add_gate_driving(CellKind::Inv, &[a], na)?;
+            input_invs.push(inv);
+            input_nets.push(na);
+        }
+
+        // Re-home the gate's output onto a fresh internal net, then swap
+        // in the dual over the inverted inputs and restore polarity on
+        // the original net.
+        let inner_net = self.add_net(format!("{}_dmz", self.nets[y.index()].name));
+        self.nets[y.index()].driver = None;
+        self.nets[inner_net.index()].driver = Some(NetDriver::Gate(gate));
+        self.gates[gate.index()].output = inner_net;
+        self.replace_gate(gate, dual, &input_nets)?;
+        let output_inv = self.add_gate_driving(CellKind::Inv, &[inner_net], y)?;
+
+        self.invalidate_structure_caches();
+        Ok(DeMorganEdit {
+            input_invs,
+            input_nets,
+            inner_net,
+            output_inv,
+        })
+    }
+
     /// Gates in a valid topological (fanin-before-fanout) order.
+    ///
+    /// The result is memoized: repeated calls between mutations return a
+    /// clone of the cached order instead of re-running the graph walk
+    /// (STA construction, evaluation and level queries all start here).
+    /// Every structural mutation — adding gates or inputs, netlist
+    /// surgery — invalidates the cache, so a stale order is impossible.
     ///
     /// # Errors
     ///
@@ -350,6 +660,12 @@ impl Circuit {
     /// cyclic, or [`NetlistError::UndefinedNet`] if some gate input net has
     /// no driver.
     pub fn topo_order(&self) -> Result<Vec<GateId>, NetlistError> {
+        self.topo_cache
+            .get_or_init(|| self.compute_topo_order())
+            .clone()
+    }
+
+    fn compute_topo_order(&self) -> Result<Vec<GateId>, NetlistError> {
         // Kahn's algorithm over gates; a gate becomes ready once all of its
         // input nets are resolved (primary inputs start resolved).
         let mut unresolved: Vec<usize> = self
@@ -397,22 +713,28 @@ impl Circuit {
     /// Logic level of every gate: 1 + max level over fanin gates
     /// (primary inputs are level 0).
     ///
+    /// Memoized and invalidated together with [`Circuit::topo_order`].
+    ///
     /// # Errors
     ///
     /// Propagates [`Circuit::topo_order`] errors.
     pub fn logic_levels(&self) -> Result<Vec<usize>, NetlistError> {
-        let order = self.topo_order()?;
-        let mut level = vec![0usize; self.gates.len()];
-        for gid in order {
-            let mut lvl = 1;
-            for &n in self.gates[gid.index()].inputs() {
-                if let Some(NetDriver::Gate(src)) = self.nets[n.index()].driver {
-                    lvl = lvl.max(level[src.index()] + 1);
+        self.levels_cache
+            .get_or_init(|| {
+                let order = self.topo_order()?;
+                let mut level = vec![0usize; self.gates.len()];
+                for gid in order {
+                    let mut lvl = 1;
+                    for &n in self.gates[gid.index()].inputs() {
+                        if let Some(NetDriver::Gate(src)) = self.nets[n.index()].driver {
+                            lvl = lvl.max(level[src.index()] + 1);
+                        }
+                    }
+                    level[gid.index()] = lvl;
                 }
-            }
-            level[gid.index()] = lvl;
-        }
-        Ok(level)
+                Ok(level)
+            })
+            .clone()
     }
 
     /// Depth of the circuit in gate levels (0 for an empty circuit).
@@ -622,5 +944,227 @@ mod tests {
         c.mark_output(y);
         c.mark_output(y);
         assert_eq!(c.primary_outputs().len(), 1);
+    }
+
+    /// A net with a driver, three inverter loads and PO status — the
+    /// shared fixture for the surgery tests.
+    fn fanout_tree() -> (Circuit, NetId, Vec<GateId>) {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let n = c.add_gate(CellKind::Inv, &[a], "n").unwrap();
+        let mut loads = Vec::new();
+        for i in 0..3 {
+            let y = c.add_gate(CellKind::Inv, &[n], format!("y{i}")).unwrap();
+            loads.push(c.driver_gate(y).unwrap());
+            c.mark_output(y);
+        }
+        c.mark_output(n);
+        (c, n, loads)
+    }
+
+    #[test]
+    fn split_net_moves_exactly_the_named_pins() {
+        let (mut c, n, loads) = fanout_tree();
+        let moved = [(loads[1], 0), (loads[2], 0)];
+        let new = c.split_net(n, &moved).unwrap();
+        assert_eq!(c.net(n).loads(), &[(loads[0], 0)]);
+        assert_eq!(c.net(new).loads(), &moved);
+        assert!(c.net(new).driver().is_none());
+        assert_eq!(c.gate(loads[1]).inputs(), &[new]);
+        // PO status stays on the original net.
+        assert!(c.net(n).is_output());
+        assert!(!c.net(new).is_output());
+    }
+
+    #[test]
+    fn split_net_rejects_bogus_pins() {
+        let (mut c, n, loads) = fanout_tree();
+        assert!(matches!(
+            c.split_net(n, &[]),
+            Err(NetlistError::UnsupportedEdit(_))
+        ));
+        assert!(matches!(
+            c.split_net(n, &[(loads[0], 7)]),
+            Err(NetlistError::UnsupportedEdit(_))
+        ));
+        assert!(matches!(
+            c.split_net(n, &[(loads[0], 0), (loads[0], 0)]),
+            Err(NetlistError::UnsupportedEdit(_))
+        ));
+    }
+
+    #[test]
+    fn insert_buffer_preserves_logic_and_relieves_the_net() {
+        let (mut c, n, loads) = fanout_tree();
+        let before = c.evaluate(&[("a", true)].into_iter().collect()).unwrap();
+        let ins = c.insert_buffer(n, &[(loads[0], 0), (loads[1], 0)]).unwrap();
+        c.validate().unwrap();
+        // The net now drives one remaining load + the first inverter.
+        assert_eq!(c.net(n).fanout(), 2);
+        assert_eq!(c.net(ins.out_net).fanout(), 2);
+        assert_eq!(c.gate(ins.first).kind(), CellKind::Inv);
+        assert_eq!(c.gate(ins.second).kind(), CellKind::Inv);
+        let after = c.evaluate(&[("a", true)].into_iter().collect()).unwrap();
+        assert_eq!(before, after, "buffering must not change any output");
+    }
+
+    #[test]
+    fn insert_buffer_requires_a_driven_net() {
+        let mut c = Circuit::new("t");
+        let ghost = c.add_net("ghost");
+        let y = c.add_gate(CellKind::Inv, &[ghost], "y").unwrap();
+        let g = c.driver_gate(y).unwrap();
+        assert!(matches!(
+            c.insert_buffer(ghost, &[(g, 0)]),
+            Err(NetlistError::UndefinedNet(_))
+        ));
+    }
+
+    #[test]
+    fn replace_gate_rewires_pin_loads() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let d = c.add_input("d");
+        let y = c.add_gate(CellKind::Nand2, &[a, b], "y").unwrap();
+        let g = c.driver_gate(y).unwrap();
+        c.replace_gate(g, CellKind::Nor2, &[a, d]).unwrap();
+        assert_eq!(c.gate(g).kind(), CellKind::Nor2);
+        assert_eq!(c.gate(g).inputs(), &[a, d]);
+        assert_eq!(c.net(b).fanout(), 0);
+        assert_eq!(c.net(d).loads(), &[(g, 1)]);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn replace_gate_rejects_cycles_and_undriven_inputs_up_front() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let x = c.add_gate(CellKind::Inv, &[a], "x").unwrap();
+        let y = c.add_gate(CellKind::Inv, &[x], "y").unwrap();
+        let z = c.add_gate(CellKind::Inv, &[y], "z").unwrap();
+        c.mark_output(z);
+        let gx = c.driver_gate(x).unwrap();
+        // Rewiring x's driver to read its own transitive fanout (z)
+        // would close a cycle: rejected before any mutation.
+        assert!(matches!(
+            c.replace_gate(gx, CellKind::Inv, &[z]),
+            Err(NetlistError::CombinationalCycle)
+        ));
+        // Undriven inputs are rejected too (surgery runs on complete
+        // circuits, unlike construction-time add_gate).
+        let ghost = c.add_net("ghost");
+        assert!(matches!(
+            c.replace_gate(gx, CellKind::Inv, &[ghost]),
+            Err(NetlistError::UndefinedNet(_))
+        ));
+        // Nothing was mutated by the failed attempts.
+        assert_eq!(c.gate(gx).inputs(), &[a]);
+        c.validate().unwrap();
+        // A legal rewiring still works.
+        c.replace_gate(gx, CellKind::Buf, &[a]).unwrap();
+        assert_eq!(c.gate(gx).kind(), CellKind::Buf);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn replace_gate_rejects_arity_mismatch() {
+        let (mut c, _, loads) = fanout_tree();
+        let a = c.primary_inputs()[0];
+        assert!(matches!(
+            c.replace_gate(loads[0], CellKind::Nand3, &[a]),
+            Err(NetlistError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn demorgan_preserves_the_truth_table() {
+        for kind in [CellKind::Nor2, CellKind::Nand3, CellKind::Nor4] {
+            let n = kind.num_inputs();
+            let mut c = Circuit::new("t");
+            let ins: Vec<NetId> = (0..n).map(|i| c.add_input(format!("i{i}"))).collect();
+            let y = c.add_gate(kind, &ins, "y").unwrap();
+            let g = c.driver_gate(y).unwrap();
+            c.mark_output(y);
+            let mut dual = c.clone();
+            let edit = dual.demorgan_gate(g).unwrap();
+            dual.validate().unwrap();
+            assert_eq!(dual.gate(g).kind(), kind.demorgan_dual().unwrap());
+            assert_eq!(edit.input_invs.len(), n);
+            for pattern in 0..(1u32 << n) {
+                let names: Vec<String> = (0..n).map(|i| format!("i{i}")).collect();
+                let values: HashMap<&str, bool> = names
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| (s.as_str(), pattern >> i & 1 == 1))
+                    .collect();
+                assert_eq!(
+                    c.evaluate(&values).unwrap()["y"],
+                    dual.evaluate(&values).unwrap()["y"],
+                    "{kind} pattern {pattern:b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn demorgan_rejects_cells_without_a_dual() {
+        let (mut c, _, loads) = fanout_tree();
+        assert!(matches!(
+            c.demorgan_gate(loads[0]),
+            Err(NetlistError::UnsupportedEdit(_))
+        ));
+    }
+
+    #[test]
+    fn demorgan_keeps_the_output_net_and_its_loads() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let y = c.add_gate(CellKind::Nor2, &[a, b], "y").unwrap();
+        let g = c.driver_gate(y).unwrap();
+        let z = c.add_gate(CellKind::Inv, &[y], "z").unwrap();
+        c.mark_output(z);
+        c.mark_output(y);
+        let edit = c.demorgan_gate(g).unwrap();
+        assert_eq!(c.driver_gate(y), Some(edit.output_inv));
+        assert!(c.net(y).is_output());
+        assert_eq!(c.net(y).fanout(), 1, "downstream load untouched");
+        assert_eq!(c.driver_gate(edit.inner_net), Some(g));
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn topo_and_level_caches_survive_reads_and_reset_on_surgery() {
+        let (mut c, n, loads) = fanout_tree();
+        // Warm both caches, twice (second call must hit the cache).
+        let t1 = c.topo_order().unwrap();
+        let t2 = c.topo_order().unwrap();
+        assert_eq!(t1, t2);
+        let l1 = c.logic_levels().unwrap();
+        assert_eq!(l1, c.logic_levels().unwrap());
+
+        // Every surgery primitive must refresh them.
+        c.insert_buffer(n, &[(loads[0], 0)]).unwrap();
+        let t3 = c.topo_order().unwrap();
+        assert_eq!(t3.len(), c.gate_count(), "stale topo after insert_buffer");
+        assert_eq!(c.logic_levels().unwrap().len(), c.gate_count());
+
+        let g = c.driver_gate(n).unwrap();
+        c.demorgan_gate(loads[1]).ok();
+        let a = c.primary_inputs()[0];
+        c.replace_gate(g, CellKind::Inv, &[a]).unwrap();
+        let t4 = c.topo_order().unwrap();
+        assert_eq!(t4.len(), c.gate_count(), "stale topo after replace_gate");
+
+        // The cached order stays a valid fanin-first order.
+        let pos: HashMap<GateId, usize> = t4.iter().enumerate().map(|(i, &g)| (g, i)).collect();
+        for gid in c.gate_ids() {
+            for &net in c.gate(gid).inputs() {
+                if let Some(NetDriver::Gate(src)) = c.net(net).driver() {
+                    assert!(pos[&src] < pos[&gid]);
+                }
+            }
+        }
     }
 }

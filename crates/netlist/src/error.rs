@@ -41,6 +41,10 @@ pub enum NetlistError {
     MissingInputValue(String),
     /// A referenced id is out of range for this circuit.
     InvalidId(String),
+    /// A netlist surgery operation is not applicable to its target
+    /// (e.g. De Morgan on a cell without a series-stack dual, or a
+    /// buffer insertion naming a pin that does not load the net).
+    UnsupportedEdit(String),
 }
 
 impl fmt::Display for NetlistError {
@@ -69,6 +73,7 @@ impl fmt::Display for NetlistError {
                 write!(f, "no value provided for primary input `{name}`")
             }
             NetlistError::InvalidId(what) => write!(f, "invalid id: {what}"),
+            NetlistError::UnsupportedEdit(what) => write!(f, "unsupported edit: {what}"),
         }
     }
 }

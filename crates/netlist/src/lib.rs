@@ -43,10 +43,12 @@ pub mod error;
 pub mod rng;
 pub mod stats;
 pub mod suite;
+pub mod surgery;
 
 pub use cell::CellKind;
-pub use circuit::{Circuit, Gate, GateId, Net, NetDriver, NetId};
+pub use circuit::{BufferInsertion, Circuit, DeMorganEdit, Gate, GateId, Net, NetDriver, NetId};
 pub use error::NetlistError;
+pub use surgery::{AppliedEdit, EditOp, EditPlan};
 
 /// Convenient glob import for downstream crates and examples.
 pub mod prelude {
@@ -55,4 +57,5 @@ pub mod prelude {
     pub use crate::circuit::{Circuit, Gate, GateId, Net, NetDriver, NetId};
     pub use crate::error::NetlistError;
     pub use crate::suite::{self, BenchmarkSuite, CircuitProfile};
+    pub use crate::surgery::{AppliedEdit, EditOp, EditPlan};
 }

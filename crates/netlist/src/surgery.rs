@@ -1,0 +1,318 @@
+//! Batched netlist surgery: [`EditPlan`]s over [`Circuit`]s.
+//!
+//! The optimization flow decides *what* to restructure (buffer an
+//! over-limit net, De Morgan a weak NOR) long before it is safe to
+//! mutate anything — candidates come from path analysis over an
+//! immutable timing view. An [`EditPlan`] captures those decisions as
+//! data: a list of [`EditOp`]s referencing existing [`NetId`]s /
+//! [`GateId`]s, applied later in one shot by [`EditPlan::apply_to`] (or
+//! by `TimingGraph::apply_edits`, which additionally patches its
+//! incremental timing state around the same application).
+//!
+//! Every op maps onto one of the [`Circuit`] surgery primitives and is
+//! validated before it mutates; the returned [`AppliedEdit`] log names
+//! the gates and nets each op created or touched — exactly what an
+//! incremental timing engine needs to seed its dirty cones.
+//!
+//! Ids are append-only: no op ever invalidates an existing `GateId` or
+//! `NetId`, so ops within one plan may reference the same base ids.
+//! Application order is the plan order; planners that mix buffer and
+//! De Morgan ops should emit the buffer ops first (a De Morgan rewires
+//! its gate's input pins, which would invalidate a later buffer op's
+//! recorded `(gate, pin)` list).
+
+use crate::cell::CellKind;
+use crate::circuit::{Circuit, GateId, NetId};
+use crate::error::NetlistError;
+
+/// One structural edit, in netlist terms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EditOp {
+    /// Insert an Inv→Inv buffer pair after `net`, re-homing the listed
+    /// load pins onto the pair's output ([`Circuit::insert_buffer`]).
+    InsertBuffer {
+        /// The over-limit net to relieve.
+        net: NetId,
+        /// Load pins to move behind the buffer.
+        loads: Vec<(GateId, usize)>,
+        /// Input capacitance for the two inverters (fF): `[first,
+        /// second]` — the first loads the relieved net, the second
+        /// drives the moved pins.
+        stage_cin_ff: [f64; 2],
+    },
+    /// Swap a gate's cell and input wiring ([`Circuit::replace_gate`]).
+    /// Raw primitive: callers are responsible for logic equivalence.
+    ReplaceGate {
+        /// Gate to rewrite.
+        gate: GateId,
+        /// New cell.
+        kind: CellKind,
+        /// New input nets, in pin order (must match the cell's arity).
+        inputs: Vec<NetId>,
+    },
+    /// Rewrite a NAND/NOR into its De Morgan dual plus inverters,
+    /// preserving the logic function ([`Circuit::demorgan_gate`]).
+    DeMorgan {
+        /// The gate to dualize.
+        gate: GateId,
+        /// Input capacitance for every created inverter (fF).
+        inv_cin_ff: f64,
+    },
+}
+
+/// An ordered batch of structural edits.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EditPlan {
+    ops: Vec<EditOp>,
+}
+
+/// What one applied [`EditOp`] did to the circuit: the ids it created
+/// (with suggested sizes for new gates) and the pre-existing ids whose
+/// connectivity it changed. Consumed by incremental timing engines to
+/// seed dirty cones and extend their per-gate/per-net state.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AppliedEdit {
+    /// Gates created by this op, in id order.
+    pub new_gates: Vec<GateId>,
+    /// Suggested input capacitance per created gate (fF), parallel to
+    /// `new_gates`.
+    pub new_gate_cin_ff: Vec<f64>,
+    /// Nets created by this op.
+    pub new_nets: Vec<NetId>,
+    /// Pre-existing *and* new nets whose driver, load pins or fanout
+    /// set changed.
+    pub touched_nets: Vec<NetId>,
+    /// Pre-existing gates whose cell, input wiring or output net
+    /// changed (created gates are listed in `new_gates` only).
+    pub touched_gates: Vec<GateId>,
+}
+
+impl EditPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        EditPlan::default()
+    }
+
+    /// Append an op.
+    pub fn push(&mut self, op: EditOp) {
+        self.ops.push(op);
+    }
+
+    /// Append every op of `other`.
+    pub fn extend(&mut self, other: EditPlan) {
+        self.ops.extend(other.ops);
+    }
+
+    /// The ops, in application order.
+    pub fn ops(&self) -> &[EditOp] {
+        &self.ops
+    }
+
+    /// Number of ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the plan holds no ops.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Apply every op to `circuit`, in order, and return one
+    /// [`AppliedEdit`] per op.
+    ///
+    /// # Errors
+    ///
+    /// The first failing op's error. Ops preceding it remain applied
+    /// (each op is individually atomic: it validates before mutating);
+    /// callers needing all-or-nothing semantics should apply to a clone.
+    pub fn apply_to(&self, circuit: &mut Circuit) -> Result<Vec<AppliedEdit>, NetlistError> {
+        let mut applied = Vec::with_capacity(self.ops.len());
+        for op in &self.ops {
+            applied.push(op.apply_to(circuit)?);
+        }
+        Ok(applied)
+    }
+}
+
+impl From<Vec<EditOp>> for EditPlan {
+    fn from(ops: Vec<EditOp>) -> Self {
+        EditPlan { ops }
+    }
+}
+
+impl EditOp {
+    /// Apply this single op to `circuit`.
+    ///
+    /// # Errors
+    ///
+    /// As the underlying [`Circuit`] surgery primitive.
+    pub fn apply_to(&self, circuit: &mut Circuit) -> Result<AppliedEdit, NetlistError> {
+        match self {
+            EditOp::InsertBuffer {
+                net,
+                loads,
+                stage_cin_ff,
+            } => {
+                let ins = circuit.insert_buffer(*net, loads)?;
+                Ok(AppliedEdit {
+                    new_gates: vec![ins.first, ins.second],
+                    new_gate_cin_ff: stage_cin_ff.to_vec(),
+                    new_nets: vec![ins.mid_net, ins.out_net],
+                    touched_nets: vec![*net, ins.mid_net, ins.out_net],
+                    touched_gates: loads.iter().map(|&(g, _)| g).collect(),
+                })
+            }
+            EditOp::ReplaceGate { gate, kind, inputs } => {
+                let old_inputs = circuit.gate(*gate).inputs().to_vec();
+                circuit.replace_gate(*gate, *kind, inputs)?;
+                let mut touched_nets = old_inputs;
+                touched_nets.extend_from_slice(inputs);
+                touched_nets.push(circuit.gate(*gate).output());
+                touched_nets.sort_unstable();
+                touched_nets.dedup();
+                Ok(AppliedEdit {
+                    new_gates: Vec::new(),
+                    new_gate_cin_ff: Vec::new(),
+                    new_nets: Vec::new(),
+                    touched_nets,
+                    touched_gates: vec![*gate],
+                })
+            }
+            EditOp::DeMorgan { gate, inv_cin_ff } => {
+                let old_inputs = circuit.gate(*gate).inputs().to_vec();
+                let y = circuit.gate(*gate).output();
+                let edit = circuit.demorgan_gate(*gate)?;
+                let mut new_gates = edit.input_invs.clone();
+                new_gates.push(edit.output_inv);
+                let mut new_nets = edit.input_nets.clone();
+                new_nets.push(edit.inner_net);
+                let mut touched_nets = old_inputs;
+                touched_nets.extend_from_slice(&new_nets);
+                touched_nets.push(y);
+                touched_nets.sort_unstable();
+                touched_nets.dedup();
+                Ok(AppliedEdit {
+                    new_gate_cin_ff: vec![*inv_cin_ff; new_gates.len()],
+                    new_gates,
+                    new_nets,
+                    touched_nets,
+                    touched_gates: vec![*gate],
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nor_into_fanout() -> (Circuit, GateId, NetId, Vec<GateId>) {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let y = c.add_gate(CellKind::Nor2, &[a, b], "y").unwrap();
+        let g = c.driver_gate(y).unwrap();
+        let mut sinks = Vec::new();
+        for i in 0..3 {
+            let s = c.add_gate(CellKind::Inv, &[y], format!("s{i}")).unwrap();
+            sinks.push(c.driver_gate(s).unwrap());
+            c.mark_output(s);
+        }
+        (c, g, y, sinks)
+    }
+
+    #[test]
+    fn plan_applies_ops_in_order_and_logs_ids() {
+        let (mut c, g, y, sinks) = nor_into_fanout();
+        let gates_before = c.gate_count();
+        let mut plan = EditPlan::new();
+        plan.push(EditOp::InsertBuffer {
+            net: y,
+            loads: vec![(sinks[1], 0), (sinks[2], 0)],
+            stage_cin_ff: [1.0, 4.0],
+        });
+        plan.push(EditOp::DeMorgan {
+            gate: g,
+            inv_cin_ff: 1.0,
+        });
+        let applied = plan.apply_to(&mut c).unwrap();
+        assert_eq!(applied.len(), 2);
+        assert_eq!(applied[0].new_gates.len(), 2);
+        assert_eq!(applied[0].new_gate_cin_ff, vec![1.0, 4.0]);
+        assert_eq!(applied[1].new_gates.len(), 3); // 2 input invs + output inv
+                                                   // New ids are dense and append-only.
+        let all_new: Vec<usize> = applied
+            .iter()
+            .flat_map(|a| a.new_gates.iter().map(|g| g.index()))
+            .collect();
+        assert_eq!(
+            all_new,
+            (gates_before..gates_before + 5).collect::<Vec<_>>()
+        );
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn buffer_then_demorgan_preserves_all_outputs() {
+        let (mut c, g, y, sinks) = nor_into_fanout();
+        let reference = c.clone();
+        let plan: EditPlan = vec![
+            EditOp::InsertBuffer {
+                net: y,
+                loads: vec![(sinks[0], 0)],
+                stage_cin_ff: [1.0, 1.0],
+            },
+            EditOp::DeMorgan {
+                gate: g,
+                inv_cin_ff: 1.0,
+            },
+        ]
+        .into();
+        plan.apply_to(&mut c).unwrap();
+        for pattern in 0..4u32 {
+            let values = [("a", pattern & 1 == 1), ("b", pattern & 2 == 2)]
+                .into_iter()
+                .collect();
+            assert_eq!(
+                reference.evaluate(&values).unwrap(),
+                c.evaluate(&values).unwrap(),
+                "pattern {pattern:b}"
+            );
+        }
+    }
+
+    #[test]
+    fn failing_op_reports_its_error() {
+        let (mut c, _, y, sinks) = nor_into_fanout();
+        let plan: EditPlan = vec![EditOp::InsertBuffer {
+            net: y,
+            loads: vec![(sinks[0], 3)],
+            stage_cin_ff: [1.0, 1.0],
+        }]
+        .into();
+        assert!(matches!(
+            plan.apply_to(&mut c),
+            Err(NetlistError::UnsupportedEdit(_))
+        ));
+    }
+
+    #[test]
+    fn replace_gate_op_logs_old_and_new_nets() {
+        let (mut c, g, y, _) = nor_into_fanout();
+        let a = c.primary_inputs()[0];
+        let plan: EditPlan = vec![EditOp::ReplaceGate {
+            gate: g,
+            kind: CellKind::Nand2,
+            inputs: vec![a, a],
+        }]
+        .into();
+        let applied = plan.apply_to(&mut c).unwrap();
+        assert!(applied[0].new_gates.is_empty());
+        assert!(applied[0].touched_nets.contains(&y));
+        assert!(applied[0].touched_nets.contains(&a));
+        assert_eq!(applied[0].touched_gates, vec![g]);
+        c.validate().unwrap();
+    }
+}

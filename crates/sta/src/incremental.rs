@@ -53,8 +53,11 @@
 //! bit-identity against a fresh [`crate::required_times`] after every
 //! step of random resize sequences.
 
+use std::borrow::Cow;
+
 use pops_delay::model::{gate_delay_with_output_edge, Edge};
 use pops_delay::Library;
+use pops_netlist::surgery::{AppliedEdit, EditPlan};
 use pops_netlist::{CellKind, Circuit, GateId, NetId, NetlistError};
 
 use crate::analysis::{
@@ -81,6 +84,8 @@ pub struct UpdateStats {
     pub required_converged_early: usize,
     /// K-paths completion-bound re-evaluations.
     pub completion_reevaluated: usize,
+    /// Structural edits applied through [`TimingGraph::apply_edits`].
+    pub structural_edits: usize,
 }
 
 /// Per-gate model constants, flattened out of the library at build time.
@@ -197,7 +202,11 @@ impl NetTiming {
 /// ```
 #[derive(Debug, Clone)]
 pub struct TimingGraph<'c> {
-    circuit: &'c Circuit,
+    /// The circuit being timed. Starts borrowed; the first
+    /// [`TimingGraph::apply_edits`] clones it into an owned netlist the
+    /// graph can mutate (structural write-back), after which
+    /// [`TimingGraph::circuit`] is the authoritative netlist.
+    circuit: Cow<'c, Circuit>,
     lib: &'c Library,
     options: AnalyzeOptions,
     sizing: Sizing,
@@ -249,10 +258,109 @@ pub struct TimingGraph<'c> {
 
     /// Primary-output flag per net (flat copy for the backward hot loop).
     is_po: Vec<bool>,
+    /// Primary-input nets (flat copy: the hot loops must not chase the
+    /// circuit while the graph is being mutated).
+    pis: Vec<NetId>,
+    /// Primary-output nets, in declaration order (critical scan order).
+    pos: Vec<NetId>,
     /// Maintained backward state; `None` until
     /// [`TimingGraph::set_constraint`].
     backward: Option<BackwardState>,
     stats: UpdateStats,
+}
+
+/// The circuit-derived arrays of a [`TimingGraph`]: topology, adjacency
+/// and flattened model constants — everything except the floating-point
+/// timing state. Rebuilt wholesale by [`TimingGraph::apply_edits`]
+/// (graph surgery changes ranks and adjacency arbitrarily, and this
+/// rebuild is pure pointer/arena work — the expensive part, arc
+/// re-evaluation, stays confined to the seeded dirty cones).
+struct Structure {
+    topo: Vec<GateId>,
+    rank: Vec<u32>,
+    net_driver: Vec<Option<GateId>>,
+    gate_params: Vec<GateParams>,
+    cell: Vec<CellKind>,
+    out_net: Vec<NetId>,
+    fanin: Vec<NetId>,
+    fanin_off: Vec<u32>,
+    fanout: Vec<GateId>,
+    fanout_off: Vec<u32>,
+    is_po: Vec<bool>,
+    pis: Vec<NetId>,
+    pos: Vec<NetId>,
+}
+
+fn build_structure(circuit: &Circuit, lib: &Library) -> Result<Structure, NetlistError> {
+    let topo = circuit.topo_order()?;
+    let mut rank = vec![0u32; circuit.gate_count()];
+    for (i, &g) in topo.iter().enumerate() {
+        rank[g.index()] = i as u32;
+    }
+    let n_nets = circuit.net_count();
+    let net_driver = circuit.net_ids().map(|n| circuit.driver_gate(n)).collect();
+
+    let process = lib.process();
+    let gate_params = circuit
+        .gate_ids()
+        .map(|g| {
+            let cell = lib.cell(circuit.gate(g).kind());
+            let mut tau_s = [0.0f64; 2];
+            for e in EDGES {
+                // Same product order as the model's
+                // `process.tau_ps * s * cl_total / cin`: caching
+                // `tau_ps * s` keeps the remaining ops bit-identical.
+                tau_s[eidx(e)] = process.tau_ps * cell.s_factor(process, e);
+            }
+            GateParams {
+                cpar_factor: cell.cpar_factor,
+                k: cell.k,
+                tau_s,
+            }
+        })
+        .collect();
+
+    // Flatten the netlist adjacency into contiguous arrays: the cone
+    // walk is memory-bound, and per-gate/per-net `Vec`s would cost a
+    // pointer chase per visit.
+    let cell: Vec<CellKind> = circuit.gate_ids().map(|g| circuit.gate(g).kind()).collect();
+    let out_net: Vec<NetId> = circuit
+        .gate_ids()
+        .map(|g| circuit.gate(g).output())
+        .collect();
+    let mut fanin = Vec::with_capacity(circuit.pin_count());
+    let mut fanin_off = Vec::with_capacity(circuit.gate_count() + 1);
+    fanin_off.push(0u32);
+    for g in circuit.gate_ids() {
+        fanin.extend_from_slice(circuit.gate(g).inputs());
+        fanin_off.push(fanin.len() as u32);
+    }
+    let mut fanout = Vec::with_capacity(circuit.pin_count());
+    let mut fanout_off = Vec::with_capacity(n_nets + 1);
+    fanout_off.push(0u32);
+    for n in circuit.net_ids() {
+        fanout.extend(circuit.fanout_gates(n));
+        fanout_off.push(fanout.len() as u32);
+    }
+
+    Ok(Structure {
+        topo,
+        rank,
+        net_driver,
+        gate_params,
+        cell,
+        out_net,
+        fanin,
+        fanin_off,
+        fanout,
+        fanout_off,
+        is_po: circuit
+            .net_ids()
+            .map(|n| circuit.net(n).is_output())
+            .collect(),
+        pis: circuit.primary_inputs().to_vec(),
+        pos: circuit.primary_outputs().to_vec(),
+    })
 }
 
 /// Incrementally maintained backward timing state (see the module
@@ -316,84 +424,36 @@ impl<'c> TimingGraph<'c> {
         sizing: &Sizing,
         options: &AnalyzeOptions,
     ) -> Result<Self, NetlistError> {
-        let topo = circuit.topo_order()?;
-        let mut rank = vec![0u32; circuit.gate_count()];
-        for (i, &g) in topo.iter().enumerate() {
-            rank[g.index()] = i as u32;
-        }
-        let n_nets = circuit.net_count();
-        let net_driver = circuit.net_ids().map(|n| circuit.driver_gate(n)).collect();
-
+        let s = build_structure(circuit, lib)?;
         let process = lib.process();
-        let gate_params = circuit
-            .gate_ids()
-            .map(|g| {
-                let cell = lib.cell(circuit.gate(g).kind());
-                let mut tau_s = [0.0f64; 2];
-                for e in EDGES {
-                    // Same product order as the model's
-                    // `process.tau_ps * s * cl_total / cin`: caching
-                    // `tau_ps * s` keeps the remaining ops bit-identical.
-                    tau_s[eidx(e)] = process.tau_ps * cell.s_factor(process, e);
-                }
-                GateParams {
-                    cpar_factor: cell.cpar_factor,
-                    k: cell.k,
-                    tau_s,
-                }
-            })
-            .collect();
         let vt = [process.vtn_reduced(), process.vtp_reduced()];
-
-        // Flatten the netlist adjacency into contiguous arrays: the cone
-        // walk is memory-bound, and per-gate/per-net `Vec`s would cost a
-        // pointer chase per visit.
-        let cell: Vec<CellKind> = circuit.gate_ids().map(|g| circuit.gate(g).kind()).collect();
-        let out_net: Vec<NetId> = circuit
-            .gate_ids()
-            .map(|g| circuit.gate(g).output())
-            .collect();
-        let mut fanin = Vec::with_capacity(circuit.pin_count());
-        let mut fanin_off = Vec::with_capacity(circuit.gate_count() + 1);
-        fanin_off.push(0u32);
-        for g in circuit.gate_ids() {
-            fanin.extend_from_slice(circuit.gate(g).inputs());
-            fanin_off.push(fanin.len() as u32);
-        }
-        let mut fanout = Vec::with_capacity(circuit.pin_count());
-        let mut fanout_off = Vec::with_capacity(n_nets + 1);
-        fanout_off.push(0u32);
-        for n in circuit.net_ids() {
-            fanout.extend(circuit.fanout_gates(n));
-            fanout_off.push(fanout.len() as u32);
-        }
+        let n_nets = circuit.net_count();
 
         let mut graph = TimingGraph {
-            circuit,
+            circuit: Cow::Borrowed(circuit),
             lib,
             options: options.clone(),
             sizing: sizing.clone(),
-            topo,
-            rank,
-            net_driver,
+            topo: s.topo,
+            rank: s.rank,
+            net_driver: s.net_driver,
             nets: vec![NetTiming::UNREACHED; n_nets],
             gate_delay_worst: vec![0.0f64; circuit.gate_count()],
             critical_net: None,
-            gate_params,
+            gate_params: s.gate_params,
             vt,
-            cell,
-            out_net,
-            fanin,
-            fanin_off,
-            fanout,
-            fanout_off,
+            cell: s.cell,
+            out_net: s.out_net,
+            fanin: s.fanin,
+            fanin_off: s.fanin_off,
+            fanout: s.fanout,
+            fanout_off: s.fanout_off,
             dirty_bits: vec![0u64; circuit.gate_count().div_ceil(64)],
             dirty_count: 0,
             min_dirty_rank: u32::MAX,
-            is_po: circuit
-                .net_ids()
-                .map(|n| circuit.net(n).is_output())
-                .collect(),
+            is_po: s.is_po,
+            pis: s.pis,
+            pos: s.pos,
             backward: None,
             stats: UpdateStats::default(),
         };
@@ -401,9 +461,11 @@ impl<'c> TimingGraph<'c> {
         Ok(graph)
     }
 
-    /// The circuit this graph times.
-    pub fn circuit(&self) -> &'c Circuit {
-        self.circuit
+    /// The circuit this graph times. After [`TimingGraph::apply_edits`]
+    /// this is the graph's own edited copy — the authoritative netlist
+    /// for every id the graph hands out.
+    pub fn circuit(&self) -> &Circuit {
+        self.circuit.as_ref()
     }
 
     /// The current sizing (the graph owns its copy; mutate it through
@@ -454,8 +516,11 @@ impl<'c> TimingGraph<'c> {
             // The fanin nets' loads changed: recompute them exactly (same
             // summation order as the full pass — no delta accumulation)
             // and re-evaluate their driver gates.
-            for &in_net in self.circuit.gate(gate).inputs() {
-                self.recompute_net_load(in_net);
+            let fanin_range =
+                self.fanin_off[gate.index()] as usize..self.fanin_off[gate.index() + 1] as usize;
+            for i in fanin_range {
+                let in_net = self.fanin[i];
+                self.recompute_net_load(in_net.index());
                 // Backward: arcs *through this gate* moved with its
                 // C_IN, so its fanin nets' required times must be
                 // re-derived.
@@ -465,8 +530,10 @@ impl<'c> TimingGraph<'c> {
                     // Backward: arcs through `driver` moved too (the
                     // load on its output net changed), touching the
                     // required times of *its* fanin nets.
-                    for &dn in self.circuit.gate(driver).inputs() {
-                        self.mark_required_net(dn);
+                    let d_range = self.fanin_off[driver.index()] as usize
+                        ..self.fanin_off[driver.index() + 1] as usize;
+                    for j in d_range {
+                        self.mark_required_net(self.fanin[j]);
                     }
                 }
             }
@@ -497,23 +564,23 @@ impl<'c> TimingGraph<'c> {
         self.options = options.clone();
 
         if po_changed {
-            for net in self.circuit.net_ids() {
-                if self.circuit.net(net).is_output() {
-                    self.recompute_net_load(net);
-                    if let Some(driver) = self.net_driver[net.index()] {
-                        self.mark_dirty(driver);
-                    }
+            for i in 0..self.pos.len() {
+                let net = self.pos[i];
+                self.recompute_net_load(net.index());
+                if let Some(driver) = self.net_driver[net.index()] {
+                    self.mark_dirty(driver);
                 }
             }
         }
         if slope_changed {
-            let circuit = self.circuit;
-            for &pi in circuit.primary_inputs() {
+            for i in 0..self.pis.len() {
+                let pi = self.pis[i];
                 for e in EDGES {
                     self.nets[pi.index()].slope[eidx(e)] = self.options.input_transition_ps;
                 }
-                for g in circuit.fanout_gates(pi) {
-                    self.mark_dirty(g);
+                let (lo, hi) = (self.fanout_off[pi.index()], self.fanout_off[pi.index() + 1]);
+                for j in lo..hi {
+                    self.mark_dirty(self.fanout[j as usize]);
                 }
             }
         }
@@ -522,6 +589,191 @@ impl<'c> TimingGraph<'c> {
         if backward.is_some() {
             self.backward = backward;
             self.rebuild_backward();
+        }
+    }
+
+    /// Apply a batch of structural edits — buffer insertions, gate
+    /// replacements, De Morgan rewrites — to the circuit *and* patch the
+    /// timing state around them, instead of rebuilding from scratch.
+    ///
+    /// On the first call the graph clones the borrowed circuit into an
+    /// owned copy (the caller's original netlist is never mutated);
+    /// from then on [`TimingGraph::circuit`] is the authoritative,
+    /// edited netlist. The graph then
+    ///
+    /// 1. applies the plan through the [`Circuit`] surgery primitives
+    ///    (append-only: every pre-existing id stays valid),
+    /// 2. rebuilds its structural arrays — topological ranks, flattened
+    ///    adjacency, per-gate model constants — pure arena work with no
+    ///    arc evaluations,
+    /// 3. extends the per-gate/per-net timing state for the created ids
+    ///    (new gates enter at their planned sizes, clamped to the
+    ///    library minimum; new nets start unreached),
+    /// 4. seeds the forward and backward dirty cones from the edit log:
+    ///    every net whose load moved re-times its driver, every gate
+    ///    whose cell/wiring changed re-evaluates, new gates evaluate for
+    ///    the first time — and the usual bitwise-convergence propagation
+    ///    confines the floating-point work to the affected cones.
+    ///
+    /// After the call every queryable value — arrivals, slopes, loads,
+    /// required times, slacks, k-paths completion bounds — is
+    /// **bit-identical** to a from-scratch [`TimingGraph`] built on the
+    /// edited circuit under the same sizing, options and constraint
+    /// (`tests/surgery_equivalence.rs` asserts this after every edit of
+    /// random surgery/resize mixes).
+    ///
+    /// Returns the per-op [`AppliedEdit`] log (created gate/net ids).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing op's [`NetlistError`]. Ops before
+    /// it stay applied — the graph re-synchronizes its state to the
+    /// partially edited circuit before returning, so it remains
+    /// consistent and usable even on error.
+    pub fn apply_edits(&mut self, plan: &EditPlan) -> Result<Vec<AppliedEdit>, NetlistError> {
+        if plan.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut applied = Vec::with_capacity(plan.len());
+        let mut first_err = None;
+        {
+            let circuit = self.circuit.to_mut();
+            for op in plan.ops() {
+                match op.apply_to(circuit) {
+                    Ok(a) => applied.push(a),
+                    Err(e) => {
+                        // Resync to the applied prefix below so the
+                        // graph stays consistent with its circuit.
+                        first_err = Some(e);
+                        break;
+                    }
+                }
+            }
+        }
+        self.resync_after_surgery(&applied)?;
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(applied),
+        }
+    }
+
+    /// Rebuild structure, extend state and re-time after the circuit
+    /// was surgically edited. `applied` carries the created ids and
+    /// suggested sizes; conservative seeding beyond it (load-change
+    /// detection over all nets) covers any edit the log understates.
+    fn resync_after_surgery(&mut self, applied: &[AppliedEdit]) -> Result<(), NetlistError> {
+        let s = build_structure(self.circuit.as_ref(), self.lib)?;
+        let n_gates = s.topo.len();
+        let n_nets = s.net_driver.len();
+        self.topo = s.topo;
+        self.rank = s.rank;
+        self.net_driver = s.net_driver;
+        self.gate_params = s.gate_params;
+        self.cell = s.cell;
+        self.out_net = s.out_net;
+        self.fanin = s.fanin;
+        self.fanin_off = s.fanin_off;
+        self.fanout = s.fanout;
+        self.fanout_off = s.fanout_off;
+        self.is_po = s.is_po;
+        self.pis = s.pis;
+        self.pos = s.pos;
+
+        // Per-gate / per-net timing state: existing entries keep their
+        // values (they are still bit-correct wherever the edits did not
+        // reach), new ids get neutral initial state. The dirty bitsets
+        // are empty here — every mutator drains them before returning —
+        // so re-ranking cannot orphan a pending mark.
+        debug_assert_eq!(self.dirty_count, 0, "surgery over a drained queue");
+        self.nets.resize(n_nets, NetTiming::UNREACHED);
+        self.gate_delay_worst.resize(n_gates, 0.0);
+        self.dirty_bits = vec![0u64; n_gates.div_ceil(64)];
+        let min_drive = self.lib.min_drive_ff();
+        for edit in applied {
+            for (&g, &cin) in edit.new_gates.iter().zip(&edit.new_gate_cin_ff) {
+                debug_assert_eq!(g.index(), self.sizing.len(), "dense new gate ids");
+                self.sizing.push(cin.max(min_drive));
+            }
+        }
+        assert_eq!(self.sizing.len(), n_gates, "one size per gate");
+        if let Some(bw) = self.backward.as_mut() {
+            debug_assert_eq!(bw.req_count, 0);
+            debug_assert_eq!(bw.comp_count, 0);
+            bw.required.resize(n_nets, [f64::INFINITY; 2]);
+            bw.completion.resize(n_gates, f64::NEG_INFINITY);
+            bw.req_bits = vec![0u64; n_gates.div_ceil(64)];
+            bw.comp_bits = vec![0u64; n_gates.div_ceil(64)];
+            bw.pi_bits = vec![0u64; n_nets.div_ceil(64)];
+            bw.pi_dirty.clear();
+        }
+
+        // Seed pass 1 — load deltas: recompute every net's load (same
+        // summation order as the full pass; untouched nets reproduce
+        // their bits exactly) and treat any changed net like a resized
+        // fanin net: its driver re-times, its required times and its
+        // driver's fanin required times re-derive.
+        for net in 0..n_nets {
+            let old = self.nets[net].load;
+            self.recompute_net_load(net);
+            if old.to_bits() == self.nets[net].load.to_bits() {
+                continue;
+            }
+            if let Some(driver) = self.net_driver[net] {
+                self.mark_dirty(driver);
+                let (lo, hi) = (
+                    self.fanin_off[driver.index()] as usize,
+                    self.fanin_off[driver.index() + 1] as usize,
+                );
+                for i in lo..hi {
+                    self.mark_required_net(self.fanin[i]);
+                }
+                self.mark_completion_gate(driver);
+            }
+        }
+
+        // Seed pass 2 — connectivity deltas from the edit log: nets
+        // whose fanout set or driver changed, gates whose cell/wiring
+        // changed and every created gate. Over-seeding is safe (the
+        // bitwise convergence cut discards no-op re-evaluations); the
+        // goal is only to never under-seed.
+        for edit in applied {
+            for &net in edit.touched_nets.iter().chain(&edit.new_nets) {
+                self.mark_required_net(net);
+                if let Some(driver) = self.net_driver[net.index()] {
+                    self.seed_edited_gate(driver);
+                }
+                let (lo, hi) = (
+                    self.fanout_off[net.index()] as usize,
+                    self.fanout_off[net.index() + 1] as usize,
+                );
+                for i in lo..hi {
+                    let g = self.fanout[i];
+                    self.seed_edited_gate(g);
+                }
+            }
+            for &g in edit.touched_gates.iter().chain(&edit.new_gates) {
+                self.seed_edited_gate(g);
+            }
+        }
+
+        self.stats.updates += 1;
+        self.stats.structural_edits += applied.len();
+        self.propagate();
+        Ok(())
+    }
+
+    /// Mark one gate whose cell, wiring, drive or environment a
+    /// structural edit may have changed: re-evaluate it forward, and
+    /// re-derive its completion bound and its fanin required times.
+    fn seed_edited_gate(&mut self, g: GateId) {
+        self.mark_dirty(g);
+        self.mark_completion_gate(g);
+        let (lo, hi) = (
+            self.fanin_off[g.index()] as usize,
+            self.fanin_off[g.index() + 1] as usize,
+        );
+        for i in lo..hi {
+            self.mark_required_net(self.fanin[i]);
         }
     }
 
@@ -724,16 +976,22 @@ impl<'c> TimingGraph<'c> {
     // ---- internals ----
 
     /// Exact per-net load under the current sizing; identical summation
-    /// order to the full pass for bit-equality.
-    fn recompute_net_load(&mut self, net: NetId) {
+    /// order to the full pass for bit-equality (the flattened fanout
+    /// array preserves the circuit's load-pin order). Takes the raw net
+    /// index so whole-array sweeps need no id round-trip.
+    fn recompute_net_load(&mut self, net: usize) {
         let mut load = 0.0;
-        for &(g, _pin) in self.circuit.net(net).loads() {
+        let (lo, hi) = (
+            self.fanout_off[net] as usize,
+            self.fanout_off[net + 1] as usize,
+        );
+        for &g in &self.fanout[lo..hi] {
             load += self.sizing.cin_ff(g);
         }
-        if self.circuit.net(net).is_output() {
+        if self.is_po[net] {
             load += self.options.po_load_ff;
         }
-        self.nets[net.index()].load = load;
+        self.nets[net].load = load;
     }
 
     fn mark_dirty(&mut self, gate: GateId) {
@@ -873,10 +1131,11 @@ impl<'c> TimingGraph<'c> {
     /// Initial timing: evaluate every gate once in topological order —
     /// exactly the full pass of `analyze_with`.
     fn full_pass(&mut self) {
-        for net in self.circuit.net_ids() {
-            self.recompute_net_load(net);
+        for i in 0..self.nets.len() {
+            self.recompute_net_load(i);
         }
-        for &pi in self.circuit.primary_inputs() {
+        for i in 0..self.pis.len() {
+            let pi = self.pis[i];
             let n = &mut self.nets[pi.index()];
             for e in EDGES {
                 n.arrival[eidx(e)] = 0.0;
@@ -893,7 +1152,7 @@ impl<'c> TimingGraph<'c> {
     /// Same worst-output scan (and tie-breaking order) as the full pass.
     fn recompute_critical(&mut self) {
         let mut critical: Option<(NetId, Edge, f64)> = None;
-        for &po in self.circuit.primary_outputs() {
+        for &po in &self.pos {
             for e in EDGES {
                 let t = self.nets[po.index()].arrival[eidx(e)];
                 if t > critical.map(|(_, _, c)| c).unwrap_or(f64::NEG_INFINITY) {
@@ -972,8 +1231,9 @@ impl<'c> TimingGraph<'c> {
     /// One descending sweep evaluates each exactly once — the full
     /// backward pass, used on constraint set/changes and option changes.
     fn rebuild_backward(&mut self) {
-        let n_gates = self.circuit.gate_count();
+        let n_gates = self.topo.len();
         {
+            let pis = &self.pis;
             let Some(bw) = self.backward.as_mut() else {
                 return;
             };
@@ -987,7 +1247,7 @@ impl<'c> TimingGraph<'c> {
                 bw.req_max_rank = (n_gates - 1) as u32;
                 bw.comp_max_rank = (n_gates - 1) as u32;
             }
-            for &pi in self.circuit.primary_inputs() {
+            for &pi in pis {
                 let i = pi.index();
                 if bw.pi_bits[i / 64] & (1u64 << (i % 64)) == 0 {
                     bw.pi_bits[i / 64] |= 1u64 << (i % 64);
@@ -1030,7 +1290,11 @@ impl<'c> TimingGraph<'c> {
                 let net = self.out_net[gate.index()];
                 self.stats.required_reevaluated += 1;
                 if self.eval_required(&mut bw, net) {
-                    for &in_net in self.circuit.gate(gate).inputs() {
+                    let (lo, hi) = (
+                        self.fanin_off[gate.index()] as usize,
+                        self.fanin_off[gate.index() + 1] as usize,
+                    );
+                    for &in_net in &self.fanin[lo..hi] {
                         Self::mark_required_in(&mut bw, &self.rank, &self.net_driver, in_net);
                     }
                 } else {
@@ -1075,7 +1339,11 @@ impl<'c> TimingGraph<'c> {
                 let gate = self.topo[word * 64 + bit as usize];
                 self.stats.completion_reevaluated += 1;
                 if self.eval_completion(&mut bw, gate) {
-                    for &in_net in self.circuit.gate(gate).inputs() {
+                    let (lo, hi) = (
+                        self.fanin_off[gate.index()] as usize,
+                        self.fanin_off[gate.index() + 1] as usize,
+                    );
+                    for &in_net in &self.fanin[lo..hi] {
                         if let Some(driver) = self.net_driver[in_net.index()] {
                             Self::mark_completion_in(&mut bw, &self.rank, driver);
                         }
@@ -1549,6 +1817,198 @@ mod tests {
         graph.clear_constraint();
         assert!(graph.cached_completion_ps().is_none());
         assert_eq!(graph.constraint_ps(), None);
+    }
+
+    fn assert_surgery_matches_fresh(graph: &TimingGraph) {
+        // The authoritative netlist after surgery is the graph's own.
+        let circuit = graph.circuit();
+        let fresh =
+            TimingGraph::with_options(circuit, graph.lib, graph.sizing(), graph.options()).unwrap();
+        for net in circuit.net_ids() {
+            for dir in [EdgeDir::Rising, EdgeDir::Falling] {
+                assert_eq!(
+                    graph.arrival_ps(net, dir).to_bits(),
+                    fresh.arrival_ps(net, dir).to_bits(),
+                    "arrival {net} {dir:?}"
+                );
+                assert_eq!(
+                    graph.slope_ps(net, dir).to_bits(),
+                    fresh.slope_ps(net, dir).to_bits(),
+                    "slope {net} {dir:?}"
+                );
+            }
+            assert_eq!(
+                graph.net_load_ff(net).to_bits(),
+                fresh.net_load_ff(net).to_bits(),
+                "load {net}"
+            );
+        }
+        for g in circuit.gate_ids() {
+            assert_eq!(
+                graph.gate_delay_worst_ps(g).to_bits(),
+                fresh.gate_delay_worst_ps(g).to_bits(),
+                "gate delay {g}"
+            );
+        }
+        assert_eq!(
+            graph.critical_delay_ps().to_bits(),
+            fresh.critical_delay_ps().to_bits()
+        );
+    }
+
+    #[test]
+    fn buffer_insertion_patches_state_bit_identically() {
+        use pops_netlist::surgery::{EditOp, EditPlan};
+        let lib = Library::cmos025();
+        let c = suite::circuit("c432").unwrap();
+        let s = Sizing::minimum(&c, &lib);
+        let mut graph = TimingGraph::new(&c, &lib, &s).unwrap();
+        graph.set_constraint(0.9 * graph.critical_delay_ps());
+
+        // Buffer the widest net: move all but the first load pin.
+        let net = c
+            .net_ids()
+            .max_by_key(|&n| c.net(n).fanout())
+            .expect("nonempty circuit");
+        let moved: Vec<(GateId, usize)> = c.net(net).loads()[1..].to_vec();
+        assert!(!moved.is_empty());
+        let plan: EditPlan = vec![EditOp::InsertBuffer {
+            net,
+            loads: moved,
+            stage_cin_ff: [2.0 * lib.min_drive_ff(), 8.0 * lib.min_drive_ff()],
+        }]
+        .into();
+        let before_gates = c.gate_count();
+        let applied = graph.apply_edits(&plan).unwrap();
+        assert_eq!(applied.len(), 1);
+        assert_eq!(graph.circuit().gate_count(), before_gates + 2);
+        assert_eq!(graph.sizing().len(), before_gates + 2);
+        // The caller's circuit is untouched (copy-on-write).
+        assert_eq!(c.gate_count(), before_gates);
+        assert_surgery_matches_fresh(&graph);
+        // Backward state rides along bit-identically.
+        let fresh =
+            TimingGraph::with_options(graph.circuit(), &lib, graph.sizing(), graph.options())
+                .map(|mut g| {
+                    g.set_constraint(graph.constraint_ps().unwrap());
+                    g
+                })
+                .unwrap();
+        for net in graph.circuit().net_ids() {
+            for dir in [EdgeDir::Rising, EdgeDir::Falling] {
+                assert_eq!(
+                    graph.required_ps(net, dir).to_bits(),
+                    fresh.required_ps(net, dir).to_bits(),
+                    "required {net} {dir:?}"
+                );
+            }
+        }
+        for g in graph.circuit().gate_ids() {
+            assert_eq!(
+                graph.completion_ps(g).to_bits(),
+                fresh.completion_ps(g).to_bits(),
+                "completion {g}"
+            );
+        }
+    }
+
+    #[test]
+    fn demorgan_patches_state_and_preserves_logic() {
+        use pops_netlist::surgery::{EditOp, EditPlan};
+        let lib = Library::cmos025();
+        let c = suite::circuit("fpd").unwrap();
+        let s = Sizing::minimum(&c, &lib);
+        let mut graph = TimingGraph::new(&c, &lib, &s).unwrap();
+        graph.set_constraint(graph.critical_delay_ps());
+        let nor = c
+            .gate_ids()
+            .find(|&g| c.gate(g).kind() == CellKind::Nor2)
+            .expect("fpd is NOR-rich");
+        let plan: EditPlan = vec![EditOp::DeMorgan {
+            gate: nor,
+            inv_cin_ff: lib.min_drive_ff(),
+        }]
+        .into();
+        graph.apply_edits(&plan).unwrap();
+        assert_eq!(graph.circuit().gate(nor).kind(), CellKind::Nand2);
+        assert_surgery_matches_fresh(&graph);
+        graph.circuit().validate().unwrap();
+    }
+
+    #[test]
+    fn surgery_composes_with_resizes_and_reverts() {
+        use pops_netlist::surgery::{EditOp, EditPlan};
+        let lib = Library::cmos025();
+        let c = ripple_carry_adder(6);
+        let s = Sizing::minimum(&c, &lib);
+        let mut graph = TimingGraph::new(&c, &lib, &s).unwrap();
+        graph.set_constraint(0.95 * graph.critical_delay_ps());
+        let net = c
+            .net_ids()
+            .filter(|&n| c.driver_gate(n).is_some() && c.net(n).fanout() >= 2)
+            .max_by_key(|&n| c.net(n).fanout())
+            .unwrap();
+        let plan: EditPlan = vec![EditOp::InsertBuffer {
+            net,
+            loads: c.net(net).loads()[1..].to_vec(),
+            stage_cin_ff: [lib.min_drive_ff(), 4.0 * lib.min_drive_ff()],
+        }]
+        .into();
+        let applied = graph.apply_edits(&plan).unwrap();
+        // Resize the new buffer and a random old gate, then revert.
+        let buf = applied[0].new_gates[1];
+        let old = graph.circuit().gate_ids().next().unwrap();
+        for g in [buf, old] {
+            let orig = graph.sizing().cin_ff(g);
+            graph.resize_gate(g, 3.0 * orig);
+            graph.resize_gate(g, orig);
+        }
+        assert_surgery_matches_fresh(&graph);
+        assert_eq!(graph.stats().structural_edits, 1);
+    }
+
+    #[test]
+    fn failing_plan_leaves_a_consistent_graph() {
+        use pops_netlist::surgery::{EditOp, EditPlan};
+        let lib = Library::cmos025();
+        let c = ripple_carry_adder(4);
+        let s = Sizing::minimum(&c, &lib);
+        let mut graph = TimingGraph::new(&c, &lib, &s).unwrap();
+        let net = c
+            .net_ids()
+            .find(|&n| c.driver_gate(n).is_some() && c.net(n).fanout() >= 2)
+            .unwrap();
+        let good = EditOp::InsertBuffer {
+            net,
+            loads: c.net(net).loads().to_vec(),
+            stage_cin_ff: [lib.min_drive_ff(), lib.min_drive_ff()],
+        };
+        // Second op names a pin that no longer loads `net` (the first op
+        // moved it): application stops there.
+        let bad = EditOp::InsertBuffer {
+            net,
+            loads: c.net(net).loads().to_vec(),
+            stage_cin_ff: [lib.min_drive_ff(), lib.min_drive_ff()],
+        };
+        let plan: EditPlan = vec![good, bad].into();
+        let err = graph.apply_edits(&plan).unwrap_err();
+        assert!(matches!(err, NetlistError::UnsupportedEdit(_)));
+        // The applied prefix is in, and the graph still agrees with a
+        // from-scratch build on its (partially edited) circuit.
+        assert_eq!(graph.circuit().gate_count(), c.gate_count() + 2);
+        assert_surgery_matches_fresh(&graph);
+    }
+
+    #[test]
+    fn empty_plan_is_a_noop() {
+        use pops_netlist::surgery::EditPlan;
+        let lib = Library::cmos025();
+        let c = inverter_chain(4);
+        let s = Sizing::minimum(&c, &lib);
+        let mut graph = TimingGraph::new(&c, &lib, &s).unwrap();
+        let before = graph.stats();
+        assert!(graph.apply_edits(&EditPlan::new()).unwrap().is_empty());
+        assert_eq!(graph.stats(), before);
     }
 
     #[test]

@@ -65,6 +65,18 @@ impl Sizing {
         self.cins[gate.index()] = cin_ff;
     }
 
+    /// Append the input capacitance of a freshly created gate (netlist
+    /// surgery allocates gate ids densely at the end of the arena, so
+    /// growing the sizing is a push per new gate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cin_ff <= 0`.
+    pub fn push(&mut self, cin_ff: f64) {
+        assert!(cin_ff > 0.0, "input capacitance must be positive");
+        self.cins.push(cin_ff);
+    }
+
     /// Number of gates covered.
     pub fn len(&self) -> usize {
         self.cins.len()

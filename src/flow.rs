@@ -3,14 +3,24 @@
 //!
 //! POPS does not size whole circuits monolithically; it analyzes once,
 //! extracts the K most critical paths, optimizes each as a bounded path
-//! (most critical first), writes the sizes back, and re-times. This
-//! module packages that loop over the workspace crates.
+//! (most critical first), writes the sizes back, and re-times. Where
+//! sizing alone stalls — a path whose required time sits below its
+//! sizing-only `Tmin` — the flow now *applies* the paper's structure
+//! modifications to the netlist: over-limit nets of the stalled paths
+//! get Inv-pair buffers (§4.1), over-limit NORs their De Morgan
+//! rewrite (§4.2), both as an [`EditPlan`] written back through
+//! [`TimingGraph::apply_edits`], which re-times only the edited cones.
 
+use std::collections::{HashMap, HashSet};
+
+use pops_core::buffer::{plan_buffer_insertions, FlimitCache};
 use pops_core::protocol::{optimize, ProtocolOptions, Technique};
+use pops_core::restructure::plan_demorgan_restructure;
 use pops_core::OptimizeError;
 use pops_delay::Library;
-use pops_netlist::{Circuit, GateId, NetlistError};
-use pops_sta::analysis::EdgeDir;
+use pops_netlist::surgery::{EditOp, EditPlan};
+use pops_netlist::{Circuit, GateId, NetId, NetlistError};
+use pops_sta::analysis::{EdgeDir, NetlistPath};
 use pops_sta::{extract_timed_path, k_most_critical_paths, ExtractOptions, Sizing, TimingGraph};
 
 /// Options for a circuit-level run.
@@ -21,12 +31,18 @@ pub struct FlowOptions {
     pub paths_per_round: usize,
     /// Maximum optimize/re-time rounds.
     pub max_rounds: usize,
-    /// Protocol options for each path (structure modification is
-    /// disabled internally: netlist write-back requires structure
-    /// conservation; buffering decisions are reported instead).
+    /// Protocol options for each path. Per-path solving always runs
+    /// structure-conserving (sizes write back one-to-one); stalled
+    /// paths escalate to netlist surgery when `apply_structure` is on.
     pub protocol: ProtocolOptions,
     /// Extraction options (latch loads, input slopes).
     pub extract: ExtractOptions,
+    /// Write structure modifications back into the netlist when sizing
+    /// stalls: buffer insertion past `Flimit` and De Morgan rewrites of
+    /// over-limit NORs on the stalled critical paths.
+    pub apply_structure: bool,
+    /// Hard cap on structural edits applied over the whole run.
+    pub max_edits: usize,
 }
 
 impl Default for FlowOptions {
@@ -36,6 +52,8 @@ impl Default for FlowOptions {
             max_rounds: 8,
             protocol: ProtocolOptions::default(),
             extract: ExtractOptions::default(),
+            apply_structure: true,
+            max_edits: 64,
         }
     }
 }
@@ -80,7 +98,11 @@ impl From<OptimizeError> for FlowError {
 /// Result of a circuit-level optimization.
 #[derive(Debug, Clone)]
 pub struct FlowResult {
-    /// Final sizing of every gate.
+    /// The optimized netlist. Identical in structure to the input
+    /// unless structural edits were applied — `sizing` indexes *this*
+    /// circuit's gates, so the pair is always consistent.
+    pub circuit: Circuit,
+    /// Final sizing of every gate of `circuit`.
     pub sizing: Sizing,
     /// Critical delay before optimization (ps).
     pub initial_delay_ps: f64,
@@ -90,10 +112,22 @@ pub struct FlowResult {
     pub total_cin_ff: f64,
     /// Paths optimized.
     pub paths_optimized: usize,
-    /// Paths where the protocol would have modified the structure
-    /// (buffering/restructuring recommended but not applied to the
-    /// netlist; candidates for a follow-up netlist edit).
-    pub structure_recommendations: usize,
+    /// Structural edits present in the returned `circuit` (buffer
+    /// pairs + De Morgan rewrites) — the applied successor of the old
+    /// advisory `structure_recommendations` count. Counted at the
+    /// best-result snapshot, so it always describes `circuit`: edits
+    /// applied later that never beat that result are not included.
+    pub edits_applied: usize,
+    /// Inv-pair buffers inserted past `Flimit` (in `circuit`).
+    pub buffers_inserted: usize,
+    /// NOR gates replaced by their De Morgan form (in `circuit`).
+    pub gates_restructured: usize,
+    /// Cumulative design-worst-slack change measured across the edit
+    /// applications up to the best-result snapshot (ps; positive = the
+    /// edits bought slack). The edits land at conservative initial
+    /// sizes, so most of their value is realized by the sizing rounds
+    /// that follow.
+    pub edit_slack_gain_ps: f64,
     /// Rounds executed.
     pub rounds: usize,
 }
@@ -101,10 +135,19 @@ pub struct FlowResult {
 /// Optimize a circuit's K most critical paths under `tc_ps`.
 ///
 /// Round structure: time the design, enumerate the K worst paths, run
-/// the Fig. 7 protocol on each (structure-conserving candidates are
-/// written back; structure modifications are counted as
-/// recommendations), re-time, repeat until the constraint holds at
-/// every output or the round budget is exhausted.
+/// the structure-conserving sizing protocol on each (sizes write back
+/// through batched dirty-cone re-timing), then — when sizing stalled on
+/// some paths and slack is still negative — apply the Fig. 7 structure
+/// modifications to the netlist itself: Inv-pair buffers on the stalled
+/// paths' over-limit nets (keeping the on-path successor direct) and
+/// De Morgan rewrites of their over-limit NORs, written back via
+/// [`TimingGraph::apply_edits`] so only the edited cones re-time.
+/// Repeat until the constraint holds at every output or the round
+/// budget is exhausted.
+///
+/// The input circuit is never mutated: the first applied edit clones it
+/// into the graph (copy-on-write), and the edited netlist is returned
+/// in [`FlowResult::circuit`].
 ///
 /// # Errors
 ///
@@ -148,9 +191,9 @@ pub fn optimize_circuit(
     graph.set_constraint(tc_ps);
     let initial_delay_ps = graph.critical_delay_ps();
 
-    // Structure modification cannot be written back into the netlist by
-    // this flow; run the protocol with conservation only and count what
-    // a structural pass would have done.
+    // Per-path solving conserves structure (sizes write back onto the
+    // existing gates one-to-one); stalled paths escalate to netlist
+    // surgery below instead of per-path protocol rewrites.
     let conserve = ProtocolOptions {
         allow_buffers: false,
         allow_restructuring: false,
@@ -158,10 +201,21 @@ pub fn optimize_circuit(
     };
 
     let mut paths_optimized = 0;
-    let mut structure_recommendations = 0;
+    let mut edits_applied = 0;
+    let mut buffers_inserted = 0;
+    let mut gates_restructured = 0;
+    let mut edit_slack_gain_ps = 0.0;
     let mut rounds = 0;
+    // Best-result snapshot: delay, sizing, circuit *and* the edit
+    // counters are captured together, so the returned `FlowResult`
+    // always describes the returned netlist (edits applied after the
+    // snapshot — or ones that never beat the pre-edit best — are not
+    // reported as part of it).
     let mut best_sizing = graph.sizing().clone();
+    let mut best_circuit = circuit.clone();
     let mut best_delay = initial_delay_ps;
+    let mut best_edits = (0usize, 0usize, 0usize, 0.0f64);
+    let mut flimits = FlimitCache::new();
 
     for _ in 0..options.max_rounds {
         rounds += 1;
@@ -171,14 +225,18 @@ pub fn optimize_circuit(
         if !matches!(graph.worst_slack_overall_ps(), Some(s) if s < 0.0) {
             break;
         }
+        let round_entry_delay = graph.critical_delay_ps();
         let round_start = graph.sizing().clone();
-        let paths = k_most_critical_paths(circuit, &graph, options.paths_per_round);
+        let paths = k_most_critical_paths(graph.circuit(), &graph, options.paths_per_round);
         let mut any_change = false;
+        // Paths whose constraint sat below the sizing-only Tmin this
+        // round: the structure-modification candidates.
+        let mut stalled: Vec<NetlistPath> = Vec::new();
         for path in &paths {
             let Some(&last) = path.gates.last() else {
                 continue;
             };
-            let endpoint = circuit.gate(last).output();
+            let endpoint = graph.circuit().gate(last).output();
             // Slack-driven selection: skip endpoints already meeting
             // their required time. At a pure primary output this is
             // exactly `arrival <= tc`; where the PO net also feeds
@@ -198,19 +256,17 @@ pub fn optimize_circuit(
                 tc_ps
             };
             let extracted =
-                extract_timed_path(circuit, lib, graph.sizing(), path, &options.extract);
+                extract_timed_path(graph.circuit(), lib, graph.sizing(), path, &options.extract);
             let solution = match optimize(lib, &extracted.timed, budget, &conserve) {
                 Ok(outcome) => {
                     debug_assert_eq!(outcome.technique, Technique::SizingOnly);
                     Some(outcome.sizes)
                 }
                 Err(OptimizeError::Infeasible { .. }) => {
-                    // Would need buffers/restructuring: check whether the
-                    // full protocol could rescue it, then at least push
-                    // the path toward its sizing Tmin.
-                    if optimize(lib, &extracted.timed, budget, &options.protocol).is_ok() {
-                        structure_recommendations += 1;
-                    }
+                    // Sizing alone cannot make this path: remember it
+                    // for the structural pass and at least push it
+                    // toward its sizing Tmin meanwhile.
+                    stalled.push(path.clone());
                     let bounds = pops_core::bounds::delay_bounds(lib, &extracted.timed);
                     Some(bounds.tmin_sizes)
                 }
@@ -236,24 +292,148 @@ pub fn optimize_circuit(
                 any_change = true;
             }
         }
+
+        // Structural write-back: when sizing stalled — paths below
+        // their sizing-only Tmin *and* no critical-delay progress this
+        // round — and slack is still negative, buffer the stalled
+        // paths' over-limit nets and De Morgan their over-limit NORs,
+        // then re-time the cones.
+        let sizing_plateaued = graph.critical_delay_ps() >= round_entry_delay - 1e-9;
+        if options.apply_structure
+            && sizing_plateaued
+            && !stalled.is_empty()
+            && edits_applied < options.max_edits
+            && matches!(graph.worst_slack_overall_ps(), Some(s) if s < 0.0)
+        {
+            // One path per round: surgery is cheap to apply but shifts
+            // the timing landscape, so edit the most critical stalled
+            // path, re-time, and let the next round re-rank before
+            // touching more (piling edits onto every stalled path at
+            // once was measurably worse on the NOR-rich suite blocks).
+            let budget = options.max_edits - edits_applied;
+            let plan = plan_structural_edits(&graph, lib, &stalled[..1], &mut flimits, budget);
+            if !plan.is_empty() {
+                let ws_before = graph.worst_slack_overall_ps().unwrap_or(0.0);
+                let applied = graph.apply_edits(&plan)?;
+                edits_applied += applied.len();
+                for op in plan.ops() {
+                    match op {
+                        EditOp::InsertBuffer { .. } => buffers_inserted += 1,
+                        EditOp::DeMorgan { .. } => gates_restructured += 1,
+                        EditOp::ReplaceGate { .. } => {}
+                    }
+                }
+                edit_slack_gain_ps += graph.worst_slack_overall_ps().unwrap_or(0.0) - ws_before;
+                any_change = true;
+            }
+        }
+
         if graph.critical_delay_ps() < best_delay {
             best_delay = graph.critical_delay_ps();
             best_sizing = graph.sizing().clone();
+            best_circuit = graph.circuit().clone();
+            best_edits = (
+                edits_applied,
+                buffers_inserted,
+                gates_restructured,
+                edit_slack_gain_ps,
+            );
         }
         if !any_change {
             break;
         }
     }
 
+    let (edits_applied, buffers_inserted, gates_restructured, edit_slack_gain_ps) = best_edits;
     Ok(FlowResult {
         final_delay_ps: best_delay,
         total_cin_ff: best_sizing.total_cin_ff(),
+        circuit: best_circuit,
         sizing: best_sizing,
         initial_delay_ps,
         paths_optimized,
-        structure_recommendations,
+        edits_applied,
+        buffers_inserted,
+        gates_restructured,
+        edit_slack_gain_ps,
         rounds,
     })
+}
+
+/// Build the structural [`EditPlan`] for one round's stalled paths:
+/// buffer ops first (a De Morgan rewires its gate's input pins, which
+/// would invalidate a later buffer op's recorded pin list), then the
+/// De Morgan rewrites, with each path's on-path successor kept on the
+/// direct net so the critical chain never detours through a buffer.
+fn plan_structural_edits(
+    graph: &TimingGraph,
+    lib: &Library,
+    stalled: &[NetlistPath],
+    flimits: &mut FlimitCache,
+    budget: usize,
+) -> EditPlan {
+    let circuit = graph.circuit();
+    let cins: Vec<f64> = circuit
+        .gate_ids()
+        .map(|g| graph.sizing().cin_ff(g))
+        .collect();
+    let po_load_ff = graph.options().po_load_ff;
+
+    // On-path successor per net, most critical path first.
+    let mut on_path_next: HashMap<NetId, GateId> = HashMap::new();
+    let mut candidate_gates: Vec<GateId> = Vec::new();
+    for path in stalled {
+        for (i, &g) in path.gates.iter().enumerate() {
+            candidate_gates.push(g);
+            if let Some(&next) = path.gates.get(i + 1) {
+                on_path_next.entry(circuit.gate(g).output()).or_insert(next);
+            }
+        }
+    }
+
+    // NOR rewrites claim their gates first; buffer candidates are the
+    // remaining stalled-path nets (the De Morgan output inverter
+    // already provides the buffer's load isolation on rewritten nodes).
+    let demorgan =
+        plan_demorgan_restructure(circuit, lib, &cins, po_load_ff, &candidate_gates, flimits);
+    let rewritten: HashSet<GateId> = demorgan
+        .ops()
+        .iter()
+        .filter_map(|op| match op {
+            EditOp::DeMorgan { gate, .. } => Some(*gate),
+            _ => None,
+        })
+        .collect();
+    let buffer_nets: Vec<NetId> = candidate_gates
+        .iter()
+        .filter(|g| !rewritten.contains(g))
+        .map(|&g| circuit.gate(g).output())
+        .collect();
+    // Move a load pin only when it is off the stalled path *and* its
+    // endpoint has slack headroom over the buffered net itself — a sink
+    // as critical as the net cannot absorb two extra buffer stages.
+    let mut plan = plan_buffer_insertions(
+        circuit,
+        lib,
+        &cins,
+        po_load_ff,
+        &buffer_nets,
+        |net, g| {
+            if on_path_next.get(&net) == Some(&g) {
+                return false;
+            }
+            graph.worst_slack_ps(circuit.gate(g).output()) > graph.worst_slack_ps(net)
+        },
+        flimits,
+    );
+    plan.extend(demorgan);
+
+    // Respect the whole-run edit budget.
+    if plan.len() > budget {
+        let ops: Vec<EditOp> = plan.ops()[..budget].to_vec();
+        return ops.into();
+    }
+    plan
 }
 
 #[cfg(test)]
@@ -322,6 +502,111 @@ mod tests {
             );
             assert_eq!(worst >= 0.0, r.final_delay_ps <= tc);
         }
+    }
+
+    #[test]
+    fn structural_write_back_beats_sizing_only_when_stalled() {
+        // c880 at half its minimum-sizing delay: the constraint sits
+        // below several paths' sizing-only Tmin, sizing plateaus, and
+        // the flow buffers the stalled paths' over-limit nets. The
+        // applied edits must (a) be reported, (b) buy measured slack,
+        // and (c) end at a strictly better delay than the
+        // structure-conserving flow.
+        let lib = Library::cmos025();
+        let c = suite::circuit("c880").unwrap();
+        let s0 = Sizing::minimum(&c, &lib);
+        let t0 = analyze(&c, &lib, &s0).unwrap().critical_delay_ps();
+        let tc = 0.5 * t0;
+        let with = optimize_circuit(&c, &lib, tc, &FlowOptions::default()).unwrap();
+        let without = optimize_circuit(
+            &c,
+            &lib,
+            tc,
+            &FlowOptions {
+                apply_structure: false,
+                ..FlowOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(with.edits_applied > 0, "sizing alone must stall here");
+        assert_eq!(
+            with.edits_applied,
+            with.buffers_inserted + with.gates_restructured
+        );
+        assert!(
+            with.edit_slack_gain_ps > 0.0,
+            "edits must buy slack, got {}",
+            with.edit_slack_gain_ps
+        );
+        assert!(
+            with.final_delay_ps < without.final_delay_ps,
+            "write-back {} !< conserve-only {}",
+            with.final_delay_ps,
+            without.final_delay_ps
+        );
+        // The input circuit was never mutated; the result's was grown.
+        assert_eq!(c.gate_count(), without.circuit.gate_count());
+        assert!(with.circuit.gate_count() > c.gate_count());
+        assert_eq!(with.sizing.len(), with.circuit.gate_count());
+        with.circuit.validate().unwrap();
+    }
+
+    #[test]
+    fn write_back_result_is_self_consistent() {
+        // The returned (circuit, sizing) pair reproduces the reported
+        // delay exactly under a fresh analysis, edits and all.
+        let lib = Library::cmos025();
+        let c = suite::circuit("c880").unwrap();
+        let s0 = Sizing::minimum(&c, &lib);
+        let t0 = analyze(&c, &lib, &s0).unwrap().critical_delay_ps();
+        let r = optimize_circuit(&c, &lib, 0.5 * t0, &FlowOptions::default()).unwrap();
+        assert!(r.edits_applied > 0);
+        let fresh = analyze(&r.circuit, &lib, &r.sizing).unwrap();
+        assert_eq!(
+            fresh.critical_delay_ps().to_bits(),
+            r.final_delay_ps.to_bits(),
+            "reported delay must be reproducible from the returned pair"
+        );
+        // Logic is preserved through all the edits: the edited netlist
+        // computes the same primary outputs as the original.
+        let mut rng = pops_netlist::rng::SplitMix64::new(0xF1_0F);
+        let names: Vec<String> = c
+            .primary_inputs()
+            .iter()
+            .map(|&n| c.net(n).name().to_string())
+            .collect();
+        for _ in 0..16 {
+            let values: std::collections::HashMap<&str, bool> = names
+                .iter()
+                .map(|n| (n.as_str(), rng.chance(0.5)))
+                .collect();
+            assert_eq!(
+                c.evaluate(&values).unwrap(),
+                r.circuit.evaluate(&values).unwrap(),
+                "structural edits changed the logic function"
+            );
+        }
+    }
+
+    #[test]
+    fn disabling_structure_keeps_the_netlist_identical() {
+        let lib = Library::cmos025();
+        let adder = ripple_carry_adder(4);
+        let s0 = Sizing::minimum(&adder, &lib);
+        let t0 = analyze(&adder, &lib, &s0).unwrap().critical_delay_ps();
+        let r = optimize_circuit(
+            &adder,
+            &lib,
+            0.01 * t0, // hopeless, would otherwise trigger surgery
+            &FlowOptions {
+                apply_structure: false,
+                ..FlowOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(r.edits_applied, 0);
+        assert_eq!(r.circuit.gate_count(), adder.gate_count());
+        assert_eq!(r.sizing.len(), adder.gate_count());
     }
 
     #[test]

@@ -48,9 +48,12 @@ use pops_sta::TimingGraph;
 pub fn critical_delay_sensitivities(graph: &mut TimingGraph, rel_step: f64) -> Vec<f64> {
     assert!(rel_step > 0.0, "relative step must be positive");
     let base = graph.critical_delay_ps();
-    let circuit = graph.circuit();
-    let mut grad = Vec::with_capacity(circuit.gate_count());
-    for g in circuit.gate_ids() {
+    // Gate ids are collected up front: `circuit()` now borrows the
+    // graph (the graph owns its netlist once structural edits have been
+    // applied), so the probe loop cannot hold it across `resize_gate`.
+    let gates: Vec<GateId> = graph.circuit().gate_ids().collect();
+    let mut grad = Vec::with_capacity(gates.len());
+    for g in gates {
         let cin = graph.sizing().cin_ff(g);
         let h = cin * rel_step;
         graph.resize_gate(g, cin + h);
@@ -68,8 +71,8 @@ pub fn critical_delay_sensitivities(graph: &mut TimingGraph, rel_step: f64) -> V
 /// Returns `None` for circuits without gates or when no gate helps.
 pub fn best_upsize_candidate(graph: &mut TimingGraph, rel_step: f64) -> Option<(GateId, f64)> {
     let grad = critical_delay_sensitivities(graph, rel_step);
-    let circuit = graph.circuit();
-    circuit
+    graph
+        .circuit()
         .gate_ids()
         .zip(grad)
         .filter(|&(_, s)| s < 0.0)
@@ -102,9 +105,9 @@ pub fn worst_slack_sensitivities(graph: &mut TimingGraph, rel_step: f64) -> Vec<
     let base = graph
         .worst_slack_overall_ps()
         .expect("a constrained endpoint is required to differentiate worst slack");
-    let circuit = graph.circuit();
-    let mut grad = Vec::with_capacity(circuit.gate_count());
-    for g in circuit.gate_ids() {
+    let gates: Vec<GateId> = graph.circuit().gate_ids().collect();
+    let mut grad = Vec::with_capacity(gates.len());
+    for g in gates {
         let cin = graph.sizing().cin_ff(g);
         let h = cin * rel_step;
         graph.resize_gate(g, cin + h);
@@ -127,8 +130,8 @@ pub fn worst_slack_sensitivities(graph: &mut TimingGraph, rel_step: f64) -> Vec<
 /// As [`worst_slack_sensitivities`].
 pub fn best_slack_candidate(graph: &mut TimingGraph, rel_step: f64) -> Option<(GateId, f64)> {
     let grad = worst_slack_sensitivities(graph, rel_step);
-    let circuit = graph.circuit();
-    circuit
+    graph
+        .circuit()
         .gate_ids()
         .zip(grad)
         .filter(|&(_, s)| s > 0.0)

@@ -1,0 +1,335 @@
+//! Property tests for the netlist-surgery subsystem: structural edits
+//! must preserve the circuit's *logic function* (buffering and
+//! De Morgan rewrites are implementation moves, not behavior changes),
+//! respect the `Flimit` discipline they exist to enforce, and leave
+//! every edited circuit structurally sound (validated, acyclic, with
+//! fresh topo/level caches).
+//!
+//! Seeded via `pops_netlist::rng::SplitMix64`, so failures reproduce.
+
+use std::collections::HashMap;
+
+use pops::core::buffer::{plan_buffer_insertions, FlimitCache};
+use pops::core::restructure::plan_demorgan_restructure;
+use pops::netlist::rng::SplitMix64;
+use pops::netlist::surgery::EditOp;
+use pops::prelude::*;
+
+/// Random primary-input assignment for a circuit.
+fn random_vector<'a>(
+    circuit: &'a Circuit,
+    names: &'a [String],
+    rng: &mut SplitMix64,
+) -> HashMap<&'a str, bool> {
+    let _ = circuit;
+    names
+        .iter()
+        .map(|n| (n.as_str(), rng.chance(0.5)))
+        .collect()
+}
+
+fn input_names(circuit: &Circuit) -> Vec<String> {
+    circuit
+        .primary_inputs()
+        .iter()
+        .map(|&n| circuit.net(n).name().to_string())
+        .collect()
+}
+
+/// Effective fan-out `C_L / C_IN(driver)` and `Flimit` of every driven
+/// net under `cin_ff`, in one pass.
+fn fanout_ratios(
+    circuit: &Circuit,
+    lib: &Library,
+    cin_ff: &[f64],
+    po_load_ff: f64,
+    cache: &mut FlimitCache,
+) -> Vec<(NetId, f64, Option<f64>)> {
+    circuit
+        .net_ids()
+        .filter_map(|net| {
+            let driver = circuit.driver_gate(net)?;
+            let mut load: f64 = circuit
+                .net(net)
+                .loads()
+                .iter()
+                .map(|&(g, _)| cin_ff[g.index()])
+                .sum();
+            if circuit.net(net).is_output() {
+                load += po_load_ff;
+            }
+            let upstream = circuit
+                .gate(driver)
+                .inputs()
+                .first()
+                .and_then(|&n| circuit.driver_gate(n))
+                .map(|g| circuit.gate(g).kind())
+                .unwrap_or(CellKind::Inv);
+            let limit = cache.get(lib, upstream, circuit.gate(driver).kind());
+            Some((net, load / cin_ff[driver.index()], limit))
+        })
+        .collect()
+}
+
+#[test]
+fn planned_buffers_preserve_the_logic_function() {
+    let lib = Library::cmos025();
+    let cref = lib.min_drive_ff();
+    for name in ["fpd", "c432"] {
+        let base = suite::circuit(name).unwrap();
+        let names = input_names(&base);
+        let mut edited = base.clone();
+        let cins = vec![cref; base.gate_count()];
+        let mut cache = FlimitCache::new();
+        let nets: Vec<NetId> = base.net_ids().collect();
+        // Keep each net's first load pin direct, move the rest.
+        let plan = plan_buffer_insertions(
+            &base,
+            &lib,
+            &cins,
+            10.0,
+            &nets,
+            |n, g| base.net(n).loads().first().map(|&(g0, _)| g0) != Some(g),
+            &mut cache,
+        );
+        assert!(
+            !plan.is_empty(),
+            "{name}: suite spines carry over-limit nets"
+        );
+        plan.apply_to(&mut edited).unwrap();
+        edited.validate().unwrap();
+        let mut rng = SplitMix64::new(0xB0FF_E23D ^ name.len() as u64);
+        for _ in 0..24 {
+            let v = random_vector(&base, &names, &mut rng);
+            assert_eq!(
+                base.evaluate(&v).unwrap(),
+                edited.evaluate(&v).unwrap(),
+                "{name}: buffer insertion changed an output"
+            );
+        }
+    }
+}
+
+#[test]
+fn planned_buffers_never_push_a_compliant_net_past_its_flimit() {
+    let lib = Library::cmos025();
+    let cref = lib.min_drive_ff();
+    let base = suite::circuit("c880").unwrap();
+    let po_load = 10.0;
+    let cins = vec![cref; base.gate_count()];
+    let mut cache = FlimitCache::new();
+    let before: HashMap<NetId, f64> = fanout_ratios(&base, &lib, &cins, po_load, &mut cache)
+        .into_iter()
+        .map(|(n, f, _)| (n, f))
+        .collect();
+
+    let mut edited = base.clone();
+    let nets: Vec<NetId> = base.net_ids().collect();
+    let plan = plan_buffer_insertions(
+        &base,
+        &lib,
+        &cins,
+        po_load,
+        &nets,
+        |n, g| base.net(n).loads().first().map(|&(g0, _)| g0) != Some(g),
+        &mut cache,
+    );
+    assert!(!plan.is_empty());
+    let applied = plan.apply_to(&mut edited).unwrap();
+
+    // Post-edit sizing: old gates keep theirs, new gates take the
+    // planned stage sizes.
+    let mut cins_after = cins.clone();
+    for edit in &applied {
+        for (&g, &c) in edit.new_gates.iter().zip(&edit.new_gate_cin_ff) {
+            assert_eq!(g.index(), cins_after.len(), "dense new ids");
+            cins_after.push(c.max(cref));
+        }
+    }
+
+    let eps = 1e-9;
+    for (net, fanout, limit) in fanout_ratios(&edited, &lib, &cins_after, po_load, &mut cache) {
+        let Some(limit) = limit else { continue };
+        match before.get(&net) {
+            // Pre-existing net that respected its limit: must still.
+            Some(&f_before) if f_before <= limit => {
+                assert!(
+                    fanout <= limit + eps,
+                    "{net}: was within Flimit ({f_before:.2} <= {limit:.2}), now {fanout:.2}"
+                );
+            }
+            // Buffered over-limit net: strictly relieved.
+            Some(&f_before) => {
+                assert!(
+                    fanout < f_before,
+                    "{net}: over-limit net not relieved ({fanout:.2} vs {f_before:.2})"
+                );
+            }
+            // New net (buffer internals): the taper keeps it at or
+            // under the inverter pair's own limit.
+            None => {
+                let inv_limit = cache.get(&lib, CellKind::Inv, CellKind::Inv).unwrap();
+                assert!(
+                    fanout <= inv_limit + eps,
+                    "{net}: buffer stage at {fanout:.2} past the Inv→Inv limit {inv_limit:.2}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn demorgan_rewrites_preserve_truth_tables_on_random_vectors() {
+    let base = suite::circuit("fpd").unwrap();
+    let names = input_names(&base);
+    let mut rng = SplitMix64::new(0xDE40_064A);
+    let duals: Vec<GateId> = base
+        .gate_ids()
+        .filter(|&g| base.gate(g).kind().demorgan_dual().is_some())
+        .collect();
+    assert!(!duals.is_empty());
+    // Rewrite 8 random dualizable gates, one circuit each, plus one
+    // circuit rewriting several at once.
+    let mut all_at_once = base.clone();
+    let mut batch = Vec::new();
+    for i in 0..8 {
+        let g = *rng.pick(&duals);
+        let mut edited = base.clone();
+        edited.demorgan_gate(g).unwrap();
+        edited.validate().unwrap();
+        for _ in 0..16 {
+            let v = random_vector(&base, &names, &mut rng);
+            assert_eq!(
+                base.evaluate(&v).unwrap(),
+                edited.evaluate(&v).unwrap(),
+                "rewriting {g} changed an output (round {i})"
+            );
+        }
+        if !batch.contains(&g) {
+            batch.push(g);
+        }
+    }
+    for &g in &batch {
+        all_at_once.demorgan_gate(g).unwrap();
+    }
+    for _ in 0..24 {
+        let v = random_vector(&base, &names, &mut rng);
+        assert_eq!(
+            base.evaluate(&v).unwrap(),
+            all_at_once.evaluate(&v).unwrap(),
+            "batched rewrites changed an output"
+        );
+    }
+}
+
+#[test]
+fn planned_demorgans_preserve_logic_and_target_only_nors() {
+    let lib = Library::cmos025();
+    let cref = lib.min_drive_ff();
+    let base = suite::circuit("c6288").unwrap(); // the NOR-rich multiplier
+    let names = input_names(&base);
+    let cins = vec![cref; base.gate_count()];
+    let mut cache = FlimitCache::new();
+    let candidates: Vec<GateId> = base.gate_ids().collect();
+    let plan = plan_demorgan_restructure(&base, &lib, &cins, 10.0, &candidates, &mut cache);
+    assert!(!plan.is_empty(), "c6288 carries over-limit NORs");
+    for op in plan.ops() {
+        let EditOp::DeMorgan { gate, .. } = op else {
+            panic!("restructure planner may only emit DeMorgan ops, got {op:?}");
+        };
+        assert!(matches!(
+            base.gate(*gate).kind(),
+            CellKind::Nor2 | CellKind::Nor3 | CellKind::Nor4
+        ));
+    }
+    let mut edited = base.clone();
+    plan.apply_to(&mut edited).unwrap();
+    edited.validate().unwrap();
+    let mut rng = SplitMix64::new(0x6288);
+    for _ in 0..8 {
+        let v = random_vector(&base, &names, &mut rng);
+        assert_eq!(
+            base.evaluate(&v).unwrap(),
+            edited.evaluate(&v).unwrap(),
+            "planned De Morgan pass changed an output"
+        );
+    }
+}
+
+#[test]
+fn edited_circuits_keep_valid_topo_orders_and_caches() {
+    // The cache-staleness property: warm the topo/level caches, edit
+    // through every surgery primitive, and check the (re)computed
+    // results always describe the post-edit circuit.
+    let mut rng = SplitMix64::new(0x7_00CA_C4E5);
+    let mut c = suite::circuit("fpd").unwrap();
+    for step in 0..20 {
+        // Warm both caches.
+        let order = c.topo_order().unwrap();
+        assert_eq!(order.len(), c.gate_count(), "step {step}: topo covers all");
+        let levels = c.logic_levels().unwrap();
+        assert_eq!(levels.len(), c.gate_count());
+
+        // Random edit through a random primitive.
+        match rng.below(3) {
+            0 => {
+                let nets: Vec<NetId> = c
+                    .net_ids()
+                    .filter(|&n| c.driver_gate(n).is_some() && c.net(n).fanout() >= 2)
+                    .collect();
+                let net = *rng.pick(&nets);
+                let loads = c.net(net).loads()[1..].to_vec();
+                c.insert_buffer(net, &loads).unwrap();
+            }
+            1 => {
+                let duals: Vec<GateId> = c
+                    .gate_ids()
+                    .filter(|&g| c.gate(g).kind().demorgan_dual().is_some())
+                    .collect();
+                c.demorgan_gate(*rng.pick(&duals)).unwrap();
+            }
+            _ => {
+                let nets: Vec<NetId> = c
+                    .net_ids()
+                    .filter(|&n| c.driver_gate(n).is_some() && c.net(n).fanout() >= 2)
+                    .collect();
+                let net = *rng.pick(&nets);
+                let loads = vec![c.net(net).loads()[0]];
+                let new = c.split_net(net, &loads).unwrap();
+                // Re-drive the split net so the circuit stays valid.
+                let g = c.add_gate_driving(CellKind::Buf, &[net], new).unwrap();
+                let _ = g;
+            }
+        }
+
+        // The caches must already describe the edited circuit: a stale
+        // order would have the wrong length or break fanin-first.
+        let order = c.topo_order().unwrap();
+        assert_eq!(
+            order.len(),
+            c.gate_count(),
+            "step {step}: stale topo cache after surgery"
+        );
+        let mut pos = vec![usize::MAX; c.gate_count()];
+        for (i, &g) in order.iter().enumerate() {
+            pos[g.index()] = i;
+        }
+        for g in c.gate_ids() {
+            for &n in c.gate(g).inputs() {
+                if let Some(src) = c.driver_gate(n) {
+                    assert!(
+                        pos[src.index()] < pos[g.index()],
+                        "step {step}: topo order violates fanin-first"
+                    );
+                }
+            }
+        }
+        let levels = c.logic_levels().unwrap();
+        assert_eq!(
+            levels.len(),
+            c.gate_count(),
+            "step {step}: stale level cache after surgery"
+        );
+        c.validate().unwrap();
+    }
+}

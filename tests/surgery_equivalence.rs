@@ -1,0 +1,342 @@
+//! Randomized surgery equivalence: the first suite that mutates graph
+//! *topology* under incremental timing state. After **every** step of a
+//! random mix of resizes, Inv-pair buffer insertions, De Morgan
+//! rewrites and raw gate replacements, the whole queryable state of the
+//! [`TimingGraph`] — arrivals, slopes, loads, gate delays, the critical
+//! path, required times, slacks, the design-worst slack and the k-paths
+//! completion bounds — must be bit-identical to a from-scratch pipeline
+//! (`analyze_with` + `required_times` + `completion_bounds`) over the
+//! graph's own edited circuit.
+//!
+//! Seeded via `pops_netlist::rng::SplitMix64`, so failures reproduce.
+
+use pops::netlist::rng::SplitMix64;
+use pops::netlist::surgery::{EditOp, EditPlan};
+use pops::prelude::*;
+use pops::sta::analysis::{analyze_with, EdgeDir};
+use pops::sta::{completion_bounds, TimingGraph};
+
+/// Same-arity alternatives for the random `ReplaceGate` move (timing
+/// equivalence does not require logic preservation; the raw primitive
+/// is exercised as-is).
+fn same_arity_swap(kind: CellKind, rng: &mut SplitMix64) -> CellKind {
+    use CellKind::*;
+    let pool: &[CellKind] = match kind.num_inputs() {
+        1 => &[Inv, Buf],
+        2 => &[Nand2, Nor2, And2, Or2, Xor2, Xnor2],
+        3 => &[Nand3, Nor3, And3, Or3],
+        _ => &[Nand4, Nor4, And4, Or4],
+    };
+    *rng.pick(pool)
+}
+
+fn assert_equivalent(graph: &TimingGraph, lib: &Library, step: usize) {
+    let circuit = graph.circuit();
+    let name = circuit.name();
+    circuit.validate().unwrap_or_else(|e| {
+        panic!("{name} step {step}: surgery broke the netlist: {e}");
+    });
+    let fresh = analyze_with(circuit, lib, graph.sizing(), graph.options())
+        .expect("edited circuits stay analyzable");
+
+    // Forward state.
+    assert_eq!(
+        graph.critical_delay_ps().to_bits(),
+        fresh.critical_delay_ps().to_bits(),
+        "{name} step {step}: critical delay diverged"
+    );
+    for net in circuit.net_ids() {
+        for dir in [EdgeDir::Rising, EdgeDir::Falling] {
+            assert_eq!(
+                graph.arrival_ps(net, dir).to_bits(),
+                fresh.arrival_ps(net, dir).to_bits(),
+                "{name} step {step}: arrival of {net} {dir:?}"
+            );
+            assert_eq!(
+                graph.slope_ps(net, dir).to_bits(),
+                fresh.slope_ps(net, dir).to_bits(),
+                "{name} step {step}: slope of {net} {dir:?}"
+            );
+        }
+        assert_eq!(
+            graph.net_load_ff(net).to_bits(),
+            fresh.net_load_ff(net).to_bits(),
+            "{name} step {step}: load of {net}"
+        );
+    }
+    for g in circuit.gate_ids() {
+        assert_eq!(
+            graph.gate_delay_worst_ps(g).to_bits(),
+            fresh.gate_delay_worst_ps(g).to_bits(),
+            "{name} step {step}: worst delay of {g}"
+        );
+    }
+    assert_eq!(
+        graph.critical_path().gates,
+        fresh.critical_path().gates,
+        "{name} step {step}: critical path diverged"
+    );
+
+    // Backward state under the maintained constraint.
+    let tc = graph.constraint_ps().expect("constraint set");
+    let slacks =
+        required_times(circuit, lib, graph.sizing(), &fresh, tc).expect("circuits stay valid");
+    for net in circuit.net_ids() {
+        for dir in [EdgeDir::Rising, EdgeDir::Falling] {
+            assert_eq!(
+                graph.required_ps(net, dir).to_bits(),
+                slacks.required_ps(net, dir).to_bits(),
+                "{name} step {step}: required of {net} {dir:?}"
+            );
+            assert_eq!(
+                graph.slack_ps(net, dir).to_bits(),
+                slacks.slack_ps(net, dir).to_bits(),
+                "{name} step {step}: slack of {net} {dir:?}"
+            );
+        }
+    }
+    assert_eq!(
+        graph.worst_slack_overall_ps().map(f64::to_bits),
+        slacks.worst_slack_overall_ps().map(f64::to_bits),
+        "{name} step {step}: design-worst slack diverged"
+    );
+    let bounds = completion_bounds(circuit, &fresh);
+    for g in circuit.gate_ids() {
+        assert_eq!(
+            graph.completion_ps(g).to_bits(),
+            bounds[g.index()].to_bits(),
+            "{name} step {step}: completion bound of {g}"
+        );
+    }
+}
+
+/// One random structural edit. Returns `None` when the dice produced an
+/// inapplicable move (caller falls back to a resize).
+fn random_edit(circuit: &Circuit, cref: f64, rng: &mut SplitMix64) -> Option<EditOp> {
+    match rng.below(3) {
+        0 => {
+            // Buffer a random driven net, moving a random nonempty
+            // subset of its load pins.
+            let nets: Vec<NetId> = circuit
+                .net_ids()
+                .filter(|&n| circuit.driver_gate(n).is_some() && circuit.net(n).fanout() >= 1)
+                .collect();
+            let net = *rng.pick(&nets);
+            let all = circuit.net(net).loads().to_vec();
+            let mut loads: Vec<(GateId, usize)> =
+                all.iter().copied().filter(|_| rng.chance(0.5)).collect();
+            if loads.is_empty() {
+                loads.push(all[rng.below(all.len())]);
+            }
+            Some(EditOp::InsertBuffer {
+                net,
+                loads,
+                stage_cin_ff: [
+                    cref * (1.0 + 9.0 * rng.next_f64()),
+                    cref * (1.0 + 19.0 * rng.next_f64()),
+                ],
+            })
+        }
+        1 => {
+            // De Morgan a random NAND/NOR.
+            let duals: Vec<GateId> = circuit
+                .gate_ids()
+                .filter(|&g| circuit.gate(g).kind().demorgan_dual().is_some())
+                .collect();
+            if duals.is_empty() {
+                return None;
+            }
+            Some(EditOp::DeMorgan {
+                gate: *rng.pick(&duals),
+                inv_cin_ff: cref * (1.0 + 4.0 * rng.next_f64()),
+            })
+        }
+        _ => {
+            // Swap a random gate's cell within its arity class.
+            let gates: Vec<GateId> = circuit.gate_ids().collect();
+            let gate = *rng.pick(&gates);
+            let kind = same_arity_swap(circuit.gate(gate).kind(), rng);
+            Some(EditOp::ReplaceGate {
+                gate,
+                kind,
+                inputs: circuit.gate(gate).inputs().to_vec(),
+            })
+        }
+    }
+}
+
+fn random_surgery_sequence(name: &str, seed: u64, steps: usize) {
+    let lib = Library::cmos025();
+    let base = suite::circuit(name).expect("suite circuit exists");
+    let mut rng = SplitMix64::new(seed);
+    let mut graph = TimingGraph::new(&base, &lib, &Sizing::minimum(&base, &lib))
+        .expect("suite circuits are acyclic");
+    graph.set_constraint(0.9 * graph.critical_delay_ps());
+    let cref = lib.min_drive_ff();
+
+    for step in 0..steps {
+        // 3-in-8 structural edit, otherwise the familiar resize moves —
+        // the flow's real mix once write-back engages.
+        let did_edit = if rng.below(8) < 3 {
+            match random_edit(graph.circuit(), cref, &mut rng) {
+                Some(op) => {
+                    let plan: EditPlan = vec![op].into();
+                    let applied = graph.apply_edits(&plan).expect("random edits are valid");
+                    assert_eq!(applied.len(), 1, "{name} step {step}");
+                    true
+                }
+                None => false,
+            }
+        } else {
+            false
+        };
+        if !did_edit {
+            let gates: Vec<GateId> = graph.circuit().gate_ids().collect();
+            match rng.below(3) {
+                0 => {
+                    let batch: Vec<(GateId, f64)> = (0..2 + rng.below(5))
+                        .map(|_| {
+                            let g = *rng.pick(&gates);
+                            (g, cref * (1.0 + 30.0 * rng.next_f64()))
+                        })
+                        .collect();
+                    graph.resize_gates(batch);
+                }
+                1 => {
+                    let g = *rng.pick(&gates);
+                    graph.resize_gate(g, cref);
+                }
+                _ => {
+                    let g = *rng.pick(&gates);
+                    graph.resize_gate(g, cref * (1.0 + 30.0 * rng.next_f64()));
+                }
+            }
+        }
+        assert_equivalent(&graph, &lib, step);
+    }
+
+    // Some surgery must actually have happened, and the k-paths ranking
+    // through the cached bounds agrees with a fresh report at the end.
+    assert!(
+        graph.stats().structural_edits > 0,
+        "{name}: the sequence never edited the structure"
+    );
+    assert!(
+        graph.circuit().gate_count() > base.gate_count(),
+        "{name}: edits must have grown the netlist"
+    );
+    let circuit = graph.circuit();
+    let fresh = analyze_with(circuit, &lib, graph.sizing(), graph.options()).unwrap();
+    let via_graph = k_most_critical_paths(circuit, &graph, 8);
+    let via_fresh = k_most_critical_paths(circuit, &fresh, 8);
+    assert_eq!(via_graph.len(), via_fresh.len());
+    for (a, b) in via_graph.iter().zip(&via_fresh) {
+        assert_eq!(a.gates, b.gates, "{name}: k-paths diverged after surgery");
+    }
+}
+
+#[test]
+fn fpd_random_surgery_matches_rebuild() {
+    random_surgery_sequence("fpd", 0x5u64.wrapping_mul(0x9E37_79B9), 30);
+}
+
+#[test]
+fn c432_random_surgery_matches_rebuild() {
+    random_surgery_sequence("c432", 0x5u64.wrapping_add(0x0432), 30);
+}
+
+#[test]
+fn c880_random_surgery_matches_rebuild() {
+    random_surgery_sequence("c880", 0x5u64.wrapping_add(0x0880), 30);
+}
+
+#[test]
+fn c1908_random_surgery_matches_rebuild() {
+    random_surgery_sequence("c1908", 0x5u64.wrapping_add(0x1908), 30);
+}
+
+#[test]
+fn c6288_random_surgery_matches_rebuild() {
+    // The heavyweights: fewer steps keep the per-step fresh reference
+    // passes affordable in debug builds.
+    random_surgery_sequence("c6288", 0x5u64.wrapping_add(0x6288), 12);
+}
+
+#[test]
+fn c7552_random_surgery_matches_rebuild() {
+    random_surgery_sequence("c7552", 0x5u64.wrapping_add(0x7552), 12);
+}
+
+#[test]
+fn surgery_interleaved_with_option_and_constraint_changes_matches() {
+    let lib = Library::cmos025();
+    let base = suite::circuit("fpd").unwrap();
+    let mut rng = SplitMix64::new(0x0B97_1CAF_5E11);
+    let mut graph = TimingGraph::new(&base, &lib, &Sizing::minimum(&base, &lib)).unwrap();
+    let t0 = graph.critical_delay_ps();
+    graph.set_constraint(t0);
+    let cref = lib.min_drive_ff();
+    for step in 0..24 {
+        match step % 6 {
+            0 | 3 => {
+                if let Some(op) = random_edit(graph.circuit(), cref, &mut rng) {
+                    graph.apply_edits(&vec![op].into()).unwrap();
+                }
+            }
+            4 => {
+                graph.set_options(&pops::sta::analysis::AnalyzeOptions {
+                    po_load_ff: 5.0 + 40.0 * rng.next_f64(),
+                    input_transition_ps: 20.0 + 100.0 * rng.next_f64(),
+                });
+            }
+            5 => {
+                graph.set_constraint(t0 * (0.7 + 0.6 * rng.next_f64()));
+            }
+            _ => {
+                let gates: Vec<GateId> = graph.circuit().gate_ids().collect();
+                let g = *rng.pick(&gates);
+                graph.resize_gate(g, cref * (1.0 + 20.0 * rng.next_f64()));
+            }
+        }
+        assert_equivalent(&graph, &lib, step);
+    }
+    assert!(graph.stats().structural_edits > 0);
+}
+
+#[test]
+fn surgery_retime_touches_less_than_a_rebuild() {
+    // The economics of apply_edits: re-timing one buffer insertion must
+    // re-evaluate (far) fewer gates than the full pass a from-scratch
+    // graph pays. (The structural array rebuild is pointer work; the
+    // arc evaluations are what the incremental engine saves.)
+    let lib = Library::cmos025();
+    let base = suite::circuit("c880").unwrap();
+    let mut graph = TimingGraph::new(&base, &lib, &Sizing::minimum(&base, &lib)).unwrap();
+    graph.set_constraint(0.9 * graph.critical_delay_ps());
+    let before = graph.stats();
+    // Buffer a *deep* net (driver late in the topological order): its
+    // remaining downstream cone — the honest blast radius of the edit —
+    // is a fraction of the circuit.
+    let order = base.topo_order().unwrap();
+    let net = order
+        .iter()
+        .rev()
+        .map(|&g| base.gate(g).output())
+        .find(|&n| base.net(n).fanout() >= 2)
+        .expect("c880 has fanout-heavy nets");
+    let loads = base.net(net).loads()[1..].to_vec();
+    let plan: EditPlan = vec![EditOp::InsertBuffer {
+        net,
+        loads,
+        stage_cin_ff: [lib.min_drive_ff(), 4.0 * lib.min_drive_ff()],
+    }]
+    .into();
+    graph.apply_edits(&plan).unwrap();
+    let reevals = graph.stats().gates_reevaluated - before.gates_reevaluated;
+    assert!(
+        reevals < graph.circuit().gate_count() / 2,
+        "surgery cone {} vs full pass {}",
+        reevals,
+        graph.circuit().gate_count()
+    );
+}
