@@ -12,11 +12,10 @@
 //! times are reported. Results are recorded as a baseline in
 //! `BENCH_sta_backward.json` at the repository root.
 
-use std::path::Path;
 use std::time::Instant;
 
-use pops_bench::json::ToJson;
 use pops_bench::microbench::format_ns;
+use pops_bench::{mean, median, write_baseline};
 use pops_delay::Library;
 use pops_netlist::suite;
 use pops_sta::{required_times, Sizing, TimingGraph};
@@ -96,18 +95,16 @@ fn main() {
             graph.resize_gate(g, orig);
             probe_ns.push(t0.elapsed().as_nanos() as f64);
         }
-        probe_ns.sort_by(f64::total_cmp);
-        let median = probe_ns[probe_ns.len() / 2];
-        let mean = probe_ns.iter().sum::<f64>() / probe_ns.len() as f64;
+        let (probe_median, probe_mean) = (median(probe_ns.clone()), mean(&probe_ns));
 
         baselines.push(CircuitBaseline {
             circuit: name.to_string(),
             gates: circuit.gate_count(),
             full_backward_ns: full,
-            probe_median_ns: median,
-            probe_mean_ns: mean,
-            speedup_median: full / median,
-            speedup_mean: full / mean,
+            probe_median_ns: probe_median,
+            probe_mean_ns: probe_mean,
+            speedup_median: full / probe_median,
+            speedup_mean: full / probe_mean,
         });
     }
 
@@ -127,11 +124,5 @@ fn main() {
         );
     }
 
-    // Record the baseline at the repository root.
-    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
-    let path = root.join("BENCH_sta_backward.json");
-    match std::fs::write(&path, baselines.to_json()) {
-        Ok(()) => println!("[baseline] {}", path.display()),
-        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
-    }
+    write_baseline("sta_backward", &baselines);
 }

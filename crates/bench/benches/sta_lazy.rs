@@ -1,0 +1,200 @@
+//! Lazy backward flushing + worst-slack index on the *mixed* workload
+//! the sizing loop actually runs: one batched write-back of K gate
+//! sizes per design-worst-slack read, K ∈ {1, 8, 64} (the flow's
+//! per-path `resize_gates` batches, a sensitivity round's accumulated
+//! moves).
+//!
+//! Both sides execute the identical mutation sequence on an
+//! incrementally forward-timed graph, so the measured difference is
+//! purely the backward strategy:
+//!
+//! * `incremental` — the maintained backward state: the batch only
+//!   accumulates lazy seeds; the slack read flushes one merged backward
+//!   cone and reads the tournament-tree root in O(1).
+//! * `full` — what the same round cost before: the batch re-times
+//!   forward as usual, and the slack read runs a whole backward pass
+//!   (`required_times`, every arc re-evaluated) plus the O(nets)
+//!   worst-slack fold.
+//!
+//! Gate sizes toggle between their base value and 1.2× as the round
+//! cursor cycles the gate list, keeping the state bounded without
+//! probe/revert pairs. Per-round times are collected over enough rounds
+//! to cycle every gate; median and mean are reported per (circuit, K),
+//! and the two sides are cross-checked bit-for-bit every round.
+//! Results are recorded in `BENCH_sta_lazy.json` at the repository
+//! root; the acceptance bar for the small circuits that used to break
+//! even (fpd, c432, c880 — see `BENCH_sta_backward.json` before this
+//! change) is a median speedup ≥ 1.0 from K = 8.
+
+use std::time::Instant;
+
+use pops_bench::microbench::format_ns;
+use pops_bench::{mean, median, write_baseline};
+use pops_delay::Library;
+use pops_netlist::{suite, GateId};
+use pops_sta::{required_times, Sizing, TimingGraph};
+
+struct WorkloadBaseline {
+    circuit: String,
+    gates: usize,
+    k: usize,
+    rounds: usize,
+    full_median_ns: f64,
+    full_mean_ns: f64,
+    probe_median_ns: f64,
+    probe_mean_ns: f64,
+    speedup_median: f64,
+    speedup_mean: f64,
+}
+pops_bench::json_fields!(WorkloadBaseline {
+    circuit,
+    gates,
+    k,
+    rounds,
+    full_median_ns,
+    full_mean_ns,
+    probe_median_ns,
+    probe_mean_ns,
+    speedup_median,
+    speedup_mean
+});
+
+/// The K gates of one round: a non-wrapping chunk of the gate cycle,
+/// without duplicates within one round. When fewer than K gates remain,
+/// the round takes the *last* K (overlapping the previous chunk) so the
+/// `len % K` tail gates are probed too, then the cursor restarts.
+fn round_gates(gates: &[GateId], cursor: &mut usize, k: usize) -> Vec<GateId> {
+    if *cursor + k > gates.len() {
+        *cursor = 0;
+        return gates[gates.len() - k..].to_vec();
+    }
+    let chunk = gates[*cursor..*cursor + k].to_vec();
+    *cursor += k;
+    chunk
+}
+
+fn main() {
+    let lib = Library::cmos025();
+    let mut baselines = Vec::new();
+
+    for name in ["fpd", "c432", "c880", "c1908", "c6288", "c7552"] {
+        let circuit = suite::circuit(name).expect("suite circuit");
+        let sizing = Sizing::minimum(&circuit, &lib);
+        let gates: Vec<GateId> = circuit.gate_ids().collect();
+
+        // Lazy side: maintained backward state under the constraint.
+        let mut lazy = TimingGraph::new(&circuit, &lib, &sizing).expect("acyclic");
+        let tc = 0.9 * lazy.critical_delay_ps();
+        lazy.set_constraint(tc);
+        let _ = lazy.worst_slack_overall_ps(); // settle the initial pass
+
+        // Eager-full side: forward-incremental only; every slack read
+        // pays a from-scratch backward pass over the current state.
+        let mut full = TimingGraph::new(&circuit, &lib, &sizing).expect("acyclic");
+
+        // Warm-up: touch every cone once on both graphs.
+        for &g in &gates {
+            let orig = lazy.sizing().cin_ff(g);
+            lazy.resize_gate(g, orig * 1.2);
+            full.resize_gate(g, orig * 1.2);
+            let _ = lazy.worst_slack_overall_ps();
+            lazy.resize_gate(g, orig);
+            full.resize_gate(g, orig);
+        }
+        let _ = lazy.worst_slack_overall_ps();
+
+        // Base sizes and per-gate toggle phase (shared by both sides so
+        // their mutation sequences stay identical).
+        let base: Vec<f64> = gates.iter().map(|&g| lazy.sizing().cin_ff(g)).collect();
+
+        for k in [1usize, 8, 64] {
+            let k = k.min(gates.len());
+            // Enough rounds to touch every gate at least once, and at
+            // least 32 so the medians are stable on the small circuits.
+            let rounds = gates.len().div_ceil(k).max(32);
+            let mut cursor = 0usize;
+            let mut phase = vec![false; gates.len()];
+            let mut lazy_ns = Vec::with_capacity(rounds);
+            let mut full_ns = Vec::with_capacity(rounds);
+
+            for _ in 0..rounds {
+                let chunk = round_gates(&gates, &mut cursor, k);
+                // One write-back batch: each touched gate toggles
+                // between its base size and 1.2× it.
+                let changes: Vec<(GateId, f64)> = chunk
+                    .iter()
+                    .map(|&g| {
+                        let i = g.index();
+                        phase[i] = !phase[i];
+                        (g, base[i] * if phase[i] { 1.2 } else { 1.0 })
+                    })
+                    .collect();
+
+                // Incremental: one batched forward re-time, one merged
+                // lazy flush, one O(1) tournament-root read.
+                let t0 = Instant::now();
+                lazy.resize_gates(changes.iter().copied());
+                let ws_lazy = std::hint::black_box(lazy.worst_slack_overall_ps());
+                lazy_ns.push(t0.elapsed().as_nanos() as f64);
+
+                // Eager-full: the same batched forward re-time, then a
+                // whole backward pass and the O(nets) fold for the one
+                // slack read.
+                let t0 = Instant::now();
+                full.resize_gates(changes.iter().copied());
+                let slacks =
+                    required_times(&circuit, &lib, full.sizing(), &full, tc).expect("acyclic");
+                let ws_full = std::hint::black_box(slacks.worst_slack_overall_ps());
+                full_ns.push(t0.elapsed().as_nanos() as f64);
+
+                // The bench is only valid while the lazy state answers
+                // bit-identically to the from-scratch pass.
+                assert_eq!(
+                    ws_lazy.map(f64::to_bits),
+                    ws_full.map(f64::to_bits),
+                    "{name} K={k}: lazy slack diverged from the full pass"
+                );
+            }
+
+            // Restore the base sizing for the next K.
+            let restore: Vec<(GateId, f64)> = gates.iter().map(|&g| (g, base[g.index()])).collect();
+            lazy.resize_gates(restore.iter().copied());
+            full.resize_gates(restore.iter().copied());
+            let _ = lazy.worst_slack_overall_ps();
+
+            let (l_med, l_mean) = (median(lazy_ns.clone()), mean(&lazy_ns));
+            let (f_med, f_mean) = (median(full_ns.clone()), mean(&full_ns));
+            baselines.push(WorkloadBaseline {
+                circuit: name.to_string(),
+                gates: circuit.gate_count(),
+                k,
+                rounds,
+                full_median_ns: f_med,
+                full_mean_ns: f_mean,
+                probe_median_ns: l_med,
+                probe_mean_ns: l_mean,
+                speedup_median: f_med / l_med,
+                speedup_mean: f_mean / l_mean,
+            });
+        }
+    }
+
+    println!(
+        "circuit      gates    K  rounds   full median   incr median   speedup (median / mean)"
+    );
+    for b in &baselines {
+        println!(
+            "{:<10} {:>6} {:>4} {:>7}  {:>12}  {:>12}  {:>7.1}x / {:.1}x",
+            b.circuit,
+            b.gates,
+            b.k,
+            b.rounds,
+            format_ns(b.full_median_ns),
+            format_ns(b.probe_median_ns),
+            b.speedup_median,
+            b.speedup_mean,
+        );
+    }
+
+    write_baseline("sta_lazy", &baselines);
+}

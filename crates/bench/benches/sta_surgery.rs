@@ -19,11 +19,10 @@
 //! recorded as a baseline in `BENCH_sta_surgery.json` at the repository
 //! root.
 
-use std::path::Path;
 use std::time::Instant;
 
-use pops_bench::json::ToJson;
 use pops_bench::microbench::format_ns;
+use pops_bench::{mean, median, write_baseline};
 use pops_delay::Library;
 use pops_netlist::suite;
 use pops_netlist::surgery::{EditOp, EditPlan};
@@ -52,15 +51,6 @@ pops_bench::json_fields!(CircuitBaseline {
     speedup_median,
     speedup_mean
 });
-
-fn median(mut xs: Vec<f64>) -> f64 {
-    xs.sort_by(f64::total_cmp);
-    xs[xs.len() / 2]
-}
-
-fn mean(xs: &[f64]) -> f64 {
-    xs.iter().sum::<f64>() / xs.len() as f64
-}
 
 fn main() {
     let lib = Library::cmos025();
@@ -168,11 +158,5 @@ fn main() {
         );
     }
 
-    // Record the baseline at the repository root.
-    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
-    let path = root.join("BENCH_sta_surgery.json");
-    match std::fs::write(&path, baselines.to_json()) {
-        Ok(()) => println!("[baseline] {}", path.display()),
-        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
-    }
+    write_baseline("sta_surgery", &baselines);
 }

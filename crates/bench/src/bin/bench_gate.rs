@@ -1,0 +1,154 @@
+//! Bench-regression gate: compare freshly produced `BENCH_*.json`
+//! artifacts against the committed baselines and fail when a speedup
+//! regresses past the tolerance.
+//!
+//! ```text
+//! bench_gate <baseline_dir> <current_dir> [--tolerance <fraction>]
+//! ```
+//!
+//! Every `BENCH_*.json` in `<baseline_dir>` that also exists in
+//! `<current_dir>` is parsed as an array of row objects; rows are keyed
+//! by their `circuit` member plus the optional `k` member (the mixed
+//! workload's batch size). For each pair of rows, every `speedup_*`
+//! member in the baseline must be matched by a current value no lower
+//! than `baseline · (1 − tolerance)` (default tolerance 0.20 — bench
+//! runners are noisy; the gate catches real regressions, not jitter).
+//! A baseline row or member missing from the current artifact fails
+//! too: silently dropping a measurement is how regressions hide.
+//!
+//! Exit code 0 when everything passes, 1 otherwise, with one line per
+//! comparison on stdout.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use pops_bench::json::{parse, Value};
+
+/// The gated members: medians are the headline numbers the acceptance
+/// criteria quote; means ride along with the same tolerance.
+const GATED: [&str; 2] = ["speedup_median", "speedup_mean"];
+
+fn row_key(row: &Value) -> String {
+    let circuit = row
+        .get("circuit")
+        .and_then(Value::as_str)
+        .unwrap_or("<unkeyed>");
+    match row.get("k").and_then(Value::as_f64) {
+        Some(k) => format!("{circuit} K={k}"),
+        None => circuit.to_string(),
+    }
+}
+
+fn load_rows(path: &Path) -> Result<Vec<Value>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let value = parse(&text).map_err(|e| format!("cannot parse {}: {e}", path.display()))?;
+    value
+        .as_array()
+        .map(<[Value]>::to_vec)
+        .ok_or_else(|| format!("{} is not a JSON array", path.display()))
+}
+
+fn gate_file(name: &str, baseline: &Path, current: &Path, tolerance: f64) -> Result<usize, String> {
+    let base_rows = load_rows(baseline)?;
+    let cur_rows = load_rows(current)?;
+    let mut failures = 0usize;
+    for base in &base_rows {
+        let key = row_key(base);
+        let Some(cur) = cur_rows.iter().find(|r| row_key(r) == key) else {
+            println!("FAIL {name} [{key}]: row missing from current artifact");
+            failures += 1;
+            continue;
+        };
+        for member in GATED {
+            let Some(want) = base.get(member).and_then(Value::as_f64) else {
+                continue;
+            };
+            let floor = want * (1.0 - tolerance);
+            match cur.get(member).and_then(Value::as_f64) {
+                Some(got) if got >= floor => {
+                    println!("  ok {name} [{key}] {member}: {got:.3} vs baseline {want:.3}");
+                }
+                Some(got) => {
+                    println!(
+                        "FAIL {name} [{key}] {member}: {got:.3} < floor {floor:.3} \
+                         (baseline {want:.3}, tolerance {tolerance})"
+                    );
+                    failures += 1;
+                }
+                None => {
+                    println!("FAIL {name} [{key}] {member}: missing from current artifact");
+                    failures += 1;
+                }
+            }
+        }
+    }
+    Ok(failures)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut tolerance = 0.20f64;
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--tolerance" {
+            tolerance = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--tolerance takes a fraction, e.g. 0.2");
+        } else {
+            dirs.push(PathBuf::from(arg));
+        }
+    }
+    let [baseline_dir, current_dir] = &dirs[..] else {
+        eprintln!("usage: bench_gate <baseline_dir> <current_dir> [--tolerance <fraction>]");
+        return ExitCode::FAILURE;
+    };
+
+    let mut names: Vec<String> = match std::fs::read_dir(baseline_dir) {
+        Ok(entries) => entries
+            .filter_map(Result::ok)
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+            .collect(),
+        Err(e) => {
+            eprintln!("cannot list {}: {e}", baseline_dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    names.sort();
+    if names.is_empty() {
+        eprintln!("no BENCH_*.json baselines in {}", baseline_dir.display());
+        return ExitCode::FAILURE;
+    }
+
+    let mut failures = 0usize;
+    let mut compared = 0usize;
+    for name in &names {
+        let current = current_dir.join(name);
+        if !current.exists() {
+            // The artifact was not regenerated in this run: nothing to
+            // gate (the committed copy is by definition unregressed).
+            println!("skip {name}: not produced by this run");
+            continue;
+        }
+        compared += 1;
+        match gate_file(name, &baseline_dir.join(name), &current, tolerance) {
+            Ok(n) => failures += n,
+            Err(e) => {
+                println!("FAIL {e}");
+                failures += 1;
+            }
+        }
+    }
+
+    println!(
+        "bench gate: {compared} artifact(s) compared, {failures} failure(s), tolerance {tolerance}"
+    );
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

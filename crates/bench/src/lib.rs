@@ -14,5 +14,5 @@ pub mod paper_ref;
 pub mod report;
 pub mod workloads;
 
-pub use report::{print_table, write_artifact};
+pub use report::{mean, median, print_table, write_artifact, write_baseline};
 pub use workloads::{fig2_workloads, paper_workloads, workload, Workload};

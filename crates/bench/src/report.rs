@@ -69,6 +69,47 @@ pub fn write_artifact<T: ToJson + ?Sized>(name: &str, value: &T) {
     }
 }
 
+/// Repository root, resolved relative to this crate's manifest.
+pub fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// Serialize a benchmark baseline to `BENCH_<name>.json` at the
+/// repository root — the committed artifacts the CI regression gate
+/// compares fresh runs against. One implementation shared by every
+/// bench binary (each used to hand-roll the same write).
+///
+/// Failures to write are reported on stderr but do not abort the
+/// benchmark (the console table is the primary output).
+pub fn write_baseline<T: ToJson + ?Sized>(name: &str, value: &T) {
+    let path = repo_root().join(format!("BENCH_{name}.json"));
+    match fs::write(&path, value.to_json()) {
+        Ok(()) => println!("[baseline] {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}
+
+/// Median of a sample set (by value; the vector is consumed).
+///
+/// # Panics
+///
+/// Panics on an empty sample set.
+pub fn median(mut xs: Vec<f64>) -> f64 {
+    assert!(!xs.is_empty(), "median of an empty sample set");
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+/// Arithmetic mean of a sample set.
+///
+/// # Panics
+///
+/// Panics on an empty sample set.
+pub fn mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "mean of an empty sample set");
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
 /// Format picoseconds as nanoseconds with two decimals (the paper's
 /// Tmin unit).
 pub fn ns(ps: f64) -> String {
@@ -93,6 +134,18 @@ mod tests {
     #[test]
     fn gain_formats_percent() {
         assert_eq!(gain_pct(100.0, 87.0), "13%");
+    }
+
+    #[test]
+    fn median_and_mean() {
+        assert_eq!(median(vec![3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(vec![4.0, 1.0]), 4.0);
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+    }
+
+    #[test]
+    fn repo_root_holds_the_workspace_manifest() {
+        assert!(repo_root().join("Cargo.toml").exists());
     }
 
     #[test]

@@ -121,9 +121,13 @@ pub trait TimingView {
     /// longest completion from the gate to any primary output (ps;
     /// `-inf` off every PI→PO path). `None` makes
     /// [`crate::k_most_critical_paths`] derive the bounds from scratch;
-    /// a [`crate::TimingGraph`] with a constraint set returns its
-    /// incrementally maintained (bit-identical) array instead.
-    fn cached_completion_ps(&self) -> Option<&[f64]> {
+    /// a [`crate::TimingGraph`] with a constraint set flushes its lazy
+    /// backward state and returns a copy of its incrementally
+    /// maintained (bit-identical) array instead. Owned rather than
+    /// borrowed so an interior-mutable backend can bring the bounds up
+    /// to date inside this `&self` call; the O(gates) copy is noise
+    /// next to the heap search it feeds.
+    fn cached_completion_ps(&self) -> Option<Vec<f64>> {
         None
     }
 

@@ -48,12 +48,52 @@
 //! recomputed completion bound) is bit-identical to the cached value
 //! cuts its backward cone. [`TimingGraph::set_options`] and constraint
 //! changes invalidate the backward state wholesale — required times are
-//! subtract-chains from `tc`, not `tc`-offsets — and rebuild it with
-//! one full backward pass. `tests/backward_equivalence.rs` asserts
-//! bit-identity against a fresh [`crate::required_times`] after every
-//! step of random resize sequences.
+//! subtract-chains from `tc`, not `tc`-offsets — so their next flush is
+//! one full backward pass. `tests/backward_equivalence.rs` and
+//! `tests/lazy_equivalence.rs` assert bit-identity against a fresh
+//! [`crate::required_times`] after every step of random mutation
+//! sequences.
+//!
+//! # Lazy, query-driven flushing
+//!
+//! The sizing loop's workload is *many mutations, occasional slack
+//! reads*: a sensitivity sweep resizes, probes, reverts; the flow
+//! writes back a whole path before looking at slack again. Backward
+//! state is therefore **never** brought up to date by a mutation.
+//! Mutations only accumulate their seeds into the backward dirty sets
+//! under a **generation counter**, and the first backward query —
+//! slack, required time, design-worst slack, k-paths bounds — flushes
+//! the merged cone once:
+//!
+//! ```text
+//!           mutation (seeds ∪= cone, gen += 1)
+//!        ┌──────────────────────────────────────┐
+//!        ▼                                      │
+//!   clean ──mutation──▶ dirty(gen) ──backward query──▶ flushed(gen) = clean
+//! ```
+//!
+//! N resizes followed by one slack read pay **one** merged backward
+//! propagation instead of N eager ones; the seeds deduplicate in the
+//! rank bitsets, and the bitwise convergence cut still confines the
+//! flush to the union cone. Forward state stays eager (arrival queries
+//! are the hot path of delay-driven probing and their cones are the
+//! cheap direction); the eager/lazy distinction is invisible to every
+//! consumer — `tests/lazy_equivalence.rs` proves any interleaving of
+//! mutations and queries bit-identical to the eager semantics.
+//!
+//! # The worst-slack tournament tree
+//!
+//! `worst_slack_overall_ps` used to fold over all nets per query —
+//! O(nets) even when nothing moved, which is exactly what broke even on
+//! the small-circuit probes. The backward flush already knows every net
+//! whose required time or arrival moved, so the graph maintains a
+//! [`WorstSlackIndex`]: per-net worst finite slacks at the leaves of a
+//! tournament tree of partial minima. Each moved slack is an O(log
+//! nets) leaf update folded in at flush time; the design-worst slack
+//! query is then O(1) at the root, bit-identical to the full fold.
 
 use std::borrow::Cow;
+use std::cell::{Cell, Ref, RefCell};
 
 use pops_delay::model::{gate_delay_with_output_edge, Edge};
 use pops_delay::Library;
@@ -64,7 +104,7 @@ use crate::analysis::{
     compatible_input_edges, eidx, AnalyzeOptions, EdgeDir, NetlistPath, TimingView, EDGES,
 };
 use crate::sizing::Sizing;
-use crate::slack::{worst_finite_slack, SlackReport, SlackView};
+use crate::slack::{SlackReport, SlackView, WorstSlackIndex};
 
 /// Cumulative work counters, for benchmarks and cone-size assertions.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -86,6 +126,13 @@ pub struct UpdateStats {
     pub completion_reevaluated: usize,
     /// Structural edits applied through [`TimingGraph::apply_edits`].
     pub structural_edits: usize,
+    /// Lazy backward flushes actually performed — one per *query* that
+    /// found the backward state behind the mutation generation, never
+    /// one per mutation (see the module docs' state machine).
+    pub backward_flushes: usize,
+    /// Worst-slack tournament-tree leaf refreshes folded in by flushes
+    /// (each O(log nets); a wholesale refold counts one per net).
+    pub slack_index_updates: usize,
 }
 
 /// Per-gate model constants, flattened out of the library at build time.
@@ -263,10 +310,18 @@ pub struct TimingGraph<'c> {
     pis: Vec<NetId>,
     /// Primary-output nets, in declaration order (critical scan order).
     pos: Vec<NetId>,
+    /// Mutation generation: bumped by every state-changing mutator
+    /// (resize batches, option/constraint changes, structural edits).
+    /// The backward state records the generation it last flushed at;
+    /// the pair implements the lazy clean → dirty(gen) → flushed cycle.
+    gen: u64,
     /// Maintained backward state; `None` until
-    /// [`TimingGraph::set_constraint`].
-    backward: Option<BackwardState>,
-    stats: UpdateStats,
+    /// [`TimingGraph::set_constraint`]. Interior-mutable so `&self`
+    /// queries can perform the lazy flush — mutators go through
+    /// `get_mut` (no runtime borrow), queries borrow-check at runtime
+    /// but never nest a mutable borrow under a shared one.
+    backward: RefCell<Option<BackwardState>>,
+    stats: Cell<UpdateStats>,
 }
 
 /// The circuit-derived arrays of a [`TimingGraph`]: topology, adjacency
@@ -395,6 +450,42 @@ struct BackwardState {
     comp_bits: Vec<u64>,
     comp_count: usize,
     comp_max_rank: u32,
+
+    /// Generation ([`TimingGraph::gen`]) the required-time state (and
+    /// the worst-slack index) last flushed at; a mismatch means seeds
+    /// are pending and the next slack/required query drains them.
+    req_flushed_gen: u64,
+    /// Generation the k-paths completion bounds last flushed at. Kept
+    /// separately — completion bounds depend only on forward state
+    /// (frozen gate delays), so a slack query never pays for them and
+    /// a k-paths query never pays for required times.
+    comp_flushed_gen: u64,
+
+    /// Seed logs: the mutation-side half of the lazy contract. Hot
+    /// paths (resize batches, forward cone evaluation) only *append*
+    /// ids here — no rank lookups, no bitset read-modify-writes — and
+    /// the flush materializes them into the rank-keyed dirty sets (or
+    /// discards them wholesale when it saturates to a full sweep).
+    /// Entries may repeat; ids are stable across append-only surgery,
+    /// so no translation is needed when ranks are reassigned.
+    ///
+    /// Gates whose drive changed: their fanin nets' required times and
+    /// their fanin drivers' fanin required times re-derive.
+    resized_log: Vec<GateId>,
+    /// Nets whose slope moved: their required times re-derive.
+    req_net_log: Vec<NetId>,
+    /// Gates whose worst delay moved: their completion bounds re-derive.
+    comp_gate_log: Vec<GateId>,
+    /// Nets whose arrival moved: their worst-slack leaves re-fold.
+    slack_net_log: Vec<NetId>,
+
+    /// Tournament tree over per-net worst finite slacks (root = design
+    /// worst); see [`WorstSlackIndex`].
+    worst: WorstSlackIndex,
+    /// Every slack may have moved (constraint/option invalidation,
+    /// graph surgery): rebuild the index wholesale at the next flush
+    /// instead of per-leaf updates.
+    refold_all: bool,
 }
 
 impl<'c> TimingGraph<'c> {
@@ -454,8 +545,9 @@ impl<'c> TimingGraph<'c> {
             is_po: s.is_po,
             pis: s.pis,
             pos: s.pos,
-            backward: None,
-            stats: UpdateStats::default(),
+            gen: 0,
+            backward: RefCell::new(None),
+            stats: Cell::new(UpdateStats::default()),
         };
         graph.full_pass();
         Ok(graph)
@@ -481,7 +573,15 @@ impl<'c> TimingGraph<'c> {
 
     /// Cumulative incremental-work counters.
     pub fn stats(&self) -> UpdateStats {
-        self.stats
+        self.stats.get()
+    }
+
+    /// Read-modify-write one or more stat counters (the counters sit in
+    /// a [`Cell`] so the `&self` lazy flush can account its work too).
+    fn stat(&self, f: impl FnOnce(&mut UpdateStats)) {
+        let mut s = self.stats.get();
+        f(&mut s);
+        self.stats.set(s);
     }
 
     /// Set one gate's input capacitance and re-time its affected cone.
@@ -508,10 +608,12 @@ impl<'c> TimingGraph<'c> {
     pub fn resize_gates(&mut self, changes: impl IntoIterator<Item = (GateId, f64)>) {
         let mut any = false;
         for (gate, cin_ff) in changes {
-            if self.sizing.cin_ff(gate) == cin_ff {
+            // Re-assigning an identical size is a no-op (and must not
+            // dirty anything); `replace` folds the compare and the set
+            // into one bounds-checked access.
+            if self.sizing.replace(gate, cin_ff) == cin_ff {
                 continue;
             }
-            self.sizing.set(gate, cin_ff);
             any = true;
             // The fanin nets' loads changed: recompute them exactly (same
             // summation order as the full pass — no delta accumulation)
@@ -521,27 +623,22 @@ impl<'c> TimingGraph<'c> {
             for i in fanin_range {
                 let in_net = self.fanin[i];
                 self.recompute_net_load(in_net.index());
-                // Backward: arcs *through this gate* moved with its
-                // C_IN, so its fanin nets' required times must be
-                // re-derived.
-                self.mark_required_net(in_net);
                 if let Some(driver) = self.net_driver[in_net.index()] {
                     self.mark_dirty(driver);
-                    // Backward: arcs through `driver` moved too (the
-                    // load on its output net changed), touching the
-                    // required times of *its* fanin nets.
-                    let d_range = self.fanin_off[driver.index()] as usize
-                        ..self.fanin_off[driver.index() + 1] as usize;
-                    for j in d_range {
-                        self.mark_required_net(self.fanin[j]);
-                    }
                 }
             }
             // The gate's own drive changed.
             self.mark_dirty(gate);
+            // Backward (lazy): arcs through this gate and through its
+            // fanin drivers moved with its C_IN — one log append; the
+            // flush expands it into the affected required-time marks.
+            if let Some(bw) = self.backward.get_mut().as_mut() {
+                bw.resized_log.push(gate);
+            }
         }
         if any {
-            self.stats.updates += 1;
+            self.gen = self.gen.wrapping_add(1);
+            self.stat(|s| s.updates += 1);
             self.propagate();
         }
     }
@@ -551,14 +648,13 @@ impl<'c> TimingGraph<'c> {
     ///
     /// Any maintained backward state is invalidated wholesale — a latch
     /// load shifts every primary-output arc, an input slope every
-    /// source arc — and rebuilt with one full backward pass.
+    /// source arc — but *lazily*: the next backward query pays one full
+    /// backward pass.
     pub fn set_options(&mut self, options: &AnalyzeOptions) {
         if self.options == *options {
             return;
         }
-        // Detach the backward state so the forward propagation does not
-        // drag a partially stale backward cone along.
-        let backward = self.backward.take();
+        self.gen = self.gen.wrapping_add(1);
         let po_changed = self.options.po_load_ff != options.po_load_ff;
         let slope_changed = self.options.input_transition_ps != options.input_transition_ps;
         self.options = options.clone();
@@ -584,12 +680,9 @@ impl<'c> TimingGraph<'c> {
                 }
             }
         }
-        self.stats.updates += 1;
+        self.stat(|s| s.updates += 1);
         self.propagate();
-        if backward.is_some() {
-            self.backward = backward;
-            self.rebuild_backward();
-        }
+        self.invalidate_backward();
     }
 
     /// Apply a batch of structural edits — buffer insertions, gate
@@ -665,6 +758,17 @@ impl<'c> TimingGraph<'c> {
         let s = build_structure(self.circuit.as_ref(), self.lib)?;
         let n_gates = s.topo.len();
         let n_nets = s.net_driver.len();
+
+        // Pending lazy seeds live in the id-keyed logs, which survive
+        // append-only surgery untouched. The rank-keyed bitsets are
+        // populated outside a flush only by a wholesale invalidation
+        // (constraint/option change with no query since): remember that
+        // and re-invalidate under the new ranks below.
+        let (req_invalidated, comp_invalidated) = match self.backward.get_mut().as_ref() {
+            Some(bw) => (bw.req_count > 0, bw.comp_count > 0),
+            None => (false, false),
+        };
+
         self.topo = s.topo;
         self.rank = s.rank;
         self.net_driver = s.net_driver;
@@ -696,22 +800,43 @@ impl<'c> TimingGraph<'c> {
             }
         }
         assert_eq!(self.sizing.len(), n_gates, "one size per gate");
-        if let Some(bw) = self.backward.as_mut() {
-            debug_assert_eq!(bw.req_count, 0);
-            debug_assert_eq!(bw.comp_count, 0);
-            bw.required.resize(n_nets, [f64::INFINITY; 2]);
-            bw.completion.resize(n_gates, f64::NEG_INFINITY);
-            bw.req_bits = vec![0u64; n_gates.div_ceil(64)];
-            bw.comp_bits = vec![0u64; n_gates.div_ceil(64)];
-            bw.pi_bits = vec![0u64; n_nets.div_ceil(64)];
-            bw.pi_dirty.clear();
+        {
+            let pis = &self.pis;
+            if let Some(bw) = self.backward.get_mut().as_mut() {
+                bw.required.resize(n_nets, [f64::INFINITY; 2]);
+                bw.completion.resize(n_gates, f64::NEG_INFINITY);
+                // Rank-keyed bitsets restart empty at the new gate
+                // count; a pending invalidation re-marks everything
+                // under the new ranks. The id-keyed seed logs survive
+                // as they are.
+                bw.req_bits = vec![0u64; n_gates.div_ceil(64)];
+                bw.req_count = 0;
+                bw.req_max_rank = 0;
+                bw.comp_bits = vec![0u64; n_gates.div_ceil(64)];
+                bw.comp_count = 0;
+                bw.comp_max_rank = 0;
+                bw.pi_bits = vec![0u64; n_nets.div_ceil(64)];
+                bw.pi_dirty.clear();
+                if req_invalidated {
+                    Self::mark_all_required(bw, n_gates, pis);
+                }
+                if comp_invalidated {
+                    Self::mark_all_completion(bw, n_gates);
+                }
+                // The edit moved loads/drivers arbitrarily: refold the
+                // worst-slack index wholesale at the next flush (its
+                // leaf space just grew, and the O(nets) refold is noise
+                // next to this rebuild's own O(V+E)).
+                bw.refold_all = true;
+            }
         }
 
         // Seed pass 1 — load deltas: recompute every net's load (same
         // summation order as the full pass; untouched nets reproduce
         // their bits exactly) and treat any changed net like a resized
         // fanin net: its driver re-times, its required times and its
-        // driver's fanin required times re-derive.
+        // driver's fanin required times re-derive (the `resized_log`
+        // expansion at flush time covers exactly that).
         for net in 0..n_nets {
             let old = self.nets[net].load;
             self.recompute_net_load(net);
@@ -720,14 +845,13 @@ impl<'c> TimingGraph<'c> {
             }
             if let Some(driver) = self.net_driver[net] {
                 self.mark_dirty(driver);
-                let (lo, hi) = (
-                    self.fanin_off[driver.index()] as usize,
-                    self.fanin_off[driver.index() + 1] as usize,
-                );
-                for i in lo..hi {
-                    self.mark_required_net(self.fanin[i]);
+                if let Some(bw) = self.backward.get_mut().as_mut() {
+                    // Arcs through `driver` moved with its output load:
+                    // its fanin required times (resized-log expansion)
+                    // and its completion bound re-derive.
+                    bw.resized_log.push(driver);
+                    bw.comp_gate_log.push(driver);
                 }
-                self.mark_completion_gate(driver);
             }
         }
 
@@ -738,7 +862,7 @@ impl<'c> TimingGraph<'c> {
         // goal is only to never under-seed.
         for edit in applied {
             for &net in edit.touched_nets.iter().chain(&edit.new_nets) {
-                self.mark_required_net(net);
+                self.log_required_net(net);
                 if let Some(driver) = self.net_driver[net.index()] {
                     self.seed_edited_gate(driver);
                 }
@@ -756,24 +880,24 @@ impl<'c> TimingGraph<'c> {
             }
         }
 
-        self.stats.updates += 1;
-        self.stats.structural_edits += applied.len();
+        self.gen = self.gen.wrapping_add(1);
+        self.stat(|s| {
+            s.updates += 1;
+            s.structural_edits += applied.len();
+        });
         self.propagate();
         Ok(())
     }
 
     /// Mark one gate whose cell, wiring, drive or environment a
     /// structural edit may have changed: re-evaluate it forward, and
-    /// re-derive its completion bound and its fanin required times.
+    /// log its completion bound and its fanin required times for the
+    /// next lazy flush (the resized-log expansion covers the fanins).
     fn seed_edited_gate(&mut self, g: GateId) {
         self.mark_dirty(g);
-        self.mark_completion_gate(g);
-        let (lo, hi) = (
-            self.fanin_off[g.index()] as usize,
-            self.fanin_off[g.index() + 1] as usize,
-        );
-        for i in lo..hi {
-            self.mark_required_net(self.fanin[i]);
+        if let Some(bw) = self.backward.get_mut().as_mut() {
+            bw.comp_gate_log.push(g);
+            bw.resized_log.push(g);
         }
     }
 
@@ -848,8 +972,10 @@ impl<'c> TimingGraph<'c> {
     /// state (required times, slacks, k-paths completion bounds) under
     /// it. The first call — and every call with a *different* `tc_ps`,
     /// since required times are subtract-chains from the constraint,
-    /// not offsets of it — runs one full backward pass; subsequent
-    /// mutations keep the state current at O(backward cone) cost.
+    /// not offsets of it — schedules one full backward pass, paid by
+    /// the first backward query (the lazy flush); from then on
+    /// mutations only accumulate dirty seeds and each query drains
+    /// whatever accumulated in one merged O(backward cone) pass.
     ///
     /// An infinite `tc_ps` is accepted and behaves like the full pass:
     /// `+inf` leaves every net unconstrained (no finite slack anywhere),
@@ -860,14 +986,15 @@ impl<'c> TimingGraph<'c> {
     /// Panics if `tc_ps` is NaN.
     pub fn set_constraint(&mut self, tc_ps: f64) {
         assert!(!tc_ps.is_nan(), "constraint must not be NaN");
-        if let Some(bw) = &self.backward {
+        if let Some(bw) = self.backward.get_mut().as_ref() {
             if bw.tc_ps.to_bits() == tc_ps.to_bits() {
                 return;
             }
         }
         let n_nets = self.circuit.net_count();
         let n_gates = self.circuit.gate_count();
-        self.backward = Some(BackwardState {
+        self.gen = self.gen.wrapping_add(1);
+        *self.backward.get_mut() = Some(BackwardState {
             tc_ps,
             required: vec![[f64::INFINITY; 2]; n_nets],
             completion: vec![f64::NEG_INFINITY; n_gates],
@@ -879,36 +1006,50 @@ impl<'c> TimingGraph<'c> {
             comp_bits: vec![0u64; n_gates.div_ceil(64)],
             comp_count: 0,
             comp_max_rank: 0,
+            // One behind: the first backward query performs the flush
+            // that doubles as the initial full backward pass.
+            req_flushed_gen: self.gen.wrapping_sub(1),
+            comp_flushed_gen: self.gen.wrapping_sub(1),
+            resized_log: Vec::new(),
+            req_net_log: Vec::new(),
+            comp_gate_log: Vec::new(),
+            slack_net_log: Vec::new(),
+            worst: WorstSlackIndex::new(n_nets),
+            refold_all: false,
         });
-        self.rebuild_backward();
+        self.invalidate_backward();
     }
 
     /// Stop maintaining the backward state (forward-only mutations get
     /// cheaper again).
     pub fn clear_constraint(&mut self) {
-        self.backward = None;
+        *self.backward.get_mut() = None;
     }
 
     /// The constraint the backward state is maintained under, if any.
     pub fn constraint_ps(&self) -> Option<f64> {
-        self.backward.as_ref().map(|bw| bw.tc_ps)
+        self.backward.borrow().as_ref().map(|bw| bw.tc_ps)
     }
 
-    fn backward(&self) -> &BackwardState {
-        self.backward
-            .as_ref()
-            .expect("no backward state: call TimingGraph::set_constraint before querying slack")
+    fn backward(&self) -> Ref<'_, BackwardState> {
+        Ref::map(self.backward.borrow(), |b| {
+            b.as_ref()
+                .expect("no backward state: call TimingGraph::set_constraint before querying slack")
+        })
     }
 
     /// Required time of a net for an edge (ps); `+inf` where
     /// unconstrained. Bit-identical to a fresh
     /// [`required_times`](crate::required_times) under the same
-    /// constraint.
+    /// constraint. Like every backward query, flushes pending lazy
+    /// seeds first (one merged cone for everything since the last
+    /// query).
     ///
     /// # Panics
     ///
     /// Panics unless [`TimingGraph::set_constraint`] was called.
     pub fn required_ps(&self, net: NetId, edge: EdgeDir) -> f64 {
+        self.flush_required();
         self.backward().required[net.index()][eidx(edge.into())]
     }
 
@@ -919,6 +1060,7 @@ impl<'c> TimingGraph<'c> {
     ///
     /// As [`TimingGraph::required_ps`].
     pub fn slack_ps(&self, net: NetId, edge: EdgeDir) -> f64 {
+        self.flush_required();
         let i = eidx(edge.into());
         self.backward().required[net.index()][i] - self.nets[net.index()].arrival[i]
     }
@@ -934,19 +1076,16 @@ impl<'c> TimingGraph<'c> {
     }
 
     /// Worst finite slack over the whole design; `None` when no net
-    /// carries a finite slack (e.g. zero primary outputs).
+    /// carries a finite slack (e.g. zero primary outputs). Read off the
+    /// maintained tournament tree: O(1) after the flush, bit-identical
+    /// to the full fold over all nets.
     ///
     /// # Panics
     ///
     /// As [`TimingGraph::required_ps`].
     pub fn worst_slack_overall_ps(&self) -> Option<f64> {
-        let bw = self.backward();
-        worst_finite_slack(
-            bw.required
-                .iter()
-                .copied()
-                .zip(self.nets.iter().map(|n| n.arrival)),
-        )
+        self.flush_required();
+        self.backward().worst.worst()
     }
 
     /// Frozen-weight k-paths completion bound of a gate (ps); `-inf`
@@ -957,17 +1096,20 @@ impl<'c> TimingGraph<'c> {
     ///
     /// As [`TimingGraph::required_ps`].
     pub fn completion_ps(&self, gate: GateId) -> f64 {
+        self.flush_completion();
         self.backward().completion[gate.index()]
     }
 
     /// Materialize the maintained backward state as a [`SlackReport`],
     /// bit-identical to a fresh [`required_times`](crate::required_times)
-    /// under the same constraint — but O(nets) with no arc evaluations.
+    /// under the same constraint — but O(nets) with no arc evaluations
+    /// beyond the pending flush.
     ///
     /// # Panics
     ///
     /// As [`TimingGraph::required_ps`].
     pub fn slack_report(&self) -> SlackReport {
+        self.flush_required();
         let bw = self.backward();
         let arrival: Vec<[f64; 2]> = self.nets.iter().map(|n| n.arrival).collect();
         SlackReport::from_parts(bw.tc_ps, bw.required.clone(), arrival)
@@ -1006,10 +1148,18 @@ impl<'c> TimingGraph<'c> {
         }
     }
 
-    /// Drain the dirty queue in rank order; propagation stops where a
-    /// gate's re-evaluated output is bit-identical to its cached state.
+    /// Drain the forward dirty queue in rank order; propagation stops
+    /// where a gate's re-evaluated output is bit-identical to its
+    /// cached state. Backward cones are *not* drained here — the seeds
+    /// the walk deposits (slope, delay and arrival changes) stay
+    /// pending until the next backward query's lazy flush.
     fn propagate(&mut self) {
+        // Detach the backward state for the duration of the walk so
+        // `eval_gate` can deposit seeds without re-borrowing per gate.
+        let mut bw = self.backward.get_mut().take();
         let mut any_changed = false;
+        let mut reevals = 0usize;
+        let mut cuts = 0usize;
         let mut word = self.min_dirty_rank as usize / 64;
         while self.dirty_count > 0 {
             // Re-read each round: processing a gate may mark ranks within
@@ -1023,8 +1173,8 @@ impl<'c> TimingGraph<'c> {
             self.dirty_bits[word] &= !(1u64 << bit);
             self.dirty_count -= 1;
             let gate = self.topo[word * 64 + bit as usize];
-            self.stats.gates_reevaluated += 1;
-            if self.eval_gate(gate) {
+            reevals += 1;
+            if self.eval_gate(gate, bw.as_mut()) {
                 any_changed = true;
                 let out = self.out_net[gate.index()].index();
                 let (lo, hi) = (self.fanout_off[out], self.fanout_off[out + 1]);
@@ -1032,19 +1182,24 @@ impl<'c> TimingGraph<'c> {
                     self.mark_dirty(self.fanout[i as usize]);
                 }
             } else {
-                self.stats.converged_early += 1;
+                cuts += 1;
             }
         }
         self.min_dirty_rank = u32::MAX;
+        *self.backward.get_mut() = bw;
+        self.stat(|s| {
+            s.gates_reevaluated += reevals;
+            s.converged_early += cuts;
+        });
         if any_changed {
             self.recompute_critical();
         }
-        self.propagate_backward();
     }
 
     /// Re-run the full pass's per-gate step for `gate`; returns whether
-    /// the output net's arrival or slope changed (bitwise).
-    fn eval_gate(&mut self, gid: GateId) -> bool {
+    /// the output net's arrival or slope changed (bitwise). Deposits
+    /// lazy backward seeds into `bw` when one is maintained.
+    fn eval_gate(&mut self, gid: GateId, bw: Option<&mut BackwardState>) -> bool {
         let cell = self.cell[gid.index()];
         let out = self.out_net[gid.index()];
         let cin = self.sizing.cin_ff(gid);
@@ -1107,22 +1262,26 @@ impl<'c> TimingGraph<'c> {
         let o = &mut self.nets[out.index()];
         let slope_changed = new_slope[0].to_bits() != o.slope[0].to_bits()
             || new_slope[1].to_bits() != o.slope[1].to_bits();
-        let changed = slope_changed
-            || new_arrival[0].to_bits() != o.arrival[0].to_bits()
+        let arrival_changed = new_arrival[0].to_bits() != o.arrival[0].to_bits()
             || new_arrival[1].to_bits() != o.arrival[1].to_bits();
+        let changed = slope_changed || arrival_changed;
         o.arrival = new_arrival;
         o.slope = new_slope;
         o.pred = new_pred;
-        if self.backward.is_some() {
-            // Seed the backward cones: arcs *from* `out` move with its
-            // slope; the completion bound of `gid` moves with its worst
-            // delay. (Arrival-only changes touch slack, which is read
-            // directly from the forward state, but never required times.)
+        if let Some(bw) = bw {
+            // Seed the lazy backward cones — plain log appends, no rank
+            // lookups on the forward hot path: arcs *from* `out` move
+            // with its slope; the completion bound of `gid` moves with
+            // its worst delay; the net's slack (and so its worst-slack
+            // index leaf) with its arrival. Nothing is drained here.
             if slope_changed {
-                self.mark_required_net(out);
+                bw.req_net_log.push(out);
             }
             if delay_changed {
-                self.mark_completion_gate(gid);
+                bw.comp_gate_log.push(gid);
+            }
+            if arrival_changed {
+                bw.slack_net_log.push(out);
             }
         }
         changed
@@ -1144,7 +1303,8 @@ impl<'c> TimingGraph<'c> {
         }
         for i in 0..self.topo.len() {
             let gate = self.topo[i];
-            self.eval_gate(gate);
+            // Construction precedes any constraint: no backward state.
+            self.eval_gate(gate, None);
         }
         self.recompute_critical();
     }
@@ -1165,26 +1325,17 @@ impl<'c> TimingGraph<'c> {
 
     // ---- backward internals ----
 
-    /// Mark a net's required times dirty (no-op without backward state).
-    fn mark_required_net(&mut self, net: NetId) {
-        let Some(bw) = self.backward.as_mut() else {
-            return;
-        };
-        Self::mark_required_in(bw, &self.rank, &self.net_driver, net);
+    /// Log a net whose required times must re-derive at the next flush
+    /// (no-op without backward state).
+    fn log_required_net(&mut self, net: NetId) {
+        if let Some(bw) = self.backward.get_mut().as_mut() {
+            bw.req_net_log.push(net);
+        }
     }
 
-    /// Mark a gate's completion bound dirty (no-op without backward
-    /// state).
-    fn mark_completion_gate(&mut self, gate: GateId) {
-        let Some(bw) = self.backward.as_mut() else {
-            return;
-        };
-        Self::mark_completion_in(bw, &self.rank, gate);
-    }
-
-    /// Non-`self`-borrowing required-mark, usable while the backward
-    /// state is detached during propagation. Driven nets key on their
-    /// driver's rank; primary-input nets go to the sink list.
+    /// Rank-keyed required-mark, used by the flush when it materializes
+    /// the seed logs and while its drain expands cones. Driven nets key
+    /// on their driver's rank; primary-input nets go to the sink list.
     fn mark_required_in(
         bw: &mut BackwardState,
         rank: &[u32],
@@ -1214,7 +1365,8 @@ impl<'c> TimingGraph<'c> {
         }
     }
 
-    /// Non-`self`-borrowing completion-mark.
+    /// Rank-keyed completion-mark (flush-internal, as
+    /// [`TimingGraph::mark_required_in`]).
     fn mark_completion_in(bw: &mut BackwardState, rank: &[u32], gate: GateId) {
         let r = rank[gate.index()];
         let (word, bit) = (r as usize / 64, r % 64);
@@ -1227,49 +1379,138 @@ impl<'c> TimingGraph<'c> {
         }
     }
 
-    /// Full backward refresh: mark every net and gate dirty, then drain.
-    /// One descending sweep evaluates each exactly once — the full
-    /// backward pass, used on constraint set/changes and option changes.
-    fn rebuild_backward(&mut self) {
+    /// Invalidate the whole backward state *lazily*: mark every driven
+    /// net, primary input and gate dirty and schedule a wholesale
+    /// worst-slack refold, without draining — the next backward query
+    /// pays one full backward pass. Used where incremental seeding is
+    /// unsound: constraint changes (required times are subtract-chains
+    /// from `tc`, not offsets) and option changes (every primary-output
+    /// arc and/or source arc moves).
+    fn invalidate_backward(&mut self) {
         let n_gates = self.topo.len();
-        {
-            let pis = &self.pis;
-            let Some(bw) = self.backward.as_mut() else {
-                return;
-            };
-            for r in 0..n_gates {
-                bw.req_bits[r / 64] |= 1u64 << (r % 64);
-                bw.comp_bits[r / 64] |= 1u64 << (r % 64);
-            }
-            bw.req_count = n_gates;
-            bw.comp_count = n_gates;
-            if n_gates > 0 {
-                bw.req_max_rank = (n_gates - 1) as u32;
-                bw.comp_max_rank = (n_gates - 1) as u32;
-            }
-            for &pi in pis {
-                let i = pi.index();
-                if bw.pi_bits[i / 64] & (1u64 << (i % 64)) == 0 {
-                    bw.pi_bits[i / 64] |= 1u64 << (i % 64);
-                    bw.pi_dirty.push(pi);
-                }
-            }
-        }
-        self.propagate_backward();
-    }
-
-    /// Drain the backward dirty sets in *descending* rank order;
-    /// propagation stops where a recomputed required time / completion
-    /// bound is bit-identical to its cached value. Marks always target
-    /// strictly lower ranks (a driver's fanins rank below it), so one
-    /// descending cursor visits every dirty entry in dependency order.
-    fn propagate_backward(&mut self) {
-        let Some(mut bw) = self.backward.take() else {
+        let pis = &self.pis;
+        let Some(bw) = self.backward.get_mut().as_mut() else {
             return;
         };
+        Self::mark_all_required(bw, n_gates, pis);
+        Self::mark_all_completion(bw, n_gates);
+    }
+
+    /// Mark every driven net and primary input required-dirty and
+    /// schedule the wholesale index refold; pending required seed logs
+    /// are subsumed and discarded. The flush recognizes the saturated
+    /// count and runs the gate-centric full sweep directly.
+    fn mark_all_required(bw: &mut BackwardState, n_gates: usize, pis: &[NetId]) {
+        for r in 0..n_gates {
+            bw.req_bits[r / 64] |= 1u64 << (r % 64);
+        }
+        bw.req_count = n_gates;
+        if n_gates > 0 {
+            bw.req_max_rank = (n_gates - 1) as u32;
+        }
+        for &pi in pis {
+            let i = pi.index();
+            if bw.pi_bits[i / 64] & (1u64 << (i % 64)) == 0 {
+                bw.pi_bits[i / 64] |= 1u64 << (i % 64);
+                bw.pi_dirty.push(pi);
+            }
+        }
+        bw.resized_log.clear();
+        bw.req_net_log.clear();
+        bw.slack_net_log.clear();
+        bw.refold_all = true;
+    }
+
+    /// Mark every gate completion-dirty; pending completion seed logs
+    /// are subsumed and discarded.
+    fn mark_all_completion(bw: &mut BackwardState, n_gates: usize) {
+        for r in 0..n_gates {
+            bw.comp_bits[r / 64] |= 1u64 << (r % 64);
+        }
+        bw.comp_count = n_gates;
+        if n_gates > 0 {
+            bw.comp_max_rank = (n_gates - 1) as u32;
+        }
+        bw.comp_gate_log.clear();
+    }
+
+    /// The required-time side of the lazy flush: drain the accumulated
+    /// required seeds in *descending* rank order, then fold the moved
+    /// slacks into the worst-slack index. A no-op when that state
+    /// already reflects the current mutation generation; otherwise one
+    /// merged reverse propagation covers every mutation since the last
+    /// slack/required query. Propagation stops where a recomputed
+    /// required time is bit-identical to its cached value; marks always
+    /// target strictly lower ranks (a driver's fanins rank below it),
+    /// so one descending cursor visits every dirty entry in dependency
+    /// order.
+    fn flush_required(&self) {
+        let mut guard = self.backward.borrow_mut();
+        let Some(bw) = guard.as_mut() else {
+            return;
+        };
+        if bw.req_flushed_gen == self.gen {
+            return;
+        }
+        bw.req_flushed_gen = self.gen;
+
+        let mut req_reevals = 0usize;
+        let mut req_cuts = 0usize;
+        let mut index_updates = 0usize;
+
+        // Cut-over budget. The per-net drain pays each fanout gate's
+        // hoisted arc terms once per *pin* plus the change-marking; the
+        // gate-centric full sweep pays them once per *gate* with no
+        // marking at all — so once the drain has walked about a third
+        // of the ranks (seeds keep expanding toward the primary
+        // inputs), finishing with the full sweep is cheaper than
+        // letting the bookkeeping run. Seed counts far past the budget
+        // skip the drain attempt entirely.
+        let n_gates_total = self.topo.len();
+        let budget = n_gates_total / 3 + 1;
+
+        // Materialize the seed logs into the rank-keyed dirty set —
+        // unless the counts already guarantee the sweep, in which case
+        // the marks would be discarded unread. A resized gate expands
+        // to its fanin nets (arcs through it moved with its C_IN) and
+        // its fanin drivers' fanin nets (their output loads moved).
+        let log_bound = bw.req_net_log.len() + 6 * bw.resized_log.len();
+        let mut req_sweep =
+            bw.req_count >= budget || (n_gates_total > 0 && log_bound > n_gates_total / 2);
+        if req_sweep {
+            bw.req_net_log.clear();
+            bw.resized_log.clear();
+        } else if !bw.req_net_log.is_empty() || !bw.resized_log.is_empty() {
+            let mut req_log = std::mem::take(&mut bw.req_net_log);
+            for net in req_log.drain(..) {
+                Self::mark_required_in(bw, &self.rank, &self.net_driver, net);
+            }
+            bw.req_net_log = req_log;
+            let mut resized = std::mem::take(&mut bw.resized_log);
+            for gate in resized.drain(..) {
+                let (lo, hi) = (
+                    self.fanin_off[gate.index()] as usize,
+                    self.fanin_off[gate.index() + 1] as usize,
+                );
+                for &in_net in &self.fanin[lo..hi] {
+                    Self::mark_required_in(bw, &self.rank, &self.net_driver, in_net);
+                    if let Some(driver) = self.net_driver[in_net.index()] {
+                        let (dlo, dhi) = (
+                            self.fanin_off[driver.index()] as usize,
+                            self.fanin_off[driver.index() + 1] as usize,
+                        );
+                        for &d_net in &self.fanin[dlo..dhi] {
+                            Self::mark_required_in(bw, &self.rank, &self.net_driver, d_net);
+                        }
+                    }
+                }
+            }
+            bw.resized_log = resized;
+            req_sweep = bw.req_count >= budget;
+        }
 
         // Required times over driven nets, highest driver rank first.
-        if bw.req_count > 0 {
+        if !req_sweep && bw.req_count > 0 {
             let mut word = bw.req_max_rank as usize / 64;
             loop {
                 // Re-read each round: processing a net may mark ranks
@@ -1288,41 +1529,134 @@ impl<'c> TimingGraph<'c> {
                 bw.req_count -= 1;
                 let gate = self.topo[word * 64 + bit as usize];
                 let net = self.out_net[gate.index()];
-                self.stats.required_reevaluated += 1;
-                if self.eval_required(&mut bw, net) {
+                req_reevals += 1;
+                if self.eval_required(bw, net) {
                     let (lo, hi) = (
                         self.fanin_off[gate.index()] as usize,
                         self.fanin_off[gate.index() + 1] as usize,
                     );
                     for &in_net in &self.fanin[lo..hi] {
-                        Self::mark_required_in(&mut bw, &self.rank, &self.net_driver, in_net);
+                        Self::mark_required_in(bw, &self.rank, &self.net_driver, in_net);
                     }
                 } else {
-                    self.stats.required_converged_early += 1;
+                    req_cuts += 1;
                 }
                 if bw.req_count == 0 {
+                    break;
+                }
+                if req_reevals >= budget {
+                    // The cone saturated mid-drain: bail to the sweep.
+                    req_sweep = true;
                     break;
                 }
             }
             bw.req_max_rank = 0;
         }
 
-        // Primary-input nets: backward sinks, nothing propagates further.
-        if !bw.pi_dirty.is_empty() {
+        if req_sweep {
+            // Gate-centric full backward pass: same candidate multiset
+            // per net as the drain would deliver (a min over one
+            // multiset is order-independent — bit-identical), at
+            // once-per-gate hoisting cost. Subsumes the PI sinks and
+            // every pending mark.
+            self.sweep_required_full(bw);
+            bw.req_bits.iter_mut().for_each(|w| *w = 0);
+            bw.req_count = 0;
+            bw.req_max_rank = 0;
+            bw.pi_bits.iter_mut().for_each(|w| *w = 0);
+            bw.pi_dirty.clear();
+            // The sweep bypasses per-net change detection, so the moved
+            // slacks are unknown: refold the index wholesale below.
+            bw.refold_all = true;
+            req_reevals += self.nets.len();
+        } else if !bw.pi_dirty.is_empty() {
+            // Primary-input nets: backward sinks, nothing propagates
+            // further.
             let mut pi_dirty = std::mem::take(&mut bw.pi_dirty);
             for net in pi_dirty.drain(..) {
                 let i = net.index();
                 bw.pi_bits[i / 64] &= !(1u64 << (i % 64));
-                self.stats.required_reevaluated += 1;
-                if !self.eval_required(&mut bw, net) {
-                    self.stats.required_converged_early += 1;
+                req_reevals += 1;
+                if !self.eval_required(bw, net) {
+                    req_cuts += 1;
                 }
             }
             bw.pi_dirty = pi_dirty;
         }
 
-        // Completion bounds over gates, highest rank first.
-        if bw.comp_count > 0 {
+        // Fold the moved slacks into the tournament tree, now that the
+        // required times are final for this generation. The log may
+        // repeat a net; the repeat hits the leaf's bit-unchanged early
+        // return. Past a quarter of the nets the per-leaf root walks
+        // (random access × log n) lose to one linear wholesale refold —
+        // which is the old O(nets) fold, paid once per flush instead of
+        // once per query.
+        let n_nets = self.nets.len();
+        if bw.refold_all || bw.slack_net_log.len() > n_nets / 4 {
+            bw.refold_all = false;
+            bw.slack_net_log.clear();
+            let keys: Vec<f64> = (0..n_nets)
+                .map(|i| WorstSlackIndex::key(bw.required[i], self.nets[i].arrival))
+                .collect();
+            bw.worst.rebuild(&keys);
+            index_updates += n_nets;
+        } else if !bw.slack_net_log.is_empty() {
+            let mut log = std::mem::take(&mut bw.slack_net_log);
+            for net in log.drain(..) {
+                let i = net.index();
+                bw.worst.update(
+                    i,
+                    WorstSlackIndex::key(bw.required[i], self.nets[i].arrival),
+                );
+                index_updates += 1;
+            }
+            bw.slack_net_log = log;
+        }
+
+        self.stat(|s| {
+            s.backward_flushes += 1;
+            s.required_reevaluated += req_reevals;
+            s.required_converged_early += req_cuts;
+            s.slack_index_updates += index_updates;
+        });
+    }
+
+    /// The completion-bound side of the lazy flush (k-paths queries):
+    /// drain the accumulated completion seeds in descending rank order,
+    /// with the same budgeted cut-over to a straight descending sweep
+    /// (dependency order makes re-marking unnecessary there).
+    /// Completion bounds depend only on forward state, so this flush is
+    /// independent of [`TimingGraph::flush_required`] — a slack-only
+    /// workload never pays it.
+    fn flush_completion(&self) {
+        let mut guard = self.backward.borrow_mut();
+        let Some(bw) = guard.as_mut() else {
+            return;
+        };
+        if bw.comp_flushed_gen == self.gen {
+            return;
+        }
+        bw.comp_flushed_gen = self.gen;
+
+        let mut comp_reevals = 0usize;
+        let n_gates_total = self.topo.len();
+        let budget = n_gates_total / 3 + 1;
+
+        // Materialize the completion seed log (see `flush_required`).
+        let mut comp_sweep = bw.comp_count >= budget
+            || (n_gates_total > 0 && bw.comp_gate_log.len() > n_gates_total / 2);
+        if comp_sweep {
+            bw.comp_gate_log.clear();
+        } else if !bw.comp_gate_log.is_empty() {
+            let mut log = std::mem::take(&mut bw.comp_gate_log);
+            for gate in log.drain(..) {
+                Self::mark_completion_in(bw, &self.rank, gate);
+            }
+            bw.comp_gate_log = log;
+            comp_sweep = bw.comp_count >= budget;
+        }
+
+        if !comp_sweep && bw.comp_count > 0 {
             let mut word = bw.comp_max_rank as usize / 64;
             loop {
                 let bits = bw.comp_bits[word];
@@ -1337,26 +1671,43 @@ impl<'c> TimingGraph<'c> {
                 bw.comp_bits[word] &= !(1u64 << bit);
                 bw.comp_count -= 1;
                 let gate = self.topo[word * 64 + bit as usize];
-                self.stats.completion_reevaluated += 1;
-                if self.eval_completion(&mut bw, gate) {
+                comp_reevals += 1;
+                if self.eval_completion(bw, gate) {
                     let (lo, hi) = (
                         self.fanin_off[gate.index()] as usize,
                         self.fanin_off[gate.index() + 1] as usize,
                     );
                     for &in_net in &self.fanin[lo..hi] {
                         if let Some(driver) = self.net_driver[in_net.index()] {
-                            Self::mark_completion_in(&mut bw, &self.rank, driver);
+                            Self::mark_completion_in(bw, &self.rank, driver);
                         }
                     }
                 }
                 if bw.comp_count == 0 {
                     break;
                 }
+                if comp_reevals >= budget {
+                    comp_sweep = true;
+                    break;
+                }
             }
             bw.comp_max_rank = 0;
         }
+        if comp_sweep {
+            for i in (0..n_gates_total).rev() {
+                let gid = self.topo[i];
+                let _ = self.eval_completion(bw, gid);
+            }
+            bw.comp_bits.iter_mut().for_each(|w| *w = 0);
+            bw.comp_count = 0;
+            bw.comp_max_rank = 0;
+            comp_reevals += n_gates_total;
+        }
 
-        self.backward = Some(bw);
+        self.stat(|s| {
+            s.backward_flushes += 1;
+            s.completion_reevaluated += comp_reevals;
+        });
     }
 
     /// Recompute one net's required times from its fanout arcs; returns
@@ -1418,7 +1769,72 @@ impl<'c> TimingGraph<'c> {
         let changed =
             req[0].to_bits() != slot[0].to_bits() || req[1].to_bits() != slot[1].to_bits();
         *slot = req;
+        if changed {
+            // The net's slack moved with its required time: refresh its
+            // worst-slack index leaf when this flush's drain completes.
+            bw.slack_net_log.push(net);
+        }
         changed
+    }
+
+    /// Gate-centric full backward pass into `bw.required`: reinitialize
+    /// every net (`tc` at primary outputs, `+inf` elsewhere) and push
+    /// min candidates down the descending topo order, hoisting each
+    /// gate's arc terms once — exactly [`crate::required_times`]'s walk
+    /// run over the cached constants. Produces the same candidate
+    /// multiset per net as the per-net [`TimingGraph::eval_required`],
+    /// so the same min and the same bits; used by the flush when every
+    /// rank is marked, where the per-pin re-hoisting of the drain would
+    /// cost more than this per-gate pass.
+    fn sweep_required_full(&self, bw: &mut BackwardState) {
+        let tc = bw.tc_ps;
+        for (i, slot) in bw.required.iter_mut().enumerate() {
+            *slot = if self.is_po[i] {
+                [tc; 2]
+            } else {
+                [f64::INFINITY; 2]
+            };
+        }
+        for &gid in self.topo.iter().rev() {
+            let out = self.out_net[gid.index()];
+            let cell = self.cell[gid.index()];
+            let cin = self.sizing.cin_ff(gid);
+            let load = self.nets[out.index()].load;
+            let ArcTerms {
+                tau_out_by_edge,
+                miller,
+            } = self.gate_params[gid.index()].arc_terms(cin, load);
+            let fanin_range =
+                self.fanin_off[gid.index()] as usize..self.fanin_off[gid.index() + 1] as usize;
+            for out_edge in EDGES {
+                let req_out = bw.required[out.index()][eidx(out_edge)];
+                if req_out == f64::INFINITY {
+                    continue;
+                }
+                let tau_out = tau_out_by_edge[eidx(out_edge)];
+                for &in_net in &self.fanin[fanin_range.clone()] {
+                    for &in_edge in compatible_input_edges(cell, out_edge) {
+                        let i = eidx(in_edge);
+                        let slope = self.nets[in_net.index()].slope[i];
+                        let delay_ps = 0.5 * self.vt[i] * slope + 0.5 * miller[i] * tau_out;
+                        debug_assert_eq!(
+                            delay_ps.to_bits(),
+                            gate_delay_with_output_edge(
+                                self.lib, cell, cin, load, slope, in_edge, out_edge,
+                            )
+                            .delay_ps
+                            .to_bits(),
+                            "cached-constant sweep arc delay must match the model"
+                        );
+                        let candidate = req_out - delay_ps;
+                        let slot = &mut bw.required[in_net.index()][i];
+                        if candidate < *slot {
+                            *slot = candidate;
+                        }
+                    }
+                }
+            }
+        }
     }
 
     /// Recompute one gate's k-paths completion bound; returns whether it
@@ -1469,16 +1885,20 @@ impl TimingView for TimingGraph<'_> {
     fn gate_delay_worst_ps(&self, gate: GateId) -> f64 {
         TimingGraph::gate_delay_worst_ps(self, gate)
     }
-    fn cached_completion_ps(&self) -> Option<&[f64]> {
-        self.backward.as_ref().map(|bw| bw.completion.as_slice())
+    fn cached_completion_ps(&self) -> Option<Vec<f64>> {
+        self.flush_completion();
+        self.backward
+            .borrow()
+            .as_ref()
+            .map(|bw| bw.completion.clone())
     }
     fn cached_required_times(&self, tc_ps: f64, sizing: &Sizing) -> Option<SlackReport> {
-        match &self.backward {
-            Some(bw) if bw.tc_ps.to_bits() == tc_ps.to_bits() && *sizing == self.sizing => {
-                Some(self.slack_report())
-            }
-            _ => None,
-        }
+        let hit = matches!(
+            self.backward.borrow().as_ref(),
+            Some(bw) if bw.tc_ps.to_bits() == tc_ps.to_bits() && *sizing == self.sizing
+        );
+        // `slack_report` flushes the pending lazy seeds itself.
+        hit.then(|| self.slack_report())
     }
 }
 
@@ -1750,9 +2170,13 @@ mod tests {
         let s = Sizing::minimum(&c, &lib);
         let mut graph = TimingGraph::new(&c, &lib, &s).unwrap();
         graph.set_constraint(0.9 * graph.critical_delay_ps());
+        // Settle the initial (lazy) full backward pass.
+        let _ = graph.worst_slack_overall_ps();
         let after_build = graph.stats();
         let g = c.gate_ids().nth(c.gate_count() / 2).unwrap();
         graph.resize_gate(g, 3.0 * lib.min_drive_ff());
+        // The flush is query-driven: read slack to drain the seeds.
+        let _ = graph.worst_slack_overall_ps();
         let stats = graph.stats();
         let reevals = stats.required_reevaluated - after_build.required_reevaluated;
         assert!(
@@ -1761,6 +2185,61 @@ mod tests {
             reevals,
             c.net_count()
         );
+    }
+
+    #[test]
+    fn mutations_alone_never_trigger_a_flush() {
+        let lib = Library::cmos025();
+        let c = suite::circuit("c432").unwrap();
+        let s = Sizing::minimum(&c, &lib);
+        let mut graph = TimingGraph::new(&c, &lib, &s).unwrap();
+        graph.set_constraint(0.9 * graph.critical_delay_ps());
+        // Even the initial full backward pass is lazy: nothing has been
+        // flushed until the first query.
+        assert_eq!(graph.stats().backward_flushes, 0);
+        assert_eq!(graph.stats().required_reevaluated, 0);
+        let _ = graph.worst_slack_overall_ps();
+        let settled = graph.stats();
+        assert_eq!(settled.backward_flushes, 1);
+        assert_eq!(settled.required_reevaluated, c.net_count());
+
+        let gates: Vec<GateId> = c.gate_ids().collect();
+        for (i, &g) in gates.iter().enumerate().take(32) {
+            graph.resize_gate(g, (1.5 + i as f64 * 0.1) * lib.min_drive_ff());
+        }
+        let after = graph.stats();
+        assert_eq!(after.backward_flushes, settled.backward_flushes);
+        assert_eq!(after.required_reevaluated, settled.required_reevaluated);
+        assert_eq!(after.completion_reevaluated, settled.completion_reevaluated);
+        // One query drains the merged cone of all 32 resizes at once…
+        let _ = graph.worst_slack_overall_ps();
+        assert_eq!(graph.stats().backward_flushes, settled.backward_flushes + 1);
+        // …and a second read without mutations does no further work.
+        let _ = graph.worst_slack_overall_ps();
+        assert_eq!(graph.stats().backward_flushes, settled.backward_flushes + 1);
+        assert_backward_matches_fresh(&graph, &c, &lib);
+    }
+
+    #[test]
+    fn worst_slack_index_matches_the_full_fold() {
+        let lib = Library::cmos025();
+        let c = suite::circuit("c880").unwrap();
+        let s = Sizing::minimum(&c, &lib);
+        let mut graph = TimingGraph::new(&c, &lib, &s).unwrap();
+        graph.set_constraint(0.95 * graph.critical_delay_ps());
+        let gates: Vec<GateId> = c.gate_ids().collect();
+        for (i, &g) in gates.iter().enumerate().step_by(7) {
+            graph.resize_gate(g, (1.0 + (i % 9) as f64 * 0.4) * lib.min_drive_ff());
+            // Tournament-tree root vs the O(nets) fold over the
+            // materialized report: bit-identical at every step.
+            assert_eq!(
+                graph.worst_slack_overall_ps().map(f64::to_bits),
+                graph
+                    .slack_report()
+                    .worst_slack_overall_ps()
+                    .map(f64::to_bits),
+            );
+        }
     }
 
     #[test]

@@ -84,17 +84,13 @@ pub fn k_most_critical_paths<V: TimingView + ?Sized>(
 
     // Best completion weight from each gate to any primary output. A
     // backend that maintains the bounds incrementally (a `TimingGraph`
-    // with a constraint set) hands over its cached array — bit-identical
-    // to the from-scratch derivation — making per-round path extraction
-    // O(cone) instead of O(circuit).
-    let derived;
-    let completion: &[f64] = match report.cached_completion_ps() {
-        Some(cached) => cached,
-        None => {
-            derived = completion_bounds(circuit, report);
-            &derived
-        }
-    };
+    // with a constraint set) flushes its lazy backward state and hands
+    // over its cached array — bit-identical to the from-scratch
+    // derivation — making per-round path extraction O(cone) instead of
+    // O(circuit).
+    let completion: Vec<f64> = report
+        .cached_completion_ps()
+        .unwrap_or_else(|| completion_bounds(circuit, report));
 
     // Source gates: fed by at least one primary input.
     let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::new();

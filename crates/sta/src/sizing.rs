@@ -65,6 +65,18 @@ impl Sizing {
         self.cins[gate.index()] = cin_ff;
     }
 
+    /// Set the input capacitance of a gate and return the previous
+    /// value — one bounds-checked access for the compare-and-set
+    /// pattern of resize batches and probe/revert sweeps.
+    ///
+    /// # Panics
+    ///
+    /// As [`Sizing::set`].
+    pub fn replace(&mut self, gate: GateId, cin_ff: f64) -> f64 {
+        assert!(cin_ff > 0.0, "input capacitance must be positive");
+        std::mem::replace(&mut self.cins[gate.index()], cin_ff)
+    }
+
     /// Append the input capacitance of a freshly created gate (netlist
     /// surgery allocates gate ids densely at the end of the arena, so
     /// growing the sizing is a push per new gate).
@@ -107,6 +119,16 @@ mod tests {
         for g in c.gate_ids() {
             assert_eq!(s.cin_ff(g), lib.min_drive_ff());
         }
+    }
+
+    #[test]
+    fn replace_returns_the_previous_size() {
+        let c = inverter_chain(2);
+        let lib = Library::cmos025();
+        let mut s = Sizing::minimum(&c, &lib);
+        let g = c.gate_ids().next().unwrap();
+        assert_eq!(s.replace(g, 7.5), lib.min_drive_ff());
+        assert_eq!(s.cin_ff(g), 7.5);
     }
 
     #[test]

@@ -77,6 +77,109 @@ pub(crate) fn worst_finite_slack(pairs: impl Iterator<Item = ([f64; 2], [f64; 2]
     worst
 }
 
+/// Deterministic two-way minimum over non-NaN keys. Agrees with the
+/// [`worst_finite_slack`] fold on every multiset the index can hold:
+/// keys are finite slacks or the `+inf` neutral element, and a finite
+/// `required − arrival` is never `-0.0` (IEEE `x − y` with `x == y`
+/// rounds to `+0.0`), so equal keys are equal *bits* and any
+/// association of the minimum reproduces the fold bit-for-bit.
+#[inline]
+fn min2(a: f64, b: f64) -> f64 {
+    if a <= b {
+        a
+    } else {
+        b
+    }
+}
+
+/// Incrementally maintained design-worst slack: a tournament tree of
+/// per-rank partial minima over the per-net worst *finite* slacks.
+///
+/// The leaves hold one key per net — the worst finite slack over both
+/// edges, or `+inf` when neither edge carries one (the same skip rule
+/// as [`worst_finite_slack`]) — and every internal node the minimum of
+/// its two children, so the root *is* the design-worst slack. A leaf
+/// update re-derives only its root path and stops as soon as a parent
+/// is bit-unchanged: O(log nets) per moved slack, against the O(nets)
+/// fold the query used to pay. The incremental
+/// [`TimingGraph`](crate::incremental::TimingGraph) feeds it exactly
+/// the nets its backward flush re-derived (plus the nets whose forward
+/// arrival moved), making the design-worst slack query O(1) on a
+/// flushed graph.
+#[derive(Debug, Clone)]
+pub(crate) struct WorstSlackIndex {
+    /// Leaf capacity: net count rounded up to a power of two (so the
+    /// tree is complete and parent/child arithmetic is shift-only).
+    cap: usize,
+    /// 1-based heap layout: `tree[1]` is the root, leaves occupy
+    /// `tree[cap .. cap + nets]`; `+inf` pads unused slots (the neutral
+    /// element of the min).
+    tree: Vec<f64>,
+}
+
+impl WorstSlackIndex {
+    /// An index over `nets` leaves, all at the `+inf` neutral key.
+    pub(crate) fn new(nets: usize) -> Self {
+        let cap = nets.next_power_of_two().max(1);
+        WorstSlackIndex {
+            cap,
+            tree: vec![f64::INFINITY; 2 * cap],
+        }
+    }
+
+    /// The key of one net: its worst finite slack over both edges,
+    /// `+inf` when no edge carries one — bit-compatible with what
+    /// [`worst_finite_slack`] would fold in for this net.
+    pub(crate) fn key(required: [f64; 2], arrival: [f64; 2]) -> f64 {
+        let mut k = f64::INFINITY;
+        for i in 0..2 {
+            let s = required[i] - arrival[i];
+            if s.is_finite() && s < k {
+                k = s;
+            }
+        }
+        k
+    }
+
+    /// Replace one net's key and re-derive the partial minima along its
+    /// root path; O(log nets), cut short where a parent is bit-unchanged.
+    pub(crate) fn update(&mut self, net: usize, key: f64) {
+        let mut i = self.cap + net;
+        if self.tree[i].to_bits() == key.to_bits() {
+            return;
+        }
+        self.tree[i] = key;
+        while i > 1 {
+            i /= 2;
+            let m = min2(self.tree[2 * i], self.tree[2 * i + 1]);
+            if self.tree[i].to_bits() == m.to_bits() {
+                break;
+            }
+            self.tree[i] = m;
+        }
+    }
+
+    /// The design-worst finite slack; `None` when no net carries one.
+    pub(crate) fn worst(&self) -> Option<f64> {
+        let root = self.tree[1];
+        root.is_finite().then_some(root)
+    }
+
+    /// Rebuild wholesale from one key per net — O(nets) min folds, used
+    /// when every slack may have moved (constraint/option invalidation,
+    /// graph surgery growing the net space).
+    pub(crate) fn rebuild(&mut self, keys: &[f64]) {
+        let cap = keys.len().next_power_of_two().max(1);
+        self.cap = cap;
+        self.tree.clear();
+        self.tree.resize(2 * cap, f64::INFINITY);
+        self.tree[cap..cap + keys.len()].copy_from_slice(keys);
+        for i in (1..cap).rev() {
+            self.tree[i] = min2(self.tree[2 * i], self.tree[2 * i + 1]);
+        }
+    }
+}
+
 /// Result of the backward (required-time) pass.
 #[derive(Debug, Clone)]
 pub struct SlackReport {
@@ -333,6 +436,70 @@ mod tests {
         for net in c.net_ids() {
             assert_eq!(slacks.worst_slack_ps(net), f64::INFINITY);
             assert!(!slacks.worst_slack_ps(net).is_nan());
+        }
+    }
+
+    #[test]
+    fn tournament_tree_agrees_with_the_fold() {
+        use pops_netlist::rng::SplitMix64;
+        let mut rng = SplitMix64::new(0x0070_4E1D);
+        for nets in [0usize, 1, 2, 3, 17, 64, 65, 200] {
+            // Random (required, arrival) pairs mixing finite values with
+            // the real domains' infinities.
+            let pairs: Vec<([f64; 2], [f64; 2])> = (0..nets)
+                .map(|_| {
+                    let mut required = [0.0f64; 2];
+                    let mut arrival = [0.0f64; 2];
+                    for i in 0..2 {
+                        required[i] = if rng.chance(0.2) {
+                            f64::INFINITY
+                        } else {
+                            1000.0 * rng.next_f64()
+                        };
+                        arrival[i] = if rng.chance(0.1) {
+                            f64::NEG_INFINITY
+                        } else {
+                            1000.0 * rng.next_f64()
+                        };
+                    }
+                    (required, arrival)
+                })
+                .collect();
+            let keys: Vec<f64> = pairs
+                .iter()
+                .map(|&(r, a)| WorstSlackIndex::key(r, a))
+                .collect();
+            let mut index = WorstSlackIndex::new(nets);
+            index.rebuild(&keys);
+            let fold = worst_finite_slack(pairs.iter().copied());
+            assert_eq!(index.worst().map(f64::to_bits), fold.map(f64::to_bits));
+
+            // Point updates converge to the same root as a rebuild.
+            let mut incremental = WorstSlackIndex::new(nets);
+            for (i, &k) in keys.iter().enumerate() {
+                incremental.update(i, k);
+            }
+            assert_eq!(
+                incremental.worst().map(f64::to_bits),
+                fold.map(f64::to_bits)
+            );
+            // Raising the minimum's key re-derives the next-worst.
+            if nets > 1 {
+                if let Some(worst) = fold {
+                    let pos = keys.iter().position(|k| k.to_bits() == worst.to_bits());
+                    if let Some(pos) = pos {
+                        let mut rest = keys.clone();
+                        rest[pos] = f64::INFINITY;
+                        incremental.update(pos, f64::INFINITY);
+                        let mut refold = WorstSlackIndex::new(nets);
+                        refold.rebuild(&rest);
+                        assert_eq!(
+                            incremental.worst().map(f64::to_bits),
+                            refold.worst().map(f64::to_bits)
+                        );
+                    }
+                }
+            }
         }
     }
 

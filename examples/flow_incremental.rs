@@ -7,7 +7,7 @@
 //! ```
 
 use pops::flow::{optimize_circuit, FlowOptions};
-use pops::gradient::best_upsize_candidate;
+use pops::gradient::{best_upsize_candidate, SensitivitySweep};
 use pops::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -46,6 +46,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "\nc880 best upsizing move: gate {g} (dT/dC = {s:.2} ps/fF), \
              probed via {} dirty-cone re-evals",
             graph.stats().gates_reevaluated
+        );
+    }
+
+    // A TILOS-style mini-loop: one reused slack-driven sweep per round
+    // (the candidate list and result buffer are allocated once), apply
+    // the best move, repeat. Every probe's slack read is one merged
+    // lazy backward flush + an O(1) tournament-root read.
+    graph.set_constraint(0.9 * graph.critical_delay_ps());
+    let mut sweep = SensitivitySweep::new();
+    println!("\nc880 slack-driven rounds (tc = 0.9 T0):");
+    for round in 1..=3 {
+        let grad = sweep.worst_slack(&mut graph, 0.1);
+        let Some((idx, &gain)) = grad
+            .iter()
+            .enumerate()
+            .filter(|&(_, &s)| s > 0.0)
+            .max_by(|a, b| a.1.total_cmp(b.1))
+        else {
+            break;
+        };
+        let g = graph.circuit().gate_ids().nth(idx).expect("dense ids");
+        let cin = graph.sizing().cin_ff(g);
+        graph.resize_gate(g, cin * 1.2);
+        println!(
+            "  round {round}: upsize {g} (dWS/dC = {gain:+.2} ps/fF) -> worst slack {:+.1} ps",
+            graph.worst_slack_overall_ps().expect("constrained"),
         );
     }
     Ok(())

@@ -185,8 +185,12 @@ pub fn optimize_circuit(
     // only the cones the resized gates actually perturb, instead of
     // re-running a full `analyze` pass per round. Setting the constraint
     // additionally maintains the backward state — per-net required
-    // times and the k-paths completion bounds — so every slack read and
-    // path extraction below is O(cone), not a fresh backward pass.
+    // times, the k-paths completion bounds and the worst-slack
+    // tournament tree — *lazily*: a whole round's batched resizes and
+    // structural edits only accumulate seeds, and the first slack read
+    // (or k-paths extraction) of the next round flushes them as one
+    // merged backward cone. The design-worst slack reads below are O(1)
+    // off the tournament root once flushed.
     let mut graph = TimingGraph::new(circuit, lib, &Sizing::minimum(circuit, lib))?;
     graph.set_constraint(tc_ps);
     let initial_delay_ps = graph.critical_delay_ps();

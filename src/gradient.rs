@@ -12,6 +12,104 @@
 use pops_netlist::GateId;
 use pops_sta::TimingGraph;
 
+/// Reusable whole-circuit sensitivity sweep.
+///
+/// The candidate gate-id list (and the probe order derived from it) is
+/// collected once and reused across rounds: a caller that re-ranks
+/// every round — a TILOS-style loop alternating sweep and move, as in
+/// `examples/flow_incremental.rs` — holds one sweep, where the one-shot
+/// helpers below re-collect the ids on every call. The list refreshes
+/// itself only when the circuit grew (structural edits append gates).
+///
+/// Probes run in **cheap-cone-first order**: descending topological
+/// rank, so the near-output gates — whose resize re-times the smallest
+/// forward cones, the cheap majority under the heavily skewed cone-size
+/// distribution — are probed before the handful of near-input
+/// heavyweights whose cones span a third of the circuit. Each probe is
+/// independent (the graph returns to its exact starting state), so the
+/// order changes nothing about the values: the result is scattered back
+/// to gate-id order, bit-identical to the naive id-order sweep.
+#[derive(Debug, Default)]
+pub struct SensitivitySweep {
+    /// Gate ids in probe order (descending topo rank).
+    order: Vec<GateId>,
+    /// Result buffer, indexed by gate id.
+    grad: Vec<f64>,
+}
+
+impl SensitivitySweep {
+    /// An empty sweep; buffers fill on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Re-derive the probe order if the circuit changed size.
+    fn refresh(&mut self, graph: &TimingGraph) {
+        let n = graph.circuit().gate_count();
+        if self.order.len() != n {
+            let topo = graph
+                .circuit()
+                .topo_order()
+                .expect("a timed graph implies an acyclic circuit");
+            self.order.clear();
+            self.order.extend(topo.iter().rev());
+        }
+        self.grad.clear();
+        self.grad.resize(n, 0.0);
+    }
+
+    /// Finite-difference sensitivities of the critical delay, indexed
+    /// by gate id (see [`critical_delay_sensitivities`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rel_step <= 0`.
+    pub fn critical_delay(&mut self, graph: &mut TimingGraph, rel_step: f64) -> &[f64] {
+        assert!(rel_step > 0.0, "relative step must be positive");
+        self.refresh(graph);
+        let base = graph.critical_delay_ps();
+        for i in 0..self.order.len() {
+            let g = self.order[i];
+            let cin = graph.sizing().cin_ff(g);
+            let h = cin * rel_step;
+            graph.resize_gate(g, cin + h);
+            let probed = graph.critical_delay_ps();
+            graph.resize_gate(g, cin);
+            self.grad[g.index()] = (probed - base) / h;
+        }
+        &self.grad
+    }
+
+    /// Finite-difference sensitivities of the design-worst slack,
+    /// indexed by gate id (see [`worst_slack_sensitivities`]). Each
+    /// probe's slack read triggers one merged lazy backward flush
+    /// covering the previous probe's revert and this probe's resize.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rel_step <= 0`, if no constraint is set, or if the
+    /// circuit has no constrained endpoint.
+    pub fn worst_slack(&mut self, graph: &mut TimingGraph, rel_step: f64) -> &[f64] {
+        assert!(rel_step > 0.0, "relative step must be positive");
+        self.refresh(graph);
+        let base = graph
+            .worst_slack_overall_ps()
+            .expect("a constrained endpoint is required to differentiate worst slack");
+        for i in 0..self.order.len() {
+            let g = self.order[i];
+            let cin = graph.sizing().cin_ff(g);
+            let h = cin * rel_step;
+            graph.resize_gate(g, cin + h);
+            let probed = graph
+                .worst_slack_overall_ps()
+                .expect("probing cannot remove the constrained endpoint");
+            graph.resize_gate(g, cin);
+            self.grad[g.index()] = (probed - base) / h;
+        }
+        &self.grad
+    }
+}
+
 /// Finite-difference sensitivity of the critical delay to each gate's
 /// input capacitance: `∂T/∂C_IN(g) ≈ (T(C·(1+h)) − T(C)) / (C·h)`
 /// in ps/fF, probed through incremental dirty-cone re-timing.
@@ -46,22 +144,11 @@ use pops_sta::TimingGraph;
 /// # }
 /// ```
 pub fn critical_delay_sensitivities(graph: &mut TimingGraph, rel_step: f64) -> Vec<f64> {
-    assert!(rel_step > 0.0, "relative step must be positive");
-    let base = graph.critical_delay_ps();
-    // Gate ids are collected up front: `circuit()` now borrows the
-    // graph (the graph owns its netlist once structural edits have been
-    // applied), so the probe loop cannot hold it across `resize_gate`.
-    let gates: Vec<GateId> = graph.circuit().gate_ids().collect();
-    let mut grad = Vec::with_capacity(gates.len());
-    for g in gates {
-        let cin = graph.sizing().cin_ff(g);
-        let h = cin * rel_step;
-        graph.resize_gate(g, cin + h);
-        let probed = graph.critical_delay_ps();
-        graph.resize_gate(g, cin);
-        grad.push((probed - base) / h);
-    }
-    grad
+    // One-shot convenience over [`SensitivitySweep`]; loops that sweep
+    // every round hold a sweep instead and reuse its buffers.
+    SensitivitySweep::new()
+        .critical_delay(graph, rel_step)
+        .to_vec()
 }
 
 /// The gate with the most negative sensitivity — the best single
@@ -81,13 +168,12 @@ pub fn best_upsize_candidate(graph: &mut TimingGraph, rel_step: f64) -> Option<(
 
 /// Finite-difference sensitivity of the design's *worst slack* to each
 /// gate's input capacitance: `∂WS/∂C_IN(g)` in ps/fF, probed through
-/// incremental forward **and backward** dirty-cone re-timing — each
-/// probe re-derives required times over the affected cone only, where a
-/// pre-incremental sweep paid one full backward pass (every arc
-/// re-evaluated) per gate. Each probe still pays one flat
-/// `worst_slack_overall_ps` fold over the net array — no arc
-/// re-evaluations, but O(nets); see the ROADMAP's incremental
-/// worst-slack tracking item for lifting that too.
+/// incremental forward and **lazy** backward dirty-cone re-timing —
+/// each probe's slack read flushes one merged backward cone (covering
+/// the previous probe's revert too), where a pre-incremental sweep paid
+/// one full backward pass (every arc re-evaluated) per gate, and the
+/// design-worst read itself is O(1) off the maintained tournament tree
+/// instead of an O(nets) fold.
 ///
 /// This is the slack-driven replacement for arrival-only ranking: a
 /// *positive* entry means upsizing that gate buys slack (its drive
@@ -101,23 +187,9 @@ pub fn best_upsize_candidate(graph: &mut TimingGraph, rel_step: f64) -> Option<(
 /// ([`TimingGraph::set_constraint`]), or if the circuit has no
 /// constrained endpoint (no worst slack to differentiate).
 pub fn worst_slack_sensitivities(graph: &mut TimingGraph, rel_step: f64) -> Vec<f64> {
-    assert!(rel_step > 0.0, "relative step must be positive");
-    let base = graph
-        .worst_slack_overall_ps()
-        .expect("a constrained endpoint is required to differentiate worst slack");
-    let gates: Vec<GateId> = graph.circuit().gate_ids().collect();
-    let mut grad = Vec::with_capacity(gates.len());
-    for g in gates {
-        let cin = graph.sizing().cin_ff(g);
-        let h = cin * rel_step;
-        graph.resize_gate(g, cin + h);
-        let probed = graph
-            .worst_slack_overall_ps()
-            .expect("probing cannot remove the constrained endpoint");
-        graph.resize_gate(g, cin);
-        grad.push((probed - base) / h);
-    }
-    grad
+    SensitivitySweep::new()
+        .worst_slack(graph, rel_step)
+        .to_vec()
 }
 
 /// The gate whose upsizing buys the most slack — slack-driven candidate
@@ -164,6 +236,30 @@ mod tests {
             let t = analyze(&c, &lib, &probe).unwrap().critical_delay_ps();
             let want = (t - base) / (cin * rel);
             assert_eq!(got.to_bits(), want.to_bits(), "gate {g}");
+        }
+    }
+
+    #[test]
+    fn reused_sweep_matches_the_one_shot_helpers() {
+        // One `SensitivitySweep` across rounds (the flow's pattern)
+        // returns bit-identical gradients to the per-call helpers, and
+        // its buffers survive circuit growth.
+        let lib = Library::cmos025();
+        let c = ripple_carry_adder(5);
+        let mut graph = TimingGraph::new(&c, &lib, &Sizing::minimum(&c, &lib)).unwrap();
+        graph.set_constraint(0.9 * graph.critical_delay_ps());
+        let mut sweep = SensitivitySweep::new();
+        for round in 0..3 {
+            let via_sweep = sweep.worst_slack(&mut graph, 0.1).to_vec();
+            let via_helper = worst_slack_sensitivities(&mut graph, 0.1);
+            for (g, (a, b)) in via_sweep.iter().zip(&via_helper).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "round {round} gate {g}");
+            }
+            // Apply the best move so later rounds see changed state.
+            if let Some((g, _)) = best_slack_candidate(&mut graph, 0.1) {
+                let cin = graph.sizing().cin_ff(g);
+                graph.resize_gate(g, cin * 1.1);
+            }
         }
     }
 

@@ -175,12 +175,17 @@ fn option_and_constraint_changes_interleaved_with_resizes_match() {
 fn backward_work_is_a_fraction_of_full_backward_passes() {
     // The point of the backward engine: over a long random sequence the
     // average re-derived backward cone must be well below one full
-    // backward pass (one required evaluation per net) per step.
+    // backward pass (one required evaluation per net) per step. A slack
+    // read per step keeps each flush covering exactly one resize — the
+    // backward state is lazy, so an unqueried sequence would do no
+    // backward work at all (that property has its own test in
+    // `tests/lazy_equivalence.rs`).
     let lib = Library::cmos025();
     let circuit = suite::circuit("c880").unwrap();
     let mut rng = SplitMix64::new(0x57A7_BACC);
     let mut graph = TimingGraph::new(&circuit, &lib, &Sizing::minimum(&circuit, &lib)).unwrap();
     graph.set_constraint(0.9 * graph.critical_delay_ps());
+    let _ = graph.worst_slack_overall_ps(); // settle the initial pass
     let after_build = graph.stats();
     let gates: Vec<GateId> = circuit.gate_ids().collect();
     let cref = lib.min_drive_ff();
@@ -188,6 +193,7 @@ fn backward_work_is_a_fraction_of_full_backward_passes() {
     for _ in 0..steps {
         let g = *rng.pick(&gates);
         graph.resize_gate(g, cref * (1.0 + 10.0 * rng.next_f64()));
+        let _ = graph.worst_slack_overall_ps();
     }
     let full_equivalent = steps * circuit.net_count();
     let actual = graph.stats().required_reevaluated - after_build.required_reevaluated;
