@@ -80,11 +80,14 @@ fn main() {
         let full = measure_full(&circuit, &lib, &sizing, &graph, tc);
 
         let gates: Vec<_> = circuit.gate_ids().collect();
-        // Warm-up sweep (touch every cone once), then the measured sweep.
+        // Warm-up sweep (touch every cone once, flushing per step so
+        // the measured probes start settled), then the measured sweep.
         for &g in &gates {
             let orig = graph.sizing().cin_ff(g);
             graph.resize_gate(g, orig * 1.2);
+            let _ = graph.worst_slack_overall_ps();
             graph.resize_gate(g, orig);
+            let _ = graph.worst_slack_overall_ps();
         }
         let mut probe_ns: Vec<f64> = Vec::with_capacity(gates.len());
         for &g in &gates {

@@ -86,6 +86,38 @@ fn gate_file(name: &str, baseline: &Path, current: &Path, tolerance: f64) -> Res
     Ok(failures)
 }
 
+/// Parse and validate a `--tolerance` value. The tolerance is the
+/// *fraction of the baseline a speedup may drop* before the gate fails,
+/// so only `0 < t < 1` gates anything sensible: zero rejects every
+/// benign jitter, a negative value demands current runs *beat* the
+/// baseline, `NaN` poisons every floor into `NaN` (failing every row
+/// regardless of the data), and `t >= 1` drops the floor to zero or
+/// below — a gate that can never fire. All of those are operator
+/// errors, not thresholds; reject them loudly instead of gating with a
+/// nonsense floor.
+fn parse_tolerance(raw: Option<&str>) -> Result<f64, String> {
+    let raw = raw.ok_or("--tolerance takes a fraction, e.g. 0.2")?;
+    let t: f64 = raw
+        .parse()
+        .map_err(|_| format!("--tolerance: not a number: {raw:?}"))?;
+    if t.is_nan() {
+        return Err("--tolerance: NaN is not a threshold".into());
+    }
+    if t <= 0.0 {
+        return Err(format!(
+            "--tolerance: must be positive, got {t} (a zero or negative \
+             tolerance fails every comparison instead of gating regressions)"
+        ));
+    }
+    if t >= 1.0 {
+        return Err(format!(
+            "--tolerance: must be below 1, got {t} (the floor would drop \
+             to zero or below and the gate could never fire)"
+        ));
+    }
+    Ok(t)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut tolerance = 0.20f64;
@@ -93,10 +125,13 @@ fn main() -> ExitCode {
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         if arg == "--tolerance" {
-            tolerance = it
-                .next()
-                .and_then(|v| v.parse().ok())
-                .expect("--tolerance takes a fraction, e.g. 0.2");
+            tolerance = match parse_tolerance(it.next().map(String::as_str)) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
         } else {
             dirs.push(PathBuf::from(arg));
         }
@@ -150,5 +185,30 @@ fn main() -> ExitCode {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_tolerance;
+
+    #[test]
+    fn sensible_fractions_parse() {
+        assert_eq!(parse_tolerance(Some("0.2")).unwrap(), 0.2);
+        assert_eq!(parse_tolerance(Some("0.05")).unwrap(), 0.05);
+        assert_eq!(parse_tolerance(Some("0.999")).unwrap(), 0.999);
+    }
+
+    #[test]
+    fn nonsense_thresholds_are_rejected() {
+        // Each of these used to gate silently with a meaningless floor.
+        for bad in ["0", "0.0", "-0.3", "NaN", "-NaN", "1", "1.5", "inf", "-inf"] {
+            assert!(
+                parse_tolerance(Some(bad)).is_err(),
+                "tolerance {bad:?} must be rejected"
+            );
+        }
+        assert!(parse_tolerance(Some("not-a-number")).is_err());
+        assert!(parse_tolerance(None).is_err(), "missing value");
     }
 }

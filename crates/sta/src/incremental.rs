@@ -75,11 +75,25 @@
 //! N resizes followed by one slack read pay **one** merged backward
 //! propagation instead of N eager ones; the seeds deduplicate in the
 //! rank bitsets, and the bitwise convergence cut still confines the
-//! flush to the union cone. Forward state stays eager (arrival queries
-//! are the hot path of delay-driven probing and their cones are the
-//! cheap direction); the eager/lazy distinction is invisible to every
-//! consumer — `tests/lazy_equivalence.rs` proves any interleaving of
-//! mutations and queries bit-identical to the eager semantics.
+//! flush to the union cone.
+//!
+//! The **forward** state is lazy under the same generation counter.
+//! Mutations append id-keyed forward seed logs — resized gates, gates a
+//! structural edit touched or created, pending load/slope rescans — and
+//! the first *forward* query (`critical_delay_ps`, `arrival_ps`,
+//! `slope_ps`, `net_load_ff`, `gate_delay_worst_ps`, `critical_path`,
+//! `path_to`, and every [`TimingView`] read) materializes them into the
+//! rank bitset and drains one merged forward cone, with the same
+//! budgeted cut-over to a straight full topo sweep when the cone
+//! saturates. Backward queries are **two-phase**: they flush forward
+//! first (required times and completion bounds re-derive from final
+//! slopes, loads and worst delays), then drain the backward seeds the
+//! forward flush just deposited. The eager/lazy distinction is
+//! invisible to every consumer — `tests/lazy_equivalence.rs` and
+//! `tests/forward_lazy_equivalence.rs` prove any interleaving of
+//! mutations and queries bit-identical to the eager semantics, and
+//! [`UpdateStats::forward_flushes`] / [`UpdateStats::backward_flushes`]
+//! prove mutations alone never flush either direction.
 //!
 //! # The worst-slack tournament tree
 //!
@@ -126,6 +140,12 @@ pub struct UpdateStats {
     pub completion_reevaluated: usize,
     /// Structural edits applied through [`TimingGraph::apply_edits`].
     pub structural_edits: usize,
+    /// Lazy forward flushes actually performed — one per *query* that
+    /// found arrivals behind the mutation generation with forward work
+    /// pending, never one per mutation (see the module docs' state
+    /// machine). A generation bump with no forward seeds (e.g. a
+    /// constraint change) is settled without counting a flush.
+    pub forward_flushes: usize,
     /// Lazy backward flushes actually performed — one per *query* that
     /// found the backward state behind the mutation generation, never
     /// one per mutation (see the module docs' state machine).
@@ -265,15 +285,6 @@ pub struct TimingGraph<'c> {
     /// Driver gate of each net (`None` for primary inputs).
     net_driver: Vec<Option<GateId>>,
 
-    /// Per-net timing record. One contiguous struct per net (instead of
-    /// parallel arrays) so a gate re-evaluation touches one cache line
-    /// per fanin net — cone updates jump around the netlist, and their
-    /// cost is dominated by memory traffic, not arithmetic.
-    nets: Vec<NetTiming>,
-    /// Worst-case delay of each gate under the current slopes.
-    gate_delay_worst: Vec<f64>,
-    critical_net: Option<(NetId, Edge)>,
-
     /// Flattened model constants per gate (see [`GateParams`]).
     gate_params: Vec<GateParams>,
     /// Reduced thresholds `v_T`, indexed by [`eidx`] of the *input* edge.
@@ -293,16 +304,6 @@ pub struct TimingGraph<'c> {
     fanout: Vec<GateId>,
     fanout_off: Vec<u32>,
 
-    /// Dirty set as a bitset over topo *ranks* (bit `r` of word `r/64`).
-    /// Propagation walks it with a forward cursor + `trailing_zeros` —
-    /// marks always target strictly higher ranks, so no priority queue
-    /// is needed to process gates in rank order.
-    dirty_bits: Vec<u64>,
-    /// Dirty gates not yet re-evaluated.
-    dirty_count: usize,
-    /// Lowest rank marked since the last propagation.
-    min_dirty_rank: u32,
-
     /// Primary-output flag per net (flat copy for the backward hot loop).
     is_po: Vec<bool>,
     /// Primary-input nets (flat copy: the hot loops must not chase the
@@ -312,16 +313,79 @@ pub struct TimingGraph<'c> {
     pos: Vec<NetId>,
     /// Mutation generation: bumped by every state-changing mutator
     /// (resize batches, option/constraint changes, structural edits).
-    /// The backward state records the generation it last flushed at;
-    /// the pair implements the lazy clean → dirty(gen) → flushed cycle.
+    /// The forward and backward states each record the generation they
+    /// last flushed at; the pairs implement the lazy clean →
+    /// dirty(gen) → flushed cycle in both directions.
     gen: u64,
-    /// Maintained backward state; `None` until
-    /// [`TimingGraph::set_constraint`]. Interior-mutable so `&self`
+    /// Maintained forward state (arrivals, slopes, loads, worst gate
+    /// delays) plus its lazy seed logs. Interior-mutable so `&self`
     /// queries can perform the lazy flush — mutators go through
     /// `get_mut` (no runtime borrow), queries borrow-check at runtime
     /// but never nest a mutable borrow under a shared one.
+    fwd: RefCell<ForwardState>,
+    /// Maintained backward state; `None` until
+    /// [`TimingGraph::set_constraint`]. Interior-mutable as `fwd`.
     backward: RefCell<Option<BackwardState>>,
     stats: Cell<UpdateStats>,
+}
+
+/// Incrementally maintained forward timing state of a [`TimingGraph`]:
+/// the floating-point arrays plus the lazy-flush bookkeeping. Lives in
+/// a [`RefCell`] so forward queries on `&self` can drain pending seeds.
+#[derive(Debug, Clone)]
+struct ForwardState {
+    /// Per-net timing record. One contiguous struct per net (instead of
+    /// parallel arrays) so a gate re-evaluation touches one cache line
+    /// per fanin net — cone updates jump around the netlist, and their
+    /// cost is dominated by memory traffic, not arithmetic.
+    nets: Vec<NetTiming>,
+    /// Worst-case delay of each gate under the current slopes.
+    gate_delay_worst: Vec<f64>,
+    critical_net: Option<(NetId, Edge)>,
+
+    /// Dirty set as a bitset over topo *ranks* (bit `r` of word `r/64`).
+    /// Populated only *inside* a flush (mutators append to the id-keyed
+    /// seed logs instead, so graph surgery can re-rank freely without
+    /// orphaning pending marks) and walked with a forward cursor +
+    /// `trailing_zeros` — marks always target strictly higher ranks, so
+    /// no priority queue is needed to process gates in rank order.
+    dirty_bits: Vec<u64>,
+    /// Dirty gates not yet re-evaluated.
+    dirty_count: usize,
+    /// Lowest rank marked since the last drain.
+    min_dirty_rank: u32,
+
+    /// Generation ([`TimingGraph::gen`]) the forward state last flushed
+    /// at; a mismatch means seeds are pending and the next forward
+    /// query drains them (and deposits the backward seeds the drained
+    /// cone produces — backward flushes therefore run *after* this).
+    flushed_gen: u64,
+
+    /// Seed logs: the mutation-side half of the forward lazy contract.
+    /// Mutators only *append* ids here — no rank lookups, no bitset
+    /// read-modify-writes — and the flush materializes them into the
+    /// rank-keyed dirty set (or discards them when it saturates to the
+    /// full sweep). Entries may repeat; ids are stable across
+    /// append-only surgery, so no translation is needed when ranks are
+    /// reassigned.
+    ///
+    /// Gates whose drive changed: their fanin nets' loads recompute,
+    /// those nets' drivers re-time, and the gate itself re-evaluates.
+    resized_log: Vec<GateId>,
+    /// Gates a structural edit touched or created: re-evaluate outright
+    /// (cell, wiring or environment may have changed).
+    gate_log: Vec<GateId>,
+    /// A structural edit changed connectivity: recompare every net's
+    /// load under the edited structure at flush time (the cached values
+    /// are the pre-edit loads) and re-time the drivers of the ones that
+    /// moved, seeding their backward cones alongside.
+    scan_loads: bool,
+    /// The primary-output latch load changed ([`AnalyzeOptions`]):
+    /// recompute every primary-output net's load and re-time its driver.
+    reload_pos: bool,
+    /// The primary-input transition changed: rewrite every primary
+    /// input's slopes and re-evaluate its fanout gates.
+    reslope_pis: bool,
 }
 
 /// The circuit-derived arrays of a [`TimingGraph`]: topology, adjacency
@@ -520,7 +584,7 @@ impl<'c> TimingGraph<'c> {
         let vt = [process.vtn_reduced(), process.vtp_reduced()];
         let n_nets = circuit.net_count();
 
-        let mut graph = TimingGraph {
+        let graph = TimingGraph {
             circuit: Cow::Borrowed(circuit),
             lib,
             options: options.clone(),
@@ -528,9 +592,6 @@ impl<'c> TimingGraph<'c> {
             topo: s.topo,
             rank: s.rank,
             net_driver: s.net_driver,
-            nets: vec![NetTiming::UNREACHED; n_nets],
-            gate_delay_worst: vec![0.0f64; circuit.gate_count()],
-            critical_net: None,
             gate_params: s.gate_params,
             vt,
             cell: s.cell,
@@ -539,17 +600,50 @@ impl<'c> TimingGraph<'c> {
             fanin_off: s.fanin_off,
             fanout: s.fanout,
             fanout_off: s.fanout_off,
-            dirty_bits: vec![0u64; circuit.gate_count().div_ceil(64)],
-            dirty_count: 0,
-            min_dirty_rank: u32::MAX,
             is_po: s.is_po,
             pis: s.pis,
             pos: s.pos,
             gen: 0,
+            fwd: RefCell::new(ForwardState {
+                nets: vec![NetTiming::UNREACHED; n_nets],
+                gate_delay_worst: vec![0.0f64; circuit.gate_count()],
+                critical_net: None,
+                dirty_bits: vec![0u64; circuit.gate_count().div_ceil(64)],
+                dirty_count: 0,
+                min_dirty_rank: u32::MAX,
+                flushed_gen: 0,
+                resized_log: Vec::new(),
+                gate_log: Vec::new(),
+                scan_loads: false,
+                reload_pos: false,
+                reslope_pis: false,
+            }),
             backward: RefCell::new(None),
             stats: Cell::new(UpdateStats::default()),
         };
-        graph.full_pass();
+        // Initial timing: evaluate every gate once in topological order
+        // — exactly the full pass of `analyze_with`. Construction
+        // precedes any constraint (no backward state to seed) and is
+        // not counted in the incremental-work stats.
+        {
+            let mut fwd = graph.fwd.borrow_mut();
+            for i in 0..n_nets {
+                graph.recompute_net_load(&mut fwd, i);
+            }
+            for i in 0..graph.pis.len() {
+                let pi = graph.pis[i];
+                let n = &mut fwd.nets[pi.index()];
+                for e in EDGES {
+                    n.arrival[eidx(e)] = 0.0;
+                    n.slope[eidx(e)] = graph.options.input_transition_ps;
+                }
+            }
+            for i in 0..graph.topo.len() {
+                let gate = graph.topo[i];
+                graph.eval_gate(&mut fwd, gate, None);
+            }
+            graph.recompute_critical(&mut fwd);
+        }
         Ok(graph)
     }
 
@@ -584,11 +678,10 @@ impl<'c> TimingGraph<'c> {
         self.stats.set(s);
     }
 
-    /// Set one gate's input capacitance and re-time its affected cone.
-    ///
-    /// Cost is O(cone): the gate itself, the drivers of its fanin nets
-    /// (their loads changed) and every downstream gate whose arrival or
-    /// slope actually moves.
+    /// Set one gate's input capacitance. The affected cone — the gate
+    /// itself, the drivers of its fanin nets (their loads changed) and
+    /// every downstream gate whose arrival or slope actually moves — is
+    /// re-timed *lazily* by the first timing query.
     ///
     /// # Panics
     ///
@@ -598,9 +691,12 @@ impl<'c> TimingGraph<'c> {
         self.resize_gates([(gate, cin_ff)]);
     }
 
-    /// Apply a batch of resizes, then re-time all affected cones in one
-    /// rank-ordered propagation (cheaper than per-gate flushes when the
-    /// changes overlap, e.g. writing back a whole optimized path).
+    /// Apply a batch of resizes. Nothing re-times here: each change is
+    /// one append to the forward (and, under a constraint, backward)
+    /// seed log, and the first timing query drains every batch since
+    /// the last query in one merged rank-ordered propagation — cheaper
+    /// than per-mutation flushes whenever the cones overlap (writing
+    /// back a whole optimized path, a sensitivity round's probes).
     ///
     /// # Panics
     ///
@@ -615,20 +711,9 @@ impl<'c> TimingGraph<'c> {
                 continue;
             }
             any = true;
-            // The fanin nets' loads changed: recompute them exactly (same
-            // summation order as the full pass — no delta accumulation)
-            // and re-evaluate their driver gates.
-            let fanin_range =
-                self.fanin_off[gate.index()] as usize..self.fanin_off[gate.index() + 1] as usize;
-            for i in fanin_range {
-                let in_net = self.fanin[i];
-                self.recompute_net_load(in_net.index());
-                if let Some(driver) = self.net_driver[in_net.index()] {
-                    self.mark_dirty(driver);
-                }
-            }
-            // The gate's own drive changed.
-            self.mark_dirty(gate);
+            // Forward (lazy): the flush recomputes the fanin nets'
+            // loads, re-times their drivers and re-evaluates the gate.
+            self.fwd.get_mut().resized_log.push(gate);
             // Backward (lazy): arcs through this gate and through its
             // fanin drivers moved with its C_IN — one log append; the
             // flush expands it into the affected required-time marks.
@@ -639,17 +724,15 @@ impl<'c> TimingGraph<'c> {
         if any {
             self.gen = self.gen.wrapping_add(1);
             self.stat(|s| s.updates += 1);
-            self.propagate();
         }
     }
 
-    /// Switch to new analysis options and re-time what they touch (all
-    /// primary-output loads and/or all primary-input slopes).
-    ///
-    /// Any maintained backward state is invalidated wholesale — a latch
-    /// load shifts every primary-output arc, an input slope every
-    /// source arc — but *lazily*: the next backward query pays one full
-    /// backward pass.
+    /// Switch to new analysis options. What they touch (all
+    /// primary-output loads and/or all primary-input slopes) re-times
+    /// lazily at the next forward query; any maintained backward state
+    /// is invalidated wholesale — a latch load shifts every
+    /// primary-output arc, an input slope every source arc — and the
+    /// next backward query pays one full backward pass.
     pub fn set_options(&mut self, options: &AnalyzeOptions) {
         if self.options == *options {
             return;
@@ -659,29 +742,14 @@ impl<'c> TimingGraph<'c> {
         let slope_changed = self.options.input_transition_ps != options.input_transition_ps;
         self.options = options.clone();
 
+        let fwd = self.fwd.get_mut();
         if po_changed {
-            for i in 0..self.pos.len() {
-                let net = self.pos[i];
-                self.recompute_net_load(net.index());
-                if let Some(driver) = self.net_driver[net.index()] {
-                    self.mark_dirty(driver);
-                }
-            }
+            fwd.reload_pos = true;
         }
         if slope_changed {
-            for i in 0..self.pis.len() {
-                let pi = self.pis[i];
-                for e in EDGES {
-                    self.nets[pi.index()].slope[eidx(e)] = self.options.input_transition_ps;
-                }
-                let (lo, hi) = (self.fanout_off[pi.index()], self.fanout_off[pi.index() + 1]);
-                for j in lo..hi {
-                    self.mark_dirty(self.fanout[j as usize]);
-                }
-            }
+            fwd.reslope_pis = true;
         }
         self.stat(|s| s.updates += 1);
-        self.propagate();
         self.invalidate_backward();
     }
 
@@ -750,20 +818,22 @@ impl<'c> TimingGraph<'c> {
         }
     }
 
-    /// Rebuild structure, extend state and re-time after the circuit
-    /// was surgically edited. `applied` carries the created ids and
-    /// suggested sizes; conservative seeding beyond it (load-change
-    /// detection over all nets) covers any edit the log understates.
+    /// Rebuild structure, extend state and seed the lazy re-time after
+    /// the circuit was surgically edited. `applied` carries the created
+    /// ids and suggested sizes; conservative seeding beyond it (the
+    /// flush-time load-change scan over all nets) covers any edit the
+    /// log understates. No arc is evaluated here — the whole cone
+    /// re-time is deferred to the first timing query.
     fn resync_after_surgery(&mut self, applied: &[AppliedEdit]) -> Result<(), NetlistError> {
         let s = build_structure(self.circuit.as_ref(), self.lib)?;
         let n_gates = s.topo.len();
         let n_nets = s.net_driver.len();
 
         // Pending lazy seeds live in the id-keyed logs, which survive
-        // append-only surgery untouched. The rank-keyed bitsets are
-        // populated outside a flush only by a wholesale invalidation
-        // (constraint/option change with no query since): remember that
-        // and re-invalidate under the new ranks below.
+        // append-only surgery untouched. The rank-keyed backward
+        // bitsets are populated outside a flush only by a wholesale
+        // invalidation (constraint/option change with no query since):
+        // remember that and re-invalidate under the new ranks below.
         let (req_invalidated, comp_invalidated) = match self.backward.get_mut().as_ref() {
             Some(bw) => (bw.req_count > 0, bw.comp_count > 0),
             None => (false, false),
@@ -785,20 +855,35 @@ impl<'c> TimingGraph<'c> {
 
         // Per-gate / per-net timing state: existing entries keep their
         // values (they are still bit-correct wherever the edits did not
-        // reach), new ids get neutral initial state. The dirty bitsets
-        // are empty here — every mutator drains them before returning —
-        // so re-ranking cannot orphan a pending mark.
-        debug_assert_eq!(self.dirty_count, 0, "surgery over a drained queue");
-        self.nets.resize(n_nets, NetTiming::UNREACHED);
-        self.gate_delay_worst.resize(n_gates, 0.0);
-        self.dirty_bits = vec![0u64; n_gates.div_ceil(64)];
-        let min_drive = self.lib.min_drive_ff();
-        for edit in applied {
-            for (&g, &cin) in edit.new_gates.iter().zip(&edit.new_gate_cin_ff) {
-                debug_assert_eq!(g.index(), self.sizing.len(), "dense new gate ids");
-                self.sizing.push(cin.max(min_drive));
-            }
+        // reach), new ids get neutral initial state. The forward dirty
+        // bitset is populated only inside a flush and every flush
+        // drains it before returning, so re-ranking cannot orphan a
+        // pending mark; the id-keyed seed logs survive as they are.
+        {
+            let fwd = self.fwd.get_mut();
+            debug_assert_eq!(fwd.dirty_count, 0, "surgery over a drained queue");
+            fwd.nets.resize(n_nets, NetTiming::UNREACHED);
+            fwd.gate_delay_worst.resize(n_gates, 0.0);
+            fwd.dirty_bits = vec![0u64; n_gates.div_ceil(64)];
+            fwd.min_dirty_rank = u32::MAX;
+            // Load deltas are detected lazily: the cached loads are
+            // still the pre-edit values, so the flush recompares every
+            // net under the edited structure and seeds the drivers of
+            // the ones that moved (forward *and* backward).
+            fwd.scan_loads = true;
         }
+        // Extend the sizing for the created gates, keyed by id — the
+        // edit log lists each op's gates in creation order, but keying
+        // (instead of trusting the traversal order) pins every size to
+        // its gate regardless of log order, and makes a gapped or
+        // duplicated id set a loud panic rather than mis-sized gates.
+        let min_drive = self.lib.min_drive_ff();
+        self.sizing.extend_dense(applied.iter().flat_map(|edit| {
+            edit.new_gates
+                .iter()
+                .zip(&edit.new_gate_cin_ff)
+                .map(|(&g, &cin)| (g, cin.max(min_drive)))
+        }));
         assert_eq!(self.sizing.len(), n_gates, "one size per gate");
         {
             let pis = &self.pis;
@@ -831,35 +916,12 @@ impl<'c> TimingGraph<'c> {
             }
         }
 
-        // Seed pass 1 — load deltas: recompute every net's load (same
-        // summation order as the full pass; untouched nets reproduce
-        // their bits exactly) and treat any changed net like a resized
-        // fanin net: its driver re-times, its required times and its
-        // driver's fanin required times re-derive (the `resized_log`
-        // expansion at flush time covers exactly that).
-        for net in 0..n_nets {
-            let old = self.nets[net].load;
-            self.recompute_net_load(net);
-            if old.to_bits() == self.nets[net].load.to_bits() {
-                continue;
-            }
-            if let Some(driver) = self.net_driver[net] {
-                self.mark_dirty(driver);
-                if let Some(bw) = self.backward.get_mut().as_mut() {
-                    // Arcs through `driver` moved with its output load:
-                    // its fanin required times (resized-log expansion)
-                    // and its completion bound re-derive.
-                    bw.resized_log.push(driver);
-                    bw.comp_gate_log.push(driver);
-                }
-            }
-        }
-
-        // Seed pass 2 — connectivity deltas from the edit log: nets
-        // whose fanout set or driver changed, gates whose cell/wiring
-        // changed and every created gate. Over-seeding is safe (the
-        // bitwise convergence cut discards no-op re-evaluations); the
-        // goal is only to never under-seed.
+        // Seed the connectivity deltas from the edit log: nets whose
+        // fanout set or driver changed, gates whose cell/wiring changed
+        // and every created gate. (Load deltas are the flush-time scan
+        // scheduled above.) Over-seeding is safe (the bitwise
+        // convergence cut discards no-op re-evaluations); the goal is
+        // only to never under-seed.
         for edit in applied {
             for &net in edit.touched_nets.iter().chain(&edit.new_nets) {
                 self.log_required_net(net);
@@ -885,16 +947,16 @@ impl<'c> TimingGraph<'c> {
             s.updates += 1;
             s.structural_edits += applied.len();
         });
-        self.propagate();
         Ok(())
     }
 
-    /// Mark one gate whose cell, wiring, drive or environment a
-    /// structural edit may have changed: re-evaluate it forward, and
-    /// log its completion bound and its fanin required times for the
-    /// next lazy flush (the resized-log expansion covers the fanins).
+    /// Log one gate whose cell, wiring, drive or environment a
+    /// structural edit may have changed: re-evaluate it forward at the
+    /// next flush, and re-derive its completion bound and its fanin
+    /// required times at the next backward flush (the resized-log
+    /// expansion covers the fanins).
     fn seed_edited_gate(&mut self, g: GateId) {
-        self.mark_dirty(g);
+        self.fwd.get_mut().gate_log.push(g);
         if let Some(bw) = self.backward.get_mut().as_mut() {
             bw.comp_gate_log.push(g);
             bw.resized_log.push(g);
@@ -902,57 +964,75 @@ impl<'c> TimingGraph<'c> {
     }
 
     // ---- query surface (mirrors `TimingReport`) ----
+    //
+    // Every forward query is a flushing query: it first drains the
+    // pending lazy seeds (one merged forward cone for everything since
+    // the last query), then answers from the settled state.
 
     /// Worst arrival time over all primary outputs (ps).
     pub fn critical_delay_ps(&self) -> f64 {
-        self.critical_net
-            .map(|(n, e)| self.nets[n.index()].arrival[eidx(e)])
+        self.flush_forward();
+        let fwd = self.fwd.borrow();
+        fwd.critical_net
+            .map(|(n, e)| fwd.nets[n.index()].arrival[eidx(e)])
             .unwrap_or(0.0)
     }
 
     /// Arrival time of a net for a given edge (ps), `-inf` if unreachable.
     pub fn arrival_ps(&self, net: NetId, edge: EdgeDir) -> f64 {
-        self.nets[net.index()].arrival[eidx(edge.into())]
+        self.flush_forward();
+        self.fwd.borrow().nets[net.index()].arrival[eidx(edge.into())]
     }
 
     /// Transition time of a net for a given edge (ps).
     pub fn slope_ps(&self, net: NetId, edge: EdgeDir) -> f64 {
-        self.nets[net.index()].slope[eidx(edge.into())]
+        self.flush_forward();
+        self.fwd.borrow().nets[net.index()].slope[eidx(edge.into())]
     }
 
     /// Capacitive load on a net (fF) under the current sizing, including
     /// the primary-output latch load where applicable.
     pub fn net_load_ff(&self, net: NetId) -> f64 {
-        self.nets[net.index()].load
+        self.flush_forward();
+        self.fwd.borrow().nets[net.index()].load
     }
 
     /// Worst-case delay of a gate (ps) under the current slopes.
     pub fn gate_delay_worst_ps(&self, gate: GateId) -> f64 {
-        self.gate_delay_worst[gate.index()]
+        self.flush_forward();
+        self.fwd.borrow().gate_delay_worst[gate.index()]
     }
 
     /// The most critical path: traceback from the worst primary output.
     ///
     /// Returns an empty path only for circuits without gates.
     pub fn critical_path(&self) -> NetlistPath {
-        let Some((net, edge)) = self.critical_net else {
+        self.flush_forward();
+        let fwd = self.fwd.borrow();
+        let Some((net, edge)) = fwd.critical_net else {
             return NetlistPath {
                 gates: Vec::new(),
                 end_edge: EdgeDir::Rising,
             };
         };
-        self.path_to(net, edge)
+        self.trace_path(&fwd, net, edge)
     }
 
     /// Traceback the worst path ending at `net` with `edge`.
     pub fn path_to(&self, net: NetId, edge: Edge) -> NetlistPath {
+        self.flush_forward();
+        let fwd = self.fwd.borrow();
+        self.trace_path(&fwd, net, edge)
+    }
+
+    fn trace_path(&self, fwd: &ForwardState, net: NetId, edge: Edge) -> NetlistPath {
         let mut gates = Vec::new();
         let mut cur = Some((net, edge));
         while let Some((n, e)) = cur {
             if let Some(gid) = self.net_driver[n.index()] {
                 gates.push(gid);
             }
-            cur = self.nets[n.index()].pred[eidx(e)];
+            cur = fwd.nets[n.index()].pred[eidx(e)];
         }
         gates.reverse();
         NetlistPath {
@@ -1062,7 +1142,8 @@ impl<'c> TimingGraph<'c> {
     pub fn slack_ps(&self, net: NetId, edge: EdgeDir) -> f64 {
         self.flush_required();
         let i = eidx(edge.into());
-        self.backward().required[net.index()][i] - self.nets[net.index()].arrival[i]
+        let fwd = self.fwd.borrow();
+        self.backward().required[net.index()][i] - fwd.nets[net.index()].arrival[i]
     }
 
     /// Worst (most negative) slack over both edges of a net.
@@ -1110,18 +1191,19 @@ impl<'c> TimingGraph<'c> {
     /// As [`TimingGraph::required_ps`].
     pub fn slack_report(&self) -> SlackReport {
         self.flush_required();
+        let fwd = self.fwd.borrow();
         let bw = self.backward();
-        let arrival: Vec<[f64; 2]> = self.nets.iter().map(|n| n.arrival).collect();
+        let arrival: Vec<[f64; 2]> = fwd.nets.iter().map(|n| n.arrival).collect();
         SlackReport::from_parts(bw.tc_ps, bw.required.clone(), arrival)
     }
 
-    // ---- internals ----
+    // ---- forward internals ----
 
     /// Exact per-net load under the current sizing; identical summation
     /// order to the full pass for bit-equality (the flattened fanout
     /// array preserves the circuit's load-pin order). Takes the raw net
     /// index so whole-array sweeps need no id round-trip.
-    fn recompute_net_load(&mut self, net: usize) {
+    fn recompute_net_load(&self, fwd: &mut ForwardState, net: usize) {
         let mut load = 0.0;
         let (lo, hi) = (
             self.fanout_off[net] as usize,
@@ -1133,77 +1215,218 @@ impl<'c> TimingGraph<'c> {
         if self.is_po[net] {
             load += self.options.po_load_ff;
         }
-        self.nets[net].load = load;
+        fwd.nets[net].load = load;
     }
 
-    fn mark_dirty(&mut self, gate: GateId) {
+    /// Rank-keyed forward mark, used only while a flush materializes
+    /// the seed logs and while its drain expands cones.
+    fn mark_dirty(&self, fwd: &mut ForwardState, gate: GateId) {
         let rank = self.rank[gate.index()];
         let (word, bit) = (rank as usize / 64, rank % 64);
-        if self.dirty_bits[word] & (1u64 << bit) == 0 {
-            self.dirty_bits[word] |= 1u64 << bit;
-            self.dirty_count += 1;
-            if rank < self.min_dirty_rank {
-                self.min_dirty_rank = rank;
+        if fwd.dirty_bits[word] & (1u64 << bit) == 0 {
+            fwd.dirty_bits[word] |= 1u64 << bit;
+            fwd.dirty_count += 1;
+            if rank < fwd.min_dirty_rank {
+                fwd.min_dirty_rank = rank;
             }
         }
     }
 
-    /// Drain the forward dirty queue in rank order; propagation stops
-    /// where a gate's re-evaluated output is bit-identical to its
-    /// cached state. Backward cones are *not* drained here — the seeds
-    /// the walk deposits (slope, delay and arrival changes) stay
-    /// pending until the next backward query's lazy flush.
-    fn propagate(&mut self) {
-        // Detach the backward state for the duration of the walk so
-        // `eval_gate` can deposit seeds without re-borrowing per gate.
-        let mut bw = self.backward.get_mut().take();
-        let mut any_changed = false;
-        let mut reevals = 0usize;
-        let mut cuts = 0usize;
-        let mut word = self.min_dirty_rank as usize / 64;
-        while self.dirty_count > 0 {
-            // Re-read each round: processing a gate may mark ranks within
-            // the current word (always above the bit just cleared).
-            let bits = self.dirty_bits[word];
-            if bits == 0 {
-                word += 1;
-                continue;
-            }
-            let bit = bits.trailing_zeros();
-            self.dirty_bits[word] &= !(1u64 << bit);
-            self.dirty_count -= 1;
-            let gate = self.topo[word * 64 + bit as usize];
-            reevals += 1;
-            if self.eval_gate(gate, bw.as_mut()) {
-                any_changed = true;
-                let out = self.out_net[gate.index()].index();
-                let (lo, hi) = (self.fanout_off[out], self.fanout_off[out + 1]);
-                for i in lo..hi {
-                    self.mark_dirty(self.fanout[i as usize]);
+    /// The forward side of the lazy flush: a no-op when the forward
+    /// state already reflects the current mutation generation;
+    /// otherwise one merged propagation covers every mutation since the
+    /// last forward query. A generation bump with no forward seeds
+    /// (e.g. a constraint change) is settled without flushing.
+    fn flush_forward(&self) {
+        let mut fwd = self.fwd.borrow_mut();
+        if fwd.flushed_gen == self.gen {
+            return;
+        }
+        fwd.flushed_gen = self.gen;
+        if !fwd.scan_loads
+            && !fwd.reload_pos
+            && !fwd.reslope_pis
+            && fwd.resized_log.is_empty()
+            && fwd.gate_log.is_empty()
+        {
+            return;
+        }
+        let mut guard = self.backward.borrow_mut();
+        self.run_forward_flush(&mut fwd, guard.as_mut());
+    }
+
+    /// Materialize the forward seed logs into the rank bitset, then
+    /// drain it in ascending rank order; propagation stops where a
+    /// gate's re-evaluated output is bit-identical to its cached state.
+    /// Mirrors the backward flush's budgeted cut-over: once the cone
+    /// covers most of the ranks, a straight full topo sweep (no bitset
+    /// bookkeeping, no fanout marking) finishes cheaper than the drain
+    /// — and is bit-identical, because a topo-order pass gives every
+    /// gate final fanin values and unchanged gates reproduce their
+    /// cached bits exactly. Backward cones are *not*
+    /// drained here — the seeds the walk deposits into `bw` (slope,
+    /// delay and arrival changes) stay pending until the next backward
+    /// query's lazy flush.
+    fn run_forward_flush(&self, fwd: &mut ForwardState, mut bw: Option<&mut BackwardState>) {
+        let n_gates = self.topo.len();
+        let n_nets = self.net_driver.len();
+
+        // Materialize the pending seeds. Loads are recomputed exactly
+        // (same summation order as the full pass — no delta
+        // accumulation); marking is unconditional where the eager
+        // engine marked unconditionally, so the convergence cut — not
+        // the seeding — decides what actually re-evaluates.
+        if fwd.scan_loads {
+            fwd.scan_loads = false;
+            // Surgery changed connectivity: recompare every net's load
+            // against its cached (pre-edit) value and treat a changed
+            // net like a resized fanin net — its driver re-times and
+            // its backward state re-derives (arcs through the driver
+            // moved with its output load).
+            for net in 0..n_nets {
+                let old = fwd.nets[net].load;
+                self.recompute_net_load(fwd, net);
+                if old.to_bits() == fwd.nets[net].load.to_bits() {
+                    continue;
                 }
-            } else {
-                cuts += 1;
+                if let Some(driver) = self.net_driver[net] {
+                    self.mark_dirty(fwd, driver);
+                    if let Some(bw) = bw.as_deref_mut() {
+                        bw.resized_log.push(driver);
+                        bw.comp_gate_log.push(driver);
+                    }
+                }
             }
         }
-        self.min_dirty_rank = u32::MAX;
-        *self.backward.get_mut() = bw;
+        if fwd.reload_pos {
+            fwd.reload_pos = false;
+            for i in 0..self.pos.len() {
+                let net = self.pos[i];
+                self.recompute_net_load(fwd, net.index());
+                if let Some(driver) = self.net_driver[net.index()] {
+                    self.mark_dirty(fwd, driver);
+                }
+            }
+        }
+        if fwd.reslope_pis {
+            fwd.reslope_pis = false;
+            for i in 0..self.pis.len() {
+                let pi = self.pis[i];
+                for e in EDGES {
+                    fwd.nets[pi.index()].slope[eidx(e)] = self.options.input_transition_ps;
+                }
+                let (lo, hi) = (self.fanout_off[pi.index()], self.fanout_off[pi.index() + 1]);
+                for j in lo..hi {
+                    self.mark_dirty(fwd, self.fanout[j as usize]);
+                }
+            }
+        }
+        let mut resized = std::mem::take(&mut fwd.resized_log);
+        for gate in resized.drain(..) {
+            // The fanin nets' loads moved with the gate's C_IN: their
+            // drivers re-time, and the gate's own drive changed.
+            let (lo, hi) = (
+                self.fanin_off[gate.index()] as usize,
+                self.fanin_off[gate.index() + 1] as usize,
+            );
+            for i in lo..hi {
+                let in_net = self.fanin[i];
+                self.recompute_net_load(fwd, in_net.index());
+                if let Some(driver) = self.net_driver[in_net.index()] {
+                    self.mark_dirty(fwd, driver);
+                }
+            }
+            self.mark_dirty(fwd, gate);
+        }
+        fwd.resized_log = resized;
+        let mut gate_log = std::mem::take(&mut fwd.gate_log);
+        for gate in gate_log.drain(..) {
+            self.mark_dirty(fwd, gate);
+        }
+        fwd.gate_log = gate_log;
+
+        // Budgeted drain (see the doc comment). The forward budget sits
+        // at ¾ of the ranks — far looser than the backward flush's ⅓ —
+        // because `eval_gate` already hoists its arc terms once per
+        // *gate*: the sweep saves only the bitset bookkeeping and
+        // fanout marking, so it wins only when nearly every rank is
+        // dirty (option rescans, post-surgery load scans, wide batch
+        // unions), never on merged probe cones. For the same reason the
+        // cut-over is decided *only* here, at materialization time —
+        // every gate drains at most once, so finishing a started drain
+        // is always ≤ n evaluations plus marking, while bailing
+        // mid-drain would re-pay the drained prefix on top of the full
+        // sweep. (The backward drain pays its hoisting once per *pin*,
+        // which is why its sweep breaks even a third of the way in and
+        // is still worth bailing to mid-drain.)
+        let budget = 3 * n_gates / 4 + 1;
+        let mut reevals = 0usize;
+        let mut cuts = 0usize;
+        let mut any_changed = false;
+        let sweep = fwd.dirty_count >= budget;
+        if !sweep && fwd.dirty_count > 0 {
+            let mut word = fwd.min_dirty_rank as usize / 64;
+            while fwd.dirty_count > 0 {
+                // Re-read each round: processing a gate may mark ranks
+                // within the current word (always above the bit just
+                // cleared).
+                let bits = fwd.dirty_bits[word];
+                if bits == 0 {
+                    word += 1;
+                    continue;
+                }
+                let bit = bits.trailing_zeros();
+                fwd.dirty_bits[word] &= !(1u64 << bit);
+                fwd.dirty_count -= 1;
+                let gate = self.topo[word * 64 + bit as usize];
+                reevals += 1;
+                if self.eval_gate(fwd, gate, bw.as_deref_mut()) {
+                    any_changed = true;
+                    let out = self.out_net[gate.index()].index();
+                    let (lo, hi) = (self.fanout_off[out], self.fanout_off[out + 1]);
+                    for i in lo..hi {
+                        self.mark_dirty(fwd, self.fanout[i as usize]);
+                    }
+                } else {
+                    cuts += 1;
+                }
+            }
+        }
+        fwd.min_dirty_rank = u32::MAX;
+        if sweep {
+            for i in 0..n_gates {
+                let gate = self.topo[i];
+                if self.eval_gate(fwd, gate, bw.as_deref_mut()) {
+                    any_changed = true;
+                }
+            }
+            fwd.dirty_bits.iter_mut().for_each(|w| *w = 0);
+            fwd.dirty_count = 0;
+            reevals += n_gates;
+        }
         self.stat(|s| {
+            s.forward_flushes += 1;
             s.gates_reevaluated += reevals;
             s.converged_early += cuts;
         });
         if any_changed {
-            self.recompute_critical();
+            self.recompute_critical(fwd);
         }
     }
 
     /// Re-run the full pass's per-gate step for `gate`; returns whether
     /// the output net's arrival or slope changed (bitwise). Deposits
     /// lazy backward seeds into `bw` when one is maintained.
-    fn eval_gate(&mut self, gid: GateId, bw: Option<&mut BackwardState>) -> bool {
+    fn eval_gate(
+        &self,
+        fwd: &mut ForwardState,
+        gid: GateId,
+        bw: Option<&mut BackwardState>,
+    ) -> bool {
         let cell = self.cell[gid.index()];
         let out = self.out_net[gid.index()];
         let cin = self.sizing.cin_ff(gid);
-        let load = self.nets[out.index()].load;
+        let load = fwd.nets[out.index()].load;
 
         // The arc terms that do not depend on the fanin are hoisted out
         // of the loop (shared with the backward `eval_required`).
@@ -1223,7 +1446,7 @@ impl<'c> TimingGraph<'c> {
             let tau_out = tau_out_by_edge[eidx(out_edge)];
             let mut best: Option<(f64, NetId, Edge)> = None;
             for &in_net in &self.fanin[fanin_range.clone()] {
-                let fanin = &self.nets[in_net.index()];
+                let fanin = &fwd.nets[in_net.index()];
                 for &in_edge in compatible_input_edges(cell, out_edge) {
                     let t_in = fanin.arrival[eidx(in_edge)];
                     if t_in == f64::NEG_INFINITY {
@@ -1257,9 +1480,9 @@ impl<'c> TimingGraph<'c> {
         }
 
         let delay_changed =
-            self.gate_delay_worst[gid.index()].to_bits() != worst_gate_delay.to_bits();
-        self.gate_delay_worst[gid.index()] = worst_gate_delay;
-        let o = &mut self.nets[out.index()];
+            fwd.gate_delay_worst[gid.index()].to_bits() != worst_gate_delay.to_bits();
+        fwd.gate_delay_worst[gid.index()] = worst_gate_delay;
+        let o = &mut fwd.nets[out.index()];
         let slope_changed = new_slope[0].to_bits() != o.slope[0].to_bits()
             || new_slope[1].to_bits() != o.slope[1].to_bits();
         let arrival_changed = new_arrival[0].to_bits() != o.arrival[0].to_bits()
@@ -1287,40 +1510,18 @@ impl<'c> TimingGraph<'c> {
         changed
     }
 
-    /// Initial timing: evaluate every gate once in topological order —
-    /// exactly the full pass of `analyze_with`.
-    fn full_pass(&mut self) {
-        for i in 0..self.nets.len() {
-            self.recompute_net_load(i);
-        }
-        for i in 0..self.pis.len() {
-            let pi = self.pis[i];
-            let n = &mut self.nets[pi.index()];
-            for e in EDGES {
-                n.arrival[eidx(e)] = 0.0;
-                n.slope[eidx(e)] = self.options.input_transition_ps;
-            }
-        }
-        for i in 0..self.topo.len() {
-            let gate = self.topo[i];
-            // Construction precedes any constraint: no backward state.
-            self.eval_gate(gate, None);
-        }
-        self.recompute_critical();
-    }
-
     /// Same worst-output scan (and tie-breaking order) as the full pass.
-    fn recompute_critical(&mut self) {
+    fn recompute_critical(&self, fwd: &mut ForwardState) {
         let mut critical: Option<(NetId, Edge, f64)> = None;
         for &po in &self.pos {
             for e in EDGES {
-                let t = self.nets[po.index()].arrival[eidx(e)];
+                let t = fwd.nets[po.index()].arrival[eidx(e)];
                 if t > critical.map(|(_, _, c)| c).unwrap_or(f64::NEG_INFINITY) {
                     critical = Some((po, e, t));
                 }
             }
         }
-        self.critical_net = critical.map(|(n, e, _)| (n, e));
+        fwd.critical_net = critical.map(|(n, e, _)| (n, e));
     }
 
     // ---- backward internals ----
@@ -1439,12 +1640,16 @@ impl<'c> TimingGraph<'c> {
     /// slacks into the worst-slack index. A no-op when that state
     /// already reflects the current mutation generation; otherwise one
     /// merged reverse propagation covers every mutation since the last
-    /// slack/required query. Propagation stops where a recomputed
-    /// required time is bit-identical to its cached value; marks always
-    /// target strictly lower ranks (a driver's fanins rank below it),
-    /// so one descending cursor visits every dirty entry in dependency
-    /// order.
+    /// slack/required query. **Two-phase**: the forward state flushes
+    /// first — required times derive from final slopes and loads, and
+    /// the forward drain is what deposits this flush's arrival/slope
+    /// seeds. Propagation stops where a recomputed required time is
+    /// bit-identical to its cached value; marks always target strictly
+    /// lower ranks (a driver's fanins rank below it), so one descending
+    /// cursor visits every dirty entry in dependency order.
     fn flush_required(&self) {
+        self.flush_forward();
+        let fwd = self.fwd.borrow();
         let mut guard = self.backward.borrow_mut();
         let Some(bw) = guard.as_mut() else {
             return;
@@ -1530,7 +1735,7 @@ impl<'c> TimingGraph<'c> {
                 let gate = self.topo[word * 64 + bit as usize];
                 let net = self.out_net[gate.index()];
                 req_reevals += 1;
-                if self.eval_required(bw, net) {
+                if self.eval_required(&fwd, bw, net) {
                     let (lo, hi) = (
                         self.fanin_off[gate.index()] as usize,
                         self.fanin_off[gate.index() + 1] as usize,
@@ -1559,7 +1764,7 @@ impl<'c> TimingGraph<'c> {
             // multiset is order-independent — bit-identical), at
             // once-per-gate hoisting cost. Subsumes the PI sinks and
             // every pending mark.
-            self.sweep_required_full(bw);
+            self.sweep_required_full(&fwd, bw);
             bw.req_bits.iter_mut().for_each(|w| *w = 0);
             bw.req_count = 0;
             bw.req_max_rank = 0;
@@ -1568,7 +1773,7 @@ impl<'c> TimingGraph<'c> {
             // The sweep bypasses per-net change detection, so the moved
             // slacks are unknown: refold the index wholesale below.
             bw.refold_all = true;
-            req_reevals += self.nets.len();
+            req_reevals += fwd.nets.len();
         } else if !bw.pi_dirty.is_empty() {
             // Primary-input nets: backward sinks, nothing propagates
             // further.
@@ -1577,7 +1782,7 @@ impl<'c> TimingGraph<'c> {
                 let i = net.index();
                 bw.pi_bits[i / 64] &= !(1u64 << (i % 64));
                 req_reevals += 1;
-                if !self.eval_required(bw, net) {
+                if !self.eval_required(&fwd, bw, net) {
                     req_cuts += 1;
                 }
             }
@@ -1591,12 +1796,12 @@ impl<'c> TimingGraph<'c> {
         // (random access × log n) lose to one linear wholesale refold —
         // which is the old O(nets) fold, paid once per flush instead of
         // once per query.
-        let n_nets = self.nets.len();
+        let n_nets = fwd.nets.len();
         if bw.refold_all || bw.slack_net_log.len() > n_nets / 4 {
             bw.refold_all = false;
             bw.slack_net_log.clear();
             let keys: Vec<f64> = (0..n_nets)
-                .map(|i| WorstSlackIndex::key(bw.required[i], self.nets[i].arrival))
+                .map(|i| WorstSlackIndex::key(bw.required[i], fwd.nets[i].arrival))
                 .collect();
             bw.worst.rebuild(&keys);
             index_updates += n_nets;
@@ -1604,10 +1809,8 @@ impl<'c> TimingGraph<'c> {
             let mut log = std::mem::take(&mut bw.slack_net_log);
             for net in log.drain(..) {
                 let i = net.index();
-                bw.worst.update(
-                    i,
-                    WorstSlackIndex::key(bw.required[i], self.nets[i].arrival),
-                );
+                bw.worst
+                    .update(i, WorstSlackIndex::key(bw.required[i], fwd.nets[i].arrival));
                 index_updates += 1;
             }
             bw.slack_net_log = log;
@@ -1625,10 +1828,13 @@ impl<'c> TimingGraph<'c> {
     /// drain the accumulated completion seeds in descending rank order,
     /// with the same budgeted cut-over to a straight descending sweep
     /// (dependency order makes re-marking unnecessary there).
-    /// Completion bounds depend only on forward state, so this flush is
+    /// Completion bounds depend only on forward state (which this
+    /// flush settles first — the two-phase contract), so this flush is
     /// independent of [`TimingGraph::flush_required`] — a slack-only
     /// workload never pays it.
     fn flush_completion(&self) {
+        self.flush_forward();
+        let fwd = self.fwd.borrow();
         let mut guard = self.backward.borrow_mut();
         let Some(bw) = guard.as_mut() else {
             return;
@@ -1672,7 +1878,7 @@ impl<'c> TimingGraph<'c> {
                 bw.comp_count -= 1;
                 let gate = self.topo[word * 64 + bit as usize];
                 comp_reevals += 1;
-                if self.eval_completion(bw, gate) {
+                if self.eval_completion(&fwd, bw, gate) {
                     let (lo, hi) = (
                         self.fanin_off[gate.index()] as usize,
                         self.fanin_off[gate.index() + 1] as usize,
@@ -1696,7 +1902,7 @@ impl<'c> TimingGraph<'c> {
         if comp_sweep {
             for i in (0..n_gates_total).rev() {
                 let gid = self.topo[i];
-                let _ = self.eval_completion(bw, gid);
+                let _ = self.eval_completion(&fwd, bw, gid);
             }
             bw.comp_bits.iter_mut().for_each(|w| *w = 0);
             bw.comp_count = 0;
@@ -1718,13 +1924,13 @@ impl<'c> TimingGraph<'c> {
     /// model), accumulated by the same `<` min — so the result is
     /// bit-identical to a fresh [`crate::required_times`]: a min over
     /// one multiset is order-independent.
-    fn eval_required(&self, bw: &mut BackwardState, net: NetId) -> bool {
+    fn eval_required(&self, fwd: &ForwardState, bw: &mut BackwardState, net: NetId) -> bool {
         let mut req = if self.is_po[net.index()] {
             [bw.tc_ps; 2]
         } else {
             [f64::INFINITY; 2]
         };
-        let slope = self.nets[net.index()].slope;
+        let slope = fwd.nets[net.index()].slope;
         let (lo, hi) = (
             self.fanout_off[net.index()] as usize,
             self.fanout_off[net.index() + 1] as usize,
@@ -1733,7 +1939,7 @@ impl<'c> TimingGraph<'c> {
             let cell = self.cell[h.index()];
             let h_out = self.out_net[h.index()];
             let cin = self.sizing.cin_ff(h);
-            let load = self.nets[h_out.index()].load;
+            let load = fwd.nets[h_out.index()].load;
             // Same hoisted arc terms as `eval_gate` (bit-identical to
             // `gate_delay_with_output_edge`).
             let ArcTerms {
@@ -1786,7 +1992,7 @@ impl<'c> TimingGraph<'c> {
     /// so the same min and the same bits; used by the flush when every
     /// rank is marked, where the per-pin re-hoisting of the drain would
     /// cost more than this per-gate pass.
-    fn sweep_required_full(&self, bw: &mut BackwardState) {
+    fn sweep_required_full(&self, fwd: &ForwardState, bw: &mut BackwardState) {
         let tc = bw.tc_ps;
         for (i, slot) in bw.required.iter_mut().enumerate() {
             *slot = if self.is_po[i] {
@@ -1799,7 +2005,7 @@ impl<'c> TimingGraph<'c> {
             let out = self.out_net[gid.index()];
             let cell = self.cell[gid.index()];
             let cin = self.sizing.cin_ff(gid);
-            let load = self.nets[out.index()].load;
+            let load = fwd.nets[out.index()].load;
             let ArcTerms {
                 tau_out_by_edge,
                 miller,
@@ -1815,7 +2021,7 @@ impl<'c> TimingGraph<'c> {
                 for &in_net in &self.fanin[fanin_range.clone()] {
                     for &in_edge in compatible_input_edges(cell, out_edge) {
                         let i = eidx(in_edge);
-                        let slope = self.nets[in_net.index()].slope[i];
+                        let slope = fwd.nets[in_net.index()].slope[i];
                         let delay_ps = 0.5 * self.vt[i] * slope + 0.5 * miller[i] * tau_out;
                         debug_assert_eq!(
                             delay_ps.to_bits(),
@@ -1840,7 +2046,7 @@ impl<'c> TimingGraph<'c> {
     /// Recompute one gate's k-paths completion bound; returns whether it
     /// changed (bitwise). Same fold, in the same successor order, as
     /// [`crate::kpaths::completion_bounds`].
-    fn eval_completion(&self, bw: &mut BackwardState, gid: GateId) -> bool {
+    fn eval_completion(&self, fwd: &ForwardState, bw: &mut BackwardState, gid: GateId) -> bool {
         let out = self.out_net[gid.index()];
         let mut best = if self.is_po[out.index()] {
             0.0
@@ -1858,7 +2064,7 @@ impl<'c> TimingGraph<'c> {
             }
         }
         let new = if best.is_finite() {
-            self.gate_delay_worst[gid.index()] + best
+            fwd.gate_delay_worst[gid.index()] + best
         } else {
             f64::NEG_INFINITY
         };
@@ -2029,15 +2235,29 @@ mod tests {
         let c = suite::circuit("c880").unwrap();
         let s = Sizing::minimum(&c, &lib);
         let mut graph = TimingGraph::new(&c, &lib, &s).unwrap();
-        let g = c.gate_ids().nth(c.gate_count() / 2).unwrap();
+        // A deep gate (late topological rank): its fanout cone is a
+        // genuine fraction of the circuit, so the flush drains it
+        // instead of cutting over to the budgeted full sweep (which a
+        // near-input gate on c880 — cone ≈ a third of the netlist —
+        // would correctly trigger).
+        let topo = c.topo_order().unwrap();
+        let g = topo[3 * topo.len() / 4];
         graph.resize_gate(g, 3.0 * lib.min_drive_ff());
+        // The resize alone does no arc work; the query flushes the cone.
+        assert_eq!(graph.stats().gates_reevaluated, 0);
+        assert_eq!(graph.stats().forward_flushes, 0);
+        let _ = graph.critical_delay_ps();
         let stats = graph.stats();
+        assert_eq!(stats.forward_flushes, 1);
         assert!(
-            stats.gates_reevaluated < c.gate_count(),
+            stats.gates_reevaluated > 0 && stats.gates_reevaluated < c.gate_count(),
             "cone {} must be smaller than the circuit {}",
             stats.gates_reevaluated,
             c.gate_count()
         );
+        // A second read on the clean generation is free.
+        let _ = graph.critical_delay_ps();
+        assert_eq!(graph.stats(), stats);
     }
 
     #[test]
@@ -2211,6 +2431,9 @@ mod tests {
         assert_eq!(after.backward_flushes, settled.backward_flushes);
         assert_eq!(after.required_reevaluated, settled.required_reevaluated);
         assert_eq!(after.completion_reevaluated, settled.completion_reevaluated);
+        // Forward is lazy too: the resizes did no arc work either.
+        assert_eq!(after.forward_flushes, settled.forward_flushes);
+        assert_eq!(after.gates_reevaluated, settled.gates_reevaluated);
         // One query drains the merged cone of all 32 resizes at once…
         let _ = graph.worst_slack_overall_ps();
         assert_eq!(graph.stats().backward_flushes, settled.backward_flushes + 1);

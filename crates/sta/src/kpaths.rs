@@ -84,10 +84,13 @@ pub fn k_most_critical_paths<V: TimingView + ?Sized>(
 
     // Best completion weight from each gate to any primary output. A
     // backend that maintains the bounds incrementally (a `TimingGraph`
-    // with a constraint set) flushes its lazy backward state and hands
-    // over its cached array — bit-identical to the from-scratch
-    // derivation — making per-round path extraction O(cone) instead of
-    // O(circuit).
+    // with a constraint set) runs its two-phase lazy flush here —
+    // forward first (the frozen gate delays the bounds fold over),
+    // then the completion side only, never the required times — and
+    // hands over its cached array, bit-identical to the from-scratch
+    // derivation, making per-round path extraction O(cone) instead of
+    // O(circuit). This call is therefore a flushing query: pending
+    // mutations settle before the first bound is read.
     let completion: Vec<f64> = report
         .cached_completion_ps()
         .unwrap_or_else(|| completion_bounds(circuit, report));

@@ -89,6 +89,32 @@ impl Sizing {
         self.cins.push(cin_ff);
     }
 
+    /// Extend the sizing for a batch of freshly created gates, keyed by
+    /// id. Netlist surgery allocates gate ids densely at the end of the
+    /// arena, but an edit log may list one op's creations in any order;
+    /// keying by id normalizes the order (entries are sorted and applied
+    /// ascending), so each size lands at its own gate no matter how the
+    /// log is traversed — where a positional `push` loop would silently
+    /// mis-size gates — and a log whose id *set* is gapped, duplicated
+    /// or not an extension of `len()` is a loud panic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ids (sorted) do not extend `len()` contiguously,
+    /// or if any `cin_ff <= 0`.
+    pub fn extend_dense(&mut self, new: impl IntoIterator<Item = (GateId, f64)>) {
+        let mut entries: Vec<(GateId, f64)> = new.into_iter().collect();
+        entries.sort_by_key(|&(g, _)| g.index());
+        for (g, cin_ff) in entries {
+            assert_eq!(
+                g.index(),
+                self.cins.len(),
+                "new gate ids must extend the sizing densely"
+            );
+            self.push(cin_ff);
+        }
+    }
+
     /// Number of gates covered.
     pub fn len(&self) -> usize {
         self.cins.len()

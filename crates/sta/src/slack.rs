@@ -144,6 +144,16 @@ impl WorstSlackIndex {
     /// Replace one net's key and re-derive the partial minima along its
     /// root path; O(log nets), cut short where a parent is bit-unchanged.
     pub(crate) fn update(&mut self, net: usize, key: f64) {
+        // The key domain is finite-or-`+inf` (the neutral element) by
+        // construction of [`WorstSlackIndex::key`]. A NaN or `-inf`
+        // smuggled in here is the only way the root could ever fold a
+        // design with no finite slack into a bogus non-`None` answer —
+        // refuse it at the boundary instead of letting `min2` propagate
+        // it silently.
+        debug_assert!(
+            !key.is_nan() && key != f64::NEG_INFINITY,
+            "worst-slack index keys are finite slacks or the +inf neutral element, got {key}"
+        );
         let mut i = self.cap + net;
         if self.tree[i].to_bits() == key.to_bits() {
             return;
@@ -159,7 +169,11 @@ impl WorstSlackIndex {
         }
     }
 
-    /// The design-worst finite slack; `None` when no net carries one.
+    /// The design-worst finite slack; `None` when no net carries one —
+    /// a root still at the `+inf` neutral element means every leaf is
+    /// unconstrained (zero primary outputs, an infinite constraint, a
+    /// post-surgery design whose endpoints all went infinite), and must
+    /// never be folded into a finite answer.
     pub(crate) fn worst(&self) -> Option<f64> {
         let root = self.tree[1];
         root.is_finite().then_some(root)
@@ -167,8 +181,14 @@ impl WorstSlackIndex {
 
     /// Rebuild wholesale from one key per net — O(nets) min folds, used
     /// when every slack may have moved (constraint/option invalidation,
-    /// graph surgery growing the net space).
+    /// graph surgery growing the net space). Leaves past `keys.len()`
+    /// (the power-of-two padding, and every leaf of a zero-net design)
+    /// are re-padded with the `+inf` neutral element.
     pub(crate) fn rebuild(&mut self, keys: &[f64]) {
+        debug_assert!(
+            keys.iter().all(|k| !k.is_nan() && *k != f64::NEG_INFINITY),
+            "worst-slack index keys are finite slacks or the +inf neutral element"
+        );
         let cap = keys.len().next_power_of_two().max(1);
         self.cap = cap;
         self.tree.clear();

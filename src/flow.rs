@@ -181,16 +181,18 @@ pub fn optimize_circuit(
 ) -> Result<FlowResult, FlowError> {
     assert!(tc_ps > 0.0, "constraint must be positive");
     // The timing picture is built once and kept consistent through
-    // incremental dirty-cone updates: each round's write-backs re-time
-    // only the cones the resized gates actually perturb, instead of
-    // re-running a full `analyze` pass per round. Setting the constraint
-    // additionally maintains the backward state — per-net required
-    // times, the k-paths completion bounds and the worst-slack
-    // tournament tree — *lazily*: a whole round's batched resizes and
-    // structural edits only accumulate seeds, and the first slack read
-    // (or k-paths extraction) of the next round flushes them as one
-    // merged backward cone. The design-worst slack reads below are O(1)
-    // off the tournament root once flushed.
+    // incremental dirty-cone updates that are *lazy in both
+    // directions*: a whole round's batched resizes and structural edits
+    // only accumulate id-keyed seeds — no `resize_gates` or
+    // `apply_edits` call below forces a forward pass — and the first
+    // timing read of the next round flushes them as one merged
+    // forward-then-backward cone (so overlapping per-path write-backs
+    // deduplicate instead of each paying its own propagation). Setting
+    // the constraint additionally maintains the backward state —
+    // per-net required times, the k-paths completion bounds and the
+    // worst-slack tournament tree — under the same generation counter;
+    // the design-worst slack reads below are O(1) off the tournament
+    // root once flushed.
     let mut graph = TimingGraph::new(circuit, lib, &Sizing::minimum(circuit, lib))?;
     graph.set_constraint(tc_ps);
     let initial_delay_ps = graph.critical_delay_ps();
@@ -284,7 +286,10 @@ pub fn optimize_circuit(
                     *s = s.min(cap).max(lib.min_drive_ff());
                 }
                 sizes[0] = extracted.timed.source_drive_ff();
-                // One batched dirty-cone re-time for the whole path.
+                // One batched write-back for the whole path; nothing
+                // re-times until the next path's slack read (or the
+                // round boundary) flushes every batch since then as
+                // one merged cone.
                 let changes: Vec<(GateId, f64)> = extracted
                     .gates
                     .iter()

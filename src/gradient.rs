@@ -82,8 +82,10 @@ impl SensitivitySweep {
 
     /// Finite-difference sensitivities of the design-worst slack,
     /// indexed by gate id (see [`worst_slack_sensitivities`]). Each
-    /// probe's slack read triggers one merged lazy backward flush
-    /// covering the previous probe's revert and this probe's resize.
+    /// probe's slack read triggers one merged two-phase lazy flush —
+    /// forward then backward — covering the previous probe's revert and
+    /// this probe's resize; the resizes themselves never force a pass
+    /// in either direction.
     ///
     /// # Panics
     ///
@@ -112,7 +114,10 @@ impl SensitivitySweep {
 
 /// Finite-difference sensitivity of the critical delay to each gate's
 /// input capacitance: `∂T/∂C_IN(g) ≈ (T(C·(1+h)) − T(C)) / (C·h)`
-/// in ps/fF, probed through incremental dirty-cone re-timing.
+/// in ps/fF, probed through incremental dirty-cone re-timing. The
+/// resize and revert only log lazy seeds; each probe's delay read runs
+/// one merged forward flush (covering the previous probe's revert cone
+/// too), so the sweep never forces an eager pass per mutation.
 ///
 /// The graph is returned to its exact starting state (probes revert
 /// bit-identically), so the sweep composes with any surrounding

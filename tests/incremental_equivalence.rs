@@ -150,6 +150,10 @@ fn incremental_work_is_a_fraction_of_full_reanalysis() {
     for _ in 0..steps {
         let g = *rng.pick(&gates);
         graph.resize_gate(g, cref * (1.0 + 10.0 * rng.next_f64()));
+        // Force the (lazy) per-step flush: this test measures the
+        // per-mutation cone economics, not the merged-flush dedup
+        // (which `tests/forward_lazy_equivalence.rs` covers).
+        let _ = graph.critical_delay_ps();
     }
     let full_equivalent = steps * circuit.gate_count();
     let actual = graph.stats().gates_reevaluated;

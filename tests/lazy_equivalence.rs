@@ -257,6 +257,66 @@ fn mutation_alone_never_flushes() {
 }
 
 #[test]
+fn all_infinite_slack_designs_report_no_worst_slack() {
+    // PR 5 regression (`WorstSlackIndex`): when no endpoint carries a
+    // finite slack, the tournament tree's root must stay the `+inf`
+    // neutral element and `worst_slack_overall_ps` must report `None` —
+    // through every flush path (initial full pass, cone drain, sweep,
+    // wholesale refold, per-leaf updates) and across graph surgery that
+    // grows the leaf space. Folding the `+inf` leaves into a finite
+    // answer would read as an infinitely relaxed design being
+    // constrained by nothing in particular.
+    use pops::netlist::{CellKind, Circuit};
+    let lib = Library::cmos025();
+    // Gates, but nothing marked as a primary output: every required
+    // time is +inf, every slack +inf.
+    let mut c = Circuit::new("no-po");
+    let a = c.add_input("a");
+    let b = c.add_input("b");
+    let y = c.add_gate(CellKind::Nand2, &[a, b], "y").unwrap();
+    let z = c.add_gate(CellKind::Nor2, &[y, a], "z").unwrap();
+    let _w = c.add_gate(CellKind::Inv, &[z], "w").unwrap();
+    let mut graph = TimingGraph::new(&c, &lib, &Sizing::minimum(&c, &lib)).unwrap();
+    graph.set_constraint(100.0);
+    // Initial (refold) path.
+    assert_eq!(graph.worst_slack_overall_ps(), None);
+    // Cone-drain and per-leaf-update path: a resize whose arrival moves
+    // feeds the index slack_net_log, all keys still +inf.
+    let g = graph.circuit().gate_ids().next().unwrap();
+    graph.resize_gate(g, 5.0 * lib.min_drive_ff());
+    assert_eq!(graph.worst_slack_overall_ps(), None);
+    // Surgery grows the net space (zero-PO still): the post-surgery
+    // wholesale refold must pad the fresh leaves with the neutral
+    // element, not garbage.
+    let net = graph
+        .circuit()
+        .net_ids()
+        .find(|&n| graph.circuit().driver_gate(n).is_some() && graph.circuit().net(n).fanout() >= 1)
+        .unwrap();
+    let loads = graph.circuit().net(net).loads().to_vec();
+    let plan: EditPlan = vec![EditOp::InsertBuffer {
+        net,
+        loads,
+        stage_cin_ff: [lib.min_drive_ff(), lib.min_drive_ff()],
+    }]
+    .into();
+    graph.apply_edits(&plan).unwrap();
+    assert_eq!(graph.worst_slack_overall_ps(), None);
+    // An infinite constraint on a real (PO-carrying) circuit is the
+    // same situation: +inf required everywhere, no finite slack.
+    let real = suite::circuit("fpd").unwrap();
+    let mut graph = TimingGraph::new(&real, &lib, &Sizing::minimum(&real, &lib)).unwrap();
+    graph.set_constraint(f64::INFINITY);
+    assert_eq!(graph.worst_slack_overall_ps(), None);
+    let g = real.gate_ids().next().unwrap();
+    graph.resize_gate(g, 3.0 * lib.min_drive_ff());
+    assert_eq!(graph.worst_slack_overall_ps(), None);
+    // A finite constraint immediately restores a finite worst slack.
+    graph.set_constraint(1000.0);
+    assert!(graph.worst_slack_overall_ps().is_some());
+}
+
+#[test]
 fn merged_flush_does_less_work_than_per_mutation_flushes() {
     // N resizes + one query must re-evaluate (far) fewer required times
     // than N eager per-resize updates would have: the merged cone
