@@ -8,13 +8,19 @@
 //!
 //! Every `BENCH_*.json` in `<baseline_dir>` that also exists in
 //! `<current_dir>` is parsed as an array of row objects; rows are keyed
-//! by their `circuit` member plus the optional `k` member (the mixed
-//! workload's batch size). For each pair of rows, every `speedup_*`
-//! member in the baseline must be matched by a current value no lower
-//! than `baseline · (1 − tolerance)` (default tolerance 0.20 — bench
-//! runners are noisy; the gate catches real regressions, not jitter).
-//! A baseline row or member missing from the current artifact fails
-//! too: silently dropping a measurement is how regressions hide.
+//! by their `circuit` member plus the optional `k`, `threads` and
+//! `dirty_fraction` members (the mixed workload's batch size, the
+//! scaling bench's worker count and calibration point). For each pair
+//! of rows, every `speedup_*` member in the baseline must be matched by
+//! a current value no lower than `baseline · (1 − tolerance)` (default
+//! tolerance 0.20 — bench runners are noisy; the gate catches real
+//! regressions, not jitter). A baseline row or member missing from the
+//! current artifact fails too: silently dropping a measurement is how
+//! regressions hide. The one escape hatch is a baseline row carrying
+//! `"optional": true` — those rows may be absent from the current run
+//! (the scaling bench's large classes and machine-dependent thread rows
+//! are committed from a full local run, while CI regenerates only the
+//! small class); when present they are gated normally.
 //!
 //! Exit code 0 when everything passes, 1 otherwise, with one line per
 //! comparison on stdout.
@@ -29,14 +35,27 @@ use pops_bench::json::{parse, Value};
 const GATED: [&str; 2] = ["speedup_median", "speedup_mean"];
 
 fn row_key(row: &Value) -> String {
-    let circuit = row
+    let mut key = row
         .get("circuit")
         .and_then(Value::as_str)
-        .unwrap_or("<unkeyed>");
-    match row.get("k").and_then(Value::as_f64) {
-        Some(k) => format!("{circuit} K={k}"),
-        None => circuit.to_string(),
+        .unwrap_or("<unkeyed>")
+        .to_string();
+    if let Some(k) = row.get("k").and_then(Value::as_f64) {
+        key.push_str(&format!(" K={k}"));
     }
+    if let Some(t) = row.get("threads").and_then(Value::as_f64) {
+        key.push_str(&format!(" T={t}"));
+    }
+    if let Some(f) = row.get("dirty_fraction").and_then(Value::as_f64) {
+        key.push_str(&format!(" f={f}"));
+    }
+    key
+}
+
+/// A baseline row that the current run is allowed to omit (it still
+/// gates normally whenever the current artifact does contain it).
+fn is_optional(row: &Value) -> bool {
+    row.get("optional") == Some(&Value::Bool(true))
 }
 
 fn load_rows(path: &Path) -> Result<Vec<Value>, String> {
@@ -52,12 +71,20 @@ fn load_rows(path: &Path) -> Result<Vec<Value>, String> {
 fn gate_file(name: &str, baseline: &Path, current: &Path, tolerance: f64) -> Result<usize, String> {
     let base_rows = load_rows(baseline)?;
     let cur_rows = load_rows(current)?;
+    Ok(gate_rows(name, &base_rows, &cur_rows, tolerance))
+}
+
+fn gate_rows(name: &str, base_rows: &[Value], cur_rows: &[Value], tolerance: f64) -> usize {
     let mut failures = 0usize;
-    for base in &base_rows {
+    for base in base_rows {
         let key = row_key(base);
         let Some(cur) = cur_rows.iter().find(|r| row_key(r) == key) else {
-            println!("FAIL {name} [{key}]: row missing from current artifact");
-            failures += 1;
+            if is_optional(base) {
+                println!("skip {name} [{key}]: optional row not produced by this run");
+            } else {
+                println!("FAIL {name} [{key}]: row missing from current artifact");
+                failures += 1;
+            }
             continue;
         };
         for member in GATED {
@@ -83,7 +110,7 @@ fn gate_file(name: &str, baseline: &Path, current: &Path, tolerance: f64) -> Res
             }
         }
     }
-    Ok(failures)
+    failures
 }
 
 /// Parse and validate a `--tolerance` value. The tolerance is the
@@ -190,7 +217,85 @@ fn main() -> ExitCode {
 
 #[cfg(test)]
 mod tests {
-    use super::parse_tolerance;
+    use super::{gate_rows, parse_tolerance, row_key};
+    use pops_bench::json::{parse, Value};
+
+    fn rows(json: &str) -> Vec<Value> {
+        parse(json).unwrap().as_array().unwrap().to_vec()
+    }
+
+    #[test]
+    fn row_keys_distinguish_k_threads_and_fraction() {
+        let r = rows(
+            r#"[
+                {"circuit":"synth10k"},
+                {"circuit":"synth10k","k":8},
+                {"circuit":"synth10k","threads":4},
+                {"circuit":"synth10k","dirty_fraction":0.75}
+            ]"#,
+        );
+        let keys: Vec<String> = r.iter().map(row_key).collect();
+        assert_eq!(
+            keys,
+            [
+                "synth10k",
+                "synth10k K=8",
+                "synth10k T=4",
+                "synth10k f=0.75"
+            ]
+        );
+    }
+
+    #[test]
+    fn missing_optional_rows_are_skipped_not_failed() {
+        let base = rows(
+            r#"[
+                {"circuit":"synth100k","k":8,"speedup_median":2.0,"optional":true},
+                {"circuit":"synth10k","k":8,"speedup_median":2.0}
+            ]"#,
+        );
+        // Current run produced only the mandatory row, unregressed.
+        let cur = rows(r#"[{"circuit":"synth10k","k":8,"speedup_median":1.9}]"#);
+        assert_eq!(gate_rows("t", &base, &cur, 0.2), 0);
+        // Dropping the mandatory row still fails.
+        assert_eq!(gate_rows("t", &base, &[], 0.2), 1);
+    }
+
+    #[test]
+    fn present_optional_rows_still_gate() {
+        let base = rows(r#"[{"circuit":"synth100k","k":8,"speedup_median":2.0,"optional":true}]"#);
+        let regressed = rows(r#"[{"circuit":"synth100k","k":8,"speedup_median":1.0}]"#);
+        assert_eq!(gate_rows("t", &base, &regressed, 0.2), 1);
+        let fine = rows(r#"[{"circuit":"synth100k","k":8,"speedup_median":1.9}]"#);
+        assert_eq!(gate_rows("t", &base, &fine, 0.2), 0);
+    }
+
+    #[test]
+    fn thread_rows_do_not_collide() {
+        // Two thread rows of the same circuit: each must match its own
+        // counterpart, not the first row that shares the circuit name.
+        let base = rows(
+            r#"[
+                {"circuit":"synth10k","threads":1,"speedup_median":1.0},
+                {"circuit":"synth10k","threads":4,"speedup_median":3.0}
+            ]"#,
+        );
+        let cur = rows(
+            r#"[
+                {"circuit":"synth10k","threads":4,"speedup_median":3.1},
+                {"circuit":"synth10k","threads":1,"speedup_median":1.0}
+            ]"#,
+        );
+        assert_eq!(gate_rows("t", &base, &cur, 0.2), 0);
+        // Regress only the 4-thread row: exactly one failure.
+        let cur = rows(
+            r#"[
+                {"circuit":"synth10k","threads":4,"speedup_median":1.5},
+                {"circuit":"synth10k","threads":1,"speedup_median":1.0}
+            ]"#,
+        );
+        assert_eq!(gate_rows("t", &base, &cur, 0.2), 1);
+    }
 
     #[test]
     fn sensible_fractions_parse() {

@@ -230,6 +230,57 @@ pub fn names() -> Vec<&'static str> {
     PROFILES.iter().map(|p| p.name).collect()
 }
 
+/// A production-scale synthetic size class (built by
+/// [`crate::builders::synthetic_fabric`]): an array multiplier plus a
+/// carry-select adder plus a random-logic cloud composing to exactly
+/// `target_gates` gates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScalingClass {
+    /// Class name (`"synth10k"`, …).
+    pub name: &'static str,
+    /// Exact gate count of the generated fabric.
+    pub target_gates: usize,
+    /// Seed for the deterministic generator.
+    pub seed: u64,
+}
+
+/// Scaling size classes used by the `sta_scaling` bench and the parallel
+/// differential tests. Unlike [`PROFILES`], these model no published
+/// benchmark — they exist to exercise the engine at 10k–1M gates.
+pub const SCALING_CLASSES: &[ScalingClass] = &[
+    ScalingClass {
+        name: "synth10k",
+        target_gates: 10_000,
+        seed: 0x5CA1_E010,
+    },
+    ScalingClass {
+        name: "synth100k",
+        target_gates: 100_000,
+        seed: 0x5CA1_E100,
+    },
+    ScalingClass {
+        name: "synth1m",
+        target_gates: 1_000_000,
+        seed: 0x5CA1_E1F0,
+    },
+];
+
+/// Look up a scaling class by name.
+pub fn scaling_class(name: &str) -> Option<&'static ScalingClass> {
+    SCALING_CLASSES.iter().find(|c| c.name == name)
+}
+
+/// Build a scaling fabric by class name (`"synth10k"`, `"synth100k"`,
+/// `"synth1m"`).
+pub fn scaling_circuit(name: &str) -> Option<Circuit> {
+    scaling_class(name).map(|c| crate::builders::synthetic_fabric(c.name, c.target_gates, c.seed))
+}
+
+/// Names of all scaling classes, smallest first.
+pub fn scaling_names() -> Vec<&'static str> {
+    SCALING_CLASSES.iter().map(|c| c.name).collect()
+}
+
 fn pick_kind(rng: &mut SplitMix64, mix: &[(CellKind, u32)]) -> CellKind {
     let weights: Vec<u32> = mix.iter().map(|&(_, w)| w).collect();
     mix[rng.weighted(&weights)].0
@@ -446,6 +497,16 @@ mod tests {
                 assert!(allowed.contains(&kind), "{}: unexpected {kind}", p.name);
             }
         }
+    }
+
+    #[test]
+    fn scaling_classes_build_exactly_and_validate() {
+        let c = scaling_circuit("synth10k").unwrap();
+        assert_eq!(c.gate_count(), 10_000);
+        c.validate().unwrap();
+        assert!(scaling_circuit("synth2g").is_none());
+        assert_eq!(scaling_names(), ["synth10k", "synth100k", "synth1m"]);
+        assert_eq!(scaling_class("synth1m").unwrap().target_gates, 1_000_000);
     }
 
     #[test]

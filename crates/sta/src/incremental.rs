@@ -105,6 +105,33 @@
 //! tournament tree of partial minima. Each moved slack is an O(log
 //! nets) leaf update folded in at flush time; the design-worst slack
 //! query is then O(1) at the root, bit-identical to the full fold.
+//!
+//! # Rank-major slabs and the level-synchronized parallel flush
+//!
+//! At 100k–1M gates the budgeted full sweeps are memory-bound, so the
+//! floating-point state lives in **rank-major struct-of-arrays slabs**
+//! instead of id-keyed records. The cached topo order is *level-major*:
+//! gates are counting-sorted by logic level (stable by topo order
+//! within a level), `rank[g]` is the gate's position in that order and
+//! `level_start[l] .. level_start[l+1]` delimits level `l`. A
+//! level-major order is still a topological order, so every ascending /
+//! descending bitset cursor works unchanged. Net state is indexed by
+//! **slot**: the driverless nets (primary inputs and any undriven nets)
+//! occupy slots `0..n_src` in net-id order, and the net driven by the
+//! gate at position `p` occupies slot `n_src + p` — a full sweep
+//! therefore *streams* the arrival/slope/pred/load/required slabs in
+//! memory order instead of pointer-chasing the netlist.
+//!
+//! Same-level gates are mutually independent and write level-contiguous
+//! slots, so each dirty level is a natural parallel batch: above
+//! [`TimingGraph::parallel_threshold`] the flush evaluates levels
+//! across an in-tree scoped-thread pool with per-level barriers (see
+//! [`crate::parallel`]), falling back to the sequential single-cursor
+//! drain below it so small-circuit latency is untouched. Both paths run
+//! the *same* per-gate kernel, and per-gate results are independent of
+//! evaluation order within a level — parallel state is bit-identical to
+//! sequential by construction (`tests/parallel_flush_equivalence.rs`
+//! proves it differentially anyway).
 
 use std::borrow::Cow;
 use std::cell::{Cell, Ref, RefCell};
@@ -117,8 +144,22 @@ use pops_netlist::{CellKind, Circuit, GateId, NetId, NetlistError};
 use crate::analysis::{
     compatible_input_edges, eidx, AnalyzeOptions, EdgeDir, NetlistPath, TimingView, EDGES,
 };
+use crate::parallel::{
+    gather_range, run_parallel, EvalCtx, FwdView, PredPair, F_ARRIVAL, F_DELAY, F_OUT_CHANGED,
+    F_SLOPE,
+};
 use crate::sizing::Sizing;
 use crate::slack::{SlackReport, SlackView, WorstSlackIndex};
+
+/// Default gate count below which flushes stay sequential: at small
+/// sizes the per-level barrier crossings cost more than the arc work
+/// they spread out ([`TimingGraph::set_parallel_threshold`] overrides).
+const PAR_MIN_GATES: usize = 10_000;
+
+/// Levels (or dirty-level batches) smaller than this are evaluated
+/// inline by the coordinator — two barrier crossings to spread a
+/// handful of gates over the pool is a loss.
+const PAR_LEVEL_MIN: usize = 128;
 
 /// Cumulative work counters, for benchmarks and cone-size assertions.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -153,6 +194,11 @@ pub struct UpdateStats {
     /// Worst-slack tournament-tree leaf refreshes folded in by flushes
     /// (each O(log nets); a wholesale refold counts one per net).
     pub slack_index_updates: usize,
+    /// [`TimingGraph::net_load_ff`] queries answered by the loads-only
+    /// settle while forward seeds were pending — no arc evaluation, no
+    /// flush (loads derive from fanout pins, sizing and options, all of
+    /// which mutators keep current eagerly).
+    pub load_only_settles: usize,
 }
 
 /// Per-gate model constants, flattened out of the library at build time.
@@ -164,7 +210,7 @@ pub struct UpdateStats {
 /// the model uses, so arc delays stay bit-identical to
 /// [`gate_delay_with_output_edge`].
 #[derive(Debug, Clone, Copy)]
-struct GateParams {
+pub(crate) struct GateParams {
     /// `C_par = cpar_factor · C_IN`.
     cpar_factor: f64,
     /// P/N configuration ratio `k` (Miller coupling split).
@@ -174,14 +220,14 @@ struct GateParams {
 }
 
 /// Fanin-independent arc terms of one gate under its current drive and
-/// load, hoisted out of the per-arc loops of the forward `eval_gate`
-/// *and* the backward `eval_required`.
-struct ArcTerms {
+/// load, hoisted out of the per-arc loops of the forward gate kernel
+/// ([`crate::parallel`]) *and* the backward `eval_required`.
+pub(crate) struct ArcTerms {
     /// τ_out per *output* edge: `(τ·S) · C_L / C_IN`.
-    tau_out_by_edge: [f64; 2],
+    pub(crate) tau_out_by_edge: [f64; 2],
     /// Miller amplification per *input* edge (C_M couples through the
     /// P device on a rising input, the N device on a falling one).
-    miller: [f64; 2],
+    pub(crate) miller: [f64; 2],
 }
 
 impl GateParams {
@@ -191,7 +237,7 @@ impl GateParams {
     /// order of `gate_delay_with_output_edge`, so arc delays (and
     /// therefore the whole timing state, both directions) stay
     /// bit-identical to the full passes.
-    fn arc_terms(&self, cin: f64, load: f64) -> ArcTerms {
+    pub(crate) fn arc_terms(&self, cin: f64, load: f64) -> ArcTerms {
         let cl_total = self.cpar_factor * cin + load;
         let tau_out_by_edge = [
             self.tau_s[0] * cl_total / cin,
@@ -210,28 +256,6 @@ impl GateParams {
             miller,
         }
     }
-}
-
-/// Per-net timing state, kept as one record for cache locality.
-#[derive(Debug, Clone, Copy)]
-struct NetTiming {
-    /// Arrival time per edge (ps); `-inf` where unreachable.
-    arrival: [f64; 2],
-    /// Transition time per edge (ps).
-    slope: [f64; 2],
-    /// Predecessor `(net, input edge)` of the worst arrival.
-    pred: [Option<(NetId, Edge)>; 2],
-    /// Capacitive load (fF) under the current sizing.
-    load: f64,
-}
-
-impl NetTiming {
-    const UNREACHED: NetTiming = NetTiming {
-        arrival: [f64::NEG_INFINITY; 2],
-        slope: [0.0; 2],
-        pred: [None, None],
-        load: 0.0,
-    };
 }
 
 /// Incrementally maintained timing state of one circuit.
@@ -278,10 +302,22 @@ pub struct TimingGraph<'c> {
     options: AnalyzeOptions,
     sizing: Sizing,
 
-    /// Gates in the cached topological order.
+    /// Gates in the cached topological order. The order is
+    /// **level-major**: counting-sorted by logic level, stable by the
+    /// circuit's base topo order within a level — still a topological
+    /// order, but with every level contiguous (the parallel batches).
     topo: Vec<GateId>,
     /// `rank[gate] = position in `topo`` — the propagation priority.
     rank: Vec<u32>,
+    /// Positions `level_start[l] .. level_start[l+1]` form logic level
+    /// `l` (0-based here; the netlist's levels are 1-based).
+    level_start: Vec<u32>,
+    /// Slab slot of each net's timing state: driverless nets take slots
+    /// `0..n_src` in net-id order, the net driven by the gate at
+    /// position `p` takes slot `n_src + p`.
+    slot_of: Vec<u32>,
+    /// Number of driverless nets (= the first gate-driven slot).
+    n_src: usize,
     /// Driver gate of each net (`None` for primary inputs).
     net_driver: Vec<Option<GateId>>,
 
@@ -299,6 +335,9 @@ pub struct TimingGraph<'c> {
     /// `fanin[fanin_off[g] .. fanin_off[g+1]]`.
     fanin: Vec<NetId>,
     fanin_off: Vec<u32>,
+    /// Slab slot of each flattened fanin net (parallel to `fanin`), so
+    /// the per-gate kernel never round-trips through net ids.
+    fanin_slots: Vec<u32>,
     /// Fanout gates of all nets, flattened; net `n`'s loads are
     /// `fanout[fanout_off[n] .. fanout_off[n+1]]` (one entry per pin).
     fanout: Vec<GateId>,
@@ -317,6 +356,19 @@ pub struct TimingGraph<'c> {
     /// last flushed at; the pairs implement the lazy clean →
     /// dirty(gen) → flushed cycle in both directions.
     gen: u64,
+    /// Worker threads the parallel flush may use (coordinator
+    /// included); 1 keeps every flush sequential.
+    threads: usize,
+    /// Gate count below which flushes stay sequential regardless of
+    /// `threads`.
+    par_min_gates: usize,
+    /// Forward sweep cut-over budget as a rational fraction
+    /// `(num, den)` of the gate count: the flush abandons the drain for
+    /// a full sweep once `dirty_count >= n·num/den + 1`.
+    fwd_budget: (u32, u32),
+    /// Backward (required/completion) sweep cut-over budget, same
+    /// encoding.
+    bwd_budget: (u32, u32),
     /// Maintained forward state (arrivals, slopes, loads, worst gate
     /// delays) plus its lazy seed logs. Interior-mutable so `&self`
     /// queries can perform the lazy flush — mutators go through
@@ -334,12 +386,22 @@ pub struct TimingGraph<'c> {
 /// a [`RefCell`] so forward queries on `&self` can drain pending seeds.
 #[derive(Debug, Clone)]
 struct ForwardState {
-    /// Per-net timing record. One contiguous struct per net (instead of
-    /// parallel arrays) so a gate re-evaluation touches one cache line
-    /// per fanin net — cone updates jump around the netlist, and their
-    /// cost is dominated by memory traffic, not arithmetic.
-    nets: Vec<NetTiming>,
-    /// Worst-case delay of each gate under the current slopes.
+    /// Arrival time per edge (ps), **slot-indexed** (see
+    /// [`TimingGraph::slot_of`]); `-inf` where unreachable. Slabs
+    /// instead of per-net records: a full sweep writes slots in memory
+    /// order (gate `p` owns slot `n_src + p`), so the budgeted cut-over
+    /// streams memory-bandwidth-bound, and same-level gates write
+    /// disjoint contiguous slots — the parallel batches.
+    arrival: Vec<[f64; 2]>,
+    /// Transition time per edge (ps), slot-indexed.
+    slope: Vec<[f64; 2]>,
+    /// Predecessor `(net, input edge)` of the worst arrival,
+    /// slot-indexed.
+    pred: Vec<PredPair>,
+    /// Capacitive load (fF) under the current sizing, slot-indexed.
+    load: Vec<f64>,
+    /// Worst-case delay of each gate under the current slopes,
+    /// **position-indexed** (level-major topo position = rank).
     gate_delay_worst: Vec<f64>,
     critical_net: Option<(NetId, Edge)>,
 
@@ -397,12 +459,16 @@ struct ForwardState {
 struct Structure {
     topo: Vec<GateId>,
     rank: Vec<u32>,
+    level_start: Vec<u32>,
+    slot_of: Vec<u32>,
+    n_src: usize,
     net_driver: Vec<Option<GateId>>,
     gate_params: Vec<GateParams>,
     cell: Vec<CellKind>,
     out_net: Vec<NetId>,
     fanin: Vec<NetId>,
     fanin_off: Vec<u32>,
+    fanin_slots: Vec<u32>,
     fanout: Vec<GateId>,
     fanout_off: Vec<u32>,
     is_po: Vec<bool>,
@@ -411,13 +477,57 @@ struct Structure {
 }
 
 fn build_structure(circuit: &Circuit, lib: &Library) -> Result<Structure, NetlistError> {
-    let topo = circuit.topo_order()?;
-    let mut rank = vec![0u32; circuit.gate_count()];
-    for (i, &g) in topo.iter().enumerate() {
-        rank[g.index()] = i as u32;
+    // Level-major topo order: counting-sort the base topo order by
+    // logic level (stable within a level). Every fanin of a gate sits
+    // at a strictly lower level, so this is still a topological order —
+    // the ascending/descending cursor drains work unchanged — and each
+    // level is a contiguous run of mutually independent gates.
+    let base_topo = circuit.topo_order()?;
+    let levels = circuit.logic_levels()?;
+    let n_gates = circuit.gate_count();
+    let n_levels = levels.iter().copied().max().unwrap_or(0);
+    let mut level_start = vec![0u32; n_levels + 1];
+    for &g in &base_topo {
+        level_start[levels[g.index()]] += 1;
     }
+    for l in 1..level_start.len() {
+        level_start[l] += level_start[l - 1];
+    }
+    debug_assert_eq!(level_start[n_levels] as usize, n_gates);
+    // `cursor[l]` = next free position of 1-based level `l + 1`;
+    // `level_start` is already the prefix-summed offset table.
+    let mut cursor: Vec<u32> = level_start[..n_levels].to_vec();
+    let mut topo = base_topo.clone();
+    let mut rank = vec![0u32; n_gates];
+    for &g in &base_topo {
+        let l = levels[g.index()] - 1;
+        let r = cursor[l];
+        cursor[l] += 1;
+        topo[r as usize] = g;
+        rank[g.index()] = r;
+    }
+
     let n_nets = circuit.net_count();
-    let net_driver = circuit.net_ids().map(|n| circuit.driver_gate(n)).collect();
+    let net_driver: Vec<Option<GateId>> =
+        circuit.net_ids().map(|n| circuit.driver_gate(n)).collect();
+
+    // Slab slots: driverless nets first (net-id order), then one slot
+    // per gate at `n_src + rank[driver]` — a bijection onto
+    // `0..n_nets`, since every gate drives exactly one net.
+    let mut slot_of = vec![0u32; n_nets];
+    let mut n_src = 0usize;
+    for (i, d) in net_driver.iter().enumerate() {
+        if d.is_none() {
+            slot_of[i] = n_src as u32;
+            n_src += 1;
+        }
+    }
+    for (i, d) in net_driver.iter().enumerate() {
+        if let Some(g) = d {
+            slot_of[i] = (n_src + rank[g.index()] as usize) as u32;
+        }
+    }
+    debug_assert_eq!(n_src + n_gates, n_nets, "slots must cover every net");
 
     let process = lib.process();
     let gate_params = circuit
@@ -461,16 +571,21 @@ fn build_structure(circuit: &Circuit, lib: &Library) -> Result<Structure, Netlis
         fanout.extend(circuit.fanout_gates(n));
         fanout_off.push(fanout.len() as u32);
     }
+    let fanin_slots: Vec<u32> = fanin.iter().map(|n| slot_of[n.index()]).collect();
 
     Ok(Structure {
         topo,
         rank,
+        level_start,
+        slot_of,
+        n_src,
         net_driver,
         gate_params,
         cell,
         out_net,
         fanin,
         fanin_off,
+        fanin_slots,
         fanout,
         fanout_off,
         is_po: circuit
@@ -480,6 +595,28 @@ fn build_structure(circuit: &Circuit, lib: &Library) -> Result<Structure, Netlis
         pis: circuit.primary_inputs().to_vec(),
         pos: circuit.primary_outputs().to_vec(),
     })
+}
+
+/// Permute a slot-indexed slab into a new slot layout after surgery:
+/// net ids are stable across append-only edits, so each surviving net
+/// carries its value from its old slot to its new one; created ids
+/// (slots no old net maps to) get `default`.
+fn remap_slots<T: Copy>(old: &[T], old_slot_of: &[u32], new_slot_of: &[u32], default: T) -> Vec<T> {
+    let mut out = vec![default; new_slot_of.len()];
+    for net in 0..old_slot_of.len() {
+        out[new_slot_of[net] as usize] = old[old_slot_of[net] as usize];
+    }
+    out
+}
+
+/// Permute a position-indexed (rank-major) slab into a new rank layout
+/// after surgery, as [`remap_slots`] but keyed by gate id.
+fn remap_ranks<T: Copy>(old: &[T], old_rank: &[u32], new_rank: &[u32], default: T) -> Vec<T> {
+    let mut out = vec![default; new_rank.len()];
+    for g in 0..old_rank.len() {
+        out[new_rank[g] as usize] = old[old_rank[g] as usize];
+    }
+    out
 }
 
 /// Incrementally maintained backward timing state (see the module
@@ -591,6 +728,9 @@ impl<'c> TimingGraph<'c> {
             sizing: sizing.clone(),
             topo: s.topo,
             rank: s.rank,
+            level_start: s.level_start,
+            slot_of: s.slot_of,
+            n_src: s.n_src,
             net_driver: s.net_driver,
             gate_params: s.gate_params,
             vt,
@@ -598,14 +738,25 @@ impl<'c> TimingGraph<'c> {
             out_net: s.out_net,
             fanin: s.fanin,
             fanin_off: s.fanin_off,
+            fanin_slots: s.fanin_slots,
             fanout: s.fanout,
             fanout_off: s.fanout_off,
             is_po: s.is_po,
             pis: s.pis,
             pos: s.pos,
             gen: 0,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(8),
+            par_min_gates: PAR_MIN_GATES,
+            fwd_budget: (3, 4),
+            bwd_budget: (1, 3),
             fwd: RefCell::new(ForwardState {
-                nets: vec![NetTiming::UNREACHED; n_nets],
+                arrival: vec![[f64::NEG_INFINITY; 2]; n_nets],
+                slope: vec![[0.0; 2]; n_nets],
+                pred: vec![[None, None]; n_nets],
+                load: vec![0.0; n_nets],
                 gate_delay_worst: vec![0.0f64; circuit.gate_count()],
                 critical_net: None,
                 dirty_bits: vec![0u64; circuit.gate_count().div_ceil(64)],
@@ -632,16 +783,13 @@ impl<'c> TimingGraph<'c> {
             }
             for i in 0..graph.pis.len() {
                 let pi = graph.pis[i];
-                let n = &mut fwd.nets[pi.index()];
+                let slot = graph.slot_of[pi.index()] as usize;
                 for e in EDGES {
-                    n.arrival[eidx(e)] = 0.0;
-                    n.slope[eidx(e)] = graph.options.input_transition_ps;
+                    fwd.arrival[slot][eidx(e)] = 0.0;
+                    fwd.slope[slot][eidx(e)] = graph.options.input_transition_ps;
                 }
             }
-            for i in 0..graph.topo.len() {
-                let gate = graph.topo[i];
-                graph.eval_gate(&mut fwd, gate, None);
-            }
+            graph.full_forward_sweep(&mut fwd, None);
             graph.recompute_critical(&mut fwd);
         }
         Ok(graph)
@@ -676,6 +824,94 @@ impl<'c> TimingGraph<'c> {
         let mut s = self.stats.get();
         f(&mut s);
         self.stats.set(s);
+    }
+
+    // ---- execution knobs ----
+    //
+    // Performance-only: none of these change what any query returns
+    // (parallel and sequential flushes are bit-identical, and drain vs
+    // sweep converge to the same bits), so none bumps the mutation
+    // generation.
+
+    /// Worker threads the parallel flush may use, coordinator included.
+    /// Defaults to the host's available parallelism, capped at 8.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Set the worker-thread count; `1` (or `0`, clamped) keeps every
+    /// flush sequential. Purely a performance knob — the parallel flush
+    /// is bit-identical to the sequential drain.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// Gate count below which flushes stay sequential regardless of
+    /// [`TimingGraph::threads`] (default 10 000: below that, per-level
+    /// barrier crossings outweigh the arc work they distribute).
+    pub fn parallel_threshold(&self) -> usize {
+        self.par_min_gates
+    }
+
+    /// Override the sequential-fallback threshold. `0` forces the
+    /// parallel path on any circuit when `threads >= 2` (differential
+    /// tests use this to exercise the pool on small suites).
+    pub fn set_parallel_threshold(&mut self, min_gates: usize) {
+        self.par_min_gates = min_gates;
+    }
+
+    /// The sweep cut-over budgets as `(forward, backward)` rational
+    /// fractions `(num, den)` of the gate count: a flush abandons the
+    /// dirty-cone drain for a straight full sweep once the dirty count
+    /// reaches `n·num/den + 1`. Defaults `(3, 4)` forward, `(1, 3)`
+    /// backward.
+    pub fn sweep_budgets(&self) -> ((u32, u32), (u32, u32)) {
+        (self.fwd_budget, self.bwd_budget)
+    }
+
+    /// Override the sweep cut-over budgets (see
+    /// [`TimingGraph::sweep_budgets`]). `(0, 1)` forces the sweep on
+    /// any dirty flush; `(1, 1)` disables the count-based cut-over
+    /// (pure drain) — the calibration rows of the `sta_scaling` bench
+    /// measure both extremes to locate the real crossover. Integer
+    /// rationals, not floats: the defaults must reproduce the historic
+    /// `3n/4 + 1` and `n/3 + 1` budgets exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a denominator is zero.
+    pub fn set_sweep_budgets(&mut self, forward: (u32, u32), backward: (u32, u32)) {
+        assert!(
+            forward.1 > 0 && backward.1 > 0,
+            "budget denominators must be nonzero"
+        );
+        self.fwd_budget = forward;
+        self.bwd_budget = backward;
+    }
+
+    /// `n·num/den + 1` in integer arithmetic (no float rounding: the
+    /// default budgets must match the historic integer expressions bit
+    /// for bit).
+    fn budget(n: usize, (num, den): (u32, u32)) -> usize {
+        n * num as usize / den as usize + 1
+    }
+
+    /// Slab slot of a net's timing state.
+    #[inline]
+    fn slot(&self, net: NetId) -> usize {
+        self.slot_of[net.index()] as usize
+    }
+
+    /// Whether a flush over `n_gates` takes the parallel path.
+    fn use_parallel(&self, n_gates: usize) -> bool {
+        self.threads >= 2 && n_gates >= self.par_min_gates
+    }
+
+    /// 0-based level of a topo position (`level_start` is sorted; empty
+    /// levels cannot occur, but repeated starts would resolve correctly
+    /// anyway).
+    fn level_of(&self, pos: u32) -> usize {
+        self.level_start.partition_point(|&s| s <= pos) - 1
     }
 
     /// Set one gate's input capacitance. The affected cone — the gate
@@ -839,14 +1075,21 @@ impl<'c> TimingGraph<'c> {
             None => (false, false),
         };
 
+        // Surgery re-levels and re-ranks arbitrarily, and the slabs are
+        // keyed by slot/position — keep the old keys to permute the
+        // surviving state into the new layout below.
+        let old_slot_of = std::mem::replace(&mut self.slot_of, s.slot_of);
+        let old_rank = std::mem::replace(&mut self.rank, s.rank);
         self.topo = s.topo;
-        self.rank = s.rank;
+        self.level_start = s.level_start;
+        self.n_src = s.n_src;
         self.net_driver = s.net_driver;
         self.gate_params = s.gate_params;
         self.cell = s.cell;
         self.out_net = s.out_net;
         self.fanin = s.fanin;
         self.fanin_off = s.fanin_off;
+        self.fanin_slots = s.fanin_slots;
         self.fanout = s.fanout;
         self.fanout_off = s.fanout_off;
         self.is_po = s.is_po;
@@ -855,15 +1098,24 @@ impl<'c> TimingGraph<'c> {
 
         // Per-gate / per-net timing state: existing entries keep their
         // values (they are still bit-correct wherever the edits did not
-        // reach), new ids get neutral initial state. The forward dirty
-        // bitset is populated only inside a flush and every flush
-        // drains it before returning, so re-ranking cannot orphan a
-        // pending mark; the id-keyed seed logs survive as they are.
+        // reach) — permuted into the new slot/rank layout — and new ids
+        // get neutral initial state. The forward dirty bitset is
+        // populated only inside a flush and every flush drains it
+        // before returning, so re-ranking cannot orphan a pending mark;
+        // the id-keyed seed logs survive as they are.
         {
             let fwd = self.fwd.get_mut();
             debug_assert_eq!(fwd.dirty_count, 0, "surgery over a drained queue");
-            fwd.nets.resize(n_nets, NetTiming::UNREACHED);
-            fwd.gate_delay_worst.resize(n_gates, 0.0);
+            fwd.arrival = remap_slots(
+                &fwd.arrival,
+                &old_slot_of,
+                &self.slot_of,
+                [f64::NEG_INFINITY; 2],
+            );
+            fwd.slope = remap_slots(&fwd.slope, &old_slot_of, &self.slot_of, [0.0; 2]);
+            fwd.pred = remap_slots(&fwd.pred, &old_slot_of, &self.slot_of, [None, None]);
+            fwd.load = remap_slots(&fwd.load, &old_slot_of, &self.slot_of, 0.0);
+            fwd.gate_delay_worst = remap_ranks(&fwd.gate_delay_worst, &old_rank, &self.rank, 0.0);
             fwd.dirty_bits = vec![0u64; n_gates.div_ceil(64)];
             fwd.min_dirty_rank = u32::MAX;
             // Load deltas are detected lazily: the cached loads are
@@ -887,9 +1139,11 @@ impl<'c> TimingGraph<'c> {
         assert_eq!(self.sizing.len(), n_gates, "one size per gate");
         {
             let pis = &self.pis;
+            let (new_slot_of, new_rank) = (&self.slot_of, &self.rank);
             if let Some(bw) = self.backward.get_mut().as_mut() {
-                bw.required.resize(n_nets, [f64::INFINITY; 2]);
-                bw.completion.resize(n_gates, f64::NEG_INFINITY);
+                bw.required =
+                    remap_slots(&bw.required, &old_slot_of, new_slot_of, [f64::INFINITY; 2]);
+                bw.completion = remap_ranks(&bw.completion, &old_rank, new_rank, f64::NEG_INFINITY);
                 // Rank-keyed bitsets restart empty at the new gate
                 // count; a pending invalidation re-marks everything
                 // under the new ranks. The id-keyed seed logs survive
@@ -974,33 +1228,57 @@ impl<'c> TimingGraph<'c> {
         self.flush_forward();
         let fwd = self.fwd.borrow();
         fwd.critical_net
-            .map(|(n, e)| fwd.nets[n.index()].arrival[eidx(e)])
+            .map(|(n, e)| fwd.arrival[self.slot(n)][eidx(e)])
             .unwrap_or(0.0)
     }
 
     /// Arrival time of a net for a given edge (ps), `-inf` if unreachable.
     pub fn arrival_ps(&self, net: NetId, edge: EdgeDir) -> f64 {
         self.flush_forward();
-        self.fwd.borrow().nets[net.index()].arrival[eidx(edge.into())]
+        self.fwd.borrow().arrival[self.slot(net)][eidx(edge.into())]
     }
 
     /// Transition time of a net for a given edge (ps).
     pub fn slope_ps(&self, net: NetId, edge: EdgeDir) -> f64 {
         self.flush_forward();
-        self.fwd.borrow().nets[net.index()].slope[eidx(edge.into())]
+        self.fwd.borrow().slope[self.slot(net)][eidx(edge.into())]
     }
 
     /// Capacitive load on a net (fF) under the current sizing, including
     /// the primary-output latch load where applicable.
+    ///
+    /// Loads derive from fanout pins, sizing and options — all of which
+    /// the mutators keep eagerly current — so this query never pays the
+    /// arc flush: with the forward state settled it reads the slab, and
+    /// with seeds pending it sums the load fresh (same pin order and
+    /// summation as the flush) *without* storing it — the cached value
+    /// must stay the pre-mutation baseline the flush-time load scans
+    /// compare against. [`UpdateStats::load_only_settles`] counts the
+    /// latter path.
     pub fn net_load_ff(&self, net: NetId) -> f64 {
-        self.flush_forward();
-        self.fwd.borrow().nets[net.index()].load
+        {
+            let fwd = self.fwd.borrow();
+            if fwd.flushed_gen == self.gen {
+                return fwd.load[self.slot(net)];
+            }
+        }
+        let i = net.index();
+        let (lo, hi) = (self.fanout_off[i] as usize, self.fanout_off[i + 1] as usize);
+        let mut load = 0.0;
+        for &g in &self.fanout[lo..hi] {
+            load += self.sizing.cin_ff(g);
+        }
+        if self.is_po[i] {
+            load += self.options.po_load_ff;
+        }
+        self.stat(|s| s.load_only_settles += 1);
+        load
     }
 
     /// Worst-case delay of a gate (ps) under the current slopes.
     pub fn gate_delay_worst_ps(&self, gate: GateId) -> f64 {
         self.flush_forward();
-        self.fwd.borrow().gate_delay_worst[gate.index()]
+        self.fwd.borrow().gate_delay_worst[self.rank[gate.index()] as usize]
     }
 
     /// The most critical path: traceback from the worst primary output.
@@ -1032,7 +1310,7 @@ impl<'c> TimingGraph<'c> {
             if let Some(gid) = self.net_driver[n.index()] {
                 gates.push(gid);
             }
-            cur = fwd.nets[n.index()].pred[eidx(e)];
+            cur = fwd.pred[self.slot(n)][eidx(e)];
         }
         gates.reverse();
         NetlistPath {
@@ -1130,7 +1408,7 @@ impl<'c> TimingGraph<'c> {
     /// Panics unless [`TimingGraph::set_constraint`] was called.
     pub fn required_ps(&self, net: NetId, edge: EdgeDir) -> f64 {
         self.flush_required();
-        self.backward().required[net.index()][eidx(edge.into())]
+        self.backward().required[self.slot(net)][eidx(edge.into())]
     }
 
     /// Slack of a net for an edge (ps): `required − arrival`. Finite or
@@ -1142,8 +1420,9 @@ impl<'c> TimingGraph<'c> {
     pub fn slack_ps(&self, net: NetId, edge: EdgeDir) -> f64 {
         self.flush_required();
         let i = eidx(edge.into());
+        let slot = self.slot(net);
         let fwd = self.fwd.borrow();
-        self.backward().required[net.index()][i] - fwd.nets[net.index()].arrival[i]
+        self.backward().required[slot][i] - fwd.arrival[slot][i]
     }
 
     /// Worst (most negative) slack over both edges of a net.
@@ -1178,7 +1457,7 @@ impl<'c> TimingGraph<'c> {
     /// As [`TimingGraph::required_ps`].
     pub fn completion_ps(&self, gate: GateId) -> f64 {
         self.flush_completion();
-        self.backward().completion[gate.index()]
+        self.backward().completion[self.rank[gate.index()] as usize]
     }
 
     /// Materialize the maintained backward state as a [`SlackReport`],
@@ -1193,8 +1472,15 @@ impl<'c> TimingGraph<'c> {
         self.flush_required();
         let fwd = self.fwd.borrow();
         let bw = self.backward();
-        let arrival: Vec<[f64; 2]> = fwd.nets.iter().map(|n| n.arrival).collect();
-        SlackReport::from_parts(bw.tc_ps, bw.required.clone(), arrival)
+        // The report is net-id-indexed; permute the slot-major slabs
+        // back through `slot_of`.
+        let required: Vec<[f64; 2]> = (0..self.slot_of.len())
+            .map(|net| bw.required[self.slot_of[net] as usize])
+            .collect();
+        let arrival: Vec<[f64; 2]> = (0..self.slot_of.len())
+            .map(|net| fwd.arrival[self.slot_of[net] as usize])
+            .collect();
+        SlackReport::from_parts(bw.tc_ps, required, arrival)
     }
 
     // ---- forward internals ----
@@ -1215,7 +1501,7 @@ impl<'c> TimingGraph<'c> {
         if self.is_po[net] {
             load += self.options.po_load_ff;
         }
-        fwd.nets[net].load = load;
+        fwd.load[self.slot_of[net] as usize] = load;
     }
 
     /// Rank-keyed forward mark, used only while a flush materializes
@@ -1284,9 +1570,10 @@ impl<'c> TimingGraph<'c> {
             // its backward state re-derives (arcs through the driver
             // moved with its output load).
             for net in 0..n_nets {
-                let old = fwd.nets[net].load;
+                let slot = self.slot_of[net] as usize;
+                let old = fwd.load[slot];
                 self.recompute_net_load(fwd, net);
-                if old.to_bits() == fwd.nets[net].load.to_bits() {
+                if old.to_bits() == fwd.load[slot].to_bits() {
                     continue;
                 }
                 if let Some(driver) = self.net_driver[net] {
@@ -1312,8 +1599,9 @@ impl<'c> TimingGraph<'c> {
             fwd.reslope_pis = false;
             for i in 0..self.pis.len() {
                 let pi = self.pis[i];
+                let slot = self.slot(pi);
                 for e in EDGES {
-                    fwd.nets[pi.index()].slope[eidx(e)] = self.options.input_transition_ps;
+                    fwd.slope[slot][eidx(e)] = self.options.input_transition_ps;
                 }
                 let (lo, hi) = (self.fanout_off[pi.index()], self.fanout_off[pi.index() + 1]);
                 for j in lo..hi {
@@ -1359,47 +1647,20 @@ impl<'c> TimingGraph<'c> {
         // sweep. (The backward drain pays its hoisting once per *pin*,
         // which is why its sweep breaks even a third of the way in and
         // is still worth bailing to mid-drain.)
-        let budget = 3 * n_gates / 4 + 1;
+        let budget = Self::budget(n_gates, self.fwd_budget);
         let mut reevals = 0usize;
         let mut cuts = 0usize;
         let mut any_changed = false;
         let sweep = fwd.dirty_count >= budget;
         if !sweep && fwd.dirty_count > 0 {
-            let mut word = fwd.min_dirty_rank as usize / 64;
-            while fwd.dirty_count > 0 {
-                // Re-read each round: processing a gate may mark ranks
-                // within the current word (always above the bit just
-                // cleared).
-                let bits = fwd.dirty_bits[word];
-                if bits == 0 {
-                    word += 1;
-                    continue;
-                }
-                let bit = bits.trailing_zeros();
-                fwd.dirty_bits[word] &= !(1u64 << bit);
-                fwd.dirty_count -= 1;
-                let gate = self.topo[word * 64 + bit as usize];
-                reevals += 1;
-                if self.eval_gate(fwd, gate, bw.as_deref_mut()) {
-                    any_changed = true;
-                    let out = self.out_net[gate.index()].index();
-                    let (lo, hi) = (self.fanout_off[out], self.fanout_off[out + 1]);
-                    for i in lo..hi {
-                        self.mark_dirty(fwd, self.fanout[i as usize]);
-                    }
-                } else {
-                    cuts += 1;
-                }
-            }
+            let (r, c, a) = self.drain_forward(fwd, bw.as_deref_mut());
+            reevals = r;
+            cuts = c;
+            any_changed = a;
         }
         fwd.min_dirty_rank = u32::MAX;
         if sweep {
-            for i in 0..n_gates {
-                let gate = self.topo[i];
-                if self.eval_gate(fwd, gate, bw.as_deref_mut()) {
-                    any_changed = true;
-                }
-            }
+            any_changed = self.full_forward_sweep(fwd, bw);
             fwd.dirty_bits.iter_mut().for_each(|w| *w = 0);
             fwd.dirty_count = 0;
             reevals += n_gates;
@@ -1414,100 +1675,224 @@ impl<'c> TimingGraph<'c> {
         }
     }
 
-    /// Re-run the full pass's per-gate step for `gate`; returns whether
-    /// the output net's arrival or slope changed (bitwise). Deposits
-    /// lazy backward seeds into `bw` when one is maintained.
-    fn eval_gate(
+    /// Assemble the read-only circuit-array view the per-gate kernel
+    /// ([`crate::parallel`]) consumes. Borrows only `Sync` arrays — the
+    /// `RefCell`s stay behind on the graph.
+    fn eval_ctx(&self) -> EvalCtx<'_> {
+        EvalCtx {
+            topo: &self.topo,
+            cell: &self.cell,
+            gate_params: &self.gate_params,
+            vt: self.vt,
+            fanin: &self.fanin,
+            fanin_slots: &self.fanin_slots,
+            fanin_off: &self.fanin_off,
+            cins: self.sizing.as_slice(),
+            n_src: self.n_src,
+            lib: self.lib,
+        }
+    }
+
+    /// Deposit the lazy backward seeds the kernel's change flags call
+    /// for — plain log appends, exactly the old eager engine's: arcs
+    /// *from* the output net move with its slope; the gate's completion
+    /// bound with its worst delay; the net's worst-slack leaf with its
+    /// arrival. Called by the coordinator only (workers return flags).
+    fn push_bw_seeds(&self, bw: &mut BackwardState, pos: usize, flags: u8) {
+        let gid = self.topo[pos];
+        if flags & F_SLOPE != 0 {
+            bw.req_net_log.push(self.out_net[gid.index()]);
+        }
+        if flags & F_DELAY != 0 {
+            bw.comp_gate_log.push(gid);
+        }
+        if flags & F_ARRIVAL != 0 {
+            bw.slack_net_log.push(self.out_net[gid.index()]);
+        }
+    }
+
+    /// Mark the fanout ranks of the gate at `pos` into a raw dirty
+    /// bitset (the drain's cone expansion; `min_dirty_rank` needs no
+    /// update — fanouts rank strictly above the cursor, and the drain
+    /// resets the minimum when it finishes).
+    fn mark_fanouts_raw(&self, bits: &mut [u64], count: &mut usize, pos: usize) {
+        let out = self.out_net[self.topo[pos].index()].index();
+        let (lo, hi) = (
+            self.fanout_off[out] as usize,
+            self.fanout_off[out + 1] as usize,
+        );
+        for &g in &self.fanout[lo..hi] {
+            let r = self.rank[g.index()] as usize;
+            let (word, bit) = (r / 64, r % 64);
+            if bits[word] & (1u64 << bit) == 0 {
+                bits[word] |= 1u64 << bit;
+                *count += 1;
+            }
+        }
+    }
+
+    /// Drain the forward dirty bitset in ascending rank order; returns
+    /// `(reevals, cuts, any_changed)`. Above the parallel threshold the
+    /// drain walks dirty *levels*: gather one level's dirty positions,
+    /// evaluate them across the pool (inline when the batch is tiny),
+    /// expand cones into strictly higher levels, barrier, repeat — the
+    /// cone never re-marks at or below the level being evaluated, so
+    /// level order is rank order. Below the threshold (or with one
+    /// thread) the classic single-cursor `trailing_zeros` walk runs the
+    /// same kernel; the two paths are bit-identical by construction.
+    fn drain_forward(
         &self,
         fwd: &mut ForwardState,
-        gid: GateId,
-        bw: Option<&mut BackwardState>,
-    ) -> bool {
-        let cell = self.cell[gid.index()];
-        let out = self.out_net[gid.index()];
-        let cin = self.sizing.cin_ff(gid);
-        let load = fwd.nets[out.index()].load;
-
-        // The arc terms that do not depend on the fanin are hoisted out
-        // of the loop (shared with the backward `eval_required`).
-        let ArcTerms {
-            tau_out_by_edge,
-            miller,
-        } = self.gate_params[gid.index()].arc_terms(cin, load);
-
-        let mut new_arrival = [f64::NEG_INFINITY; 2];
-        let mut new_slope = [0.0f64; 2];
-        let mut new_pred: [Option<(NetId, Edge)>; 2] = [None, None];
-        let mut worst_gate_delay = 0.0f64;
-
-        let fanin_range =
-            self.fanin_off[gid.index()] as usize..self.fanin_off[gid.index() + 1] as usize;
-        for out_edge in EDGES {
-            let tau_out = tau_out_by_edge[eidx(out_edge)];
-            let mut best: Option<(f64, NetId, Edge)> = None;
-            for &in_net in &self.fanin[fanin_range.clone()] {
-                let fanin = &fwd.nets[in_net.index()];
-                for &in_edge in compatible_input_edges(cell, out_edge) {
-                    let t_in = fanin.arrival[eidx(in_edge)];
-                    if t_in == f64::NEG_INFINITY {
+        mut bw: Option<&mut BackwardState>,
+    ) -> (usize, usize, bool) {
+        let ForwardState {
+            arrival,
+            slope,
+            pred,
+            load,
+            gate_delay_worst,
+            dirty_bits,
+            dirty_count,
+            min_dirty_rank,
+            ..
+        } = fwd;
+        let ctx = self.eval_ctx();
+        let mut view = FwdView::new(arrival, slope, pred, load, gate_delay_worst);
+        let mut reevals = 0usize;
+        let mut changed = 0usize;
+        if self.use_parallel(self.topo.len()) {
+            let n_levels = self.level_start.len() - 1;
+            let mut positions: Vec<u32> = Vec::new();
+            run_parallel(&ctx, &mut view, self.threads, |d| {
+                let mut level = self.level_of(*min_dirty_rank);
+                while *dirty_count > 0 && level < n_levels {
+                    let (lo, hi) = (self.level_start[level], self.level_start[level + 1]);
+                    level += 1;
+                    positions.clear();
+                    gather_range(dirty_bits, lo, hi, &mut positions);
+                    if positions.is_empty() {
                         continue;
                     }
-                    let s_in = fanin.slope[eidx(in_edge)];
-                    let i = eidx(in_edge);
-                    let delay_ps = 0.5 * self.vt[i] * s_in + 0.5 * miller[i] * tau_out;
-                    debug_assert_eq!(
-                        delay_ps.to_bits(),
-                        gate_delay_with_output_edge(
-                            self.lib, cell, cin, load, s_in, in_edge, out_edge,
-                        )
-                        .delay_ps
-                        .to_bits(),
-                        "cached-constant arc delay must match the model"
-                    );
-                    worst_gate_delay = worst_gate_delay.max(delay_ps);
-                    let t_out = t_in + delay_ps;
-                    if best.map(|(t, ..)| t_out > t).unwrap_or(true) {
-                        best = Some((t_out, in_net, in_edge));
+                    *dirty_count -= positions.len();
+                    reevals += positions.len();
+                    if positions.len() < PAR_LEVEL_MIN {
+                        for &p in &positions {
+                            let pos = p as usize;
+                            let f = d.eval_one(pos);
+                            if f & F_OUT_CHANGED != 0 {
+                                changed += 1;
+                                self.mark_fanouts_raw(dirty_bits, dirty_count, pos);
+                            }
+                            if f != 0 {
+                                if let Some(bw) = bw.as_deref_mut() {
+                                    self.push_bw_seeds(bw, pos, f);
+                                }
+                            }
+                        }
+                    } else {
+                        for &(pos, f) in d.eval_list(&mut positions) {
+                            if f & F_OUT_CHANGED != 0 {
+                                changed += 1;
+                                self.mark_fanouts_raw(dirty_bits, dirty_count, pos as usize);
+                            }
+                            if let Some(bw) = bw.as_deref_mut() {
+                                self.push_bw_seeds(bw, pos as usize, f);
+                            }
+                        }
+                    }
+                }
+            });
+        } else {
+            let mut word = *min_dirty_rank as usize / 64;
+            while *dirty_count > 0 {
+                // Re-read each round: processing a gate may mark ranks
+                // within the current word (always above the bit just
+                // cleared).
+                let bits = dirty_bits[word];
+                if bits == 0 {
+                    word += 1;
+                    continue;
+                }
+                let bit = bits.trailing_zeros();
+                dirty_bits[word] &= !(1u64 << bit);
+                *dirty_count -= 1;
+                let pos = word * 64 + bit as usize;
+                reevals += 1;
+                let f = view.eval_gate(&ctx, pos);
+                if f & F_OUT_CHANGED != 0 {
+                    changed += 1;
+                    self.mark_fanouts_raw(dirty_bits, dirty_count, pos);
+                }
+                if f != 0 {
+                    if let Some(bw) = bw.as_deref_mut() {
+                        self.push_bw_seeds(bw, pos, f);
                     }
                 }
             }
-            if let Some((t, n, e)) = best {
-                let i = eidx(out_edge);
-                new_arrival[i] = t;
-                new_slope[i] = tau_out;
-                new_pred[i] = Some((n, e));
-            }
         }
+        (reevals, reevals - changed, changed > 0)
+    }
 
-        let delay_changed =
-            fwd.gate_delay_worst[gid.index()].to_bits() != worst_gate_delay.to_bits();
-        fwd.gate_delay_worst[gid.index()] = worst_gate_delay;
-        let o = &mut fwd.nets[out.index()];
-        let slope_changed = new_slope[0].to_bits() != o.slope[0].to_bits()
-            || new_slope[1].to_bits() != o.slope[1].to_bits();
-        let arrival_changed = new_arrival[0].to_bits() != o.arrival[0].to_bits()
-            || new_arrival[1].to_bits() != o.arrival[1].to_bits();
-        let changed = slope_changed || arrival_changed;
-        o.arrival = new_arrival;
-        o.slope = new_slope;
-        o.pred = new_pred;
-        if let Some(bw) = bw {
-            // Seed the lazy backward cones — plain log appends, no rank
-            // lookups on the forward hot path: arcs *from* `out` move
-            // with its slope; the completion bound of `gid` moves with
-            // its worst delay; the net's slack (and so its worst-slack
-            // index leaf) with its arrival. Nothing is drained here.
-            if slope_changed {
-                bw.req_net_log.push(out);
-            }
-            if delay_changed {
-                bw.comp_gate_log.push(gid);
-            }
-            if arrival_changed {
-                bw.slack_net_log.push(out);
+    /// Evaluate every gate once in topological order — exactly the full
+    /// pass of `analyze_with` — streaming the slabs in memory order.
+    /// Above the parallel threshold each level is one pool dispatch
+    /// (tiny levels evaluate inline between barriers). Returns whether
+    /// any output moved. The caller clears the dirty bitset: a full
+    /// sweep subsumes every pending mark.
+    fn full_forward_sweep(
+        &self,
+        fwd: &mut ForwardState,
+        mut bw: Option<&mut BackwardState>,
+    ) -> bool {
+        let ForwardState {
+            arrival,
+            slope,
+            pred,
+            load,
+            gate_delay_worst,
+            ..
+        } = fwd;
+        let ctx = self.eval_ctx();
+        let mut view = FwdView::new(arrival, slope, pred, load, gate_delay_worst);
+        let n_gates = self.topo.len();
+        let mut any_changed = false;
+        if self.use_parallel(n_gates) {
+            let n_levels = self.level_start.len() - 1;
+            run_parallel(&ctx, &mut view, self.threads, |d| {
+                for level in 0..n_levels {
+                    let (lo, hi) = (self.level_start[level], self.level_start[level + 1]);
+                    if (hi - lo) < PAR_LEVEL_MIN as u32 {
+                        for pos in lo as usize..hi as usize {
+                            let f = d.eval_one(pos);
+                            any_changed |= f & F_OUT_CHANGED != 0;
+                            if f != 0 {
+                                if let Some(bw) = bw.as_deref_mut() {
+                                    self.push_bw_seeds(bw, pos, f);
+                                }
+                            }
+                        }
+                    } else {
+                        for &(pos, f) in d.eval_range(lo, hi) {
+                            any_changed |= f & F_OUT_CHANGED != 0;
+                            if let Some(bw) = bw.as_deref_mut() {
+                                self.push_bw_seeds(bw, pos as usize, f);
+                            }
+                        }
+                    }
+                }
+            });
+        } else {
+            for pos in 0..n_gates {
+                let f = view.eval_gate(&ctx, pos);
+                any_changed |= f & F_OUT_CHANGED != 0;
+                if f != 0 {
+                    if let Some(bw) = bw.as_deref_mut() {
+                        self.push_bw_seeds(bw, pos, f);
+                    }
+                }
             }
         }
-        changed
+        any_changed
     }
 
     /// Same worst-output scan (and tie-breaking order) as the full pass.
@@ -1515,7 +1900,7 @@ impl<'c> TimingGraph<'c> {
         let mut critical: Option<(NetId, Edge, f64)> = None;
         for &po in &self.pos {
             for e in EDGES {
-                let t = fwd.nets[po.index()].arrival[eidx(e)];
+                let t = fwd.arrival[self.slot(po)][eidx(e)];
                 if t > critical.map(|(_, _, c)| c).unwrap_or(f64::NEG_INFINITY) {
                     critical = Some((po, e, t));
                 }
@@ -1672,16 +2057,17 @@ impl<'c> TimingGraph<'c> {
         // letting the bookkeeping run. Seed counts far past the budget
         // skip the drain attempt entirely.
         let n_gates_total = self.topo.len();
-        let budget = n_gates_total / 3 + 1;
+        let budget = Self::budget(n_gates_total, self.bwd_budget);
 
         // Materialize the seed logs into the rank-keyed dirty set —
         // unless the counts already guarantee the sweep, in which case
-        // the marks would be discarded unread. A resized gate expands
-        // to its fanin nets (arcs through it moved with its C_IN) and
-        // its fanin drivers' fanin nets (their output loads moved).
+        // the marks would be discarded unread (the skip bound scales
+        // with the configured budget: 1.5× covers the log's duplicate
+        // slack). A resized gate expands to its fanin nets (arcs
+        // through it moved with its C_IN) and its fanin drivers' fanin
+        // nets (their output loads moved).
         let log_bound = bw.req_net_log.len() + 6 * bw.resized_log.len();
-        let mut req_sweep =
-            bw.req_count >= budget || (n_gates_total > 0 && log_bound > n_gates_total / 2);
+        let mut req_sweep = bw.req_count >= budget || log_bound > budget.saturating_mul(3) / 2;
         if req_sweep {
             bw.req_net_log.clear();
             bw.resized_log.clear();
@@ -1773,7 +2159,7 @@ impl<'c> TimingGraph<'c> {
             // The sweep bypasses per-net change detection, so the moved
             // slacks are unknown: refold the index wholesale below.
             bw.refold_all = true;
-            req_reevals += fwd.nets.len();
+            req_reevals += self.slot_of.len();
         } else if !bw.pi_dirty.is_empty() {
             // Primary-input nets: backward sinks, nothing propagates
             // further.
@@ -1796,21 +2182,26 @@ impl<'c> TimingGraph<'c> {
         // (random access × log n) lose to one linear wholesale refold —
         // which is the old O(nets) fold, paid once per flush instead of
         // once per query.
-        let n_nets = fwd.nets.len();
+        // Leaves are keyed by *slot* — a bijection of the nets, so the
+        // root min folds the same value multiset as a net-keyed tree
+        // (bit-identical worst; surgery re-keys under `refold_all`).
+        let n_nets = self.slot_of.len();
         if bw.refold_all || bw.slack_net_log.len() > n_nets / 4 {
             bw.refold_all = false;
             bw.slack_net_log.clear();
             let keys: Vec<f64> = (0..n_nets)
-                .map(|i| WorstSlackIndex::key(bw.required[i], fwd.nets[i].arrival))
+                .map(|slot| WorstSlackIndex::key(bw.required[slot], fwd.arrival[slot]))
                 .collect();
             bw.worst.rebuild(&keys);
             index_updates += n_nets;
         } else if !bw.slack_net_log.is_empty() {
             let mut log = std::mem::take(&mut bw.slack_net_log);
             for net in log.drain(..) {
-                let i = net.index();
-                bw.worst
-                    .update(i, WorstSlackIndex::key(bw.required[i], fwd.nets[i].arrival));
+                let slot = self.slot(net);
+                bw.worst.update(
+                    slot,
+                    WorstSlackIndex::key(bw.required[slot], fwd.arrival[slot]),
+                );
                 index_updates += 1;
             }
             bw.slack_net_log = log;
@@ -1846,11 +2237,11 @@ impl<'c> TimingGraph<'c> {
 
         let mut comp_reevals = 0usize;
         let n_gates_total = self.topo.len();
-        let budget = n_gates_total / 3 + 1;
+        let budget = Self::budget(n_gates_total, self.bwd_budget);
 
         // Materialize the completion seed log (see `flush_required`).
-        let mut comp_sweep = bw.comp_count >= budget
-            || (n_gates_total > 0 && bw.comp_gate_log.len() > n_gates_total / 2);
+        let mut comp_sweep =
+            bw.comp_count >= budget || bw.comp_gate_log.len() > budget.saturating_mul(3) / 2;
         if comp_sweep {
             bw.comp_gate_log.clear();
         } else if !bw.comp_gate_log.is_empty() {
@@ -1876,9 +2267,10 @@ impl<'c> TimingGraph<'c> {
                 let bit = 63 - bits.leading_zeros();
                 bw.comp_bits[word] &= !(1u64 << bit);
                 bw.comp_count -= 1;
-                let gate = self.topo[word * 64 + bit as usize];
+                let pos = word * 64 + bit as usize;
                 comp_reevals += 1;
-                if self.eval_completion(&fwd, bw, gate) {
+                if self.eval_completion(&fwd, bw, pos) {
+                    let gate = self.topo[pos];
                     let (lo, hi) = (
                         self.fanin_off[gate.index()] as usize,
                         self.fanin_off[gate.index() + 1] as usize,
@@ -1900,9 +2292,8 @@ impl<'c> TimingGraph<'c> {
             bw.comp_max_rank = 0;
         }
         if comp_sweep {
-            for i in (0..n_gates_total).rev() {
-                let gid = self.topo[i];
-                let _ = self.eval_completion(&fwd, bw, gid);
+            for pos in (0..n_gates_total).rev() {
+                let _ = self.eval_completion(&fwd, bw, pos);
             }
             bw.comp_bits.iter_mut().for_each(|w| *w = 0);
             bw.comp_count = 0;
@@ -1925,29 +2316,32 @@ impl<'c> TimingGraph<'c> {
     /// bit-identical to a fresh [`crate::required_times`]: a min over
     /// one multiset is order-independent.
     fn eval_required(&self, fwd: &ForwardState, bw: &mut BackwardState, net: NetId) -> bool {
+        let slot = self.slot(net);
         let mut req = if self.is_po[net.index()] {
             [bw.tc_ps; 2]
         } else {
             [f64::INFINITY; 2]
         };
-        let slope = fwd.nets[net.index()].slope;
+        let slope = fwd.slope[slot];
         let (lo, hi) = (
             self.fanout_off[net.index()] as usize,
             self.fanout_off[net.index() + 1] as usize,
         );
         for &h in &self.fanout[lo..hi] {
             let cell = self.cell[h.index()];
-            let h_out = self.out_net[h.index()];
+            // A gate's output slot is `n_src + rank` — no net-id
+            // round-trip.
+            let h_out_slot = self.n_src + self.rank[h.index()] as usize;
             let cin = self.sizing.cin_ff(h);
-            let load = fwd.nets[h_out.index()].load;
-            // Same hoisted arc terms as `eval_gate` (bit-identical to
-            // `gate_delay_with_output_edge`).
+            let load = fwd.load[h_out_slot];
+            // Same hoisted arc terms as the forward kernel
+            // (bit-identical to `gate_delay_with_output_edge`).
             let ArcTerms {
                 tau_out_by_edge,
                 miller,
             } = self.gate_params[h.index()].arc_terms(cin, load);
             for out_edge in EDGES {
-                let req_out = bw.required[h_out.index()][eidx(out_edge)];
+                let req_out = bw.required[h_out_slot][eidx(out_edge)];
                 if req_out == f64::INFINITY {
                     continue;
                 }
@@ -1971,10 +2365,9 @@ impl<'c> TimingGraph<'c> {
                 }
             }
         }
-        let slot = &mut bw.required[net.index()];
-        let changed =
-            req[0].to_bits() != slot[0].to_bits() || req[1].to_bits() != slot[1].to_bits();
-        *slot = req;
+        let cur = &mut bw.required[slot];
+        let changed = req[0].to_bits() != cur[0].to_bits() || req[1].to_bits() != cur[1].to_bits();
+        *cur = req;
         if changed {
             // The net's slack moved with its required time: refresh its
             // worst-slack index leaf when this flush's drain completes.
@@ -1994,18 +2387,19 @@ impl<'c> TimingGraph<'c> {
     /// cost more than this per-gate pass.
     fn sweep_required_full(&self, fwd: &ForwardState, bw: &mut BackwardState) {
         let tc = bw.tc_ps;
-        for (i, slot) in bw.required.iter_mut().enumerate() {
-            *slot = if self.is_po[i] {
+        for net in 0..self.slot_of.len() {
+            bw.required[self.slot_of[net] as usize] = if self.is_po[net] {
                 [tc; 2]
             } else {
                 [f64::INFINITY; 2]
             };
         }
-        for &gid in self.topo.iter().rev() {
-            let out = self.out_net[gid.index()];
+        for pos in (0..self.topo.len()).rev() {
+            let gid = self.topo[pos];
+            let out_slot = self.n_src + pos;
             let cell = self.cell[gid.index()];
             let cin = self.sizing.cin_ff(gid);
-            let load = fwd.nets[out.index()].load;
+            let load = fwd.load[out_slot];
             let ArcTerms {
                 tau_out_by_edge,
                 miller,
@@ -2013,15 +2407,16 @@ impl<'c> TimingGraph<'c> {
             let fanin_range =
                 self.fanin_off[gid.index()] as usize..self.fanin_off[gid.index() + 1] as usize;
             for out_edge in EDGES {
-                let req_out = bw.required[out.index()][eidx(out_edge)];
+                let req_out = bw.required[out_slot][eidx(out_edge)];
                 if req_out == f64::INFINITY {
                     continue;
                 }
                 let tau_out = tau_out_by_edge[eidx(out_edge)];
-                for &in_net in &self.fanin[fanin_range.clone()] {
+                for idx in fanin_range.clone() {
+                    let in_slot = self.fanin_slots[idx] as usize;
                     for &in_edge in compatible_input_edges(cell, out_edge) {
                         let i = eidx(in_edge);
-                        let slope = fwd.nets[in_net.index()].slope[i];
+                        let slope = fwd.slope[in_slot][i];
                         let delay_ps = 0.5 * self.vt[i] * slope + 0.5 * miller[i] * tau_out;
                         debug_assert_eq!(
                             delay_ps.to_bits(),
@@ -2033,9 +2428,9 @@ impl<'c> TimingGraph<'c> {
                             "cached-constant sweep arc delay must match the model"
                         );
                         let candidate = req_out - delay_ps;
-                        let slot = &mut bw.required[in_net.index()][i];
-                        if candidate < *slot {
-                            *slot = candidate;
+                        let cur = &mut bw.required[in_slot][i];
+                        if candidate < *cur {
+                            *cur = candidate;
                         }
                     }
                 }
@@ -2043,10 +2438,12 @@ impl<'c> TimingGraph<'c> {
         }
     }
 
-    /// Recompute one gate's k-paths completion bound; returns whether it
-    /// changed (bitwise). Same fold, in the same successor order, as
+    /// Recompute the completion bound of the gate at topo position
+    /// `pos`; returns whether it changed (bitwise). Same fold, in the
+    /// same successor order, as
     /// [`crate::kpaths::completion_bounds`].
-    fn eval_completion(&self, fwd: &ForwardState, bw: &mut BackwardState, gid: GateId) -> bool {
+    fn eval_completion(&self, fwd: &ForwardState, bw: &mut BackwardState, pos: usize) -> bool {
+        let gid = self.topo[pos];
         let out = self.out_net[gid.index()];
         let mut best = if self.is_po[out.index()] {
             0.0
@@ -2058,19 +2455,19 @@ impl<'c> TimingGraph<'c> {
             self.fanout_off[out.index() + 1] as usize,
         );
         for &succ in &self.fanout[lo..hi] {
-            let c = bw.completion[succ.index()];
+            let c = bw.completion[self.rank[succ.index()] as usize];
             if c.is_finite() {
                 best = best.max(c);
             }
         }
         let new = if best.is_finite() {
-            fwd.gate_delay_worst[gid.index()] + best
+            fwd.gate_delay_worst[pos] + best
         } else {
             f64::NEG_INFINITY
         };
-        let slot = &mut bw.completion[gid.index()];
-        let changed = new.to_bits() != slot.to_bits();
-        *slot = new;
+        let cur = &mut bw.completion[pos];
+        let changed = new.to_bits() != cur.to_bits();
+        *cur = new;
         changed
     }
 }
@@ -2093,10 +2490,13 @@ impl TimingView for TimingGraph<'_> {
     }
     fn cached_completion_ps(&self) -> Option<Vec<f64>> {
         self.flush_completion();
-        self.backward
-            .borrow()
-            .as_ref()
-            .map(|bw| bw.completion.clone())
+        // The consumer expects gate-id indexing; permute the rank-major
+        // slab back through `rank`.
+        self.backward.borrow().as_ref().map(|bw| {
+            (0..self.rank.len())
+                .map(|g| bw.completion[self.rank[g] as usize])
+                .collect()
+        })
     }
     fn cached_required_times(&self, tc_ps: f64, sizing: &Sizing) -> Option<SlackReport> {
         let hit = matches!(

@@ -1,0 +1,505 @@
+//! Level-synchronized parallel forward evaluation.
+//!
+//! The forward timing state lives in rank-major slabs (see
+//! [`crate::incremental`]): gates are ordered level-major, so every gate
+//! of one logic level has all its fanins in strictly lower levels and
+//! its output slot in a level-contiguous range. That makes a level a
+//! natural parallel batch — no two gates of the same level read or
+//! write the same slot — and a full sweep or a dirty-level drain
+//! becomes: *for each level (ascending), evaluate its gates across a
+//! worker pool, barrier, continue*.
+//!
+//! The pool is built in-tree on [`std::thread::scope`] (no external
+//! runtime): workers are spawned once per flush and synchronized with
+//! two reusable [`Barrier`]s per dispatched level, so per-level cost is
+//! a barrier crossing, not a thread spawn. The coordinating thread
+//! participates as worker 0 and retains exclusive ownership of all
+//! non-slab bookkeeping (dirty bitsets, backward seed logs).
+//!
+//! # Safety
+//!
+//! This is the one module in the crate allowed to use `unsafe`
+//! (`lib.rs` carries `#![deny(unsafe_code)]`). The slabs are shared
+//! with workers as `&[SyncCell<T>]` views created from `&mut` slices,
+//! so the borrow checker guarantees no *other* alias exists for the
+//! view's lifetime; disjointness *between* workers is structural:
+//!
+//! * a worker only writes the output slot and delay slot of gates in
+//!   its own chunk of the current level (chunks partition the level);
+//! * it only reads fanin slots, which belong to strictly lower levels —
+//!   settled before the level's start barrier and written by no one
+//!   until its end barrier;
+//! * the coordinator evaluates gates only while every worker is parked
+//!   at the start barrier.
+//!
+//! Every evaluation — sequential or parallel — goes through the same
+//! [`FwdView::eval_shared`] kernel, so the two paths cannot diverge:
+//! bit-identical state is a structural property, not a testing
+//! aspiration (the differential suite asserts it anyway).
+#![allow(unsafe_code)]
+
+use std::cell::UnsafeCell;
+use std::sync::{Barrier, Mutex, RwLock};
+
+use pops_delay::model::{gate_delay_with_output_edge, Edge};
+use pops_delay::Library;
+use pops_netlist::{CellKind, GateId, NetId};
+
+use crate::analysis::{compatible_input_edges, eidx, EDGES};
+use crate::incremental::{ArcTerms, GateParams};
+
+/// Arrival or slope of the gate's output net changed (bitwise) — the
+/// forward cone expands through its fanouts.
+pub(crate) const F_SLOPE: u8 = 1 << 0;
+/// The gate's worst delay changed — its completion bound re-derives.
+pub(crate) const F_DELAY: u8 = 1 << 1;
+/// The output net's arrival changed — its slack leaf re-folds.
+pub(crate) const F_ARRIVAL: u8 = 1 << 2;
+/// The output net moved at all (slope or arrival): fanouts re-mark.
+pub(crate) const F_OUT_CHANGED: u8 = F_SLOPE | F_ARRIVAL;
+
+/// Predecessor record per edge: `(fanin net, input edge)` of the worst
+/// arrival.
+pub(crate) type PredPair = [Option<(NetId, Edge)>; 2];
+
+/// A cell whose value may be written by exactly one thread while others
+/// provably do not touch it (the level-barrier discipline above).
+/// `repr(transparent)` so a `&mut [T]` reinterprets as `&[SyncCell<T>]`.
+#[repr(transparent)]
+struct SyncCell<T>(UnsafeCell<T>);
+
+// SAFETY: all access goes through `get`/`set` under the level-barrier
+// discipline documented in the module docs — no two threads touch the
+// same cell between barriers.
+unsafe impl<T: Send> Sync for SyncCell<T> {}
+
+impl<T: Copy> SyncCell<T> {
+    fn from_mut_slice(s: &mut [T]) -> &[SyncCell<T>] {
+        // SAFETY: SyncCell<T> is repr(transparent) over T, so the slice
+        // layouts match; the &mut input guarantees the view is the only
+        // alias for its lifetime.
+        unsafe { &*(s as *mut [T] as *const [SyncCell<T>]) }
+    }
+    /// SAFETY: no concurrent `set` to the same cell (see module docs).
+    unsafe fn get(&self) -> T {
+        unsafe { *self.0.get() }
+    }
+    /// SAFETY: no concurrent access to the same cell (see module docs).
+    unsafe fn set(&self, v: T) {
+        unsafe { *self.0.get() = v }
+    }
+}
+
+/// Read-only, `Sync` view of every circuit-derived array the per-gate
+/// kernel needs — assembled by the graph per flush so worker threads
+/// never see the graph itself (which holds `RefCell`s).
+pub(crate) struct EvalCtx<'a> {
+    /// Gates in level-major topo order (`pos` indexes this).
+    pub topo: &'a [GateId],
+    /// Cell kind per gate (id-indexed).
+    pub cell: &'a [CellKind],
+    /// Flattened model constants per gate (id-indexed).
+    pub gate_params: &'a [GateParams],
+    /// Reduced thresholds per input edge.
+    pub vt: [f64; 2],
+    /// Flattened fanin nets (ids, for predecessor records).
+    pub fanin: &'a [NetId],
+    /// Slot of each flattened fanin net (parallel to `fanin`).
+    pub fanin_slots: &'a [u32],
+    /// Fanin offsets per gate id.
+    pub fanin_off: &'a [u32],
+    /// Input capacitance per gate (id-indexed).
+    pub cins: &'a [f64],
+    /// Slots `0..n_src` hold driverless nets; gate `pos` writes slot
+    /// `n_src + pos`.
+    pub n_src: usize,
+    /// For the debug cross-check against the reference delay model.
+    pub lib: &'a Library,
+}
+
+/// Exclusive view of the mutable forward slabs for one flush. Created
+/// from `&mut` slices (so it is the only alias); shared with workers by
+/// `&FwdView` only inside [`run_parallel`]'s barrier discipline.
+pub(crate) struct FwdView<'a> {
+    arrival: &'a [SyncCell<[f64; 2]>],
+    slope: &'a [SyncCell<[f64; 2]>],
+    pred: &'a [SyncCell<PredPair>],
+    load: &'a [f64],
+    gate_delay: &'a [SyncCell<f64>],
+}
+
+impl<'a> FwdView<'a> {
+    pub(crate) fn new(
+        arrival: &'a mut [[f64; 2]],
+        slope: &'a mut [[f64; 2]],
+        pred: &'a mut [PredPair],
+        load: &'a [f64],
+        gate_delay: &'a mut [f64],
+    ) -> Self {
+        FwdView {
+            arrival: SyncCell::from_mut_slice(arrival),
+            slope: SyncCell::from_mut_slice(slope),
+            pred: SyncCell::from_mut_slice(pred),
+            load,
+            gate_delay: SyncCell::from_mut_slice(gate_delay),
+        }
+    }
+
+    /// Evaluate the gate at `pos` with exclusive access (`&mut self`
+    /// proves no worker shares the view). The sequential drain and
+    /// sweep paths use this.
+    pub(crate) fn eval_gate(&mut self, ctx: &EvalCtx<'_>, pos: usize) -> u8 {
+        // SAFETY: `&mut self` — no other view of the slabs exists.
+        unsafe { self.eval_shared(ctx, pos) }
+    }
+
+    /// The per-gate kernel: re-run the full pass's step for the gate at
+    /// `pos`, write its output slot and return the change flags.
+    /// Identical arc order, comparisons and floating-point operations
+    /// to the eager engine (the `debug_assert` cross-checks the model).
+    ///
+    /// # Safety
+    ///
+    /// No other thread may concurrently access slot `n_src + pos` or
+    /// delay slot `pos`, and the gate's fanin slots must not be written
+    /// concurrently — guaranteed by the level-barrier discipline.
+    unsafe fn eval_shared(&self, ctx: &EvalCtx<'_>, pos: usize) -> u8 {
+        let gid = ctx.topo[pos];
+        let gi = gid.index();
+        let cell = ctx.cell[gi];
+        let cin = ctx.cins[gi];
+        let out_slot = ctx.n_src + pos;
+        let load = self.load[out_slot];
+
+        // The arc terms that do not depend on the fanin are hoisted out
+        // of the loop (shared with the backward `eval_required`).
+        let ArcTerms {
+            tau_out_by_edge,
+            miller,
+        } = ctx.gate_params[gi].arc_terms(cin, load);
+
+        let mut new_arrival = [f64::NEG_INFINITY; 2];
+        let mut new_slope = [0.0f64; 2];
+        let mut new_pred: PredPair = [None, None];
+        let mut worst_gate_delay = 0.0f64;
+
+        let fanin_range = ctx.fanin_off[gi] as usize..ctx.fanin_off[gi + 1] as usize;
+        for out_edge in EDGES {
+            let tau_out = tau_out_by_edge[eidx(out_edge)];
+            let mut best: Option<(f64, NetId, Edge)> = None;
+            for idx in fanin_range.clone() {
+                let in_net = ctx.fanin[idx];
+                let in_slot = ctx.fanin_slots[idx] as usize;
+                // SAFETY: fanin slots live in strictly lower levels,
+                // settled before this level started.
+                let in_arrival = unsafe { self.arrival[in_slot].get() };
+                let in_slope = unsafe { self.slope[in_slot].get() };
+                for &in_edge in compatible_input_edges(cell, out_edge) {
+                    let t_in = in_arrival[eidx(in_edge)];
+                    if t_in == f64::NEG_INFINITY {
+                        continue;
+                    }
+                    let s_in = in_slope[eidx(in_edge)];
+                    let i = eidx(in_edge);
+                    let delay_ps = 0.5 * ctx.vt[i] * s_in + 0.5 * miller[i] * tau_out;
+                    debug_assert_eq!(
+                        delay_ps.to_bits(),
+                        gate_delay_with_output_edge(
+                            ctx.lib, cell, cin, load, s_in, in_edge, out_edge,
+                        )
+                        .delay_ps
+                        .to_bits(),
+                        "cached-constant arc delay must match the model"
+                    );
+                    worst_gate_delay = worst_gate_delay.max(delay_ps);
+                    let t_out = t_in + delay_ps;
+                    if best.map(|(t, ..)| t_out > t).unwrap_or(true) {
+                        best = Some((t_out, in_net, in_edge));
+                    }
+                }
+            }
+            if let Some((t, n, e)) = best {
+                let i = eidx(out_edge);
+                new_arrival[i] = t;
+                new_slope[i] = tau_out;
+                new_pred[i] = Some((n, e));
+            }
+        }
+
+        // SAFETY: slot `n_src + pos` and delay slot `pos` belong to this
+        // gate alone within the current level.
+        let old_delay = unsafe { self.gate_delay[pos].get() };
+        let old_arrival = unsafe { self.arrival[out_slot].get() };
+        let old_slope = unsafe { self.slope[out_slot].get() };
+        let mut flags = 0u8;
+        if old_delay.to_bits() != worst_gate_delay.to_bits() {
+            flags |= F_DELAY;
+        }
+        if new_slope[0].to_bits() != old_slope[0].to_bits()
+            || new_slope[1].to_bits() != old_slope[1].to_bits()
+        {
+            flags |= F_SLOPE;
+        }
+        if new_arrival[0].to_bits() != old_arrival[0].to_bits()
+            || new_arrival[1].to_bits() != old_arrival[1].to_bits()
+        {
+            flags |= F_ARRIVAL;
+        }
+        unsafe {
+            self.gate_delay[pos].set(worst_gate_delay);
+            self.arrival[out_slot].set(new_arrival);
+            self.slope[out_slot].set(new_slope);
+            self.pred[out_slot].set(new_pred);
+        }
+        flags
+    }
+}
+
+/// One dispatched batch: either a contiguous position range (a whole
+/// level, full-sweep case) or an explicit dirty-position list (drain
+/// case). Positions ascend; workers take contiguous chunks in worker
+/// order, so the merged result list is position-ordered.
+#[derive(Default)]
+struct Task {
+    lo: u32,
+    hi: u32,
+    list: Option<Vec<u32>>,
+    done: bool,
+}
+
+fn chunk(n: usize, w: usize, threads: usize) -> std::ops::Range<usize> {
+    n * w / threads..n * (w + 1) / threads
+}
+
+/// The coordinator's handle inside [`run_parallel`]: dispatch levels to
+/// the pool (or evaluate stragglers inline) while keeping exclusive
+/// ownership of all non-slab state.
+pub(crate) struct Driver<'p, 'v, 'a> {
+    ctx: &'p EvalCtx<'a>,
+    view: &'p FwdView<'v>,
+    threads: usize,
+    task: &'p RwLock<Task>,
+    start: &'p Barrier,
+    end: &'p Barrier,
+    outs: &'p [Mutex<Vec<(u32, u8)>>],
+    merged: Vec<(u32, u8)>,
+}
+
+impl Driver<'_, '_, '_> {
+    /// Evaluate one gate inline. Sound: every worker is parked at the
+    /// start barrier whenever the coordinator runs, so the coordinator
+    /// has exclusive slab access.
+    pub(crate) fn eval_one(&mut self, pos: usize) -> u8 {
+        // SAFETY: workers are parked between dispatches (module docs).
+        unsafe { self.view.eval_shared(self.ctx, pos) }
+    }
+
+    /// Evaluate every position in `[lo, hi)` (one full level) across
+    /// the pool. Returns `(pos, flags)` for every gate with nonzero
+    /// flags, in ascending position order.
+    pub(crate) fn eval_range(&mut self, lo: u32, hi: u32) -> &[(u32, u8)] {
+        self.dispatch(Task {
+            lo,
+            hi,
+            list: None,
+            done: false,
+        });
+        &self.merged
+    }
+
+    /// Evaluate an explicit ascending position list (one level's dirty
+    /// gates) across the pool; the list is borrowed into the task and
+    /// returned to `positions` afterwards. Result as [`Driver::eval_range`].
+    pub(crate) fn eval_list(&mut self, positions: &mut Vec<u32>) -> &[(u32, u8)] {
+        debug_assert!(positions.windows(2).all(|w| w[0] < w[1]));
+        self.dispatch(Task {
+            lo: 0,
+            hi: 0,
+            list: Some(std::mem::take(positions)),
+            done: false,
+        });
+        *positions = self
+            .task
+            .write()
+            .expect("pool lock")
+            .list
+            .take()
+            .expect("dispatched list comes back");
+        &self.merged
+    }
+
+    fn dispatch(&mut self, t: Task) {
+        *self.task.write().expect("pool lock") = t;
+        self.start.wait();
+        // The coordinator is worker 0.
+        run_chunk(
+            self.ctx,
+            self.view,
+            self.task,
+            0,
+            self.threads,
+            &self.outs[0],
+        );
+        self.end.wait();
+        self.merged.clear();
+        for out in self.outs {
+            self.merged.append(&mut out.lock().expect("pool lock"));
+        }
+    }
+
+    fn shutdown(&mut self) {
+        self.task.write().expect("pool lock").done = true;
+        self.start.wait();
+    }
+}
+
+fn run_chunk(
+    ctx: &EvalCtx<'_>,
+    view: &FwdView<'_>,
+    task: &RwLock<Task>,
+    w: usize,
+    threads: usize,
+    out: &Mutex<Vec<(u32, u8)>>,
+) {
+    let t = task.read().expect("pool lock");
+    let mut local = out.lock().expect("pool lock");
+    match &t.list {
+        Some(list) => {
+            for &pos in &list[chunk(list.len(), w, threads)] {
+                // SAFETY: `pos` is in this worker's chunk of the
+                // current level (module-docs discipline).
+                let f = unsafe { view.eval_shared(ctx, pos as usize) };
+                if f != 0 {
+                    local.push((pos, f));
+                }
+            }
+        }
+        None => {
+            let n = (t.hi - t.lo) as usize;
+            let c = chunk(n, w, threads);
+            for pos in t.lo + c.start as u32..t.lo + c.end as u32 {
+                // SAFETY: as above.
+                let f = unsafe { view.eval_shared(ctx, pos as usize) };
+                if f != 0 {
+                    local.push((pos, f));
+                }
+            }
+        }
+    }
+}
+
+/// Spin up `threads - 1` workers for the duration of `body` and hand
+/// the coordinator a [`Driver`]. The `&mut FwdView` guarantees the
+/// caller holds the only view; it is reborrowed shared across the pool.
+pub(crate) fn run_parallel<R>(
+    ctx: &EvalCtx<'_>,
+    view: &mut FwdView<'_>,
+    threads: usize,
+    body: impl FnOnce(&mut Driver<'_, '_, '_>) -> R,
+) -> R {
+    assert!(threads >= 2, "run_parallel needs a pool");
+    let task = RwLock::new(Task::default());
+    let start = Barrier::new(threads);
+    let end = Barrier::new(threads);
+    let outs: Vec<Mutex<Vec<(u32, u8)>>> = (0..threads).map(|_| Mutex::new(Vec::new())).collect();
+    let view: &FwdView = view;
+    std::thread::scope(|s| {
+        for (w, out) in outs.iter().enumerate().skip(1) {
+            let (task, start, end) = (&task, &start, &end);
+            s.spawn(move || loop {
+                start.wait();
+                if task.read().expect("pool lock").done {
+                    return;
+                }
+                run_chunk(ctx, view, task, w, threads, out);
+                end.wait();
+            });
+        }
+        let mut driver = Driver {
+            ctx,
+            view,
+            threads,
+            task: &task,
+            start: &start,
+            end: &end,
+            outs: &outs,
+            merged: Vec::new(),
+        };
+        // Release the workers even when the body panics (an assertion
+        // in an inline eval, say) — otherwise they stay parked at the
+        // start barrier and the scope deadlocks instead of propagating.
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut driver)));
+        driver.shutdown();
+        match r {
+            Ok(r) => r,
+            Err(p) => std::panic::resume_unwind(p),
+        }
+    })
+}
+
+/// Collect (and clear) every set bit of `bits` whose index lies in
+/// `[lo, hi)`, pushing the indices in ascending order. The drain's
+/// per-level dirty gather.
+pub(crate) fn gather_range(bits: &mut [u64], lo: u32, hi: u32, out: &mut Vec<u32>) {
+    if lo >= hi {
+        return;
+    }
+    let (lo, hi) = (lo as usize, hi as usize);
+    let mut word = lo / 64;
+    let last = (hi - 1) / 64;
+    while word <= last {
+        let mut mask = u64::MAX;
+        if word == lo / 64 {
+            mask &= u64::MAX << (lo % 64);
+        }
+        if word == last && hi % 64 != 0 {
+            mask &= u64::MAX >> (64 - hi % 64);
+        }
+        let mut hits = bits[word] & mask;
+        bits[word] &= !hits;
+        while hits != 0 {
+            let bit = hits.trailing_zeros();
+            out.push((word * 64) as u32 + bit);
+            hits &= hits - 1;
+        }
+        word += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gather_range_respects_bounds_and_clears() {
+        let mut bits = vec![0u64; 3];
+        for i in [0usize, 5, 63, 64, 70, 127, 128, 150] {
+            bits[i / 64] |= 1 << (i % 64);
+        }
+        let mut out = Vec::new();
+        gather_range(&mut bits, 5, 128, &mut out);
+        assert_eq!(out, [5, 63, 64, 70, 127]);
+        // Cleared inside the range, untouched outside (0, 128, 150).
+        assert_eq!(bits[0], 1);
+        assert_eq!(bits[1], 0);
+        assert_eq!(bits[2], (1 << (150 - 128)) | 1);
+        out.clear();
+        gather_range(&mut bits, 128, 151, &mut out);
+        assert_eq!(out, [128, 150]);
+    }
+
+    #[test]
+    fn chunks_partition_exactly() {
+        for n in [0usize, 1, 7, 64, 1000] {
+            for t in 1..6 {
+                let mut covered = 0;
+                for w in 0..t {
+                    let c = chunk(n, w, t);
+                    assert_eq!(c.start, covered);
+                    covered = c.end;
+                }
+                assert_eq!(covered, n);
+            }
+        }
+    }
+}

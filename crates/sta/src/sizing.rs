@@ -115,6 +115,12 @@ impl Sizing {
         }
     }
 
+    /// The dense id-indexed capacitance array, for hot loops that
+    /// stream it without per-gate bounds-checked calls.
+    pub(crate) fn as_slice(&self) -> &[f64] {
+        &self.cins
+    }
+
     /// Number of gates covered.
     pub fn len(&self) -> usize {
         self.cins.len()
