@@ -18,12 +18,18 @@
 //! Gate sizes toggle between their base value and 1.2× as the round
 //! cursor cycles the gate list, keeping the state bounded without
 //! probe/revert pairs. Per-round times are collected over enough rounds
-//! to cycle every gate; median and mean are reported per (circuit, K),
-//! and the two sides are cross-checked bit-for-bit every round.
-//! Results are recorded in `BENCH_sta_forward.json` at the repository
-//! root; the acceptance bar is a median speedup > 1.0 from K = 8 on
-//! every suite circuit (at K = 1 the sides do identical work and the
-//! ratio sits at ~1.0, the lazy bookkeeping being noise).
+//! to cycle every gate, alternating which side is timed first each
+//! round (the first-timed side pays the round's cold caches — timing
+//! one side first systematically biased K = 1 below 1.0×).
+//! `speedup_median` is the median over *round pairs* of the paired
+//! ratio `(e₀+e₁)/(m₀+m₁)`: each pair contains one merged-first and one
+//! eager-first round, so order bias and load drift cancel inside the
+//! pair. Per-side medians and means ride along, and the two sides are
+//! cross-checked bit-for-bit every round. Results are recorded in
+//! `BENCH_sta_forward.json` at the repository root; the acceptance bar
+//! is a median speedup > 1.0 from K = 8 on every suite circuit (at
+//! K = 1 the sides do identical work and the ratio sits at ~1.0, the
+//! lazy bookkeeping being noise).
 
 use std::time::Instant;
 
@@ -57,6 +63,34 @@ pops_bench::json_fields!(WorkloadBaseline {
     speedup_median,
     speedup_mean
 });
+
+/// One timed round of one side. Both strategies run through this one
+/// function so they execute the same machine code — separate loops per
+/// side give the branch predictor and icache a systematic preference
+/// for one of them, which is visible at K = 1 where the strategies
+/// otherwise do identical work.
+///
+/// * `per_mutation = false` — merged: K resizes append seed logs, the
+///   single delay read drains the merged cone.
+/// * `per_mutation = true` — a delay read after every resize forces the
+///   flush each mutation, the pre-lazy eager semantics.
+///
+/// Returns the final delay and the elapsed nanoseconds.
+#[inline(never)]
+fn run_side(graph: &mut TimingGraph, changes: &[(GateId, f64)], per_mutation: bool) -> (f64, f64) {
+    let t0 = Instant::now();
+    let mut d = 0.0;
+    for &(g, cin) in changes {
+        graph.resize_gate(g, cin);
+        if per_mutation {
+            d = std::hint::black_box(graph.critical_delay_ps());
+        }
+    }
+    if !per_mutation {
+        d = std::hint::black_box(graph.critical_delay_ps());
+    }
+    (d, t0.elapsed().as_nanos() as f64)
+}
 
 /// The K gates of one round: a non-wrapping chunk of the gate cycle,
 /// without duplicates within one round. When fewer than K gates remain,
@@ -102,15 +136,18 @@ fn main() {
 
         for k in [1usize, 8, 64] {
             let k = k.min(gates.len());
-            // Enough rounds to touch every gate at least once, and at
-            // least 32 so the medians are stable on the small circuits.
-            let rounds = gates.len().div_ceil(k).max(32);
+            // Enough rounds to touch every gate at least once, with a
+            // floor that scales the sample count up as K shrinks — the
+            // K = 1 rounds are microsecond-sized and their median is
+            // the acceptance-gated ~1.0× anchor, so it needs the most
+            // samples to sit still on a noisy runner.
+            let rounds = gates.len().div_ceil(k).max(1024 / k).max(32);
             let mut cursor = 0usize;
             let mut phase = vec![false; gates.len()];
             let mut merged_ns = Vec::with_capacity(rounds);
             let mut eager_ns = Vec::with_capacity(rounds);
 
-            for _ in 0..rounds {
+            for round in 0..rounds {
                 let chunk = round_gates(&gates, &mut cursor, k);
                 let changes: Vec<(GateId, f64)> = chunk
                     .iter()
@@ -121,24 +158,24 @@ fn main() {
                     })
                     .collect();
 
-                // Merged: K log appends, one flush at the delay read.
-                let t0 = Instant::now();
-                for &(g, cin) in &changes {
-                    merged.resize_gate(g, cin);
-                }
-                let d_merged = std::hint::black_box(merged.critical_delay_ps());
-                merged_ns.push(t0.elapsed().as_nanos() as f64);
-
-                // Per-mutation: the delay read after every resize makes
-                // each mutation pay its own propagation — the pre-lazy
-                // eager semantics.
-                let t0 = Instant::now();
+                // Alternate which side is timed first each round: the
+                // first-timed side pays the round's cold caches (the
+                // cone's slabs were last touched a whole gate cycle
+                // ago), which showed up as a systematic ~0.9× at K = 1
+                // where the two sides otherwise do identical work.
+                let mut d_merged = 0.0;
                 let mut d_eager = 0.0;
-                for &(g, cin) in &changes {
-                    eager.resize_gate(g, cin);
-                    d_eager = std::hint::black_box(eager.critical_delay_ps());
+                for side in 0..2 {
+                    if (round + side) % 2 == 0 {
+                        let (d, ns) = run_side(&mut merged, &changes, false);
+                        d_merged = d;
+                        merged_ns.push(ns);
+                    } else {
+                        let (d, ns) = run_side(&mut eager, &changes, true);
+                        d_eager = d;
+                        eager_ns.push(ns);
+                    }
                 }
-                eager_ns.push(t0.elapsed().as_nanos() as f64);
 
                 // The bench is only valid while both sides agree
                 // bit-for-bit at every round boundary.
@@ -157,6 +194,18 @@ fn main() {
 
             let (m_med, m_mean) = (median(merged_ns.clone()), mean(&merged_ns));
             let (e_med, e_mean) = (median(eager_ns.clone()), mean(&eager_ns));
+            // Paired speedup estimator: consecutive rounds alternate
+            // which side is timed first, so summing each pair puts one
+            // cold-first round of *each* side in both numerator and
+            // denominator — order bias and load drift cancel within the
+            // pair, and the median over pairs is far tighter than the
+            // ratio of grand medians on a noisy runner. At K = 1 the
+            // sides do identical work and this sits at 1.0×.
+            let pair_ratios: Vec<f64> = eager_ns
+                .chunks_exact(2)
+                .zip(merged_ns.chunks_exact(2))
+                .map(|(e, m)| (e[0] + e[1]) / (m[0] + m[1]))
+                .collect();
             baselines.push(WorkloadBaseline {
                 circuit: name.to_string(),
                 gates: circuit.gate_count(),
@@ -166,7 +215,7 @@ fn main() {
                 eager_mean_ns: e_mean,
                 merged_median_ns: m_med,
                 merged_mean_ns: m_mean,
-                speedup_median: e_med / m_med,
+                speedup_median: median(pair_ratios),
                 speedup_mean: e_mean / m_mean,
             });
         }

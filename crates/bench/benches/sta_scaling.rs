@@ -5,9 +5,17 @@
 //! * `full_sweep` — forced-sweep throughput (budgets `(0,1)`): one gate
 //!   resize per round, the delay read pays a whole rank-major forward
 //!   sweep. One row per worker-thread count; `parallel_speedup_median`
-//!   is the 1-thread median over this row's median. Thread scaling is
-//!   machine-dependent (the CI runner is not the dev box), so these
-//!   rows are recorded but never gated.
+//!   is the 1-thread median over this row's median. Every thread row
+//!   records `host_cores` (the recording host's available parallelism)
+//!   so `bench_gate` can tell a comparable environment from an
+//!   oversubscribed one; worker counts beyond the host's cores are
+//!   dropped up front — a 4-worker pool on a 1-core container measures
+//!   scheduler thrash, not scaling.
+//! * `backward_sweep` — same shape for the backward direction: each
+//!   round toggles the timing constraint (wholesale backward
+//!   invalidation) so the worst-slack read pays exactly one gate-centric
+//!   `sweep_required_full` plus the worst-slack index refold, the
+//!   level-barrier parallel path under test.
 //! * `lazy` — the merged-flush-vs-per-mutation workload of
 //!   `sta_forward`, K resizes per delay read, on the fabrics. The
 //!   speedup is a ratio of two strategies on the same machine in the
@@ -32,8 +40,9 @@
 //! * `STA_SCALING_CLASSES` — comma list of class names
 //!   (default `synth10k,synth100k`; `synth1m` opts in the full run).
 //! * `STA_SCALING_THREADS` — comma list of worker counts for the
-//!   `full_sweep` rows (default `1,2,4,8`; `1` is always prepended —
-//!   it anchors the speedup column).
+//!   `full_sweep` / `backward_sweep` rows (default `1,2,4,8`; `1` is
+//!   always prepended — it anchors the speedup column; counts beyond
+//!   the host's cores are dropped with a note).
 
 use std::time::Instant;
 
@@ -49,6 +58,7 @@ struct SweepRow {
     circuit: String,
     gates: usize,
     threads: usize,
+    host_cores: usize,
     rounds: usize,
     sweep_median_ns: f64,
     sweep_mean_ns: f64,
@@ -61,6 +71,7 @@ pops_bench::json_fields!(SweepRow {
     circuit,
     gates,
     threads,
+    host_cores,
     rounds,
     sweep_median_ns,
     sweep_mean_ns,
@@ -165,6 +176,13 @@ impl ToJson for Row {
     }
 }
 
+/// The recording host's available parallelism, stamped onto every
+/// thread row so the gate can tell whether the environment could
+/// actually run that many workers.
+fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
 fn env_list(name: &str, default: &str) -> Vec<String> {
     std::env::var(name)
         .unwrap_or_else(|_| default.to_string())
@@ -219,6 +237,20 @@ fn main() {
     }
     thread_counts.sort_unstable();
     thread_counts.dedup();
+    // Oversubscribed pools measure scheduler thrash, not scaling: a row
+    // recorded that way poisons the artifact (a 1-core container makes
+    // `parallel_speedup_median` < 1 by construction). Drop those counts
+    // up front instead of recording incomparable numbers.
+    let cores = host_cores();
+    let dropped: Vec<usize> = thread_counts
+        .iter()
+        .copied()
+        .filter(|&t| t > cores)
+        .collect();
+    thread_counts.retain(|&t| t <= cores);
+    for t in &dropped {
+        println!("note: dropping {t}-thread rows — host has {cores} core(s)");
+    }
 
     let mut rows: Vec<Row> = Vec::new();
 
@@ -272,6 +304,7 @@ fn main() {
                     circuit: class.clone(),
                     gates: n,
                     threads: t,
+                    host_cores: cores,
                     rounds,
                     sweep_median_ns: med,
                     sweep_mean_ns: mean(&ns),
@@ -281,6 +314,68 @@ fn main() {
                 };
                 println!(
                     "  full_sweep  threads={t}  median {:>10}  {:>12.0} gates/s  speedup {:.2}x",
+                    format_ns(row.sweep_median_ns),
+                    row.gates_per_sec,
+                    row.parallel_speedup_median,
+                );
+                rows.push(Row::Sweep(row));
+            }
+        }
+
+        // ---- backward full-sweep throughput across worker-thread counts ----
+        {
+            let mut graph = TimingGraph::new(&circuit, &lib, &sizing).expect("acyclic");
+            graph.set_sweep_budgets((0, 1), (0, 1)); // every flush is a full sweep
+            graph.set_parallel_threshold(0);
+            // Settle the forward side once up front; each timed round
+            // then toggles the constraint — a wholesale backward
+            // invalidation — so the worst-slack read pays exactly one
+            // gate-centric backward sweep plus the worst-slack index
+            // refold, and nothing on the forward side.
+            let d0 = graph.critical_delay_ps();
+            let tc = [d0 * 1.05, d0 * 1.10];
+            let rounds = ((1usize << 21) / n).clamp(4, 64) & !1;
+            let mut anchor_bits: [Option<u64>; 2] = [None, None];
+            let mut t1_median = f64::NAN;
+
+            for &t in &thread_counts {
+                graph.set_threads(t);
+                let mut ns = Vec::with_capacity(rounds);
+                for r in 0..rounds {
+                    let t0 = Instant::now();
+                    graph.set_constraint(tc[r % 2]);
+                    let s = std::hint::black_box(
+                        graph.worst_slack_overall_ps().expect("finite constraint"),
+                    );
+                    ns.push(t0.elapsed().as_nanos() as f64);
+                    match anchor_bits[r % 2] {
+                        None => anchor_bits[r % 2] = Some(s.to_bits()),
+                        Some(bits) => assert_eq!(
+                            bits,
+                            s.to_bits(),
+                            "{class}: {t}-thread backward sweep diverged from 1-thread"
+                        ),
+                    }
+                }
+                let med = median(ns.clone());
+                if t == 1 {
+                    t1_median = med;
+                }
+                let row = SweepRow {
+                    kind: "backward_sweep",
+                    circuit: class.clone(),
+                    gates: n,
+                    threads: t,
+                    host_cores: cores,
+                    rounds,
+                    sweep_median_ns: med,
+                    sweep_mean_ns: mean(&ns),
+                    gates_per_sec: n as f64 / (med * 1e-9),
+                    parallel_speedup_median: t1_median / med,
+                    optional: true,
+                };
+                println!(
+                    "  bwd_sweep   threads={t}  median {:>10}  {:>12.0} gates/s  speedup {:.2}x",
                     format_ns(row.sweep_median_ns),
                     row.gates_per_sec,
                     row.parallel_speedup_median,

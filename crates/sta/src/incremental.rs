@@ -145,8 +145,8 @@ use crate::analysis::{
     compatible_input_edges, eidx, AnalyzeOptions, EdgeDir, NetlistPath, TimingView, EDGES,
 };
 use crate::parallel::{
-    gather_range, run_parallel, EvalCtx, FwdView, PredPair, F_ARRIVAL, F_DELAY, F_OUT_CHANGED,
-    F_SLOPE,
+    gather_range, range_any, run_parallel, run_parallel_bwd, BwdView, EvalCtx, FwdView, PredPair,
+    F_ARRIVAL, F_DELAY, F_OUT_CHANGED, F_SLOPE,
 };
 use crate::sizing::Sizing;
 use crate::slack::{SlackReport, SlackView, WorstSlackIndex};
@@ -199,6 +199,11 @@ pub struct UpdateStats {
     /// flush (loads derive from fanout pins, sizing and options, all of
     /// which mutators keep current eagerly).
     pub load_only_settles: usize,
+    /// [`TimingGraph::gate_delay_worst_ps`] queries answered by the
+    /// O(fanins) flushless settle while only resize seeds were pending
+    /// — the whole merged forward union stays unflushed (the K=1 probe
+    /// fast path).
+    pub gate_delay_settles: usize,
 }
 
 /// Per-gate model constants, flattened out of the library at build time.
@@ -357,8 +362,12 @@ pub struct TimingGraph<'c> {
     /// dirty(gen) → flushed cycle in both directions.
     gen: u64,
     /// Worker threads the parallel flush may use (coordinator
-    /// included); 1 keeps every flush sequential.
-    threads: usize,
+    /// included); 1 keeps every flush sequential. `None` (the default)
+    /// resolves to the host's available parallelism, capped at 8, *at
+    /// flush time* — not construction time — so a graph built on one
+    /// host and driven on another (or inside a shrunken cgroup) never
+    /// runs a pool wider than the cores actually present.
+    threads: Option<usize>,
     /// Gate count below which flushes stay sequential regardless of
     /// `threads`.
     par_min_gates: usize,
@@ -745,10 +754,7 @@ impl<'c> TimingGraph<'c> {
             pis: s.pis,
             pos: s.pos,
             gen: 0,
-            threads: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-                .min(8),
+            threads: None,
             par_min_gates: PAR_MIN_GATES,
             fwd_budget: (3, 4),
             bwd_budget: (1, 3),
@@ -834,16 +840,28 @@ impl<'c> TimingGraph<'c> {
     // generation.
 
     /// Worker threads the parallel flush may use, coordinator included.
-    /// Defaults to the host's available parallelism, capped at 8.
+    /// Until [`TimingGraph::set_threads`] pins a count, this resolves
+    /// the host's *current* available parallelism (capped at 8) on
+    /// every call — the default is clamped at flush time, so a pool
+    /// never runs wider than the cores present when it actually spins
+    /// up.
     pub fn threads(&self) -> usize {
-        self.threads
+        self.threads.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(8)
+        })
     }
 
-    /// Set the worker-thread count; `1` (or `0`, clamped) keeps every
-    /// flush sequential. Purely a performance knob — the parallel flush
-    /// is bit-identical to the sequential drain.
+    /// Pin the worker-thread count; `1` (or `0`, clamped) keeps every
+    /// flush sequential. An explicit count is honored as given — never
+    /// clamped to the host's core count, so differential tests can
+    /// force a real pool on a single-core host. Purely a performance
+    /// knob — the parallel flush is bit-identical to the sequential
+    /// drain at any count.
     pub fn set_threads(&mut self, threads: usize) {
-        self.threads = threads.max(1);
+        self.threads = Some(threads.max(1));
     }
 
     /// Gate count below which flushes stay sequential regardless of
@@ -902,9 +920,11 @@ impl<'c> TimingGraph<'c> {
         self.slot_of[net.index()] as usize
     }
 
-    /// Whether a flush over `n_gates` takes the parallel path.
+    /// Whether a flush over `n_gates` takes the parallel path. The
+    /// size check comes first: small circuits must not pay the default
+    /// thread count's host probe on every flush.
     fn use_parallel(&self, n_gates: usize) -> bool {
-        self.threads >= 2 && n_gates >= self.par_min_gates
+        n_gates >= self.par_min_gates && self.threads() >= 2
     }
 
     /// 0-based level of a topo position (`level_start` is sorted; empty
@@ -1262,6 +1282,16 @@ impl<'c> TimingGraph<'c> {
                 return fwd.load[self.slot(net)];
             }
         }
+        let load = self.fresh_net_load(net);
+        self.stat(|s| s.load_only_settles += 1);
+        load
+    }
+
+    /// Exact load of one net under the current sizing and options,
+    /// computed without touching the cached slab — same pin order and
+    /// summation as [`TimingGraph::recompute_net_load`], so it
+    /// reproduces the flushed value bit for bit.
+    fn fresh_net_load(&self, net: NetId) -> f64 {
         let i = net.index();
         let (lo, hi) = (self.fanout_off[i] as usize, self.fanout_off[i + 1] as usize);
         let mut load = 0.0;
@@ -1271,14 +1301,104 @@ impl<'c> TimingGraph<'c> {
         if self.is_po[i] {
             load += self.options.po_load_ff;
         }
-        self.stat(|s| s.load_only_settles += 1);
         load
     }
 
     /// Worst-case delay of a gate (ps) under the current slopes.
+    ///
+    /// When only *resize* seeds are pending, the answer settles without
+    /// flushing the merged forward union: a gate's worst delay depends
+    /// only on its own drive, its fresh output load, and its fanin
+    /// slopes — and each driven fanin's slope is its driver's `τ_out`
+    /// under the driver's *current* drive and load (one `arc_terms`
+    /// evaluation, no recursion), while per-edge reachability (`-inf`
+    /// arrivals) is structural and resize-invariant. The settle runs
+    /// the kernel's exact arc order and expressions over those fresh
+    /// inputs, so it is bit-identical to the post-flush slab read; it
+    /// writes nothing (the cached slabs stay the pre-mutation baseline
+    /// the flush's load scans compare against). A K=1 probe loop goes
+    /// from paying the whole union's drain per probe to O(fanins);
+    /// [`UpdateStats::gate_delay_settles`] counts this path.
     pub fn gate_delay_worst_ps(&self, gate: GateId) -> f64 {
+        {
+            let fwd = self.fwd.borrow();
+            if fwd.flushed_gen == self.gen {
+                return fwd.gate_delay_worst[self.rank[gate.index()] as usize];
+            }
+            if !fwd.scan_loads && !fwd.reload_pos && !fwd.reslope_pis && fwd.gate_log.is_empty() {
+                let d = self.settle_gate_delay(&fwd, gate);
+                self.stat(|s| s.gate_delay_settles += 1);
+                return d;
+            }
+        }
         self.flush_forward();
         self.fwd.borrow().gate_delay_worst[self.rank[gate.index()] as usize]
+    }
+
+    /// The flushless worst-delay settle (see
+    /// [`TimingGraph::gate_delay_worst_ps`] for why it is sound only
+    /// under pure-resize seeds). Fold order and expressions replicate
+    /// [`crate::parallel::FwdView::eval_shared`] exactly.
+    fn settle_gate_delay(&self, fwd: &ForwardState, gate: GateId) -> f64 {
+        let gi = gate.index();
+        let cell = self.cell[gi];
+        let cin = self.sizing.cin_ff(gate);
+        let load = self.fresh_net_load(self.out_net[gi]);
+        let ArcTerms {
+            tau_out_by_edge,
+            miller,
+        } = self.gate_params[gi].arc_terms(cin, load);
+        let fanin_range = self.fanin_off[gi] as usize..self.fanin_off[gi + 1] as usize;
+        // Fresh per-fanin slopes: a primary input's cached slope is
+        // current (no reslope pending on this path); a driven net's
+        // slope re-derives as its driver's τ_out — which the pending
+        // flush will write wherever the edge is reachable, and which
+        // the fold below reads only where the edge is reachable.
+        let fresh_slope: Vec<[f64; 2]> = fanin_range
+            .clone()
+            .map(|idx| {
+                let in_net = self.fanin[idx];
+                match self.net_driver[in_net.index()] {
+                    None => fwd.slope[self.fanin_slots[idx] as usize],
+                    Some(d) => {
+                        self.gate_params[d.index()]
+                            .arc_terms(self.sizing.cin_ff(d), self.fresh_net_load(in_net))
+                            .tau_out_by_edge
+                    }
+                }
+            })
+            .collect();
+        let mut worst = 0.0f64;
+        for out_edge in EDGES {
+            let tau_out = tau_out_by_edge[eidx(out_edge)];
+            for (k, idx) in fanin_range.clone().enumerate() {
+                let in_arrival = fwd.arrival[self.fanin_slots[idx] as usize];
+                for &in_edge in compatible_input_edges(cell, out_edge) {
+                    let i = eidx(in_edge);
+                    if in_arrival[i] == f64::NEG_INFINITY {
+                        continue;
+                    }
+                    let delay_ps = 0.5 * self.vt[i] * fresh_slope[k][i] + 0.5 * miller[i] * tau_out;
+                    debug_assert_eq!(
+                        delay_ps.to_bits(),
+                        gate_delay_with_output_edge(
+                            self.lib,
+                            cell,
+                            cin,
+                            load,
+                            fresh_slope[k][i],
+                            in_edge,
+                            out_edge,
+                        )
+                        .delay_ps
+                        .to_bits(),
+                        "settled arc delay must match the model"
+                    );
+                    worst = worst.max(delay_ps);
+                }
+            }
+        }
+        worst
     }
 
     /// The most critical path: traceback from the worst primary output.
@@ -1651,7 +1771,13 @@ impl<'c> TimingGraph<'c> {
         let mut reevals = 0usize;
         let mut cuts = 0usize;
         let mut any_changed = false;
-        let sweep = fwd.dirty_count >= budget;
+        let mut sweep = fwd.dirty_count >= budget;
+        if !sweep && fwd.dirty_count > 0 {
+            // Adaptive cut-over: sweep when the seed set's level-span
+            // closure estimate alone blows the budget (spread seeds on
+            // the synthetic fabrics; see `forward_closure_estimate`).
+            sweep = self.forward_closure_estimate(fwd) >= budget;
+        }
         if !sweep && fwd.dirty_count > 0 {
             let (r, c, a) = self.drain_forward(fwd, bw.as_deref_mut());
             reevals = r;
@@ -1689,6 +1815,11 @@ impl<'c> TimingGraph<'c> {
             fanin_off: &self.fanin_off,
             cins: self.sizing.as_slice(),
             n_src: self.n_src,
+            out_net: &self.out_net,
+            fanout: &self.fanout,
+            fanout_off: &self.fanout_off,
+            rank: &self.rank,
+            is_po: &self.is_po,
             lib: self.lib,
         }
     }
@@ -1763,7 +1894,7 @@ impl<'c> TimingGraph<'c> {
         if self.use_parallel(self.topo.len()) {
             let n_levels = self.level_start.len() - 1;
             let mut positions: Vec<u32> = Vec::new();
-            run_parallel(&ctx, &mut view, self.threads, |d| {
+            run_parallel(&ctx, &mut view, self.threads(), |d| {
                 let mut level = self.level_of(*min_dirty_rank);
                 while *dirty_count > 0 && level < n_levels {
                     let (lo, hi) = (self.level_start[level], self.level_start[level + 1]);
@@ -1858,7 +1989,7 @@ impl<'c> TimingGraph<'c> {
         let mut any_changed = false;
         if self.use_parallel(n_gates) {
             let n_levels = self.level_start.len() - 1;
-            run_parallel(&ctx, &mut view, self.threads, |d| {
+            run_parallel(&ctx, &mut view, self.threads(), |d| {
                 for level in 0..n_levels {
                     let (lo, hi) = (self.level_start[level], self.level_start[level + 1]);
                     if (hi - lo) < PAR_LEVEL_MIN as u32 {
@@ -2100,45 +2231,93 @@ impl<'c> TimingGraph<'c> {
             req_sweep = bw.req_count >= budget;
         }
 
-        // Required times over driven nets, highest driver rank first.
+        // Adaptive cut-over: the static budget only sees the seed
+        // *count*, which wildly underestimates the drain on spread seed
+        // sets whose fanin closure is nearly the whole circuit (the
+        // synthetic fabrics' 0.25-fraction calibration regime).
+        // Estimate the closure from the seed set's level span and go
+        // straight to the sweep when it alone would blow the budget.
         if !req_sweep && bw.req_count > 0 {
-            let mut word = bw.req_max_rank as usize / 64;
-            loop {
-                // Re-read each round: processing a net may mark ranks
-                // within the current word (always below the bit just
-                // cleared).
-                let bits = bw.req_bits[word];
-                if bits == 0 {
-                    if word == 0 {
+            req_sweep = self.backward_closure_estimate(&bw.req_bits, bw.req_count) >= budget;
+        }
+
+        // Required times over driven nets, highest driver rank first.
+        // The parallel drain reports changed nets' refreshed
+        // worst-slack leaf keys here (computed by the workers) instead
+        // of the slack log; a bail to the sweep drops the batch —
+        // `refold_all` subsumes it.
+        let mut leaf_updates: Vec<(usize, f64)> = Vec::new();
+        if !req_sweep && bw.req_count > 0 {
+            if self.use_parallel(n_gates_total) {
+                req_sweep = self.drain_required_parallel(
+                    &fwd,
+                    bw,
+                    budget,
+                    &mut req_reevals,
+                    &mut req_cuts,
+                    &mut leaf_updates,
+                );
+            } else {
+                // Hoist the kernel context and view once: rebuilding
+                // the slice bundle per net dominates the small probe
+                // cones this path exists for.
+                let BackwardState {
+                    tc_ps,
+                    required,
+                    completion,
+                    req_bits,
+                    req_count,
+                    req_max_rank,
+                    pi_bits,
+                    pi_dirty,
+                    slack_net_log,
+                    ..
+                } = &mut *bw;
+                let ctx = self.eval_ctx();
+                let mut view = BwdView::new(
+                    required,
+                    completion,
+                    &fwd.arrival,
+                    &fwd.slope,
+                    &fwd.load,
+                    &fwd.gate_delay_worst,
+                    *tc_ps,
+                );
+                let mut word = *req_max_rank as usize / 64;
+                loop {
+                    // Re-read each round: processing a net may mark
+                    // ranks within the current word (always below the
+                    // bit just cleared).
+                    let bits = req_bits[word];
+                    if bits == 0 {
+                        if word == 0 {
+                            break;
+                        }
+                        word -= 1;
+                        continue;
+                    }
+                    let bit = 63 - bits.leading_zeros();
+                    req_bits[word] &= !(1u64 << bit);
+                    *req_count -= 1;
+                    let pos = word * 64 + bit as usize;
+                    let net = self.out_net[self.topo[pos].index()];
+                    req_reevals += 1;
+                    let (changed, _key) = view.eval_required_net(&ctx, net.index(), self.slot(net));
+                    if changed {
+                        slack_net_log.push(net);
+                        self.mark_required_fanins_raw(req_bits, req_count, pi_bits, pi_dirty, pos);
+                    } else {
+                        req_cuts += 1;
+                    }
+                    if *req_count == 0 {
                         break;
                     }
-                    word -= 1;
-                    continue;
-                }
-                let bit = 63 - bits.leading_zeros();
-                bw.req_bits[word] &= !(1u64 << bit);
-                bw.req_count -= 1;
-                let gate = self.topo[word * 64 + bit as usize];
-                let net = self.out_net[gate.index()];
-                req_reevals += 1;
-                if self.eval_required(&fwd, bw, net) {
-                    let (lo, hi) = (
-                        self.fanin_off[gate.index()] as usize,
-                        self.fanin_off[gate.index() + 1] as usize,
-                    );
-                    for &in_net in &self.fanin[lo..hi] {
-                        Self::mark_required_in(bw, &self.rank, &self.net_driver, in_net);
+                    if req_reevals >= budget {
+                        // The cone saturated mid-drain: bail to the
+                        // sweep.
+                        req_sweep = true;
+                        break;
                     }
-                } else {
-                    req_cuts += 1;
-                }
-                if bw.req_count == 0 {
-                    break;
-                }
-                if req_reevals >= budget {
-                    // The cone saturated mid-drain: bail to the sweep.
-                    req_sweep = true;
-                    break;
                 }
             }
             bw.req_max_rank = 0;
@@ -2163,16 +2342,36 @@ impl<'c> TimingGraph<'c> {
         } else if !bw.pi_dirty.is_empty() {
             // Primary-input nets: backward sinks, nothing propagates
             // further.
-            let mut pi_dirty = std::mem::take(&mut bw.pi_dirty);
+            let BackwardState {
+                tc_ps,
+                required,
+                completion,
+                pi_bits,
+                pi_dirty,
+                slack_net_log,
+                ..
+            } = &mut *bw;
+            let ctx = self.eval_ctx();
+            let mut view = BwdView::new(
+                required,
+                completion,
+                &fwd.arrival,
+                &fwd.slope,
+                &fwd.load,
+                &fwd.gate_delay_worst,
+                *tc_ps,
+            );
             for net in pi_dirty.drain(..) {
                 let i = net.index();
-                bw.pi_bits[i / 64] &= !(1u64 << (i % 64));
+                pi_bits[i / 64] &= !(1u64 << (i % 64));
                 req_reevals += 1;
-                if !self.eval_required(&fwd, bw, net) {
+                let (changed, _key) = view.eval_required_net(&ctx, i, self.slot(net));
+                if changed {
+                    slack_net_log.push(net);
+                } else {
                     req_cuts += 1;
                 }
             }
-            bw.pi_dirty = pi_dirty;
         }
 
         // Fold the moved slacks into the tournament tree, now that the
@@ -2186,7 +2385,7 @@ impl<'c> TimingGraph<'c> {
         // root min folds the same value multiset as a net-keyed tree
         // (bit-identical worst; surgery re-keys under `refold_all`).
         let n_nets = self.slot_of.len();
-        if bw.refold_all || bw.slack_net_log.len() > n_nets / 4 {
+        if bw.refold_all || bw.slack_net_log.len() + leaf_updates.len() > n_nets / 4 {
             bw.refold_all = false;
             bw.slack_net_log.clear();
             let keys: Vec<f64> = (0..n_nets)
@@ -2194,17 +2393,25 @@ impl<'c> TimingGraph<'c> {
                 .collect();
             bw.worst.rebuild(&keys);
             index_updates += n_nets;
-        } else if !bw.slack_net_log.is_empty() {
-            let mut log = std::mem::take(&mut bw.slack_net_log);
-            for net in log.drain(..) {
-                let slot = self.slot(net);
-                bw.worst.update(
-                    slot,
-                    WorstSlackIndex::key(bw.required[slot], fwd.arrival[slot]),
-                );
-                index_updates += 1;
+        } else {
+            // The parallel drain's worker-folded batch first, then the
+            // seed-log stragglers (forward-flush arrival moves, PI
+            // sinks). A net may appear in both — same slot, same final
+            // key, so the repeat hits the leaf's bit-unchanged early
+            // return.
+            index_updates += bw.worst.update_batch(&leaf_updates);
+            if !bw.slack_net_log.is_empty() {
+                let mut log = std::mem::take(&mut bw.slack_net_log);
+                for net in log.drain(..) {
+                    let slot = self.slot(net);
+                    bw.worst.update(
+                        slot,
+                        WorstSlackIndex::key(bw.required[slot], fwd.arrival[slot]),
+                    );
+                    index_updates += 1;
+                }
+                bw.slack_net_log = log;
             }
-            bw.slack_net_log = log;
         }
 
         self.stat(|s| {
@@ -2253,48 +2460,71 @@ impl<'c> TimingGraph<'c> {
             comp_sweep = bw.comp_count >= budget;
         }
 
+        // Adaptive cut-over (see `flush_required`).
         if !comp_sweep && bw.comp_count > 0 {
-            let mut word = bw.comp_max_rank as usize / 64;
-            loop {
-                let bits = bw.comp_bits[word];
-                if bits == 0 {
-                    if word == 0 {
+            comp_sweep = self.backward_closure_estimate(&bw.comp_bits, bw.comp_count) >= budget;
+        }
+
+        if !comp_sweep && bw.comp_count > 0 {
+            if self.use_parallel(n_gates_total) {
+                comp_sweep = self.drain_completion_parallel(&fwd, bw, budget, &mut comp_reevals);
+            } else {
+                // Hoisted kernel context, as in the required drain.
+                let BackwardState {
+                    tc_ps,
+                    required,
+                    completion,
+                    comp_bits,
+                    comp_count,
+                    comp_max_rank,
+                    ..
+                } = &mut *bw;
+                let ctx = self.eval_ctx();
+                let mut view = BwdView::new(
+                    required,
+                    completion,
+                    &fwd.arrival,
+                    &fwd.slope,
+                    &fwd.load,
+                    &fwd.gate_delay_worst,
+                    *tc_ps,
+                );
+                let mut word = *comp_max_rank as usize / 64;
+                loop {
+                    let bits = comp_bits[word];
+                    if bits == 0 {
+                        if word == 0 {
+                            break;
+                        }
+                        word -= 1;
+                        continue;
+                    }
+                    let bit = 63 - bits.leading_zeros();
+                    comp_bits[word] &= !(1u64 << bit);
+                    *comp_count -= 1;
+                    let pos = word * 64 + bit as usize;
+                    comp_reevals += 1;
+                    if view.eval_completion_gate(&ctx, pos) {
+                        self.mark_completion_fanin_drivers_raw(
+                            comp_bits,
+                            comp_count,
+                            comp_max_rank,
+                            pos,
+                        );
+                    }
+                    if *comp_count == 0 {
                         break;
                     }
-                    word -= 1;
-                    continue;
-                }
-                let bit = 63 - bits.leading_zeros();
-                bw.comp_bits[word] &= !(1u64 << bit);
-                bw.comp_count -= 1;
-                let pos = word * 64 + bit as usize;
-                comp_reevals += 1;
-                if self.eval_completion(&fwd, bw, pos) {
-                    let gate = self.topo[pos];
-                    let (lo, hi) = (
-                        self.fanin_off[gate.index()] as usize,
-                        self.fanin_off[gate.index() + 1] as usize,
-                    );
-                    for &in_net in &self.fanin[lo..hi] {
-                        if let Some(driver) = self.net_driver[in_net.index()] {
-                            Self::mark_completion_in(bw, &self.rank, driver);
-                        }
+                    if comp_reevals >= budget {
+                        comp_sweep = true;
+                        break;
                     }
-                }
-                if bw.comp_count == 0 {
-                    break;
-                }
-                if comp_reevals >= budget {
-                    comp_sweep = true;
-                    break;
                 }
             }
             bw.comp_max_rank = 0;
         }
         if comp_sweep {
-            for pos in (0..n_gates_total).rev() {
-                let _ = self.eval_completion(&fwd, bw, pos);
-            }
+            self.sweep_completion_full(&fwd, bw);
             bw.comp_bits.iter_mut().for_each(|w| *w = 0);
             bw.comp_count = 0;
             bw.comp_max_rank = 0;
@@ -2307,73 +2537,247 @@ impl<'c> TimingGraph<'c> {
         });
     }
 
-    /// Recompute one net's required times from its fanout arcs; returns
-    /// whether they changed (bitwise).
-    ///
-    /// Candidates are exactly the full backward pass's for this net —
-    /// same arc delays (via the cached constants, asserted against the
-    /// model), accumulated by the same `<` min — so the result is
-    /// bit-identical to a fresh [`crate::required_times`]: a min over
-    /// one multiset is order-independent.
-    fn eval_required(&self, fwd: &ForwardState, bw: &mut BackwardState, net: NetId) -> bool {
-        let slot = self.slot(net);
-        let mut req = if self.is_po[net.index()] {
-            [bw.tc_ps; 2]
-        } else {
-            [f64::INFINITY; 2]
-        };
-        let slope = fwd.slope[slot];
+    /// Raw-parts form of [`TimingGraph::mark_required_in`] for the
+    /// drains that hold a [`BwdView`] over the rest of the backward
+    /// state: mark the fanin nets of the gate at topo position `pos`.
+    /// Marks target strictly lower levels than `pos`, so `req_max_rank`
+    /// needs no maintenance mid-drain.
+    fn mark_required_fanins_raw(
+        &self,
+        req_bits: &mut [u64],
+        req_count: &mut usize,
+        pi_bits: &mut [u64],
+        pi_dirty: &mut Vec<NetId>,
+        pos: usize,
+    ) {
+        let gate = self.topo[pos];
         let (lo, hi) = (
-            self.fanout_off[net.index()] as usize,
-            self.fanout_off[net.index() + 1] as usize,
+            self.fanin_off[gate.index()] as usize,
+            self.fanin_off[gate.index() + 1] as usize,
         );
-        for &h in &self.fanout[lo..hi] {
-            let cell = self.cell[h.index()];
-            // A gate's output slot is `n_src + rank` — no net-id
-            // round-trip.
-            let h_out_slot = self.n_src + self.rank[h.index()] as usize;
-            let cin = self.sizing.cin_ff(h);
-            let load = fwd.load[h_out_slot];
-            // Same hoisted arc terms as the forward kernel
-            // (bit-identical to `gate_delay_with_output_edge`).
-            let ArcTerms {
-                tau_out_by_edge,
-                miller,
-            } = self.gate_params[h.index()].arc_terms(cin, load);
-            for out_edge in EDGES {
-                let req_out = bw.required[h_out_slot][eidx(out_edge)];
-                if req_out == f64::INFINITY {
-                    continue;
+        for &in_net in &self.fanin[lo..hi] {
+            match self.net_driver[in_net.index()] {
+                Some(driver) => {
+                    let r = self.rank[driver.index()] as usize;
+                    if req_bits[r / 64] & (1u64 << (r % 64)) == 0 {
+                        req_bits[r / 64] |= 1u64 << (r % 64);
+                        *req_count += 1;
+                    }
                 }
-                let tau_out = tau_out_by_edge[eidx(out_edge)];
-                for &in_edge in compatible_input_edges(cell, out_edge) {
-                    let i = eidx(in_edge);
-                    let delay_ps = 0.5 * self.vt[i] * slope[i] + 0.5 * miller[i] * tau_out;
-                    debug_assert_eq!(
-                        delay_ps.to_bits(),
-                        gate_delay_with_output_edge(
-                            self.lib, cell, cin, load, slope[i], in_edge, out_edge,
-                        )
-                        .delay_ps
-                        .to_bits(),
-                        "cached-constant backward arc delay must match the model"
-                    );
-                    let candidate = req_out - delay_ps;
-                    if candidate < req[i] {
-                        req[i] = candidate;
+                None => {
+                    let i = in_net.index();
+                    if pi_bits[i / 64] & (1u64 << (i % 64)) == 0 {
+                        pi_bits[i / 64] |= 1u64 << (i % 64);
+                        pi_dirty.push(in_net);
                     }
                 }
             }
         }
-        let cur = &mut bw.required[slot];
-        let changed = req[0].to_bits() != cur[0].to_bits() || req[1].to_bits() != cur[1].to_bits();
-        *cur = req;
-        if changed {
-            // The net's slack moved with its required time: refresh its
-            // worst-slack index leaf when this flush's drain completes.
-            bw.slack_net_log.push(net);
+    }
+
+    /// Mark the fanin *drivers* of the gate at topo position `pos`
+    /// completion-dirty (raw parts, as
+    /// [`TimingGraph::mark_required_fanins_raw`]).
+    fn mark_completion_fanin_drivers_raw(
+        &self,
+        comp_bits: &mut [u64],
+        comp_count: &mut usize,
+        comp_max_rank: &mut u32,
+        pos: usize,
+    ) {
+        let gate = self.topo[pos];
+        let (lo, hi) = (
+            self.fanin_off[gate.index()] as usize,
+            self.fanin_off[gate.index() + 1] as usize,
+        );
+        for &in_net in &self.fanin[lo..hi] {
+            if let Some(driver) = self.net_driver[in_net.index()] {
+                let r = self.rank[driver.index()];
+                let (word, bit) = (r as usize / 64, r % 64);
+                if comp_bits[word] & (1u64 << bit) == 0 {
+                    comp_bits[word] |= 1u64 << bit;
+                    *comp_count += 1;
+                    if r > *comp_max_rank {
+                        *comp_max_rank = r;
+                    }
+                }
+            }
         }
-        changed
+    }
+
+    /// Level-synchronized parallel form of the required drain: gather
+    /// one level's dirty driver positions (descending level order),
+    /// evaluate them across the pool, mark changed nets' fanins into
+    /// strictly lower levels, barrier, repeat — the backward mirror of
+    /// [`TimingGraph::drain_forward`]'s parallel path, bit-identical to
+    /// the sequential cursor because same-level nets are independent
+    /// (their fanout gates live in strictly higher, already-settled
+    /// levels) and the evaluated set is schedule-invariant. Changed
+    /// nets' refreshed worst-slack keys (computed inside the kernel, on
+    /// the workers) accumulate into `leaf_updates` for the caller's
+    /// batched index fold. Returns whether the drain bailed to the full
+    /// sweep — the caller then discards `leaf_updates` under
+    /// `refold_all`.
+    fn drain_required_parallel(
+        &self,
+        fwd: &ForwardState,
+        bw: &mut BackwardState,
+        budget: usize,
+        reevals: &mut usize,
+        cuts: &mut usize,
+        leaf_updates: &mut Vec<(usize, f64)>,
+    ) -> bool {
+        let BackwardState {
+            tc_ps,
+            required,
+            completion,
+            req_bits,
+            req_count,
+            req_max_rank,
+            pi_bits,
+            pi_dirty,
+            ..
+        } = bw;
+        let ctx = self.eval_ctx();
+        let mut view = BwdView::new(
+            required,
+            completion,
+            &fwd.arrival,
+            &fwd.slope,
+            &fwd.load,
+            &fwd.gate_delay_worst,
+            *tc_ps,
+        );
+        let mut bailed = false;
+        let mut positions: Vec<u32> = Vec::new();
+        run_parallel_bwd(&ctx, &mut view, self.threads(), |d| {
+            let mut level = self.level_of(*req_max_rank) as isize;
+            while *req_count > 0 && level >= 0 {
+                let (lo, hi) = (
+                    self.level_start[level as usize],
+                    self.level_start[level as usize + 1],
+                );
+                level -= 1;
+                positions.clear();
+                gather_range(req_bits, lo, hi, &mut positions);
+                if positions.is_empty() {
+                    continue;
+                }
+                *req_count -= positions.len();
+                *reevals += positions.len();
+                if positions.len() < PAR_LEVEL_MIN {
+                    for &p in &positions {
+                        let pos = p as usize;
+                        let (changed, key) = d.eval_required_one(pos);
+                        if changed {
+                            leaf_updates.push((self.n_src + pos, key));
+                            self.mark_required_fanins_raw(
+                                req_bits, req_count, pi_bits, pi_dirty, pos,
+                            );
+                        } else {
+                            *cuts += 1;
+                        }
+                    }
+                } else {
+                    let dispatched = positions.len();
+                    let changed = d.eval_required_list(&mut positions);
+                    *cuts += dispatched - changed.len();
+                    for &(pos, key) in changed {
+                        leaf_updates.push((self.n_src + pos as usize, key));
+                        self.mark_required_fanins_raw(
+                            req_bits,
+                            req_count,
+                            pi_bits,
+                            pi_dirty,
+                            pos as usize,
+                        );
+                    }
+                }
+                if *reevals >= budget && *req_count > 0 {
+                    // The cone saturated mid-drain: bail to the sweep.
+                    bailed = true;
+                    break;
+                }
+            }
+        });
+        bailed
+    }
+
+    /// Parallel completion drain — the completion mirror of
+    /// [`TimingGraph::drain_required_parallel`] (no leaf updates: the
+    /// worst-slack index is a required/arrival structure).
+    fn drain_completion_parallel(
+        &self,
+        fwd: &ForwardState,
+        bw: &mut BackwardState,
+        budget: usize,
+        reevals: &mut usize,
+    ) -> bool {
+        let BackwardState {
+            tc_ps,
+            required,
+            completion,
+            comp_bits,
+            comp_count,
+            comp_max_rank,
+            ..
+        } = bw;
+        let ctx = self.eval_ctx();
+        let mut view = BwdView::new(
+            required,
+            completion,
+            &fwd.arrival,
+            &fwd.slope,
+            &fwd.load,
+            &fwd.gate_delay_worst,
+            *tc_ps,
+        );
+        let mut bailed = false;
+        let mut positions: Vec<u32> = Vec::new();
+        run_parallel_bwd(&ctx, &mut view, self.threads(), |d| {
+            let mut level = self.level_of(*comp_max_rank) as isize;
+            while *comp_count > 0 && level >= 0 {
+                let (lo, hi) = (
+                    self.level_start[level as usize],
+                    self.level_start[level as usize + 1],
+                );
+                level -= 1;
+                positions.clear();
+                gather_range(comp_bits, lo, hi, &mut positions);
+                if positions.is_empty() {
+                    continue;
+                }
+                *comp_count -= positions.len();
+                *reevals += positions.len();
+                if positions.len() < PAR_LEVEL_MIN {
+                    for &p in &positions {
+                        let pos = p as usize;
+                        if d.eval_completion_one(pos) {
+                            self.mark_completion_fanin_drivers_raw(
+                                comp_bits,
+                                comp_count,
+                                comp_max_rank,
+                                pos,
+                            );
+                        }
+                    }
+                } else {
+                    for &(pos, _) in d.eval_completion_list(&mut positions) {
+                        self.mark_completion_fanin_drivers_raw(
+                            comp_bits,
+                            comp_count,
+                            comp_max_rank,
+                            pos as usize,
+                        );
+                    }
+                }
+                if *reevals >= budget && *comp_count > 0 {
+                    bailed = true;
+                    break;
+                }
+            }
+        });
+        bailed
     }
 
     /// Gate-centric full backward pass into `bw.required`: reinitialize
@@ -2394,81 +2798,159 @@ impl<'c> TimingGraph<'c> {
                 [f64::INFINITY; 2]
             };
         }
-        for pos in (0..self.topo.len()).rev() {
-            let gid = self.topo[pos];
-            let out_slot = self.n_src + pos;
-            let cell = self.cell[gid.index()];
-            let cin = self.sizing.cin_ff(gid);
-            let load = fwd.load[out_slot];
-            let ArcTerms {
-                tau_out_by_edge,
-                miller,
-            } = self.gate_params[gid.index()].arc_terms(cin, load);
-            let fanin_range =
-                self.fanin_off[gid.index()] as usize..self.fanin_off[gid.index() + 1] as usize;
-            for out_edge in EDGES {
-                let req_out = bw.required[out_slot][eidx(out_edge)];
-                if req_out == f64::INFINITY {
-                    continue;
-                }
-                let tau_out = tau_out_by_edge[eidx(out_edge)];
-                for idx in fanin_range.clone() {
-                    let in_slot = self.fanin_slots[idx] as usize;
-                    for &in_edge in compatible_input_edges(cell, out_edge) {
-                        let i = eidx(in_edge);
-                        let slope = fwd.slope[in_slot][i];
-                        let delay_ps = 0.5 * self.vt[i] * slope + 0.5 * miller[i] * tau_out;
-                        debug_assert_eq!(
-                            delay_ps.to_bits(),
-                            gate_delay_with_output_edge(
-                                self.lib, cell, cin, load, slope, in_edge, out_edge,
-                            )
-                            .delay_ps
-                            .to_bits(),
-                            "cached-constant sweep arc delay must match the model"
-                        );
-                        let candidate = req_out - delay_ps;
-                        let cur = &mut bw.required[in_slot][i];
-                        if candidate < *cur {
-                            *cur = candidate;
+        let BackwardState {
+            tc_ps,
+            required,
+            completion,
+            ..
+        } = bw;
+        let ctx = self.eval_ctx();
+        let mut view = BwdView::new(
+            required,
+            completion,
+            &fwd.arrival,
+            &fwd.slope,
+            &fwd.load,
+            &fwd.gate_delay_worst,
+            *tc_ps,
+        );
+        let n_gates = self.topo.len();
+        if self.use_parallel(n_gates) {
+            // Descending level barriers: every candidate *into* a level
+            // comes from a gate in a strictly higher level (the gate's
+            // out-net fans out upward only), so each level's own
+            // required slots are settled before its workers read them;
+            // workers emit candidates into per-worker buffers and the
+            // coordinator min-folds at the barrier — order-independent,
+            // so bit-identical to the sequential scatter.
+            let n_levels = self.level_start.len() - 1;
+            run_parallel_bwd(&ctx, &mut view, self.threads(), |d| {
+                for level in (0..n_levels).rev() {
+                    let (lo, hi) = (self.level_start[level], self.level_start[level + 1]);
+                    if (hi - lo) < PAR_LEVEL_MIN as u32 {
+                        for pos in (lo as usize..hi as usize).rev() {
+                            d.sweep_gate_one(pos);
                         }
+                    } else {
+                        d.sweep_gate_range(lo, hi);
                     }
                 }
+            });
+        } else {
+            for pos in (0..n_gates).rev() {
+                view.sweep_gate_fold(&ctx, pos);
             }
         }
     }
 
-    /// Recompute the completion bound of the gate at topo position
-    /// `pos`; returns whether it changed (bitwise). Same fold, in the
-    /// same successor order, as
-    /// [`crate::kpaths::completion_bounds`].
-    fn eval_completion(&self, fwd: &ForwardState, bw: &mut BackwardState, pos: usize) -> bool {
-        let gid = self.topo[pos];
-        let out = self.out_net[gid.index()];
-        let mut best = if self.is_po[out.index()] {
-            0.0
-        } else {
-            f64::NEG_INFINITY
-        };
-        let (lo, hi) = (
-            self.fanout_off[out.index()] as usize,
-            self.fanout_off[out.index() + 1] as usize,
+    /// Full completion pass into `bw.completion` — one descending
+    /// evaluation per gate (dependency order makes re-marking
+    /// unnecessary); parallel above the threshold with the same
+    /// descending level barriers as [`TimingGraph::sweep_required_full`].
+    fn sweep_completion_full(&self, fwd: &ForwardState, bw: &mut BackwardState) {
+        let BackwardState {
+            tc_ps,
+            required,
+            completion,
+            ..
+        } = bw;
+        let ctx = self.eval_ctx();
+        let mut view = BwdView::new(
+            required,
+            completion,
+            &fwd.arrival,
+            &fwd.slope,
+            &fwd.load,
+            &fwd.gate_delay_worst,
+            *tc_ps,
         );
-        for &succ in &self.fanout[lo..hi] {
-            let c = bw.completion[self.rank[succ.index()] as usize];
-            if c.is_finite() {
-                best = best.max(c);
+        let n_gates = self.topo.len();
+        if self.use_parallel(n_gates) {
+            let n_levels = self.level_start.len() - 1;
+            run_parallel_bwd(&ctx, &mut view, self.threads(), |d| {
+                for level in (0..n_levels).rev() {
+                    let (lo, hi) = (self.level_start[level], self.level_start[level + 1]);
+                    if (hi - lo) < PAR_LEVEL_MIN as u32 {
+                        for pos in (lo as usize..hi as usize).rev() {
+                            d.eval_completion_one(pos);
+                        }
+                    } else {
+                        d.sweep_completion_range(lo, hi);
+                    }
+                }
+            });
+        } else {
+            for pos in (0..n_gates).rev() {
+                view.eval_completion_gate(&ctx, pos);
             }
         }
-        let new = if best.is_finite() {
-            fwd.gate_delay_worst[pos] + best
-        } else {
-            f64::NEG_INFINITY
+    }
+
+    /// `(lowest dirty level, highest, levels hit)` of a rank-keyed
+    /// dirty bitset — the adaptive cut-over's seed profile. One
+    /// [`range_any`] probe per level: O(levels + words), no clearing.
+    fn dirty_level_profile(&self, bits: &[u64]) -> Option<(usize, usize, usize)> {
+        let n_levels = self.level_start.len() - 1;
+        let mut lo = None;
+        let mut hi = 0usize;
+        let mut hit = 0usize;
+        for level in 0..n_levels {
+            if range_any(bits, self.level_start[level], self.level_start[level + 1]) {
+                if lo.is_none() {
+                    lo = Some(level);
+                }
+                hi = level;
+                hit += 1;
+            }
+        }
+        lo.map(|lo| (lo, hi, hit))
+    }
+
+    /// Estimated forward-drain size from the seed set's level span. The
+    /// static budget only sees the seed *count*; a spread seed set on a
+    /// shallow high-fanout fabric closes over nearly every downstream
+    /// rank while counting far below it. When the seeds hit at least
+    /// half the levels from their lowest up (the closure keeps
+    /// expanding level over level) *and* are dense enough that the
+    /// cones must overlap (≥ ¼ of the span — the calibration fabrics'
+    /// losing regime, and comfortably above a merged probe union on the
+    /// suite circuits, whose bitwise convergence cut keeps true
+    /// closures far below the span), the whole remaining rank span is
+    /// the expected drain — return it for the caller's `>= budget`
+    /// comparison. Anything sparser or shallower returns 0 and leaves
+    /// the static budget in charge.
+    fn forward_closure_estimate(&self, fwd: &ForwardState) -> usize {
+        if fwd.dirty_count < 32 {
+            return 0;
+        }
+        let Some((lo, _hi, hit)) = self.dirty_level_profile(&fwd.dirty_bits) else {
+            return 0;
         };
-        let cur = &mut bw.completion[pos];
-        let changed = new.to_bits() != cur.to_bits();
-        *cur = new;
-        changed
+        let n_levels = self.level_start.len() - 1;
+        let span = self.topo.len() - self.level_start[lo] as usize;
+        if hit * 2 >= n_levels - lo && fwd.dirty_count * 4 >= span {
+            span
+        } else {
+            0
+        }
+    }
+
+    /// Backward mirror of [`TimingGraph::forward_closure_estimate`]:
+    /// the closure expands *downward*, so the span runs from rank 0 to
+    /// the end of the highest dirty level.
+    fn backward_closure_estimate(&self, bits: &[u64], count: usize) -> usize {
+        if count < 32 {
+            return 0;
+        }
+        let Some((_lo, hi, hit)) = self.dirty_level_profile(bits) else {
+            return 0;
+        };
+        let span = self.level_start[hi + 1] as usize;
+        if hit * 2 > hi && count * 4 >= span {
+            span
+        } else {
+            0
+        }
     }
 }
 

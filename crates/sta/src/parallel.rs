@@ -1,6 +1,6 @@
-//! Level-synchronized parallel forward evaluation.
+//! Level-synchronized parallel evaluation, both timing directions.
 //!
-//! The forward timing state lives in rank-major slabs (see
+//! The timing state lives in rank-major slabs (see
 //! [`crate::incremental`]): gates are ordered level-major, so every gate
 //! of one logic level has all its fanins in strictly lower levels and
 //! its output slot in a level-contiguous range. That makes a level a
@@ -9,12 +9,28 @@
 //! becomes: *for each level (ascending), evaluate its gates across a
 //! worker pool, barrier, continue*.
 //!
+//! The same independence argument runs backward: the required-time and
+//! completion kernels *pull* from fanout slots, which belong to
+//! strictly **higher** levels — settled before the level's start
+//! barrier when levels dispatch in *descending* order — and write only
+//! the evaluated net's (or gate's) own slot. The one backward pass that
+//! does not fit the pull shape is the gate-centric
+//! `sweep_required_full`, a scatter: same-level gates min-update shared
+//! fanin slots at lower levels. Its parallel form has workers *emit*
+//! `(slot·edge, candidate)` pairs into per-worker buffers instead of
+//! writing slabs, and the coordinator min-folds the buffers at the
+//! barrier — a min over one multiset is order-independent, so the fold
+//! is bit-identical to the sequential scatter no matter how the level
+//! was chunked.
+//!
 //! The pool is built in-tree on [`std::thread::scope`] (no external
 //! runtime): workers are spawned once per flush and synchronized with
 //! two reusable [`Barrier`]s per dispatched level, so per-level cost is
 //! a barrier crossing, not a thread spawn. The coordinating thread
 //! participates as worker 0 and retains exclusive ownership of all
-//! non-slab bookkeeping (dirty bitsets, backward seed logs).
+//! non-slab bookkeeping (dirty bitsets, seed logs, the worst-slack
+//! tournament tree — workers *compute* refreshed slack keys, the
+//! coordinator applies them).
 //!
 //! # Safety
 //!
@@ -24,16 +40,23 @@
 //! so the borrow checker guarantees no *other* alias exists for the
 //! view's lifetime; disjointness *between* workers is structural:
 //!
-//! * a worker only writes the output slot and delay slot of gates in
-//!   its own chunk of the current level (chunks partition the level);
-//! * it only reads fanin slots, which belong to strictly lower levels —
-//!   settled before the level's start barrier and written by no one
-//!   until its end barrier;
-//! * the coordinator evaluates gates only while every worker is parked
-//!   at the start barrier.
+//! * a worker only writes the output slot and delay slot (forward), or
+//!   required/completion slot (backward), of gates in its own chunk of
+//!   the current level (chunks partition the level);
+//! * it only reads fanin slots (forward) or fanout slots (backward),
+//!   which belong to strictly lower resp. higher levels — settled
+//!   before the level's start barrier and written by no one until its
+//!   end barrier;
+//! * the backward sweep's scatter never writes slabs from workers at
+//!   all — candidates travel through per-worker buffers and are folded
+//!   by the coordinator between barriers;
+//! * the coordinator evaluates gates and folds candidates only while
+//!   every worker is parked at the start barrier.
 //!
-//! Every evaluation — sequential or parallel — goes through the same
-//! [`FwdView::eval_shared`] kernel, so the two paths cannot diverge:
+//! Every evaluation — sequential or parallel, either direction — goes
+//! through the same shared kernels ([`FwdView::eval_shared`],
+//! [`BwdView::eval_required_shared`], [`BwdView::eval_completion_shared`],
+//! [`BwdView::sweep_gate_shared`]), so the paths cannot diverge:
 //! bit-identical state is a structural property, not a testing
 //! aspiration (the differential suite asserts it anyway).
 #![allow(unsafe_code)]
@@ -47,6 +70,7 @@ use pops_netlist::{CellKind, GateId, NetId};
 
 use crate::analysis::{compatible_input_edges, eidx, EDGES};
 use crate::incremental::{ArcTerms, GateParams};
+use crate::slack::WorstSlackIndex;
 
 /// Arrival or slope of the gate's output net changed (bitwise) — the
 /// forward cone expands through its fanouts.
@@ -113,6 +137,18 @@ pub(crate) struct EvalCtx<'a> {
     /// Slots `0..n_src` hold driverless nets; gate `pos` writes slot
     /// `n_src + pos`.
     pub n_src: usize,
+    /// Output net per gate id (backward kernels key their fanout walk
+    /// on it).
+    pub out_net: &'a [NetId],
+    /// Flattened fanout gates per net id (`fanout_off` delimits).
+    pub fanout: &'a [GateId],
+    /// Fanout offsets per net id.
+    pub fanout_off: &'a [u32],
+    /// Topo position per gate id (fanout gates resolve to their slots
+    /// as `n_src + rank`).
+    pub rank: &'a [u32],
+    /// Primary-output flag per net id.
+    pub is_po: &'a [bool],
     /// For the debug cross-check against the reference delay model.
     pub lib: &'a Library,
 }
@@ -252,6 +288,282 @@ impl<'a> FwdView<'a> {
             self.pred[out_slot].set(new_pred);
         }
         flags
+    }
+}
+
+/// Exclusive view of the mutable backward slabs for one flush, plus
+/// read-only forward state (settled first — the two-phase flush
+/// contract, so no [`SyncCell`] needed there). Created from `&mut`
+/// slices; shared with workers by `&BwdView` only inside
+/// [`run_parallel_bwd`]'s barrier discipline.
+pub(crate) struct BwdView<'a> {
+    required: &'a [SyncCell<[f64; 2]>],
+    completion: &'a [SyncCell<f64>],
+    arrival: &'a [[f64; 2]],
+    slope: &'a [[f64; 2]],
+    load: &'a [f64],
+    gate_delay_worst: &'a [f64],
+    tc_ps: f64,
+}
+
+impl<'a> BwdView<'a> {
+    pub(crate) fn new(
+        required: &'a mut [[f64; 2]],
+        completion: &'a mut [f64],
+        arrival: &'a [[f64; 2]],
+        slope: &'a [[f64; 2]],
+        load: &'a [f64],
+        gate_delay_worst: &'a [f64],
+        tc_ps: f64,
+    ) -> Self {
+        BwdView {
+            required: SyncCell::from_mut_slice(required),
+            completion: SyncCell::from_mut_slice(completion),
+            arrival,
+            slope,
+            load,
+            gate_delay_worst,
+            tc_ps,
+        }
+    }
+
+    /// [`BwdView::eval_required_shared`] with exclusive access (`&mut
+    /// self` proves no worker shares the view) — the sequential drain
+    /// and the PI-sink path.
+    pub(crate) fn eval_required_net(
+        &mut self,
+        ctx: &EvalCtx<'_>,
+        net: usize,
+        slot: usize,
+    ) -> (bool, f64) {
+        // SAFETY: `&mut self` — no other view of the slabs exists.
+        unsafe { self.eval_required_shared(ctx, net, slot) }
+    }
+
+    /// [`BwdView::eval_completion_shared`] with exclusive access.
+    pub(crate) fn eval_completion_gate(&mut self, ctx: &EvalCtx<'_>, pos: usize) -> bool {
+        // SAFETY: `&mut self` — no other view of the slabs exists.
+        unsafe { self.eval_completion_shared(ctx, pos) }
+    }
+
+    /// One gate of the gate-centric required sweep with exclusive
+    /// access, folding each candidate into the slabs as it is emitted —
+    /// the sequential sweep path (zero buffering; identical arithmetic
+    /// to the buffered parallel form, and the min-fold makes the
+    /// interleaving irrelevant).
+    pub(crate) fn sweep_gate_fold(&mut self, ctx: &EvalCtx<'_>, pos: usize) {
+        let this: &Self = self;
+        // SAFETY: `&mut self` — no other view of the slabs exists (the
+        // emit closure is lexically inside this unsafe block).
+        unsafe { this.sweep_gate_shared(ctx, pos, |se, v| this.fold_candidate_shared(se, v)) }
+    }
+
+    /// Recompute the required times of the net `net` (slab slot `slot`)
+    /// from its fanout arcs and write its slot; returns `(changed,
+    /// key)` where `key` is the net's refreshed worst-slack leaf
+    /// (computed here so parallel workers fold their own batch of leaf
+    /// updates — the coordinator merely applies them at the barrier).
+    ///
+    /// Candidates are exactly the full backward pass's for this net —
+    /// same arc delays (via the cached constants, asserted against the
+    /// model), accumulated by the same `<` min — so the result is
+    /// bit-identical to a fresh [`crate::required_times`]: a min over
+    /// one multiset is order-independent.
+    ///
+    /// # Safety
+    ///
+    /// No other thread may concurrently access slot `slot`, and the
+    /// net's fanout slots must not be written concurrently — guaranteed
+    /// by the descending level-barrier discipline (fanout gates live in
+    /// strictly higher levels, settled before this level started).
+    unsafe fn eval_required_shared(
+        &self,
+        ctx: &EvalCtx<'_>,
+        net: usize,
+        slot: usize,
+    ) -> (bool, f64) {
+        let mut req = if ctx.is_po[net] {
+            [self.tc_ps; 2]
+        } else {
+            [f64::INFINITY; 2]
+        };
+        let slope = self.slope[slot];
+        let (lo, hi) = (
+            ctx.fanout_off[net] as usize,
+            ctx.fanout_off[net + 1] as usize,
+        );
+        for &h in &ctx.fanout[lo..hi] {
+            let g = h.index();
+            let cell = ctx.cell[g];
+            // A gate's output slot is `n_src + rank` — no net-id
+            // round-trip.
+            let h_out_slot = ctx.n_src + ctx.rank[g] as usize;
+            let cin = ctx.cins[g];
+            let load = self.load[h_out_slot];
+            // Same hoisted arc terms as the forward kernel
+            // (bit-identical to `gate_delay_with_output_edge`).
+            let ArcTerms {
+                tau_out_by_edge,
+                miller,
+            } = ctx.gate_params[g].arc_terms(cin, load);
+            for out_edge in EDGES {
+                // SAFETY: fanout slots live in strictly higher levels,
+                // settled before this level started.
+                let req_out = unsafe { self.required[h_out_slot].get() }[eidx(out_edge)];
+                if req_out == f64::INFINITY {
+                    continue;
+                }
+                let tau_out = tau_out_by_edge[eidx(out_edge)];
+                for &in_edge in compatible_input_edges(cell, out_edge) {
+                    let i = eidx(in_edge);
+                    let delay_ps = 0.5 * ctx.vt[i] * slope[i] + 0.5 * miller[i] * tau_out;
+                    debug_assert_eq!(
+                        delay_ps.to_bits(),
+                        gate_delay_with_output_edge(
+                            ctx.lib, cell, cin, load, slope[i], in_edge, out_edge,
+                        )
+                        .delay_ps
+                        .to_bits(),
+                        "cached-constant backward arc delay must match the model"
+                    );
+                    let candidate = req_out - delay_ps;
+                    if candidate < req[i] {
+                        req[i] = candidate;
+                    }
+                }
+            }
+        }
+        // SAFETY: slot `slot` belongs to this net alone within the
+        // current level.
+        let cur = unsafe { self.required[slot].get() };
+        let changed = req[0].to_bits() != cur[0].to_bits() || req[1].to_bits() != cur[1].to_bits();
+        unsafe { self.required[slot].set(req) };
+        (changed, WorstSlackIndex::key(req, self.arrival[slot]))
+    }
+
+    /// Recompute the completion bound of the gate at topo position
+    /// `pos`; returns whether it changed (bitwise). Same fold, in the
+    /// same successor order, as [`crate::kpaths::completion_bounds`].
+    ///
+    /// # Safety
+    ///
+    /// No other thread may concurrently access completion slot `pos`,
+    /// and the gate's successor slots must not be written concurrently
+    /// — guaranteed by the descending level-barrier discipline
+    /// (successors rank strictly higher).
+    unsafe fn eval_completion_shared(&self, ctx: &EvalCtx<'_>, pos: usize) -> bool {
+        let gid = ctx.topo[pos];
+        let out = ctx.out_net[gid.index()].index();
+        let mut best = if ctx.is_po[out] {
+            0.0
+        } else {
+            f64::NEG_INFINITY
+        };
+        let (lo, hi) = (
+            ctx.fanout_off[out] as usize,
+            ctx.fanout_off[out + 1] as usize,
+        );
+        for &succ in &ctx.fanout[lo..hi] {
+            // SAFETY: successors rank strictly higher — settled before
+            // this level started.
+            let c = unsafe { self.completion[ctx.rank[succ.index()] as usize].get() };
+            if c.is_finite() {
+                best = best.max(c);
+            }
+        }
+        let new = if best.is_finite() {
+            self.gate_delay_worst[pos] + best
+        } else {
+            f64::NEG_INFINITY
+        };
+        // SAFETY: completion slot `pos` belongs to this gate alone
+        // within the current level.
+        let cur = unsafe { self.completion[pos].get() };
+        let changed = new.to_bits() != cur.to_bits();
+        unsafe { self.completion[pos].set(new) };
+        changed
+    }
+
+    /// One gate of the gate-centric required sweep: read the gate's own
+    /// (settled) required slot, hoist its arc terms once, and *emit*
+    /// one `(slot | edge << 31, candidate)` pair per fanin arc instead
+    /// of writing the fanin slots — the caller decides whether `emit`
+    /// folds immediately (sequential / coordinator-inline) or buffers
+    /// for the barrier fold (parallel workers). Exactly
+    /// [`crate::required_times`]'s per-gate walk over the cached
+    /// constants.
+    ///
+    /// # Safety
+    ///
+    /// The gate's own required slot must not be written concurrently —
+    /// guaranteed by the descending level-barrier discipline (all
+    /// candidates *into* this level were folded before it started).
+    unsafe fn sweep_gate_shared(
+        &self,
+        ctx: &EvalCtx<'_>,
+        pos: usize,
+        mut emit: impl FnMut(u32, f64),
+    ) {
+        let gid = ctx.topo[pos];
+        let gi = gid.index();
+        let out_slot = ctx.n_src + pos;
+        let cell = ctx.cell[gi];
+        let cin = ctx.cins[gi];
+        let load = self.load[out_slot];
+        let ArcTerms {
+            tau_out_by_edge,
+            miller,
+        } = ctx.gate_params[gi].arc_terms(cin, load);
+        let fanin_range = ctx.fanin_off[gi] as usize..ctx.fanin_off[gi + 1] as usize;
+        for out_edge in EDGES {
+            // SAFETY: the gate's own slot; every candidate into this
+            // level was folded before its start barrier.
+            let req_out = unsafe { self.required[out_slot].get() }[eidx(out_edge)];
+            if req_out == f64::INFINITY {
+                continue;
+            }
+            let tau_out = tau_out_by_edge[eidx(out_edge)];
+            for idx in fanin_range.clone() {
+                let in_slot = ctx.fanin_slots[idx] as usize;
+                for &in_edge in compatible_input_edges(cell, out_edge) {
+                    let i = eidx(in_edge);
+                    let slope = self.slope[in_slot][i];
+                    let delay_ps = 0.5 * ctx.vt[i] * slope + 0.5 * miller[i] * tau_out;
+                    debug_assert_eq!(
+                        delay_ps.to_bits(),
+                        gate_delay_with_output_edge(
+                            ctx.lib, cell, cin, load, slope, in_edge, out_edge,
+                        )
+                        .delay_ps
+                        .to_bits(),
+                        "cached-constant sweep arc delay must match the model"
+                    );
+                    emit(in_slot as u32 | (i as u32) << 31, req_out - delay_ps);
+                }
+            }
+        }
+    }
+
+    /// Min-fold one emitted sweep candidate into its required slot.
+    /// Order-independent across any interleaving of emitters (min over
+    /// one multiset), so the barrier fold is bit-identical to the
+    /// sequential scatter.
+    ///
+    /// # Safety
+    ///
+    /// Single-threaded slab access only: the sequential sweep (`&mut`
+    /// view) or the coordinator while every worker is parked.
+    unsafe fn fold_candidate_shared(&self, slot_edge: u32, candidate: f64) {
+        let (slot, i) = (
+            (slot_edge & !(1 << 31)) as usize,
+            (slot_edge >> 31) as usize,
+        );
+        // SAFETY: caller guarantees exclusive access (see above).
+        let mut cur = unsafe { self.required[slot].get() };
+        if candidate < cur[i] {
+            cur[i] = candidate;
+            unsafe { self.required[slot].set(cur) };
+        }
     }
 }
 
@@ -437,6 +749,296 @@ pub(crate) fn run_parallel<R>(
     })
 }
 
+/// Which backward kernel a dispatched batch runs.
+#[derive(Default, Clone, Copy, PartialEq, Eq)]
+enum BwdOp {
+    /// Required-time drain: evaluate the nets driven at the listed
+    /// positions; a worker reports `(pos, slack key)` for changed nets.
+    #[default]
+    Required,
+    /// Gate-centric required sweep: emit `(slot·edge, candidate)` pairs
+    /// into the worker's buffer for the coordinator's barrier fold.
+    SweepGate,
+    /// Completion drain: report `(pos, 0.0)` for changed gates (the
+    /// caller re-marks their fanin drivers).
+    Completion,
+    /// Completion full sweep: evaluate, report nothing (descending
+    /// dependency order makes re-marking unnecessary).
+    CompletionSweep,
+}
+
+/// One dispatched backward batch (see [`Task`] for the range/list
+/// duality; `op` selects the kernel).
+#[derive(Default)]
+struct BwdTask {
+    lo: u32,
+    hi: u32,
+    list: Option<Vec<u32>>,
+    op: BwdOp,
+    done: bool,
+}
+
+/// The coordinator's handle inside [`run_parallel_bwd`] — the backward
+/// mirror of [`Driver`]: dispatch descending levels to the pool (or
+/// evaluate stragglers inline) while keeping exclusive ownership of all
+/// non-slab state (dirty bitsets, PI sink list, the worst-slack tree).
+pub(crate) struct BwdDriver<'p, 'v, 'a> {
+    ctx: &'p EvalCtx<'a>,
+    view: &'p BwdView<'v>,
+    threads: usize,
+    task: &'p RwLock<BwdTask>,
+    start: &'p Barrier,
+    end: &'p Barrier,
+    outs: &'p [Mutex<Vec<(u32, f64)>>],
+    merged: Vec<(u32, f64)>,
+}
+
+impl BwdDriver<'_, '_, '_> {
+    /// Evaluate the net driven at `pos` inline; returns `(changed,
+    /// slack key)`. Sound: every worker is parked at the start barrier
+    /// whenever the coordinator runs.
+    pub(crate) fn eval_required_one(&mut self, pos: usize) -> (bool, f64) {
+        let net = self.ctx.out_net[self.ctx.topo[pos].index()].index();
+        // SAFETY: workers are parked between dispatches (module docs).
+        unsafe {
+            self.view
+                .eval_required_shared(self.ctx, net, self.ctx.n_src + pos)
+        }
+    }
+
+    /// Evaluate an explicit ascending position list (one level's
+    /// required-dirty net drivers) across the pool; returns `(pos,
+    /// slack key)` for every changed net, in ascending position order.
+    /// The list is borrowed into the task and returned to `positions`.
+    pub(crate) fn eval_required_list(&mut self, positions: &mut Vec<u32>) -> &[(u32, f64)] {
+        self.dispatch_list(BwdOp::Required, positions);
+        &self.merged
+    }
+
+    /// One gate of the required sweep inline, folding its candidates
+    /// immediately (coordinator-exclusive slab access).
+    pub(crate) fn sweep_gate_one(&mut self, pos: usize) {
+        let view = self.view;
+        // SAFETY: workers are parked between dispatches; the emit
+        // closure is lexically inside this unsafe block.
+        unsafe { view.sweep_gate_shared(self.ctx, pos, |se, v| view.fold_candidate_shared(se, v)) }
+    }
+
+    /// One whole level of the required sweep across the pool: workers
+    /// emit candidates into their buffers, then the coordinator
+    /// min-folds the merged buffers here, between the end barrier and
+    /// the next dispatch (workers parked — exclusive slab access). The
+    /// fold is order-independent, so worker chunking never shows in the
+    /// bits.
+    pub(crate) fn sweep_gate_range(&mut self, lo: u32, hi: u32) {
+        self.dispatch_range(BwdOp::SweepGate, lo, hi);
+        for i in 0..self.merged.len() {
+            let (se, v) = self.merged[i];
+            // SAFETY: workers are parked between dispatches.
+            unsafe { self.view.fold_candidate_shared(se, v) };
+        }
+    }
+
+    /// Evaluate the completion bound of the gate at `pos` inline;
+    /// returns whether it changed.
+    pub(crate) fn eval_completion_one(&mut self, pos: usize) -> bool {
+        // SAFETY: workers are parked between dispatches.
+        unsafe { self.view.eval_completion_shared(self.ctx, pos) }
+    }
+
+    /// Evaluate an explicit ascending position list (one level's
+    /// completion-dirty gates) across the pool; returns `(pos, 0.0)`
+    /// for every changed gate, in ascending position order.
+    pub(crate) fn eval_completion_list(&mut self, positions: &mut Vec<u32>) -> &[(u32, f64)] {
+        self.dispatch_list(BwdOp::Completion, positions);
+        &self.merged
+    }
+
+    /// Evaluate every completion bound in `[lo, hi)` (one full level)
+    /// across the pool, reporting nothing — the full-sweep case.
+    pub(crate) fn sweep_completion_range(&mut self, lo: u32, hi: u32) {
+        self.dispatch_range(BwdOp::CompletionSweep, lo, hi);
+    }
+
+    fn dispatch_list(&mut self, op: BwdOp, positions: &mut Vec<u32>) {
+        debug_assert!(positions.windows(2).all(|w| w[0] < w[1]));
+        self.dispatch(BwdTask {
+            lo: 0,
+            hi: 0,
+            list: Some(std::mem::take(positions)),
+            op,
+            done: false,
+        });
+        *positions = self
+            .task
+            .write()
+            .expect("pool lock")
+            .list
+            .take()
+            .expect("dispatched list comes back");
+    }
+
+    fn dispatch_range(&mut self, op: BwdOp, lo: u32, hi: u32) {
+        self.dispatch(BwdTask {
+            lo,
+            hi,
+            list: None,
+            op,
+            done: false,
+        });
+    }
+
+    fn dispatch(&mut self, t: BwdTask) {
+        *self.task.write().expect("pool lock") = t;
+        self.start.wait();
+        // The coordinator is worker 0.
+        run_bwd_chunk(
+            self.ctx,
+            self.view,
+            self.task,
+            0,
+            self.threads,
+            &self.outs[0],
+        );
+        self.end.wait();
+        self.merged.clear();
+        for out in self.outs {
+            self.merged.append(&mut out.lock().expect("pool lock"));
+        }
+    }
+
+    fn shutdown(&mut self) {
+        self.task.write().expect("pool lock").done = true;
+        self.start.wait();
+    }
+}
+
+fn run_bwd_chunk(
+    ctx: &EvalCtx<'_>,
+    view: &BwdView<'_>,
+    task: &RwLock<BwdTask>,
+    w: usize,
+    threads: usize,
+    out: &Mutex<Vec<(u32, f64)>>,
+) {
+    let t = task.read().expect("pool lock");
+    let mut local = out.lock().expect("pool lock");
+    let run_pos = |pos: u32, local: &mut Vec<(u32, f64)>| match t.op {
+        BwdOp::Required => {
+            let net = ctx.out_net[ctx.topo[pos as usize].index()].index();
+            // SAFETY: `pos` is in this worker's chunk of the current
+            // level (module-docs discipline).
+            let (changed, key) =
+                unsafe { view.eval_required_shared(ctx, net, ctx.n_src + pos as usize) };
+            if changed {
+                local.push((pos, key));
+            }
+        }
+        // SAFETY: the sweep kernel reads only the gate's own settled
+        // slot; candidates go to this worker's buffer, not the slabs.
+        BwdOp::SweepGate => unsafe {
+            view.sweep_gate_shared(ctx, pos as usize, |se, v| local.push((se, v)))
+        },
+        BwdOp::Completion => {
+            // SAFETY: as `Required`.
+            if unsafe { view.eval_completion_shared(ctx, pos as usize) } {
+                local.push((pos, 0.0));
+            }
+        }
+        BwdOp::CompletionSweep => {
+            // SAFETY: as `Required`.
+            unsafe { view.eval_completion_shared(ctx, pos as usize) };
+        }
+    };
+    match &t.list {
+        Some(list) => {
+            for &pos in &list[chunk(list.len(), w, threads)] {
+                run_pos(pos, &mut local);
+            }
+        }
+        None => {
+            let n = (t.hi - t.lo) as usize;
+            let c = chunk(n, w, threads);
+            for pos in t.lo + c.start as u32..t.lo + c.end as u32 {
+                run_pos(pos, &mut local);
+            }
+        }
+    }
+}
+
+/// Backward mirror of [`run_parallel`]: spin up `threads - 1` workers
+/// for the duration of `body` and hand the coordinator a [`BwdDriver`].
+pub(crate) fn run_parallel_bwd<R>(
+    ctx: &EvalCtx<'_>,
+    view: &mut BwdView<'_>,
+    threads: usize,
+    body: impl FnOnce(&mut BwdDriver<'_, '_, '_>) -> R,
+) -> R {
+    assert!(threads >= 2, "run_parallel_bwd needs a pool");
+    let task = RwLock::new(BwdTask::default());
+    let start = Barrier::new(threads);
+    let end = Barrier::new(threads);
+    let outs: Vec<Mutex<Vec<(u32, f64)>>> = (0..threads).map(|_| Mutex::new(Vec::new())).collect();
+    let view: &BwdView = view;
+    std::thread::scope(|s| {
+        for (w, out) in outs.iter().enumerate().skip(1) {
+            let (task, start, end) = (&task, &start, &end);
+            s.spawn(move || loop {
+                start.wait();
+                if task.read().expect("pool lock").done {
+                    return;
+                }
+                run_bwd_chunk(ctx, view, task, w, threads, out);
+                end.wait();
+            });
+        }
+        let mut driver = BwdDriver {
+            ctx,
+            view,
+            threads,
+            task: &task,
+            start: &start,
+            end: &end,
+            outs: &outs,
+            merged: Vec::new(),
+        };
+        // Release the workers even when the body panics — otherwise
+        // they stay parked at the start barrier and the scope deadlocks
+        // instead of propagating.
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut driver)));
+        driver.shutdown();
+        match r {
+            Ok(r) => r,
+            Err(p) => std::panic::resume_unwind(p),
+        }
+    })
+}
+
+/// Whether any bit of `bits` in `[lo, hi)` is set — the adaptive sweep
+/// cut-over's per-level dirty probe (no clearing, no collection).
+pub(crate) fn range_any(bits: &[u64], lo: u32, hi: u32) -> bool {
+    if lo >= hi {
+        return false;
+    }
+    let (lo, hi) = (lo as usize, hi as usize);
+    let mut word = lo / 64;
+    let last = (hi - 1) / 64;
+    while word <= last {
+        let mut mask = u64::MAX;
+        if word == lo / 64 {
+            mask &= u64::MAX << (lo % 64);
+        }
+        if word == last && hi % 64 != 0 {
+            mask &= u64::MAX >> (64 - hi % 64);
+        }
+        if bits[word] & mask != 0 {
+            return true;
+        }
+        word += 1;
+    }
+    false
+}
+
 /// Collect (and clear) every set bit of `bits` whose index lies in
 /// `[lo, hi)`, pushing the indices in ascending order. The drain's
 /// per-level dirty gather.
@@ -486,6 +1088,22 @@ mod tests {
         out.clear();
         gather_range(&mut bits, 128, 151, &mut out);
         assert_eq!(out, [128, 150]);
+    }
+
+    #[test]
+    fn range_any_respects_bounds() {
+        let mut bits = vec![0u64; 3];
+        for i in [0usize, 70, 150] {
+            bits[i / 64] |= 1 << (i % 64);
+        }
+        assert!(range_any(&bits, 0, 1));
+        assert!(!range_any(&bits, 1, 70));
+        assert!(range_any(&bits, 70, 71));
+        assert!(range_any(&bits, 5, 192));
+        assert!(!range_any(&bits, 71, 150));
+        assert!(range_any(&bits, 71, 151));
+        assert!(!range_any(&bits, 151, 192));
+        assert!(!range_any(&bits, 10, 10));
     }
 
     #[test]

@@ -218,6 +218,119 @@ fn random_parallel_twin_sequence(circuit: Circuit, seed: u64, steps: usize, chec
     assert_matches_eager(&seq, &lib, "final");
 }
 
+/// Backward-focused twins: every burst is *immediately* followed by
+/// backward queries on every twin, so `flush_required` and
+/// `flush_completion` fire once per burst — in whatever dirty-state
+/// mix the burst schedule leaves behind — instead of only at the
+/// periodic full-graph checks. Constraint bursts saturate the backward
+/// dirty sets, so the next query runs the gate-centric full-sweep
+/// path (the parallel descending-barrier dispatch on the pool twins).
+fn random_backward_twin_sequence(circuit: Circuit, seed: u64, steps: usize, check_every: usize) {
+    let lib = Library::cmos025();
+    let sizing = Sizing::minimum(&circuit, &lib);
+    let mut seq = TimingGraph::new(&circuit, &lib, &sizing).expect("acyclic");
+    seq.set_threads(1);
+    let mut twins: Vec<TimingGraph> = [2usize, 4]
+        .iter()
+        .map(|&t| {
+            let mut g = TimingGraph::new(&circuit, &lib, &sizing).expect("acyclic");
+            g.set_threads(t);
+            g.set_parallel_threshold(0);
+            g
+        })
+        .collect();
+
+    let t0 = seq.critical_delay_ps();
+    seq.set_constraint(0.92 * t0);
+    for g in &mut twins {
+        g.set_constraint(0.92 * t0);
+    }
+
+    let mut rng = SplitMix64::new(seed);
+    let cref = lib.min_drive_ff();
+    for step in 0..steps {
+        let gates: Vec<GateId> = seq.circuit().gate_ids().collect();
+        match rng.below(6) {
+            0 => {
+                let batch: Vec<(GateId, f64)> = (0..2 + rng.below(8))
+                    .map(|_| {
+                        let g = *rng.pick(&gates);
+                        (g, cref * (1.0 + 25.0 * rng.next_f64()))
+                    })
+                    .collect();
+                seq.resize_gates(batch.clone());
+                for g in &mut twins {
+                    g.resize_gates(batch.clone());
+                }
+            }
+            1 => {
+                if let Some(plan) = random_buffer_plan(&seq, &lib, &mut rng) {
+                    seq.apply_edits(&plan).expect("valid edit");
+                    for g in &mut twins {
+                        g.apply_edits(&plan).expect("valid edit");
+                    }
+                }
+            }
+            2 => {
+                // Wholesale backward invalidation: the queries below
+                // run the full-sweep flush path.
+                let tc = t0 * (0.7 + 0.6 * rng.next_f64());
+                seq.set_constraint(tc);
+                for g in &mut twins {
+                    g.set_constraint(tc);
+                }
+            }
+            _ => {
+                let g = *rng.pick(&gates);
+                let cin = cref * (1.0 + 25.0 * rng.next_f64());
+                seq.resize_gate(g, cin);
+                for t in &mut twins {
+                    t.resize_gate(g, cin);
+                }
+            }
+        }
+        // Flush both backward directions on every twin, every burst.
+        let worst = seq.worst_slack_overall_ps().map(f64::to_bits);
+        let probe_net = *rng.pick(&seq.circuit().net_ids().collect::<Vec<_>>());
+        let probe_gate = *rng.pick(&gates);
+        let slack = [
+            seq.slack_ps(probe_net, EdgeDir::Rising).to_bits(),
+            seq.slack_ps(probe_net, EdgeDir::Falling).to_bits(),
+        ];
+        let completion = seq.completion_ps(probe_gate).to_bits();
+        for (i, g) in twins.iter().enumerate() {
+            assert_eq!(
+                g.worst_slack_overall_ps().map(f64::to_bits),
+                worst,
+                "step {step}, twin {i}: design-worst slack diverged"
+            );
+            assert_eq!(
+                [
+                    g.slack_ps(probe_net, EdgeDir::Rising).to_bits(),
+                    g.slack_ps(probe_net, EdgeDir::Falling).to_bits(),
+                ],
+                slack,
+                "step {step}, twin {i}: slack of {probe_net} diverged"
+            );
+            assert_eq!(
+                g.completion_ps(probe_gate).to_bits(),
+                completion,
+                "step {step}, twin {i}: completion of {probe_gate} diverged"
+            );
+        }
+        if step % check_every == check_every - 1 {
+            for (i, g) in twins.iter().enumerate() {
+                assert_graphs_bit_equal(&seq, g, &format!("step {step}, twin {i}"));
+            }
+            assert_matches_eager(&seq, &lib, &format!("step {step}"));
+        }
+    }
+    for (i, g) in twins.iter().enumerate() {
+        assert_graphs_bit_equal(&seq, g, &format!("final, twin {i}"));
+    }
+    assert_matches_eager(&seq, &lib, "final");
+}
+
 #[test]
 fn fpd_parallel_matches_sequential() {
     let c = suite::circuit("fpd").unwrap();
@@ -261,6 +374,224 @@ fn synth10k_parallel_matches_sequential() {
     // suite circuits mostly bypass through the inline-straggler path.
     let c = suite::scaling_circuit("synth10k").unwrap();
     random_parallel_twin_sequence(c, 0x9A51_E010, 6, 3);
+}
+
+#[test]
+fn fpd_backward_parallel_matches_sequential() {
+    let c = suite::circuit("fpd").unwrap();
+    random_backward_twin_sequence(c, 0xBAC4_F00D, 24, 4);
+}
+
+#[test]
+fn c432_backward_parallel_matches_sequential() {
+    let c = suite::circuit("c432").unwrap();
+    random_backward_twin_sequence(c, 0xBAC4_0432, 24, 4);
+}
+
+#[test]
+fn c880_backward_parallel_matches_sequential() {
+    let c = suite::circuit("c880").unwrap();
+    random_backward_twin_sequence(c, 0xBAC4_0880, 16, 4);
+}
+
+#[test]
+fn c1908_backward_parallel_matches_sequential() {
+    let c = suite::circuit("c1908").unwrap();
+    random_backward_twin_sequence(c, 0xBAC4_1908, 16, 4);
+}
+
+#[test]
+fn c6288_backward_parallel_matches_sequential() {
+    let c = suite::circuit("c6288").unwrap();
+    random_backward_twin_sequence(c, 0xBAC4_6288, 8, 4);
+}
+
+#[test]
+fn c7552_backward_parallel_matches_sequential() {
+    let c = suite::circuit("c7552").unwrap();
+    random_backward_twin_sequence(c, 0xBAC4_7552, 8, 4);
+}
+
+#[test]
+fn synth10k_backward_parallel_matches_sequential() {
+    // Wide levels drive the chunked backward dispatches
+    // (`eval_required_list` / `sweep_gate_range`), which the narrow
+    // suite circuits mostly bypass through the inline-straggler path.
+    let c = suite::scaling_circuit("synth10k").unwrap();
+    random_backward_twin_sequence(c, 0xBAC4_E010, 5, 3);
+}
+
+#[test]
+#[ignore = "expensive: 100k-gate fabric; run with --ignored (CI release job does)"]
+fn synth100k_backward_parallel_matches_sequential() {
+    let c = suite::scaling_circuit("synth100k").unwrap();
+    random_backward_twin_sequence(c, 0xBAC4_E100, 3, 2);
+}
+
+#[test]
+fn backward_full_sweep_fires_and_is_bit_identical() {
+    // A constraint change saturates the backward dirty sets, so the
+    // next slack query must take the gate-centric full-sweep path —
+    // proven by the reevaluation count covering every net — and the
+    // forced-pool twins must land on the same bits through their
+    // parallel descending-barrier sweep.
+    let lib = Library::cmos025();
+    let circuit = suite::circuit("c880").unwrap();
+    let sizing = Sizing::minimum(&circuit, &lib);
+    let mut seq = TimingGraph::new(&circuit, &lib, &sizing).unwrap();
+    seq.set_threads(1);
+    let mut twins: Vec<TimingGraph> = [2usize, 4]
+        .iter()
+        .map(|&t| {
+            let mut g = TimingGraph::new(&circuit, &lib, &sizing).unwrap();
+            g.set_threads(t);
+            g.set_parallel_threshold(0);
+            g
+        })
+        .collect();
+    let t0 = seq.critical_delay_ps();
+    let n_nets = circuit.net_count();
+    for tc in [0.9 * t0, 0.8 * t0, 1.1 * t0] {
+        seq.set_constraint(tc);
+        for g in &mut twins {
+            g.set_constraint(tc);
+        }
+        let before = seq.stats().required_reevaluated;
+        let worst = seq.worst_slack_overall_ps().map(f64::to_bits);
+        assert!(
+            seq.stats().required_reevaluated - before >= n_nets,
+            "a post-constraint flush must run the full sweep"
+        );
+        for (i, g) in twins.iter().enumerate() {
+            assert_eq!(
+                g.worst_slack_overall_ps().map(f64::to_bits),
+                worst,
+                "tc {tc}: twin {i} diverged through the parallel full sweep"
+            );
+            assert_graphs_bit_equal(&seq, g, &format!("tc {tc}, twin {i}"));
+        }
+    }
+    assert_matches_eager(&seq, &lib, "post-sweep");
+}
+
+#[test]
+fn adaptive_cutover_fires_on_spread_seeds_and_keeps_bits() {
+    // An eighth of the fabric's gates resized, spread evenly: the seed
+    // *count* sits far below the static ¾-rank forward budget, but the
+    // fanout closure is essentially the whole circuit — the level-span
+    // estimator must cut over to the full sweep (every gate evaluated,
+    // zero convergence cuts), and a pure-drain `(1,1)` twin proves the
+    // cut-over changes scheduling only, never bits.
+    let lib = Library::cmos025();
+    let circuit = suite::scaling_circuit("synth10k").unwrap();
+    let sizing = Sizing::minimum(&circuit, &lib);
+    let mut graph = TimingGraph::new(&circuit, &lib, &sizing).unwrap();
+    let mut drain = TimingGraph::new(&circuit, &lib, &sizing).unwrap();
+    drain.set_sweep_budgets((1, 1), (1, 1));
+    let t0 = graph.critical_delay_ps();
+    let _ = drain.critical_delay_ps();
+    graph.set_constraint(0.9 * t0);
+    drain.set_constraint(0.9 * t0);
+    let _ = graph.worst_slack_overall_ps();
+    let _ = drain.worst_slack_overall_ps();
+
+    let gates: Vec<GateId> = circuit.gate_ids().collect();
+    let n_gates = gates.len();
+    let cref = lib.min_drive_ff();
+    let batch: Vec<(GateId, f64)> = gates
+        .iter()
+        .step_by(8)
+        .enumerate()
+        .map(|(i, &g)| (g, cref * (1.5 + 0.01 * (i % 7) as f64)))
+        .collect();
+    assert!(batch.len() * 4 >= n_gates / 2, "spread batch too sparse");
+    graph.resize_gates(batch.clone());
+    drain.resize_gates(batch);
+
+    let before = graph.stats();
+    let d = graph.critical_delay_ps();
+    let after = graph.stats();
+    assert_eq!(
+        after.gates_reevaluated - before.gates_reevaluated,
+        n_gates,
+        "the spread union must cut over to the full sweep"
+    );
+    assert_eq!(
+        after.converged_early, before.converged_early,
+        "a full sweep takes no convergence cuts"
+    );
+    assert_eq!(
+        d.to_bits(),
+        drain.critical_delay_ps().to_bits(),
+        "cut-over must not change the bits"
+    );
+    assert_eq!(
+        graph.worst_slack_overall_ps().map(f64::to_bits),
+        drain.worst_slack_overall_ps().map(f64::to_bits),
+        "backward state must agree after the adaptive forward sweep"
+    );
+    assert_matches_eager(&graph, &lib, "adaptive cut-over");
+
+    // A single-gate probe afterwards stays on the drain: the estimator
+    // is guarded out below 32 seeds, and one cone converges early.
+    graph.resize_gate(gates[n_gates / 2], 2.0 * cref);
+    let before = graph.stats();
+    let _ = graph.critical_delay_ps();
+    let after = graph.stats();
+    assert!(
+        after.gates_reevaluated - before.gates_reevaluated < n_gates,
+        "a probe cone must not trigger the adaptive sweep"
+    );
+}
+
+#[test]
+fn gate_delay_queries_settle_without_flushing() {
+    // `gate_delay_worst_ps` under pure-resize seeds: answered by the
+    // flushless settle — correct value, no forward flush — so a K=1
+    // resize/probe loop no longer drains the whole merged union per
+    // probe. The settled answers must be bit-identical to the slab
+    // values the next flushing query produces.
+    let lib = Library::cmos025();
+    let circuit = suite::circuit("c880").unwrap();
+    let mut graph = TimingGraph::new(&circuit, &lib, &Sizing::minimum(&circuit, &lib)).unwrap();
+    let gates: Vec<GateId> = circuit.gate_ids().collect();
+    graph.resize_gate(gates[gates.len() / 3], 5.0 * lib.min_drive_ff());
+
+    let before = graph.stats();
+    let settled: Vec<u64> = gates
+        .iter()
+        .map(|&g| graph.gate_delay_worst_ps(g).to_bits())
+        .collect();
+    let mid = graph.stats();
+    assert_eq!(
+        mid.forward_flushes, before.forward_flushes,
+        "a worst-delay probe under resize seeds must not flush"
+    );
+    assert_eq!(
+        mid.gate_delay_settles,
+        before.gate_delay_settles + gates.len(),
+        "every probe takes the settle path"
+    );
+
+    let _ = graph.critical_delay_ps();
+    assert_eq!(graph.stats().forward_flushes, before.forward_flushes + 1);
+    for (i, &g) in gates.iter().enumerate() {
+        assert_eq!(
+            graph.gate_delay_worst_ps(g).to_bits(),
+            settled[i],
+            "settled and flushed worst delay of {g} must agree"
+        );
+    }
+    // Structural seeds (surgery) disable the settle: the probe flushes.
+    let mut rng = SplitMix64::new(0x5E77_1E00);
+    let plan = random_buffer_plan(&graph, &lib, &mut rng).unwrap();
+    graph.apply_edits(&plan).unwrap();
+    let before = graph.stats();
+    let _ = graph.gate_delay_worst_ps(gates[0]);
+    let after = graph.stats();
+    assert_eq!(after.forward_flushes, before.forward_flushes + 1);
+    assert_eq!(after.gate_delay_settles, before.gate_delay_settles);
+    assert_matches_eager(&graph, &lib, "after settle round-trips");
 }
 
 #[test]
