@@ -230,7 +230,11 @@ fn main() {
     let classes = env_list("STA_SCALING_CLASSES", "synth10k,synth100k");
     let mut thread_counts: Vec<usize> = env_list("STA_SCALING_THREADS", "1,2,4,8")
         .iter()
-        .map(|s| s.parse().expect("STA_SCALING_THREADS: not a count"))
+        .map(|s| match s.parse() {
+            Ok(0) => panic!("STA_SCALING_THREADS: count must be at least 1, got \"0\""),
+            Ok(n) => n,
+            Err(e) => panic!("STA_SCALING_THREADS: \"{s}\" is not a count: {e}"),
+        })
         .collect();
     if !thread_counts.contains(&1) {
         thread_counts.insert(0, 1);

@@ -89,15 +89,24 @@ pub fn write_baseline<T: ToJson + ?Sized>(name: &str, value: &T) {
     }
 }
 
-/// Median of a sample set (by value; the vector is consumed).
+/// Median of a sample set (by value; the vector is consumed). For an
+/// even-length set this is the mean of the two middle elements — not
+/// the upper-middle element, which biased every even-sample timing
+/// summary toward its slower half.
 ///
 /// # Panics
 ///
 /// Panics on an empty sample set.
 pub fn median(mut xs: Vec<f64>) -> f64 {
     assert!(!xs.is_empty(), "median of an empty sample set");
+    debug_assert!(xs.iter().all(|x| !x.is_nan()), "NaN in sample set");
     xs.sort_by(f64::total_cmp);
-    xs[xs.len() / 2]
+    let mid = xs.len() / 2;
+    if xs.len().is_multiple_of(2) {
+        (xs[mid - 1] + xs[mid]) / 2.0
+    } else {
+        xs[mid]
+    }
 }
 
 /// Arithmetic mean of a sample set.
@@ -139,7 +148,9 @@ mod tests {
     #[test]
     fn median_and_mean() {
         assert_eq!(median(vec![3.0, 1.0, 2.0]), 2.0);
-        assert_eq!(median(vec![4.0, 1.0]), 4.0);
+        assert_eq!(median(vec![4.0, 1.0]), 2.5);
+        assert_eq!(median(vec![1.0, 2.0, 3.0, 4.0]), 2.5);
+        assert_eq!(median(vec![7.0]), 7.0);
         assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
     }
 

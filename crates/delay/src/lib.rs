@@ -38,7 +38,7 @@ pub mod path;
 pub mod power;
 pub mod process;
 
-pub use library::{CellTiming, Library};
+pub use library::{CellTiming, Library, VtTiming};
 pub use model::{Edge, GateDelay};
 pub use path::{PathDelay, PathStage, StageDelay, TimedPath};
-pub use process::Process;
+pub use process::{CornerSet, Process};

@@ -1,10 +1,64 @@
 //! Per-cell electrical characterization: logical weights, configuration
 //! ratios and parasitics — the `DW`, `k` and `C_par` of eqs. (2)–(3).
 
-use pops_netlist::cell::{CellKind, ALL_CELLS};
+use pops_netlist::cell::{CellKind, VtClass, ALL_CELLS};
 
 use crate::model::{Edge, GateDelay};
 use crate::process::Process;
+
+/// Electrical scaling of one threshold-voltage variant relative to the SVT
+/// baseline, after the multi-Vt characterization of Kaur & Noor (arXiv
+/// 1307.3017): lowering Vt raises drive current (faster transitions) and
+/// raises subthreshold leakage exponentially; raising Vt does the reverse.
+///
+/// The SVT factors are exactly `1.0`, so an SVT instance reproduces the
+/// unscaled model bit-for-bit.
+///
+/// ```
+/// use pops_delay::VtTiming;
+/// use pops_netlist::cell::VtClass;
+///
+/// let svt = VtTiming::of(VtClass::Svt);
+/// assert_eq!((svt.drive_factor, svt.vt_scale, svt.leakage_factor), (1.0, 1.0, 1.0));
+/// assert!(VtTiming::of(VtClass::Hvt).leakage_factor < 1.0);
+/// assert!(VtTiming::of(VtClass::Lvt).drive_factor < 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VtTiming {
+    /// Multiplier on the output-transition scale `τ·S`: < 1 for LVT (more
+    /// drive, faster edges), > 1 for HVT.
+    pub drive_factor: f64,
+    /// Multiplier on the reduced threshold `v_T` in the slope term of
+    /// eq. (1): the effective switching threshold tracks the device Vt.
+    pub vt_scale: f64,
+    /// Multiplier on subthreshold leakage relative to SVT. Leakage is
+    /// exponential in Vt, so the spread is wide: ~6× up for LVT, ~0.15×
+    /// for HVT.
+    pub leakage_factor: f64,
+}
+
+impl VtTiming {
+    /// Scaling factors for a Vt variant.
+    pub fn of(class: VtClass) -> VtTiming {
+        match class {
+            VtClass::Lvt => VtTiming {
+                drive_factor: 0.90,
+                vt_scale: 0.85,
+                leakage_factor: 6.0,
+            },
+            VtClass::Svt => VtTiming {
+                drive_factor: 1.0,
+                vt_scale: 1.0,
+                leakage_factor: 1.0,
+            },
+            VtClass::Hvt => VtTiming {
+                drive_factor: 1.18,
+                vt_scale: 1.15,
+                leakage_factor: 0.15,
+            },
+        }
+    }
+}
 
 /// Electrical view of one library cell.
 ///
@@ -240,6 +294,22 @@ mod tests {
         // (through the P gate-drain) is twice the falling-input coupling.
         assert!((rising - 2.0 * falling).abs() < 1e-12);
         assert!(rising + falling <= 0.5 * 3.0 + 1e-12);
+    }
+
+    #[test]
+    fn vt_variants_order_speed_against_leakage() {
+        let lvt = VtTiming::of(VtClass::Lvt);
+        let svt = VtTiming::of(VtClass::Svt);
+        let hvt = VtTiming::of(VtClass::Hvt);
+        assert!(lvt.drive_factor < svt.drive_factor);
+        assert!(svt.drive_factor < hvt.drive_factor);
+        assert!(lvt.vt_scale < svt.vt_scale);
+        assert!(svt.vt_scale < hvt.vt_scale);
+        assert!(lvt.leakage_factor > svt.leakage_factor);
+        assert!(svt.leakage_factor > hvt.leakage_factor);
+        assert_eq!(svt.drive_factor, 1.0);
+        assert_eq!(svt.vt_scale, 1.0);
+        assert_eq!(svt.leakage_factor, 1.0);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use pops_netlist::CellKind;
 
-use crate::library::Library;
+use crate::library::{Library, VtTiming};
 
 /// A signal edge direction at a node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -137,9 +137,54 @@ pub fn gate_delay_with_output_edge(
     }
 }
 
+/// Evaluate eqs. (1)–(3) for a threshold-voltage variant of the cell.
+///
+/// The Vt variant scales the output-transition scale (`drive_factor` on
+/// `τ·S`) and the effective reduced threshold (`vt_scale` on `v_T`);
+/// capacitances are unchanged (same drawn widths, different implants). With
+/// [`VtTiming::of`]`(Svt)` — all factors exactly `1.0` — this reproduces
+/// [`gate_delay_with_output_edge`] bit-for-bit.
+#[allow(clippy::too_many_arguments)]
+pub fn gate_delay_with_output_edge_vt(
+    lib: &Library,
+    kind: CellKind,
+    vt_timing: VtTiming,
+    cin_ff: f64,
+    cl_ext_ff: f64,
+    tau_in_ps: f64,
+    input_edge: Edge,
+    output_edge: Edge,
+) -> GateDelay {
+    debug_assert!(cin_ff > 0.0, "input capacitance must be positive");
+    debug_assert!(cl_ext_ff >= 0.0, "load must be non-negative");
+    debug_assert!(tau_in_ps >= 0.0, "input transition must be non-negative");
+
+    let process = lib.process();
+    let cell = lib.cell(kind);
+
+    let cl_total = cell.cpar_ff(cin_ff) + cl_ext_ff;
+    let s = cell.s_factor(process, output_edge);
+    let tau_out = process.tau_ps * s * vt_timing.drive_factor * cl_total / cin_ff;
+
+    let vt = match input_edge {
+        Edge::Rising => process.vtn_reduced(),
+        Edge::Falling => process.vtp_reduced(),
+    } * vt_timing.vt_scale;
+    let cm = cell.miller_ff(cin_ff, input_edge);
+    let miller = 1.0 + 2.0 * cm / (cm + cl_total);
+    let delay = 0.5 * vt * tau_in_ps + 0.5 * miller * tau_out;
+
+    GateDelay {
+        delay_ps: delay,
+        output_transition_ps: tau_out,
+        output_edge,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pops_netlist::cell::VtClass;
 
     fn lib() -> Library {
         Library::cmos025()
@@ -252,5 +297,50 @@ mod tests {
         let r = gate_delay(&lib, CellKind::Inv, 5.0, 20.0, 100.0, Edge::Rising);
         let f = gate_delay(&lib, CellKind::Inv, 5.0, 20.0, 100.0, Edge::Falling);
         assert_ne!(r.delay_ps, f.delay_ps);
+    }
+
+    #[test]
+    fn svt_variant_is_bit_identical_to_baseline() {
+        let lib = lib();
+        let svt = VtTiming::of(VtClass::Svt);
+        for (cell, cin, cl, tau) in [
+            (CellKind::Inv, 2.7, 10.8, 50.0),
+            (CellKind::Nand3, 8.0, 30.0, 75.0),
+            (CellKind::Nor2, 6.0, 12.0, 0.0),
+        ] {
+            for in_edge in [Edge::Rising, Edge::Falling] {
+                let out_edge = in_edge.through(cell);
+                let base = gate_delay_with_output_edge(&lib, cell, cin, cl, tau, in_edge, out_edge);
+                let vt = gate_delay_with_output_edge_vt(
+                    &lib, cell, svt, cin, cl, tau, in_edge, out_edge,
+                );
+                assert_eq!(base.delay_ps.to_bits(), vt.delay_ps.to_bits());
+                assert_eq!(
+                    base.output_transition_ps.to_bits(),
+                    vt.output_transition_ps.to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn vt_variants_order_gate_delay() {
+        // LVT < SVT < HVT in delay at identical sizing and load.
+        let lib = lib();
+        let d = |class| {
+            gate_delay_with_output_edge_vt(
+                &lib,
+                CellKind::Nand2,
+                VtTiming::of(class),
+                6.0,
+                20.0,
+                60.0,
+                Edge::Rising,
+                Edge::Falling,
+            )
+            .delay_ps
+        };
+        assert!(d(VtClass::Lvt) < d(VtClass::Svt));
+        assert!(d(VtClass::Svt) < d(VtClass::Hvt));
     }
 }

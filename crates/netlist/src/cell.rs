@@ -61,6 +61,35 @@ pub enum CellKind {
     Xnor2,
 }
 
+/// Threshold-voltage variant of a cell instance.
+///
+/// Multi-Vt libraries (Kaur & Noor, arXiv 1307.3017) implement every cell in
+/// up to three flavours that trade speed against leakage: a low-Vt (LVT)
+/// variant that switches fastest but leaks the most, a standard-Vt (SVT)
+/// baseline, and a high-Vt (HVT) variant that is slower but leaks an order
+/// of magnitude less. The variant is a property of each placed *instance*
+/// (the same `CellKind` can be LVT on a critical path and HVT off it), so it
+/// lives alongside the netlist rather than inside the cell enumeration.
+///
+/// ```
+/// use pops_netlist::cell::VtClass;
+///
+/// assert_eq!(VtClass::default(), VtClass::Svt);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum VtClass {
+    /// Low threshold: fastest, leakiest.
+    Lvt,
+    /// Standard threshold: the library baseline.
+    #[default]
+    Svt,
+    /// High threshold: slowest, least leakage.
+    Hvt,
+}
+
+/// All Vt variants, in a stable order (useful for characterization loops).
+pub const ALL_VT_CLASSES: [VtClass; 3] = [VtClass::Lvt, VtClass::Svt, VtClass::Hvt];
+
 /// All library cells, in a stable order (useful for characterization loops).
 pub const ALL_CELLS: [CellKind; 16] = [
     CellKind::Inv,

@@ -45,7 +45,7 @@ pub mod stats;
 pub mod suite;
 pub mod surgery;
 
-pub use cell::CellKind;
+pub use cell::{CellKind, VtClass};
 pub use circuit::{BufferInsertion, Circuit, DeMorganEdit, Gate, GateId, Net, NetDriver, NetId};
 pub use error::NetlistError;
 pub use surgery::{AppliedEdit, EditOp, EditPlan};

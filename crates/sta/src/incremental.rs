@@ -136,10 +136,10 @@
 use std::borrow::Cow;
 use std::cell::{Cell, Ref, RefCell};
 
-use pops_delay::model::{gate_delay_with_output_edge, Edge};
-use pops_delay::Library;
+use pops_delay::model::{gate_delay_with_output_edge_vt, Edge};
+use pops_delay::{CornerSet, Library, VtTiming};
 use pops_netlist::surgery::{AppliedEdit, EditPlan};
-use pops_netlist::{CellKind, Circuit, GateId, NetId, NetlistError};
+use pops_netlist::{CellKind, Circuit, GateId, NetId, NetlistError, VtClass};
 
 use crate::analysis::{
     compatible_input_edges, eidx, AnalyzeOptions, EdgeDir, NetlistPath, TimingView, EDGES,
@@ -149,7 +149,7 @@ use crate::parallel::{
     F_ARRIVAL, F_DELAY, F_OUT_CHANGED, F_SLOPE,
 };
 use crate::sizing::Sizing;
-use crate::slack::{SlackReport, SlackView, WorstSlackIndex};
+use crate::slack::{min2, SlackReport, SlackView, WorstSlackIndex};
 
 /// Default gate count below which flushes stay sequential: at small
 /// sizes the per-level barrier crossings cost more than the arc work
@@ -206,22 +206,29 @@ pub struct UpdateStats {
     pub gate_delay_settles: usize,
 }
 
-/// Per-gate model constants, flattened out of the library at build time.
+/// Per-(gate, corner) model constants, flattened out of the corner
+/// libraries at build time.
 ///
 /// `Library::cell()` is a by-kind lookup and the symmetry factors are
 /// re-derived on every call; one cone re-evaluation makes thousands of
-/// arc evaluations, so the graph caches the resolved constants per gate.
-/// Every cached value is produced by the *same* floating-point expression
-/// the model uses, so arc delays stay bit-identical to
-/// [`gate_delay_with_output_edge`].
+/// arc evaluations, so the graph caches the resolved constants per gate
+/// and corner. Every cached value is produced by the *same*
+/// floating-point expression the model uses, so arc delays stay
+/// bit-identical to [`gate_delay_with_output_edge_vt`] — and, for SVT
+/// gates on the typical corner, to the plain single-corner model (the
+/// `× 1.0` Vt factors are bit-neutral).
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct GateParams {
     /// `C_par = cpar_factor · C_IN`.
     cpar_factor: f64,
     /// P/N configuration ratio `k` (Miller coupling split).
     k: f64,
-    /// `τ · S(out_edge)`, indexed by [`eidx`] of the output edge.
+    /// `(τ · S(out_edge)) · drive_factor`, indexed by [`eidx`] of the
+    /// output edge (the Vt variant's drive derate folds in here).
     tau_s: [f64; 2],
+    /// Reduced thresholds `v_T · vt_scale` of this gate's corner and Vt
+    /// variant, indexed by [`eidx`] of the *input* edge.
+    pub(crate) vt: [f64; 2],
 }
 
 /// Fanin-independent arc terms of one gate under its current drive and
@@ -326,10 +333,19 @@ pub struct TimingGraph<'c> {
     /// Driver gate of each net (`None` for primary inputs).
     net_driver: Vec<Option<GateId>>,
 
-    /// Flattened model constants per gate (see [`GateParams`]).
+    /// Flattened model constants per (gate, corner), corner-innermost:
+    /// gate `gi` at corner `c` is `gate_params[gi * n_corners + c]`
+    /// (see [`GateParams`]).
     gate_params: Vec<GateParams>,
-    /// Reduced thresholds `v_T`, indexed by [`eidx`] of the *input* edge.
-    vt: [f64; 2],
+    /// One characterized library per process corner. Corner 0 is the
+    /// *primary* corner — the one every plain (non-`_corner`) query
+    /// reads; a single-corner graph holds exactly `[lib.clone()]`, so
+    /// every stride-1 slab index is an identity and the state is
+    /// bit-identical to the pre-corner engine.
+    corner_libs: Vec<Library>,
+    /// Vt variant per gate (id-indexed, like [`Sizing`]); gates created
+    /// by surgery enter as the default [`VtClass::Svt`].
+    vt_class: Vec<VtClass>,
 
     /// Cell kind per gate (flat copy: avoids chasing `circuit.gate()`
     /// in the hot loop).
@@ -395,24 +411,30 @@ pub struct TimingGraph<'c> {
 /// a [`RefCell`] so forward queries on `&self` can drain pending seeds.
 #[derive(Debug, Clone)]
 struct ForwardState {
-    /// Arrival time per edge (ps), **slot-indexed** (see
+    /// Arrival time per edge (ps), **slot- and corner-indexed**: net
+    /// slot `s` at corner `c` is entry `s * n_corners + c` (see
     /// [`TimingGraph::slot_of`]); `-inf` where unreachable. Slabs
     /// instead of per-net records: a full sweep writes slots in memory
     /// order (gate `p` owns slot `n_src + p`), so the budgeted cut-over
     /// streams memory-bandwidth-bound, and same-level gates write
-    /// disjoint contiguous slots — the parallel batches.
+    /// disjoint contiguous slots — the parallel batches. The corner
+    /// lanes ride in the same stride-`n_corners` layout, propagated
+    /// together in one pass.
     arrival: Vec<[f64; 2]>,
-    /// Transition time per edge (ps), slot-indexed.
+    /// Transition time per edge (ps), slot- and corner-indexed.
     slope: Vec<[f64; 2]>,
-    /// Predecessor `(net, input edge)` of the worst arrival,
-    /// slot-indexed.
+    /// Predecessor `(net, input edge)` of the worst arrival, slot- and
+    /// corner-indexed.
     pred: Vec<PredPair>,
-    /// Capacitive load (fF) under the current sizing, slot-indexed.
+    /// Capacitive load (fF) under the current sizing, slot-indexed —
+    /// corner-*invariant* (corners derate only electrical parameters,
+    /// never geometry), so this slab keeps stride 1.
     load: Vec<f64>,
     /// Worst-case delay of each gate under the current slopes,
-    /// **position-indexed** (level-major topo position = rank).
+    /// **position- and corner-indexed** (`pos * n_corners + c`).
     gate_delay_worst: Vec<f64>,
-    critical_net: Option<(NetId, Edge)>,
+    /// Worst primary output `(net, edge)` per corner (corner-indexed).
+    critical_net: Vec<Option<(NetId, Edge)>>,
 
     /// Dirty set as a bitset over topo *ranks* (bit `r` of word `r/64`).
     /// Populated only *inside* a flush (mutators append to the id-keyed
@@ -472,7 +494,6 @@ struct Structure {
     slot_of: Vec<u32>,
     n_src: usize,
     net_driver: Vec<Option<GateId>>,
-    gate_params: Vec<GateParams>,
     cell: Vec<CellKind>,
     out_net: Vec<NetId>,
     fanin: Vec<NetId>,
@@ -485,7 +506,7 @@ struct Structure {
     pos: Vec<NetId>,
 }
 
-fn build_structure(circuit: &Circuit, lib: &Library) -> Result<Structure, NetlistError> {
+fn build_structure(circuit: &Circuit) -> Result<Structure, NetlistError> {
     // Level-major topo order: counting-sort the base topo order by
     // logic level (stable within a level). Every fanin of a gate sits
     // at a strictly lower level, so this is still a topological order —
@@ -538,26 +559,6 @@ fn build_structure(circuit: &Circuit, lib: &Library) -> Result<Structure, Netlis
     }
     debug_assert_eq!(n_src + n_gates, n_nets, "slots must cover every net");
 
-    let process = lib.process();
-    let gate_params = circuit
-        .gate_ids()
-        .map(|g| {
-            let cell = lib.cell(circuit.gate(g).kind());
-            let mut tau_s = [0.0f64; 2];
-            for e in EDGES {
-                // Same product order as the model's
-                // `process.tau_ps * s * cl_total / cin`: caching
-                // `tau_ps * s` keeps the remaining ops bit-identical.
-                tau_s[eidx(e)] = process.tau_ps * cell.s_factor(process, e);
-            }
-            GateParams {
-                cpar_factor: cell.cpar_factor,
-                k: cell.k,
-                tau_s,
-            }
-        })
-        .collect();
-
     // Flatten the netlist adjacency into contiguous arrays: the cone
     // walk is memory-bound, and per-gate/per-net `Vec`s would cost a
     // pointer chase per visit.
@@ -589,7 +590,6 @@ fn build_structure(circuit: &Circuit, lib: &Library) -> Result<Structure, Netlis
         slot_of,
         n_src,
         net_driver,
-        gate_params,
         cell,
         out_net,
         fanin,
@@ -606,24 +606,88 @@ fn build_structure(circuit: &Circuit, lib: &Library) -> Result<Structure, Netlis
     })
 }
 
+/// Resolve the flattened model constants of one `(cell, Vt variant)`
+/// pair under one corner's library. This is the single home of the
+/// constant-folding arithmetic: `tau_s` caches `(τ·S) · drive_factor`
+/// in the exact association order of
+/// [`gate_delay_with_output_edge_vt`]'s
+/// `process.tau_ps * s * drive_factor * C_L / C_IN`, and `vt` caches
+/// `v_T · vt_scale` — so for an SVT gate (both factors `1.0`,
+/// bit-neutral) the constants reproduce the plain single-corner model
+/// bit for bit.
+fn gate_params_for(lib: &Library, kind: CellKind, class: VtClass) -> GateParams {
+    let process = lib.process();
+    let cell = lib.cell(kind);
+    let vtt = VtTiming::of(class);
+    let mut tau_s = [0.0f64; 2];
+    for e in EDGES {
+        tau_s[eidx(e)] = process.tau_ps * cell.s_factor(process, e) * vtt.drive_factor;
+    }
+    GateParams {
+        cpar_factor: cell.cpar_factor,
+        k: cell.k,
+        tau_s,
+        vt: [
+            process.vtn_reduced() * vtt.vt_scale,
+            process.vtp_reduced() * vtt.vt_scale,
+        ],
+    }
+}
+
+/// Flatten the model constants of every gate under every corner,
+/// corner-innermost (`gi * n_corners + c`). Called at construction and
+/// again after surgery (the created gates need constants too).
+fn build_gate_params(
+    circuit: &Circuit,
+    corner_libs: &[Library],
+    vt_class: &[VtClass],
+) -> Vec<GateParams> {
+    let mut out = Vec::with_capacity(circuit.gate_count() * corner_libs.len());
+    for g in circuit.gate_ids() {
+        let kind = circuit.gate(g).kind();
+        for lib in corner_libs {
+            out.push(gate_params_for(lib, kind, vt_class[g.index()]));
+        }
+    }
+    out
+}
+
 /// Permute a slot-indexed slab into a new slot layout after surgery:
 /// net ids are stable across append-only edits, so each surviving net
 /// carries its value from its old slot to its new one; created ids
-/// (slots no old net maps to) get `default`.
-fn remap_slots<T: Copy>(old: &[T], old_slot_of: &[u32], new_slot_of: &[u32], default: T) -> Vec<T> {
-    let mut out = vec![default; new_slot_of.len()];
+/// (slots no old net maps to) get `default`. `stride` is the per-slot
+/// entry count (the corner count for the per-corner slabs, 1 for the
+/// corner-invariant ones); a slot's corner lanes move together.
+fn remap_slots<T: Copy>(
+    old: &[T],
+    old_slot_of: &[u32],
+    new_slot_of: &[u32],
+    default: T,
+    stride: usize,
+) -> Vec<T> {
+    let mut out = vec![default; new_slot_of.len() * stride];
     for net in 0..old_slot_of.len() {
-        out[new_slot_of[net] as usize] = old[old_slot_of[net] as usize];
+        let o = old_slot_of[net] as usize * stride;
+        let n = new_slot_of[net] as usize * stride;
+        out[n..n + stride].copy_from_slice(&old[o..o + stride]);
     }
     out
 }
 
 /// Permute a position-indexed (rank-major) slab into a new rank layout
 /// after surgery, as [`remap_slots`] but keyed by gate id.
-fn remap_ranks<T: Copy>(old: &[T], old_rank: &[u32], new_rank: &[u32], default: T) -> Vec<T> {
-    let mut out = vec![default; new_rank.len()];
+fn remap_ranks<T: Copy>(
+    old: &[T],
+    old_rank: &[u32],
+    new_rank: &[u32],
+    default: T,
+    stride: usize,
+) -> Vec<T> {
+    let mut out = vec![default; new_rank.len() * stride];
     for g in 0..old_rank.len() {
-        out[new_rank[g] as usize] = old[old_rank[g] as usize];
+        let o = old_rank[g] as usize * stride;
+        let n = new_rank[g] as usize * stride;
+        out[n..n + stride].copy_from_slice(&old[o..o + stride]);
     }
     out
 }
@@ -725,10 +789,57 @@ impl<'c> TimingGraph<'c> {
         sizing: &Sizing,
         options: &AnalyzeOptions,
     ) -> Result<Self, NetlistError> {
-        let s = build_structure(circuit, lib)?;
-        let process = lib.process();
-        let vt = [process.vtn_reduced(), process.vtp_reduced()];
+        Self::build(circuit, lib, vec![lib.clone()], sizing, options)
+    }
+
+    /// Build a **multi-corner** graph: one characterized library per
+    /// [`CornerSet`] corner, with every forward/backward slab widened to
+    /// a fixed-stride per-corner array propagated together in one pass —
+    /// same dirty-cone drain, same lazy generation-counted flush, same
+    /// parallel barrier model. Corner 0 (the set's primary corner) is
+    /// what every plain query reads; the `*_corner` query variants view
+    /// the rest, and [`TimingGraph::worst_slack_overall_ps`] becomes the
+    /// worst **over all corners**. Every per-corner lane is bit-identical
+    /// to an independent single-corner graph built on that corner's
+    /// library (`tests/corner_equivalence.rs` proves it differentially).
+    ///
+    /// `lib` remains the geometry reference (drive floors); corners
+    /// derate only electrical parameters, so it agrees with every
+    /// corner's geometry.
+    ///
+    /// # Errors
+    ///
+    /// As [`TimingGraph::new`].
+    pub fn with_corners(
+        circuit: &'c Circuit,
+        lib: &'c Library,
+        sizing: &Sizing,
+        options: &AnalyzeOptions,
+        corners: &CornerSet,
+    ) -> Result<Self, NetlistError> {
+        let corner_libs = corners.iter().map(|p| Library::new(p.clone())).collect();
+        Self::build(circuit, lib, corner_libs, sizing, options)
+    }
+
+    fn build(
+        circuit: &'c Circuit,
+        lib: &'c Library,
+        corner_libs: Vec<Library>,
+        sizing: &Sizing,
+        options: &AnalyzeOptions,
+    ) -> Result<Self, NetlistError> {
+        let s = build_structure(circuit)?;
         let n_nets = circuit.net_count();
+        let n_gates = circuit.gate_count();
+        let nc = corner_libs.len();
+        // The backward sweep's emit keys pack `slot * nc + corner` into
+        // 31 bits (bit 31 carries the edge).
+        assert!(
+            n_nets.saturating_mul(nc) < (1usize << 31),
+            "net-slot × corner space must fit in 31 bits"
+        );
+        let vt_class = vec![VtClass::Svt; n_gates];
+        let gate_params = build_gate_params(circuit, &corner_libs, &vt_class);
 
         let graph = TimingGraph {
             circuit: Cow::Borrowed(circuit),
@@ -741,8 +852,9 @@ impl<'c> TimingGraph<'c> {
             slot_of: s.slot_of,
             n_src: s.n_src,
             net_driver: s.net_driver,
-            gate_params: s.gate_params,
-            vt,
+            gate_params,
+            corner_libs,
+            vt_class,
             cell: s.cell,
             out_net: s.out_net,
             fanin: s.fanin,
@@ -759,13 +871,13 @@ impl<'c> TimingGraph<'c> {
             fwd_budget: (3, 4),
             bwd_budget: (1, 3),
             fwd: RefCell::new(ForwardState {
-                arrival: vec![[f64::NEG_INFINITY; 2]; n_nets],
-                slope: vec![[0.0; 2]; n_nets],
-                pred: vec![[None, None]; n_nets],
+                arrival: vec![[f64::NEG_INFINITY; 2]; n_nets * nc],
+                slope: vec![[0.0; 2]; n_nets * nc],
+                pred: vec![[None, None]; n_nets * nc],
                 load: vec![0.0; n_nets],
-                gate_delay_worst: vec![0.0f64; circuit.gate_count()],
-                critical_net: None,
-                dirty_bits: vec![0u64; circuit.gate_count().div_ceil(64)],
+                gate_delay_worst: vec![0.0f64; n_gates * nc],
+                critical_net: vec![None; nc],
+                dirty_bits: vec![0u64; n_gates.div_ceil(64)],
                 dirty_count: 0,
                 min_dirty_rank: u32::MAX,
                 flushed_gen: 0,
@@ -790,9 +902,13 @@ impl<'c> TimingGraph<'c> {
             for i in 0..graph.pis.len() {
                 let pi = graph.pis[i];
                 let slot = graph.slot_of[pi.index()] as usize;
-                for e in EDGES {
-                    fwd.arrival[slot][eidx(e)] = 0.0;
-                    fwd.slope[slot][eidx(e)] = graph.options.input_transition_ps;
+                // Source conditions are corner-invariant (options, not
+                // process): every corner lane starts identically.
+                for c in 0..nc {
+                    for e in EDGES {
+                        fwd.arrival[slot * nc + c][eidx(e)] = 0.0;
+                        fwd.slope[slot * nc + c][eidx(e)] = graph.options.input_transition_ps;
+                    }
                 }
             }
             graph.full_forward_sweep(&mut fwd, None);
@@ -920,6 +1036,28 @@ impl<'c> TimingGraph<'c> {
         self.slot_of[net.index()] as usize
     }
 
+    /// Number of process corners the graph maintains (the stride of
+    /// every per-corner slab; 1 for [`TimingGraph::new`] graphs).
+    #[inline]
+    pub fn n_corners(&self) -> usize {
+        self.corner_libs.len()
+    }
+
+    /// The characterized library of one corner (corner 0 is the primary
+    /// corner every plain query reads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `corner >= n_corners()`.
+    pub fn corner_lib(&self, corner: usize) -> &Library {
+        &self.corner_libs[corner]
+    }
+
+    /// The Vt variant a gate is currently implemented in.
+    pub fn vt_class(&self, gate: GateId) -> VtClass {
+        self.vt_class[gate.index()]
+    }
+
     /// Whether a flush over `n_gates` takes the parallel path. The
     /// size check comes first: small circuits must not pay the default
     /// thread count's host probe on every flush.
@@ -981,6 +1119,42 @@ impl<'c> TimingGraph<'c> {
             self.gen = self.gen.wrapping_add(1);
             self.stat(|s| s.updates += 1);
         }
+    }
+
+    /// Re-implement one gate in a different Vt variant (LVT/SVT/HVT).
+    /// Electrically this rescales the gate's drive and thresholds on
+    /// every corner (leakage rescales with it — see
+    /// [`pops_delay::power::leakage_nw`]); geometry and loads are
+    /// untouched, so only the gate's own arcs move. Like a resize, the
+    /// affected cones re-time *lazily* at the next query.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate id is out of range.
+    pub fn set_vt_class(&mut self, gate: GateId, class: VtClass) {
+        let gi = gate.index();
+        if self.vt_class[gi] == class {
+            return;
+        }
+        self.vt_class[gi] = class;
+        let nc = self.corner_libs.len();
+        for (c, lib) in self.corner_libs.iter().enumerate() {
+            self.gate_params[gi * nc + c] = gate_params_for(lib, self.cell[gi], class);
+        }
+        // Forward: the gate's delay, slope and arrival all re-derive
+        // (loads are untouched — no fanin-driver re-time needed, but
+        // over-seeding would be bit-safe anyway).
+        self.fwd.get_mut().gate_log.push(gate);
+        if let Some(bw) = self.backward.get_mut().as_mut() {
+            // Backward: arcs *through* the gate moved, so its fanin
+            // required times re-derive (the resized-log expansion
+            // covers exactly that cone) and its completion bound moves
+            // with its worst delay.
+            bw.resized_log.push(gate);
+            bw.comp_gate_log.push(gate);
+        }
+        self.gen = self.gen.wrapping_add(1);
+        self.stat(|s| s.updates += 1);
     }
 
     /// Switch to new analysis options. What they touch (all
@@ -1081,9 +1255,14 @@ impl<'c> TimingGraph<'c> {
     /// log understates. No arc is evaluated here — the whole cone
     /// re-time is deferred to the first timing query.
     fn resync_after_surgery(&mut self, applied: &[AppliedEdit]) -> Result<(), NetlistError> {
-        let s = build_structure(self.circuit.as_ref(), self.lib)?;
+        let s = build_structure(self.circuit.as_ref())?;
         let n_gates = s.topo.len();
         let n_nets = s.net_driver.len();
+        let nc = self.corner_libs.len();
+        assert!(
+            n_nets.saturating_mul(nc) < (1usize << 31),
+            "net-slot × corner space must fit in 31 bits"
+        );
 
         // Pending lazy seeds live in the id-keyed logs, which survive
         // append-only surgery untouched. The rank-keyed backward
@@ -1104,8 +1283,15 @@ impl<'c> TimingGraph<'c> {
         self.level_start = s.level_start;
         self.n_src = s.n_src;
         self.net_driver = s.net_driver;
-        self.gate_params = s.gate_params;
         self.cell = s.cell;
+        // Created gates enter in the default Vt variant; surviving
+        // gates keep theirs (ids are stable across append-only
+        // surgery, so no remap is needed). The constants rebuild
+        // wholesale — pure arithmetic over the corner libraries, no
+        // arc evaluations.
+        self.vt_class.resize(n_gates, VtClass::Svt);
+        self.gate_params =
+            build_gate_params(self.circuit.as_ref(), &self.corner_libs, &self.vt_class);
         self.out_net = s.out_net;
         self.fanin = s.fanin;
         self.fanin_off = s.fanin_off;
@@ -1131,11 +1317,13 @@ impl<'c> TimingGraph<'c> {
                 &old_slot_of,
                 &self.slot_of,
                 [f64::NEG_INFINITY; 2],
+                nc,
             );
-            fwd.slope = remap_slots(&fwd.slope, &old_slot_of, &self.slot_of, [0.0; 2]);
-            fwd.pred = remap_slots(&fwd.pred, &old_slot_of, &self.slot_of, [None, None]);
-            fwd.load = remap_slots(&fwd.load, &old_slot_of, &self.slot_of, 0.0);
-            fwd.gate_delay_worst = remap_ranks(&fwd.gate_delay_worst, &old_rank, &self.rank, 0.0);
+            fwd.slope = remap_slots(&fwd.slope, &old_slot_of, &self.slot_of, [0.0; 2], nc);
+            fwd.pred = remap_slots(&fwd.pred, &old_slot_of, &self.slot_of, [None, None], nc);
+            fwd.load = remap_slots(&fwd.load, &old_slot_of, &self.slot_of, 0.0, 1);
+            fwd.gate_delay_worst =
+                remap_ranks(&fwd.gate_delay_worst, &old_rank, &self.rank, 0.0, nc);
             fwd.dirty_bits = vec![0u64; n_gates.div_ceil(64)];
             fwd.min_dirty_rank = u32::MAX;
             // Load deltas are detected lazily: the cached loads are
@@ -1161,9 +1349,15 @@ impl<'c> TimingGraph<'c> {
             let pis = &self.pis;
             let (new_slot_of, new_rank) = (&self.slot_of, &self.rank);
             if let Some(bw) = self.backward.get_mut().as_mut() {
-                bw.required =
-                    remap_slots(&bw.required, &old_slot_of, new_slot_of, [f64::INFINITY; 2]);
-                bw.completion = remap_ranks(&bw.completion, &old_rank, new_rank, f64::NEG_INFINITY);
+                bw.required = remap_slots(
+                    &bw.required,
+                    &old_slot_of,
+                    new_slot_of,
+                    [f64::INFINITY; 2],
+                    nc,
+                );
+                bw.completion =
+                    remap_ranks(&bw.completion, &old_rank, new_rank, f64::NEG_INFINITY, nc);
                 // Rank-keyed bitsets restart empty at the new gate
                 // count; a pending invalidation re-marks everything
                 // under the new ranks. The id-keyed seed logs survive
@@ -1243,25 +1437,59 @@ impl<'c> TimingGraph<'c> {
     // pending lazy seeds (one merged forward cone for everything since
     // the last query), then answers from the settled state.
 
-    /// Worst arrival time over all primary outputs (ps).
+    /// Worst arrival time over all primary outputs (ps), on the primary
+    /// corner.
     pub fn critical_delay_ps(&self) -> f64 {
+        self.critical_delay_ps_corner(0)
+    }
+
+    /// [`TimingGraph::critical_delay_ps`] on one corner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `corner >= n_corners()`.
+    pub fn critical_delay_ps_corner(&self, corner: usize) -> f64 {
         self.flush_forward();
+        let nc = self.corner_libs.len();
         let fwd = self.fwd.borrow();
-        fwd.critical_net
-            .map(|(n, e)| fwd.arrival[self.slot(n)][eidx(e)])
+        fwd.critical_net[corner]
+            .map(|(n, e)| fwd.arrival[self.slot(n) * nc + corner][eidx(e)])
             .unwrap_or(0.0)
     }
 
-    /// Arrival time of a net for a given edge (ps), `-inf` if unreachable.
+    /// Arrival time of a net for a given edge (ps), `-inf` if
+    /// unreachable; primary corner.
     pub fn arrival_ps(&self, net: NetId, edge: EdgeDir) -> f64 {
-        self.flush_forward();
-        self.fwd.borrow().arrival[self.slot(net)][eidx(edge.into())]
+        self.arrival_ps_corner(net, edge, 0)
     }
 
-    /// Transition time of a net for a given edge (ps).
-    pub fn slope_ps(&self, net: NetId, edge: EdgeDir) -> f64 {
+    /// [`TimingGraph::arrival_ps`] on one corner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `corner >= n_corners()`.
+    pub fn arrival_ps_corner(&self, net: NetId, edge: EdgeDir, corner: usize) -> f64 {
+        assert!(corner < self.corner_libs.len(), "corner out of range");
         self.flush_forward();
-        self.fwd.borrow().slope[self.slot(net)][eidx(edge.into())]
+        let nc = self.corner_libs.len();
+        self.fwd.borrow().arrival[self.slot(net) * nc + corner][eidx(edge.into())]
+    }
+
+    /// Transition time of a net for a given edge (ps); primary corner.
+    pub fn slope_ps(&self, net: NetId, edge: EdgeDir) -> f64 {
+        self.slope_ps_corner(net, edge, 0)
+    }
+
+    /// [`TimingGraph::slope_ps`] on one corner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `corner >= n_corners()`.
+    pub fn slope_ps_corner(&self, net: NetId, edge: EdgeDir, corner: usize) -> f64 {
+        assert!(corner < self.corner_libs.len(), "corner out of range");
+        self.flush_forward();
+        let nc = self.corner_libs.len();
+        self.fwd.borrow().slope[self.slot(net) * nc + corner][eidx(edge.into())]
     }
 
     /// Capacitive load on a net (fF) under the current sizing, including
@@ -1320,10 +1548,11 @@ impl<'c> TimingGraph<'c> {
     /// from paying the whole union's drain per probe to O(fanins);
     /// [`UpdateStats::gate_delay_settles`] counts this path.
     pub fn gate_delay_worst_ps(&self, gate: GateId) -> f64 {
+        let nc = self.corner_libs.len();
         {
             let fwd = self.fwd.borrow();
             if fwd.flushed_gen == self.gen {
-                return fwd.gate_delay_worst[self.rank[gate.index()] as usize];
+                return fwd.gate_delay_worst[self.rank[gate.index()] as usize * nc];
             }
             if !fwd.scan_loads && !fwd.reload_pos && !fwd.reslope_pis && fwd.gate_log.is_empty() {
                 let d = self.settle_gate_delay(&fwd, gate);
@@ -1332,7 +1561,20 @@ impl<'c> TimingGraph<'c> {
             }
         }
         self.flush_forward();
-        self.fwd.borrow().gate_delay_worst[self.rank[gate.index()] as usize]
+        self.fwd.borrow().gate_delay_worst[self.rank[gate.index()] as usize * nc]
+    }
+
+    /// [`TimingGraph::gate_delay_worst_ps`] on one corner (always
+    /// flushes — the flushless settle is a primary-corner fast path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `corner >= n_corners()`.
+    pub fn gate_delay_worst_ps_corner(&self, gate: GateId, corner: usize) -> f64 {
+        assert!(corner < self.corner_libs.len(), "corner out of range");
+        self.flush_forward();
+        let nc = self.corner_libs.len();
+        self.fwd.borrow().gate_delay_worst[self.rank[gate.index()] as usize * nc + corner]
     }
 
     /// The flushless worst-delay settle (see
@@ -1341,27 +1583,30 @@ impl<'c> TimingGraph<'c> {
     /// [`crate::parallel::FwdView::eval_shared`] exactly.
     fn settle_gate_delay(&self, fwd: &ForwardState, gate: GateId) -> f64 {
         let gi = gate.index();
+        let nc = self.corner_libs.len();
         let cell = self.cell[gi];
         let cin = self.sizing.cin_ff(gate);
         let load = self.fresh_net_load(self.out_net[gi]);
+        let params = &self.gate_params[gi * nc];
         let ArcTerms {
             tau_out_by_edge,
             miller,
-        } = self.gate_params[gi].arc_terms(cin, load);
+        } = params.arc_terms(cin, load);
         let fanin_range = self.fanin_off[gi] as usize..self.fanin_off[gi + 1] as usize;
         // Fresh per-fanin slopes: a primary input's cached slope is
         // current (no reslope pending on this path); a driven net's
         // slope re-derives as its driver's τ_out — which the pending
         // flush will write wherever the edge is reachable, and which
-        // the fold below reads only where the edge is reachable.
+        // the fold below reads only where the edge is reachable. All on
+        // the primary corner (`* nc` selects its lane).
         let fresh_slope: Vec<[f64; 2]> = fanin_range
             .clone()
             .map(|idx| {
                 let in_net = self.fanin[idx];
                 match self.net_driver[in_net.index()] {
-                    None => fwd.slope[self.fanin_slots[idx] as usize],
+                    None => fwd.slope[self.fanin_slots[idx] as usize * nc],
                     Some(d) => {
-                        self.gate_params[d.index()]
+                        self.gate_params[d.index() * nc]
                             .arc_terms(self.sizing.cin_ff(d), self.fresh_net_load(in_net))
                             .tau_out_by_edge
                     }
@@ -1372,18 +1617,20 @@ impl<'c> TimingGraph<'c> {
         for out_edge in EDGES {
             let tau_out = tau_out_by_edge[eidx(out_edge)];
             for (k, idx) in fanin_range.clone().enumerate() {
-                let in_arrival = fwd.arrival[self.fanin_slots[idx] as usize];
+                let in_arrival = fwd.arrival[self.fanin_slots[idx] as usize * nc];
                 for &in_edge in compatible_input_edges(cell, out_edge) {
                     let i = eidx(in_edge);
                     if in_arrival[i] == f64::NEG_INFINITY {
                         continue;
                     }
-                    let delay_ps = 0.5 * self.vt[i] * fresh_slope[k][i] + 0.5 * miller[i] * tau_out;
+                    let delay_ps =
+                        0.5 * params.vt[i] * fresh_slope[k][i] + 0.5 * miller[i] * tau_out;
                     debug_assert_eq!(
                         delay_ps.to_bits(),
-                        gate_delay_with_output_edge(
-                            self.lib,
+                        gate_delay_with_output_edge_vt(
+                            &self.corner_libs[0],
                             cell,
+                            VtTiming::of(self.vt_class[gi]),
                             cin,
                             load,
                             fresh_slope[k][i],
@@ -1407,7 +1654,7 @@ impl<'c> TimingGraph<'c> {
     pub fn critical_path(&self) -> NetlistPath {
         self.flush_forward();
         let fwd = self.fwd.borrow();
-        let Some((net, edge)) = fwd.critical_net else {
+        let Some((net, edge)) = fwd.critical_net[0] else {
             return NetlistPath {
                 gates: Vec::new(),
                 end_edge: EdgeDir::Rising,
@@ -1424,13 +1671,15 @@ impl<'c> TimingGraph<'c> {
     }
 
     fn trace_path(&self, fwd: &ForwardState, net: NetId, edge: Edge) -> NetlistPath {
+        let nc = self.corner_libs.len();
         let mut gates = Vec::new();
         let mut cur = Some((net, edge));
         while let Some((n, e)) = cur {
             if let Some(gid) = self.net_driver[n.index()] {
                 gates.push(gid);
             }
-            cur = fwd.pred[self.slot(n)][eidx(e)];
+            // Traceback follows the primary corner's predecessors.
+            cur = fwd.pred[self.slot(n) * nc][eidx(e)];
         }
         gates.reverse();
         NetlistPath {
@@ -1471,11 +1720,12 @@ impl<'c> TimingGraph<'c> {
         }
         let n_nets = self.circuit.net_count();
         let n_gates = self.circuit.gate_count();
+        let nc = self.corner_libs.len();
         self.gen = self.gen.wrapping_add(1);
         *self.backward.get_mut() = Some(BackwardState {
             tc_ps,
-            required: vec![[f64::INFINITY; 2]; n_nets],
-            completion: vec![f64::NEG_INFINITY; n_gates],
+            required: vec![[f64::INFINITY; 2]; n_nets * nc],
+            completion: vec![f64::NEG_INFINITY; n_gates * nc],
             req_bits: vec![0u64; n_gates.div_ceil(64)],
             req_count: 0,
             req_max_rank: 0,
@@ -1527,25 +1777,49 @@ impl<'c> TimingGraph<'c> {
     ///
     /// Panics unless [`TimingGraph::set_constraint`] was called.
     pub fn required_ps(&self, net: NetId, edge: EdgeDir) -> f64 {
-        self.flush_required();
-        self.backward().required[self.slot(net)][eidx(edge.into())]
+        self.required_ps_corner(net, edge, 0)
     }
 
-    /// Slack of a net for an edge (ps): `required − arrival`. Finite or
-    /// `+inf`, never NaN (see [`crate::slack`]'s module docs).
+    /// [`TimingGraph::required_ps`] on one corner.
+    ///
+    /// # Panics
+    ///
+    /// As [`TimingGraph::required_ps`]; also if `corner >= n_corners()`.
+    pub fn required_ps_corner(&self, net: NetId, edge: EdgeDir, corner: usize) -> f64 {
+        assert!(corner < self.corner_libs.len(), "corner out of range");
+        self.flush_required();
+        let nc = self.corner_libs.len();
+        self.backward().required[self.slot(net) * nc + corner][eidx(edge.into())]
+    }
+
+    /// Slack of a net for an edge (ps): `required − arrival`, on the
+    /// primary corner. Finite or `+inf`, never NaN (see
+    /// [`crate::slack`]'s module docs).
     ///
     /// # Panics
     ///
     /// As [`TimingGraph::required_ps`].
     pub fn slack_ps(&self, net: NetId, edge: EdgeDir) -> f64 {
-        self.flush_required();
-        let i = eidx(edge.into());
-        let slot = self.slot(net);
-        let fwd = self.fwd.borrow();
-        self.backward().required[slot][i] - fwd.arrival[slot][i]
+        self.slack_ps_corner(net, edge, 0)
     }
 
-    /// Worst (most negative) slack over both edges of a net.
+    /// [`TimingGraph::slack_ps`] on one corner.
+    ///
+    /// # Panics
+    ///
+    /// As [`TimingGraph::required_ps`]; also if `corner >= n_corners()`.
+    pub fn slack_ps_corner(&self, net: NetId, edge: EdgeDir, corner: usize) -> f64 {
+        assert!(corner < self.corner_libs.len(), "corner out of range");
+        self.flush_required();
+        let nc = self.corner_libs.len();
+        let i = eidx(edge.into());
+        let entry = self.slot(net) * nc + corner;
+        let fwd = self.fwd.borrow();
+        self.backward().required[entry][i] - fwd.arrival[entry][i]
+    }
+
+    /// Worst (most negative) slack over both edges of a net, on the
+    /// primary corner.
     ///
     /// # Panics
     ///
@@ -1555,10 +1829,23 @@ impl<'c> TimingGraph<'c> {
             .min(self.slack_ps(net, EdgeDir::Falling))
     }
 
-    /// Worst finite slack over the whole design; `None` when no net
-    /// carries a finite slack (e.g. zero primary outputs). Read off the
-    /// maintained tournament tree: O(1) after the flush, bit-identical
-    /// to the full fold over all nets.
+    /// Worst (most negative) slack over both edges of a net, on one
+    /// corner.
+    ///
+    /// # Panics
+    ///
+    /// As [`TimingGraph::required_ps`]; also if `corner >= n_corners()`.
+    pub fn worst_slack_ps_corner(&self, net: NetId, corner: usize) -> f64 {
+        self.slack_ps_corner(net, EdgeDir::Rising, corner)
+            .min(self.slack_ps_corner(net, EdgeDir::Falling, corner))
+    }
+
+    /// Worst finite slack over the whole design **and all corners**;
+    /// `None` when no net carries a finite slack (e.g. zero primary
+    /// outputs). Read off the maintained tournament tree: O(1) after
+    /// the flush, bit-identical to the full fold over all nets (each
+    /// leaf is its net's min over corners). On a single-corner graph
+    /// this is exactly the pre-corner design-worst slack.
     ///
     /// # Panics
     ///
@@ -1566,6 +1853,33 @@ impl<'c> TimingGraph<'c> {
     pub fn worst_slack_overall_ps(&self) -> Option<f64> {
         self.flush_required();
         self.backward().worst.worst()
+    }
+
+    /// Worst finite slack over the whole design on **one** corner;
+    /// `None` when no net carries a finite slack there. O(nets) per
+    /// call — the maintained tournament tree folds corners into its
+    /// leaves, so a single corner's view re-folds the slabs (same `min`
+    /// semantics, bit-identical to an independent single-corner graph's
+    /// [`TimingGraph::worst_slack_overall_ps`]).
+    ///
+    /// # Panics
+    ///
+    /// As [`TimingGraph::required_ps`]; also if `corner >= n_corners()`.
+    pub fn worst_slack_overall_ps_corner(&self, corner: usize) -> Option<f64> {
+        assert!(corner < self.corner_libs.len(), "corner out of range");
+        self.flush_required();
+        let nc = self.corner_libs.len();
+        let fwd = self.fwd.borrow();
+        let bw = self.backward();
+        let mut worst = f64::INFINITY;
+        for slot in 0..self.slot_of.len() {
+            let entry = slot * nc + corner;
+            worst = min2(
+                worst,
+                WorstSlackIndex::key(bw.required[entry], fwd.arrival[entry]),
+            );
+        }
+        (worst != f64::INFINITY).then_some(worst)
     }
 
     /// Frozen-weight k-paths completion bound of a gate (ps); `-inf`
@@ -1577,7 +1891,8 @@ impl<'c> TimingGraph<'c> {
     /// As [`TimingGraph::required_ps`].
     pub fn completion_ps(&self, gate: GateId) -> f64 {
         self.flush_completion();
-        self.backward().completion[self.rank[gate.index()] as usize]
+        let nc = self.corner_libs.len();
+        self.backward().completion[self.rank[gate.index()] as usize * nc]
     }
 
     /// Materialize the maintained backward state as a [`SlackReport`],
@@ -1590,15 +1905,16 @@ impl<'c> TimingGraph<'c> {
     /// As [`TimingGraph::required_ps`].
     pub fn slack_report(&self) -> SlackReport {
         self.flush_required();
+        let nc = self.corner_libs.len();
         let fwd = self.fwd.borrow();
         let bw = self.backward();
-        // The report is net-id-indexed; permute the slot-major slabs
-        // back through `slot_of`.
+        // The report is net-id-indexed (and single-corner: the primary
+        // lane); permute the slot-major slabs back through `slot_of`.
         let required: Vec<[f64; 2]> = (0..self.slot_of.len())
-            .map(|net| bw.required[self.slot_of[net] as usize])
+            .map(|net| bw.required[self.slot_of[net] as usize * nc])
             .collect();
         let arrival: Vec<[f64; 2]> = (0..self.slot_of.len())
-            .map(|net| fwd.arrival[self.slot_of[net] as usize])
+            .map(|net| fwd.arrival[self.slot_of[net] as usize * nc])
             .collect();
         SlackReport::from_parts(bw.tc_ps, required, arrival)
     }
@@ -1717,11 +2033,14 @@ impl<'c> TimingGraph<'c> {
         }
         if fwd.reslope_pis {
             fwd.reslope_pis = false;
+            let nc = self.corner_libs.len();
             for i in 0..self.pis.len() {
                 let pi = self.pis[i];
                 let slot = self.slot(pi);
-                for e in EDGES {
-                    fwd.slope[slot][eidx(e)] = self.options.input_transition_ps;
+                for c in 0..nc {
+                    for e in EDGES {
+                        fwd.slope[slot * nc + c][eidx(e)] = self.options.input_transition_ps;
+                    }
                 }
                 let (lo, hi) = (self.fanout_off[pi.index()], self.fanout_off[pi.index() + 1]);
                 for j in lo..hi {
@@ -1809,7 +2128,8 @@ impl<'c> TimingGraph<'c> {
             topo: &self.topo,
             cell: &self.cell,
             gate_params: &self.gate_params,
-            vt: self.vt,
+            n_corners: self.corner_libs.len(),
+            vt_class: &self.vt_class,
             fanin: &self.fanin,
             fanin_slots: &self.fanin_slots,
             fanin_off: &self.fanin_off,
@@ -1820,7 +2140,7 @@ impl<'c> TimingGraph<'c> {
             fanout_off: &self.fanout_off,
             rank: &self.rank,
             is_po: &self.is_po,
-            lib: self.lib,
+            libs: &self.corner_libs,
         }
     }
 
@@ -2026,18 +2346,22 @@ impl<'c> TimingGraph<'c> {
         any_changed
     }
 
-    /// Same worst-output scan (and tie-breaking order) as the full pass.
+    /// Same worst-output scan (and tie-breaking order) as the full
+    /// pass, run independently per corner.
     fn recompute_critical(&self, fwd: &mut ForwardState) {
-        let mut critical: Option<(NetId, Edge, f64)> = None;
-        for &po in &self.pos {
-            for e in EDGES {
-                let t = fwd.arrival[self.slot(po)][eidx(e)];
-                if t > critical.map(|(_, _, c)| c).unwrap_or(f64::NEG_INFINITY) {
-                    critical = Some((po, e, t));
+        let nc = self.corner_libs.len();
+        for c in 0..nc {
+            let mut critical: Option<(NetId, Edge, f64)> = None;
+            for &po in &self.pos {
+                for e in EDGES {
+                    let t = fwd.arrival[self.slot(po) * nc + c][eidx(e)];
+                    if t > critical.map(|(_, _, cr)| cr).unwrap_or(f64::NEG_INFINITY) {
+                        critical = Some((po, e, t));
+                    }
                 }
             }
+            fwd.critical_net[c] = critical.map(|(n, e, _)| (n, e));
         }
-        fwd.critical_net = critical.map(|(n, e, _)| (n, e));
     }
 
     // ---- backward internals ----
@@ -2385,11 +2709,17 @@ impl<'c> TimingGraph<'c> {
         // root min folds the same value multiset as a net-keyed tree
         // (bit-identical worst; surgery re-keys under `refold_all`).
         let n_nets = self.slot_of.len();
+        let nc = self.corner_libs.len();
         if bw.refold_all || bw.slack_net_log.len() + leaf_updates.len() > n_nets / 4 {
             bw.refold_all = false;
             bw.slack_net_log.clear();
             let keys: Vec<f64> = (0..n_nets)
-                .map(|slot| WorstSlackIndex::key(bw.required[slot], fwd.arrival[slot]))
+                .map(|slot| {
+                    WorstSlackIndex::key_over(
+                        &bw.required[slot * nc..(slot + 1) * nc],
+                        &fwd.arrival[slot * nc..(slot + 1) * nc],
+                    )
+                })
                 .collect();
             bw.worst.rebuild(&keys);
             index_updates += n_nets;
@@ -2406,7 +2736,10 @@ impl<'c> TimingGraph<'c> {
                     let slot = self.slot(net);
                     bw.worst.update(
                         slot,
-                        WorstSlackIndex::key(bw.required[slot], fwd.arrival[slot]),
+                        WorstSlackIndex::key_over(
+                            &bw.required[slot * nc..(slot + 1) * nc],
+                            &fwd.arrival[slot * nc..(slot + 1) * nc],
+                        ),
                     );
                     index_updates += 1;
                 }
@@ -2791,12 +3124,15 @@ impl<'c> TimingGraph<'c> {
     /// cost more than this per-gate pass.
     fn sweep_required_full(&self, fwd: &ForwardState, bw: &mut BackwardState) {
         let tc = bw.tc_ps;
+        let nc = self.corner_libs.len();
         for net in 0..self.slot_of.len() {
-            bw.required[self.slot_of[net] as usize] = if self.is_po[net] {
+            let base = self.slot_of[net] as usize * nc;
+            let init = if self.is_po[net] {
                 [tc; 2]
             } else {
                 [f64::INFINITY; 2]
             };
+            bw.required[base..base + nc].fill(init);
         }
         let BackwardState {
             tc_ps,
@@ -2974,9 +3310,10 @@ impl TimingView for TimingGraph<'_> {
         self.flush_completion();
         // The consumer expects gate-id indexing; permute the rank-major
         // slab back through `rank`.
+        let nc = self.corner_libs.len();
         self.backward.borrow().as_ref().map(|bw| {
             (0..self.rank.len())
-                .map(|g| bw.completion[self.rank[g] as usize])
+                .map(|g| bw.completion[self.rank[g] as usize * nc])
                 .collect()
         })
     }

@@ -64,13 +64,13 @@
 use std::cell::UnsafeCell;
 use std::sync::{Barrier, Mutex, RwLock};
 
-use pops_delay::model::{gate_delay_with_output_edge, Edge};
-use pops_delay::Library;
-use pops_netlist::{CellKind, GateId, NetId};
+use pops_delay::model::{gate_delay_with_output_edge_vt, Edge};
+use pops_delay::{Library, VtTiming};
+use pops_netlist::{CellKind, GateId, NetId, VtClass};
 
 use crate::analysis::{compatible_input_edges, eidx, EDGES};
 use crate::incremental::{ArcTerms, GateParams};
-use crate::slack::WorstSlackIndex;
+use crate::slack::{min2, WorstSlackIndex};
 
 /// Arrival or slope of the gate's output net changed (bitwise) — the
 /// forward cone expands through its fanouts.
@@ -122,10 +122,14 @@ pub(crate) struct EvalCtx<'a> {
     pub topo: &'a [GateId],
     /// Cell kind per gate (id-indexed).
     pub cell: &'a [CellKind],
-    /// Flattened model constants per gate (id-indexed).
+    /// Flattened model constants per (gate, corner), corner-innermost:
+    /// gate `gi` at corner `c` is `gate_params[gi * n_corners + c]`.
     pub gate_params: &'a [GateParams],
-    /// Reduced thresholds per input edge.
-    pub vt: [f64; 2],
+    /// Number of process corners (the stride of every per-corner slab).
+    pub n_corners: usize,
+    /// Vt variant per gate (id-indexed; for the debug model cross-check
+    /// — the electrical effect is baked into `gate_params`).
+    pub vt_class: &'a [VtClass],
     /// Flattened fanin nets (ids, for predecessor records).
     pub fanin: &'a [NetId],
     /// Slot of each flattened fanin net (parallel to `fanin`).
@@ -149,8 +153,9 @@ pub(crate) struct EvalCtx<'a> {
     pub rank: &'a [u32],
     /// Primary-output flag per net id.
     pub is_po: &'a [bool],
-    /// For the debug cross-check against the reference delay model.
-    pub lib: &'a Library,
+    /// One characterized library per corner, corner-indexed — for the
+    /// debug cross-check against the reference delay model.
+    pub libs: &'a [Library],
 }
 
 /// Exclusive view of the mutable forward slabs for one flush. Created
@@ -190,15 +195,18 @@ impl<'a> FwdView<'a> {
     }
 
     /// The per-gate kernel: re-run the full pass's step for the gate at
-    /// `pos`, write its output slot and return the change flags.
-    /// Identical arc order, comparisons and floating-point operations
-    /// to the eager engine (the `debug_assert` cross-checks the model).
+    /// `pos` across every corner, write its output slots and return the
+    /// change flags OR-ed over corners. Corners are fully independent
+    /// lanes — identical arc order, comparisons and floating-point
+    /// operations per corner to a single-corner engine (the
+    /// `debug_assert` cross-checks the model).
     ///
     /// # Safety
     ///
-    /// No other thread may concurrently access slot `n_src + pos` or
-    /// delay slot `pos`, and the gate's fanin slots must not be written
-    /// concurrently — guaranteed by the level-barrier discipline.
+    /// No other thread may concurrently access the corner slots of
+    /// `n_src + pos` or delay slots of `pos`, and the gate's fanin
+    /// slots must not be written concurrently — guaranteed by the
+    /// level-barrier discipline.
     unsafe fn eval_shared(&self, ctx: &EvalCtx<'_>, pos: usize) -> u8 {
         let gid = ctx.topo[pos];
         let gi = gid.index();
@@ -206,86 +214,98 @@ impl<'a> FwdView<'a> {
         let cin = ctx.cins[gi];
         let out_slot = ctx.n_src + pos;
         let load = self.load[out_slot];
-
-        // The arc terms that do not depend on the fanin are hoisted out
-        // of the loop (shared with the backward `eval_required`).
-        let ArcTerms {
-            tau_out_by_edge,
-            miller,
-        } = ctx.gate_params[gi].arc_terms(cin, load);
-
-        let mut new_arrival = [f64::NEG_INFINITY; 2];
-        let mut new_slope = [0.0f64; 2];
-        let mut new_pred: PredPair = [None, None];
-        let mut worst_gate_delay = 0.0f64;
-
+        let nc = ctx.n_corners;
         let fanin_range = ctx.fanin_off[gi] as usize..ctx.fanin_off[gi + 1] as usize;
-        for out_edge in EDGES {
-            let tau_out = tau_out_by_edge[eidx(out_edge)];
-            let mut best: Option<(f64, NetId, Edge)> = None;
-            for idx in fanin_range.clone() {
-                let in_net = ctx.fanin[idx];
-                let in_slot = ctx.fanin_slots[idx] as usize;
-                // SAFETY: fanin slots live in strictly lower levels,
-                // settled before this level started.
-                let in_arrival = unsafe { self.arrival[in_slot].get() };
-                let in_slope = unsafe { self.slope[in_slot].get() };
-                for &in_edge in compatible_input_edges(cell, out_edge) {
-                    let t_in = in_arrival[eidx(in_edge)];
-                    if t_in == f64::NEG_INFINITY {
-                        continue;
-                    }
-                    let s_in = in_slope[eidx(in_edge)];
-                    let i = eidx(in_edge);
-                    let delay_ps = 0.5 * ctx.vt[i] * s_in + 0.5 * miller[i] * tau_out;
-                    debug_assert_eq!(
-                        delay_ps.to_bits(),
-                        gate_delay_with_output_edge(
-                            ctx.lib, cell, cin, load, s_in, in_edge, out_edge,
-                        )
-                        .delay_ps
-                        .to_bits(),
-                        "cached-constant arc delay must match the model"
-                    );
-                    worst_gate_delay = worst_gate_delay.max(delay_ps);
-                    let t_out = t_in + delay_ps;
-                    if best.map(|(t, ..)| t_out > t).unwrap_or(true) {
-                        best = Some((t_out, in_net, in_edge));
+
+        let mut flags = 0u8;
+        for c in 0..nc {
+            let params = &ctx.gate_params[gi * nc + c];
+            // The arc terms that do not depend on the fanin are hoisted
+            // out of the loop (shared with the backward `eval_required`).
+            let ArcTerms {
+                tau_out_by_edge,
+                miller,
+            } = params.arc_terms(cin, load);
+
+            let mut new_arrival = [f64::NEG_INFINITY; 2];
+            let mut new_slope = [0.0f64; 2];
+            let mut new_pred: PredPair = [None, None];
+            let mut worst_gate_delay = 0.0f64;
+
+            for out_edge in EDGES {
+                let tau_out = tau_out_by_edge[eidx(out_edge)];
+                let mut best: Option<(f64, NetId, Edge)> = None;
+                for idx in fanin_range.clone() {
+                    let in_net = ctx.fanin[idx];
+                    let in_slot = ctx.fanin_slots[idx] as usize;
+                    // SAFETY: fanin slots live in strictly lower levels,
+                    // settled before this level started.
+                    let in_arrival = unsafe { self.arrival[in_slot * nc + c].get() };
+                    let in_slope = unsafe { self.slope[in_slot * nc + c].get() };
+                    for &in_edge in compatible_input_edges(cell, out_edge) {
+                        let t_in = in_arrival[eidx(in_edge)];
+                        if t_in == f64::NEG_INFINITY {
+                            continue;
+                        }
+                        let s_in = in_slope[eidx(in_edge)];
+                        let i = eidx(in_edge);
+                        let delay_ps = 0.5 * params.vt[i] * s_in + 0.5 * miller[i] * tau_out;
+                        debug_assert_eq!(
+                            delay_ps.to_bits(),
+                            gate_delay_with_output_edge_vt(
+                                &ctx.libs[c],
+                                cell,
+                                VtTiming::of(ctx.vt_class[gi]),
+                                cin,
+                                load,
+                                s_in,
+                                in_edge,
+                                out_edge,
+                            )
+                            .delay_ps
+                            .to_bits(),
+                            "cached-constant arc delay must match the model"
+                        );
+                        worst_gate_delay = worst_gate_delay.max(delay_ps);
+                        let t_out = t_in + delay_ps;
+                        if best.map(|(t, ..)| t_out > t).unwrap_or(true) {
+                            best = Some((t_out, in_net, in_edge));
+                        }
                     }
                 }
+                if let Some((t, n, e)) = best {
+                    let i = eidx(out_edge);
+                    new_arrival[i] = t;
+                    new_slope[i] = tau_out;
+                    new_pred[i] = Some((n, e));
+                }
             }
-            if let Some((t, n, e)) = best {
-                let i = eidx(out_edge);
-                new_arrival[i] = t;
-                new_slope[i] = tau_out;
-                new_pred[i] = Some((n, e));
-            }
-        }
 
-        // SAFETY: slot `n_src + pos` and delay slot `pos` belong to this
-        // gate alone within the current level.
-        let old_delay = unsafe { self.gate_delay[pos].get() };
-        let old_arrival = unsafe { self.arrival[out_slot].get() };
-        let old_slope = unsafe { self.slope[out_slot].get() };
-        let mut flags = 0u8;
-        if old_delay.to_bits() != worst_gate_delay.to_bits() {
-            flags |= F_DELAY;
-        }
-        if new_slope[0].to_bits() != old_slope[0].to_bits()
-            || new_slope[1].to_bits() != old_slope[1].to_bits()
-        {
-            flags |= F_SLOPE;
-        }
-        if new_arrival[0].to_bits() != old_arrival[0].to_bits()
-            || new_arrival[1].to_bits() != old_arrival[1].to_bits()
-        {
-            flags |= F_ARRIVAL;
-        }
-        unsafe {
-            self.gate_delay[pos].set(worst_gate_delay);
-            self.arrival[out_slot].set(new_arrival);
-            self.slope[out_slot].set(new_slope);
-            self.pred[out_slot].set(new_pred);
+            // SAFETY: slot `n_src + pos` and delay slot `pos` (all
+            // corners) belong to this gate alone within the current
+            // level.
+            let old_delay = unsafe { self.gate_delay[pos * nc + c].get() };
+            let old_arrival = unsafe { self.arrival[out_slot * nc + c].get() };
+            let old_slope = unsafe { self.slope[out_slot * nc + c].get() };
+            if old_delay.to_bits() != worst_gate_delay.to_bits() {
+                flags |= F_DELAY;
+            }
+            if new_slope[0].to_bits() != old_slope[0].to_bits()
+                || new_slope[1].to_bits() != old_slope[1].to_bits()
+            {
+                flags |= F_SLOPE;
+            }
+            if new_arrival[0].to_bits() != old_arrival[0].to_bits()
+                || new_arrival[1].to_bits() != old_arrival[1].to_bits()
+            {
+                flags |= F_ARRIVAL;
+            }
+            unsafe {
+                self.gate_delay[pos * nc + c].set(worst_gate_delay);
+                self.arrival[out_slot * nc + c].set(new_arrival);
+                self.slope[out_slot * nc + c].set(new_slope);
+                self.pred[out_slot * nc + c].set(new_pred);
+            }
         }
         flags
     }
@@ -382,63 +402,86 @@ impl<'a> BwdView<'a> {
         net: usize,
         slot: usize,
     ) -> (bool, f64) {
-        let mut req = if ctx.is_po[net] {
-            [self.tc_ps; 2]
-        } else {
-            [f64::INFINITY; 2]
-        };
-        let slope = self.slope[slot];
+        let nc = ctx.n_corners;
         let (lo, hi) = (
             ctx.fanout_off[net] as usize,
             ctx.fanout_off[net + 1] as usize,
         );
-        for &h in &ctx.fanout[lo..hi] {
-            let g = h.index();
-            let cell = ctx.cell[g];
-            // A gate's output slot is `n_src + rank` — no net-id
-            // round-trip.
-            let h_out_slot = ctx.n_src + ctx.rank[g] as usize;
-            let cin = ctx.cins[g];
-            let load = self.load[h_out_slot];
-            // Same hoisted arc terms as the forward kernel
-            // (bit-identical to `gate_delay_with_output_edge`).
-            let ArcTerms {
-                tau_out_by_edge,
-                miller,
-            } = ctx.gate_params[g].arc_terms(cin, load);
-            for out_edge in EDGES {
-                // SAFETY: fanout slots live in strictly higher levels,
-                // settled before this level started.
-                let req_out = unsafe { self.required[h_out_slot].get() }[eidx(out_edge)];
-                if req_out == f64::INFINITY {
-                    continue;
-                }
-                let tau_out = tau_out_by_edge[eidx(out_edge)];
-                for &in_edge in compatible_input_edges(cell, out_edge) {
-                    let i = eidx(in_edge);
-                    let delay_ps = 0.5 * ctx.vt[i] * slope[i] + 0.5 * miller[i] * tau_out;
-                    debug_assert_eq!(
-                        delay_ps.to_bits(),
-                        gate_delay_with_output_edge(
-                            ctx.lib, cell, cin, load, slope[i], in_edge, out_edge,
-                        )
-                        .delay_ps
-                        .to_bits(),
-                        "cached-constant backward arc delay must match the model"
-                    );
-                    let candidate = req_out - delay_ps;
-                    if candidate < req[i] {
-                        req[i] = candidate;
+        let mut changed = false;
+        let mut key = f64::INFINITY;
+        for c in 0..nc {
+            let mut req = if ctx.is_po[net] {
+                [self.tc_ps; 2]
+            } else {
+                [f64::INFINITY; 2]
+            };
+            let slope = self.slope[slot * nc + c];
+            for &h in &ctx.fanout[lo..hi] {
+                let g = h.index();
+                let cell = ctx.cell[g];
+                // A gate's output slot is `n_src + rank` — no net-id
+                // round-trip.
+                let h_out_slot = ctx.n_src + ctx.rank[g] as usize;
+                let cin = ctx.cins[g];
+                let load = self.load[h_out_slot];
+                let params = &ctx.gate_params[g * nc + c];
+                // Same hoisted arc terms as the forward kernel
+                // (bit-identical to `gate_delay_with_output_edge_vt`).
+                let ArcTerms {
+                    tau_out_by_edge,
+                    miller,
+                } = params.arc_terms(cin, load);
+                for out_edge in EDGES {
+                    // SAFETY: fanout slots live in strictly higher
+                    // levels, settled before this level started.
+                    let req_out =
+                        unsafe { self.required[h_out_slot * nc + c].get() }[eidx(out_edge)];
+                    if req_out == f64::INFINITY {
+                        continue;
+                    }
+                    let tau_out = tau_out_by_edge[eidx(out_edge)];
+                    for &in_edge in compatible_input_edges(cell, out_edge) {
+                        let i = eidx(in_edge);
+                        let delay_ps = 0.5 * params.vt[i] * slope[i] + 0.5 * miller[i] * tau_out;
+                        debug_assert_eq!(
+                            delay_ps.to_bits(),
+                            gate_delay_with_output_edge_vt(
+                                &ctx.libs[c],
+                                cell,
+                                VtTiming::of(ctx.vt_class[g]),
+                                cin,
+                                load,
+                                slope[i],
+                                in_edge,
+                                out_edge,
+                            )
+                            .delay_ps
+                            .to_bits(),
+                            "cached-constant backward arc delay must match the model"
+                        );
+                        let candidate = req_out - delay_ps;
+                        if candidate < req[i] {
+                            req[i] = candidate;
+                        }
                     }
                 }
             }
+            // SAFETY: slot `slot` (all corners) belongs to this net
+            // alone within the current level.
+            let cur = unsafe { self.required[slot * nc + c].get() };
+            changed |= req[0].to_bits() != cur[0].to_bits() || req[1].to_bits() != cur[1].to_bits();
+            unsafe { self.required[slot * nc + c].set(req) };
+            // Worst-over-corners slack leaf: corner 0's key, min2-folded
+            // with the rest in corner order (single-corner reduces to
+            // the plain key bit-for-bit).
+            let corner_key = WorstSlackIndex::key(req, self.arrival[slot * nc + c]);
+            key = if c == 0 {
+                corner_key
+            } else {
+                min2(key, corner_key)
+            };
         }
-        // SAFETY: slot `slot` belongs to this net alone within the
-        // current level.
-        let cur = unsafe { self.required[slot].get() };
-        let changed = req[0].to_bits() != cur[0].to_bits() || req[1].to_bits() != cur[1].to_bits();
-        unsafe { self.required[slot].set(req) };
-        (changed, WorstSlackIndex::key(req, self.arrival[slot]))
+        (changed, key)
     }
 
     /// Recompute the completion bound of the gate at topo position
@@ -454,33 +497,38 @@ impl<'a> BwdView<'a> {
     unsafe fn eval_completion_shared(&self, ctx: &EvalCtx<'_>, pos: usize) -> bool {
         let gid = ctx.topo[pos];
         let out = ctx.out_net[gid.index()].index();
-        let mut best = if ctx.is_po[out] {
-            0.0
-        } else {
-            f64::NEG_INFINITY
-        };
+        let nc = ctx.n_corners;
         let (lo, hi) = (
             ctx.fanout_off[out] as usize,
             ctx.fanout_off[out + 1] as usize,
         );
-        for &succ in &ctx.fanout[lo..hi] {
-            // SAFETY: successors rank strictly higher — settled before
-            // this level started.
-            let c = unsafe { self.completion[ctx.rank[succ.index()] as usize].get() };
-            if c.is_finite() {
-                best = best.max(c);
+        let mut changed = false;
+        for c in 0..nc {
+            let mut best = if ctx.is_po[out] {
+                0.0
+            } else {
+                f64::NEG_INFINITY
+            };
+            for &succ in &ctx.fanout[lo..hi] {
+                // SAFETY: successors rank strictly higher — settled
+                // before this level started.
+                let comp =
+                    unsafe { self.completion[ctx.rank[succ.index()] as usize * nc + c].get() };
+                if comp.is_finite() {
+                    best = best.max(comp);
+                }
             }
+            let new = if best.is_finite() {
+                self.gate_delay_worst[pos * nc + c] + best
+            } else {
+                f64::NEG_INFINITY
+            };
+            // SAFETY: completion slot `pos` (all corners) belongs to
+            // this gate alone within the current level.
+            let cur = unsafe { self.completion[pos * nc + c].get() };
+            changed |= new.to_bits() != cur.to_bits();
+            unsafe { self.completion[pos * nc + c].set(new) };
         }
-        let new = if best.is_finite() {
-            self.gate_delay_worst[pos] + best
-        } else {
-            f64::NEG_INFINITY
-        };
-        // SAFETY: completion slot `pos` belongs to this gate alone
-        // within the current level.
-        let cur = unsafe { self.completion[pos].get() };
-        let changed = new.to_bits() != cur.to_bits();
-        unsafe { self.completion[pos].set(new) };
         changed
     }
 
@@ -510,35 +558,52 @@ impl<'a> BwdView<'a> {
         let cell = ctx.cell[gi];
         let cin = ctx.cins[gi];
         let load = self.load[out_slot];
-        let ArcTerms {
-            tau_out_by_edge,
-            miller,
-        } = ctx.gate_params[gi].arc_terms(cin, load);
+        let nc = ctx.n_corners;
         let fanin_range = ctx.fanin_off[gi] as usize..ctx.fanin_off[gi + 1] as usize;
-        for out_edge in EDGES {
-            // SAFETY: the gate's own slot; every candidate into this
-            // level was folded before its start barrier.
-            let req_out = unsafe { self.required[out_slot].get() }[eidx(out_edge)];
-            if req_out == f64::INFINITY {
-                continue;
-            }
-            let tau_out = tau_out_by_edge[eidx(out_edge)];
-            for idx in fanin_range.clone() {
-                let in_slot = ctx.fanin_slots[idx] as usize;
-                for &in_edge in compatible_input_edges(cell, out_edge) {
-                    let i = eidx(in_edge);
-                    let slope = self.slope[in_slot][i];
-                    let delay_ps = 0.5 * ctx.vt[i] * slope + 0.5 * miller[i] * tau_out;
-                    debug_assert_eq!(
-                        delay_ps.to_bits(),
-                        gate_delay_with_output_edge(
-                            ctx.lib, cell, cin, load, slope, in_edge, out_edge,
-                        )
-                        .delay_ps
-                        .to_bits(),
-                        "cached-constant sweep arc delay must match the model"
-                    );
-                    emit(in_slot as u32 | (i as u32) << 31, req_out - delay_ps);
+        for c in 0..nc {
+            let params = &ctx.gate_params[gi * nc + c];
+            let ArcTerms {
+                tau_out_by_edge,
+                miller,
+            } = params.arc_terms(cin, load);
+            for out_edge in EDGES {
+                // SAFETY: the gate's own slot; every candidate into this
+                // level was folded before its start barrier.
+                let req_out = unsafe { self.required[out_slot * nc + c].get() }[eidx(out_edge)];
+                if req_out == f64::INFINITY {
+                    continue;
+                }
+                let tau_out = tau_out_by_edge[eidx(out_edge)];
+                for idx in fanin_range.clone() {
+                    let in_slot = ctx.fanin_slots[idx] as usize;
+                    for &in_edge in compatible_input_edges(cell, out_edge) {
+                        let i = eidx(in_edge);
+                        let slope = self.slope[in_slot * nc + c][i];
+                        let delay_ps = 0.5 * params.vt[i] * slope + 0.5 * miller[i] * tau_out;
+                        debug_assert_eq!(
+                            delay_ps.to_bits(),
+                            gate_delay_with_output_edge_vt(
+                                &ctx.libs[c],
+                                cell,
+                                VtTiming::of(ctx.vt_class[gi]),
+                                cin,
+                                load,
+                                slope,
+                                in_edge,
+                                out_edge,
+                            )
+                            .delay_ps
+                            .to_bits(),
+                            "cached-constant sweep arc delay must match the model"
+                        );
+                        // The emit key carries the *widened* (corner-
+                        // innermost) slab index, so the fold needs no
+                        // corner awareness.
+                        emit(
+                            (in_slot * nc + c) as u32 | (i as u32) << 31,
+                            req_out - delay_ps,
+                        );
+                    }
                 }
             }
         }

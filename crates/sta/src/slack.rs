@@ -84,7 +84,7 @@ pub(crate) fn worst_finite_slack(pairs: impl Iterator<Item = ([f64; 2], [f64; 2]
 /// rounds to `+0.0`), so equal keys are equal *bits* and any
 /// association of the minimum reproduces the fold bit-for-bit.
 #[inline]
-fn min2(a: f64, b: f64) -> f64 {
+pub(crate) fn min2(a: f64, b: f64) -> f64 {
     if a <= b {
         a
     } else {
@@ -137,6 +137,20 @@ impl WorstSlackIndex {
             if s.is_finite() && s < k {
                 k = s;
             }
+        }
+        k
+    }
+
+    /// The key of one net across every corner: `required`/`arrival` are
+    /// the net's corner-innermost slices (length = corner count), and
+    /// the key is the min over corners of the per-corner
+    /// [`WorstSlackIndex::key`] — folded with [`min2`] in corner order,
+    /// so with one corner this reduces to `key` bit-for-bit.
+    pub(crate) fn key_over(required: &[[f64; 2]], arrival: &[[f64; 2]]) -> f64 {
+        debug_assert_eq!(required.len(), arrival.len());
+        let mut k = Self::key(required[0], arrival[0]);
+        for c in 1..required.len() {
+            k = min2(k, Self::key(required[c], arrival[c]));
         }
         k
     }

@@ -17,10 +17,11 @@ use pops_core::buffer::{plan_buffer_insertions, FlimitCache};
 use pops_core::protocol::{optimize, ProtocolOptions, Technique};
 use pops_core::restructure::plan_demorgan_restructure;
 use pops_core::OptimizeError;
-use pops_delay::Library;
+use pops_delay::power::leakage_nw;
+use pops_delay::{CornerSet, Library};
 use pops_netlist::surgery::{EditOp, EditPlan};
-use pops_netlist::{Circuit, GateId, NetId, NetlistError};
-use pops_sta::analysis::{EdgeDir, NetlistPath};
+use pops_netlist::{Circuit, GateId, NetId, NetlistError, VtClass};
+use pops_sta::analysis::{AnalyzeOptions, EdgeDir, NetlistPath};
 use pops_sta::{extract_timed_path, k_most_critical_paths, ExtractOptions, Sizing, TimingGraph};
 
 /// Options for a circuit-level run.
@@ -43,6 +44,13 @@ pub struct FlowOptions {
     pub apply_structure: bool,
     /// Hard cap on structural edits applied over the whole run.
     pub max_edits: usize,
+    /// After sizing converges, demote slack-rich gates to high-Vt cells
+    /// to cut subthreshold leakage. Each demotion is probed on a
+    /// slow/typical/fast multi-corner timing view and kept only when
+    /// the design-worst slack stays non-negative at **every** corner.
+    /// Off by default: it adds a multi-corner re-analysis pass, and the
+    /// timing-only flows (and their bit-identity tests) don't want it.
+    pub vt_assignment: bool,
 }
 
 impl Default for FlowOptions {
@@ -54,6 +62,7 @@ impl Default for FlowOptions {
             extract: ExtractOptions::default(),
             apply_structure: true,
             max_edits: 64,
+            vt_assignment: false,
         }
     }
 }
@@ -130,6 +139,14 @@ pub struct FlowResult {
     pub edit_slack_gain_ps: f64,
     /// Rounds executed.
     pub rounds: usize,
+    /// Vt class of every gate of `circuit` (gate-id indexed). All-SVT
+    /// unless [`FlowOptions::vt_assignment`] demoted slack-rich gates.
+    pub vt_classes: Vec<VtClass>,
+    /// Gates demoted to high-Vt by the leakage pass.
+    pub hvt_gates: usize,
+    /// Total subthreshold leakage of the returned implementation (nW):
+    /// every gate's [`leakage_nw`] under its final width and Vt class.
+    pub leakage_nw: f64,
 }
 
 /// Optimize a circuit's K most critical paths under `tc_ps`.
@@ -354,6 +371,45 @@ pub fn optimize_circuit(
     }
 
     let (edits_applied, buffers_inserted, gates_restructured, edit_slack_gain_ps) = best_edits;
+
+    // Leakage-aware Vt assignment on the best implementation: probe each
+    // gate's HVT demotion against a slow/typical/fast multi-corner view
+    // and keep it only when the design-worst slack — the worst over
+    // *all* corners — stays non-negative. Timing is untouched on the
+    // primary corner's critical cone by construction (a kept demotion
+    // still meets tc everywhere), and the probe/revert cycle rides the
+    // same incremental dirty-cone machinery as sizing.
+    let mut vt_classes = vec![VtClass::Svt; best_circuit.gate_count()];
+    let mut hvt_gates = 0usize;
+    if options.vt_assignment {
+        let corners = CornerSet::slow_typical_fast(lib.process().clone());
+        let mut vt_graph = TimingGraph::with_corners(
+            &best_circuit,
+            lib,
+            &best_sizing,
+            &AnalyzeOptions::default(),
+            &corners,
+        )?;
+        vt_graph.set_constraint(tc_ps);
+        // Only a design with headroom at every corner can trade any of
+        // it for leakage; a failing design keeps its timing-optimal Vt.
+        if matches!(vt_graph.worst_slack_overall_ps(), Some(s) if s >= 0.0) {
+            for g in best_circuit.gate_ids() {
+                vt_graph.set_vt_class(g, VtClass::Hvt);
+                if matches!(vt_graph.worst_slack_overall_ps(), Some(s) if s >= 0.0) {
+                    vt_classes[g.index()] = VtClass::Hvt;
+                    hvt_gates += 1;
+                } else {
+                    vt_graph.set_vt_class(g, VtClass::Svt);
+                }
+            }
+        }
+    }
+    let leakage: f64 = best_circuit
+        .gate_ids()
+        .map(|g| leakage_nw(lib.process(), vt_classes[g.index()], best_sizing.cin_ff(g)))
+        .sum();
+
     Ok(FlowResult {
         final_delay_ps: best_delay,
         total_cin_ff: best_sizing.total_cin_ff(),
@@ -366,6 +422,9 @@ pub fn optimize_circuit(
         gates_restructured,
         edit_slack_gain_ps,
         rounds,
+        vt_classes,
+        hvt_gates,
+        leakage_nw: leakage,
     })
 }
 
@@ -616,6 +675,74 @@ mod tests {
         assert_eq!(r.edits_applied, 0);
         assert_eq!(r.circuit.gate_count(), adder.gate_count());
         assert_eq!(r.sizing.len(), adder.gate_count());
+    }
+
+    #[test]
+    fn vt_assignment_trades_slack_for_leakage() {
+        // A relaxed constraint leaves most gates slack-rich: the Vt
+        // pass must demote a healthy fraction to HVT and the reported
+        // leakage must drop below the all-SVT figure — without giving
+        // up the constraint at any corner.
+        let lib = Library::cmos025();
+        let c = suite::circuit("fpd").unwrap();
+        let s0 = Sizing::minimum(&c, &lib);
+        let t0 = analyze(&c, &lib, &s0).unwrap().critical_delay_ps();
+        let tc = 1.5 * t0;
+        let base = optimize_circuit(&c, &lib, tc, &FlowOptions::default()).unwrap();
+        assert_eq!(base.hvt_gates, 0, "vt assignment is off by default");
+        assert!(base.leakage_nw > 0.0);
+        assert!(base.vt_classes.iter().all(|&v| v == VtClass::Svt));
+
+        let opts = FlowOptions {
+            vt_assignment: true,
+            ..FlowOptions::default()
+        };
+        let r = optimize_circuit(&c, &lib, tc, &opts).unwrap();
+        assert!(r.hvt_gates > 0, "relaxed design must absorb demotions");
+        assert_eq!(
+            r.hvt_gates,
+            r.vt_classes.iter().filter(|&&v| v == VtClass::Hvt).count()
+        );
+        assert!(
+            r.leakage_nw < base.leakage_nw,
+            "HVT demotion must cut leakage: {} !< {}",
+            r.leakage_nw,
+            base.leakage_nw
+        );
+        // The demoted design still meets the constraint at every corner
+        // of the slow/typical/fast set.
+        let corners = CornerSet::slow_typical_fast(lib.process().clone());
+        let mut g = pops_sta::TimingGraph::with_corners(
+            &r.circuit,
+            &lib,
+            &r.sizing,
+            &AnalyzeOptions::default(),
+            &corners,
+        )
+        .unwrap();
+        for (gate, &class) in r.circuit.gate_ids().zip(&r.vt_classes) {
+            g.set_vt_class(gate, class);
+        }
+        g.set_constraint(tc);
+        assert!(matches!(g.worst_slack_overall_ps(), Some(s) if s >= 0.0));
+    }
+
+    #[test]
+    fn vt_assignment_keeps_a_tight_design_svt() {
+        // Right at the typical-corner critical delay the slow corner is
+        // failing, so no demotion can keep every corner non-negative —
+        // the pass must leave the implementation alone.
+        let lib = Library::cmos025();
+        let adder = ripple_carry_adder(4);
+        let s0 = Sizing::minimum(&adder, &lib);
+        let t0 = analyze(&adder, &lib, &s0).unwrap().critical_delay_ps();
+        let opts = FlowOptions {
+            vt_assignment: true,
+            ..FlowOptions::default()
+        };
+        let r = optimize_circuit(&adder, &lib, 1.001 * t0, &opts).unwrap();
+        assert_eq!(r.hvt_gates, 0, "slow corner leaves no headroom");
+        assert!(r.vt_classes.iter().all(|&v| v == VtClass::Svt));
     }
 
     #[test]

@@ -71,7 +71,7 @@ pub mod prelude {
     pub use pops_core::restructure::demorgan_restructure;
     pub use pops_core::sensitivity::{distribute_constraint, ConstraintSolution};
     pub use pops_core::OptimizeError;
-    pub use pops_delay::{Edge, Library, PathStage, Process, TimedPath};
+    pub use pops_delay::{CornerSet, Edge, Library, PathStage, Process, TimedPath};
     pub use pops_netlist::prelude::*;
     pub use pops_sta::analysis::analyze;
     pub use pops_sta::{
