@@ -72,9 +72,9 @@ pub fn parse_bench(name: &str, text: &str) -> Result<Circuit, NetlistError> {
         }
         let syntax = |message: String| NetlistError::BenchSyntax { line, message };
 
-        if let Some(rest) = strip_directive(stripped, "INPUT") {
+        if let Some(rest) = strip_directive(stripped, "INPUT", line) {
             inputs.push((line, rest?.to_string()));
-        } else if let Some(rest) = strip_directive(stripped, "OUTPUT") {
+        } else if let Some(rest) = strip_directive(stripped, "OUTPUT", line) {
             outputs.push((line, rest?.to_string()));
         } else if let Some(eq) = stripped.find('=') {
             let output = stripped[..eq].trim();
@@ -167,7 +167,11 @@ pub fn parse_bench(name: &str, text: &str) -> Result<Circuit, NetlistError> {
     Ok(circuit)
 }
 
-fn strip_directive<'a>(line: &'a str, keyword: &str) -> Option<Result<&'a str, NetlistError>> {
+fn strip_directive<'a>(
+    line: &'a str,
+    keyword: &str,
+    lineno: usize,
+) -> Option<Result<&'a str, NetlistError>> {
     let upper = line.to_ascii_uppercase();
     if !upper.starts_with(keyword) {
         return None;
@@ -177,14 +181,14 @@ fn strip_directive<'a>(line: &'a str, keyword: &str) -> Option<Result<&'a str, N
         let inner = inner.trim();
         if inner.is_empty() {
             return Some(Err(NetlistError::BenchSyntax {
-                line: 0,
+                line: lineno,
                 message: format!("{keyword} with empty name"),
             }));
         }
         Some(Ok(inner))
     } else {
         Some(Err(NetlistError::BenchSyntax {
-            line: 0,
+            line: lineno,
             message: format!("malformed {keyword} directive: `{line}`"),
         }))
     }

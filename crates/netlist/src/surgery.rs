@@ -133,6 +133,83 @@ impl EditPlan {
         }
         Ok(applied)
     }
+
+    /// Cheap whole-plan screening against `circuit` *before* anything
+    /// is applied: every referenced gate and net id must be in range,
+    /// and every capacitance a created gate would enter at must be
+    /// finite and positive (a NaN or non-positive drive would poison
+    /// downstream timing state where convergence cuts never fire).
+    /// Purely id-range and value checks — per-op structural
+    /// preconditions (pin arities, cell kinds, drive conflicts) are
+    /// still validated by each op at application time, since they can
+    /// depend on the ops applied before it.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::InvalidId`] naming the out-of-range id;
+    /// [`NetlistError::UnsupportedEdit`] naming the offending
+    /// capacitance value.
+    pub fn validate(&self, circuit: &Circuit) -> Result<(), NetlistError> {
+        let n_gates = circuit.gate_count();
+        let n_nets = circuit.net_count();
+        let check_gate = |gate: GateId| {
+            if gate.index() >= n_gates {
+                Err(NetlistError::InvalidId(format!(
+                    "gate {} out of range for a {n_gates}-gate circuit",
+                    gate.index()
+                )))
+            } else {
+                Ok(())
+            }
+        };
+        let check_net = |net: NetId| {
+            if net.index() >= n_nets {
+                Err(NetlistError::InvalidId(format!(
+                    "net {} out of range for a {n_nets}-net circuit",
+                    net.index()
+                )))
+            } else {
+                Ok(())
+            }
+        };
+        let check_cin = |cin_ff: f64| {
+            if !cin_ff.is_finite() || cin_ff <= 0.0 {
+                Err(NetlistError::UnsupportedEdit(format!(
+                    "created gate capacitance {cin_ff} fF must be finite and positive"
+                )))
+            } else {
+                Ok(())
+            }
+        };
+        for op in &self.ops {
+            match op {
+                EditOp::InsertBuffer {
+                    net,
+                    loads,
+                    stage_cin_ff,
+                } => {
+                    check_net(*net)?;
+                    for &(gate, _) in loads {
+                        check_gate(gate)?;
+                    }
+                    for &cin in stage_cin_ff {
+                        check_cin(cin)?;
+                    }
+                }
+                EditOp::ReplaceGate { gate, inputs, .. } => {
+                    check_gate(*gate)?;
+                    for &net in inputs {
+                        check_net(net)?;
+                    }
+                }
+                EditOp::DeMorgan { gate, inv_cin_ff } => {
+                    check_gate(*gate)?;
+                    check_cin(*inv_cin_ff)?;
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 impl From<Vec<EditOp>> for EditPlan {

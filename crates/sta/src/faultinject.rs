@@ -1,0 +1,315 @@
+//! Deterministic fault injection for the incremental timing engine.
+//!
+//! The ROADMAP's service direction needs the engine to *prove* — not hope —
+//! that a worker panic mid-parallel-flush or a non-finite value smuggled
+//! into the slabs is either rejected at the boundary or recovered to a
+//! bit-identical good state. This module is the proving harness: a
+//! seed-driven [`FaultPlan`] that, once armed, makes the engine hurt
+//! itself at deterministic points:
+//!
+//! * **worker panics** at chosen level barriers of the parallel flush
+//!   (the top of the coordinator's per-level loop, where every worker is
+//!   parked at the start barrier, so the existing `catch_unwind` +
+//!   shutdown drains the scope cleanly),
+//! * **non-finite poison** injected into chosen slab writes of the
+//!   parallel forward sweep (a NaN arrival lands in the victim's output
+//!   slot — exactly the corruption bitwise convergence cuts cannot wash
+//!   out, and one only a slab audit can catch),
+//! * **corrupted mutation batches**: a chosen `try_resize_gates` batch
+//!   gets one entry's drive replaced by NaN before validation, proving
+//!   the boundary rejects it atomically.
+//!
+//! Disarmed (the default, and the only state production code ever sees)
+//! every hook is a single relaxed atomic load on a never-written cache
+//! line — the `sta_forward`/`sta_backward` bench gates hold with the
+//! hooks compiled in.
+//!
+//! The schedule is process-global: periods derived from the seed fire
+//! every Nth dispatch / eval / batch. Which *gate* a poison lands on can
+//! vary with thread interleaving (the eval counter is shared), but the
+//! recovery contract doesn't care: any faulted query must still
+//! bit-match a clean twin after the engine's sequential fallback.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Once;
+
+use pops_netlist::GateId;
+
+/// Master switch. Every hook gates on this single relaxed load.
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+/// Fire a coordinator panic every Nth dispatch (0 = never).
+static PANIC_PERIOD: AtomicU64 = AtomicU64::new(0);
+/// Poison every Nth parallel slab write with NaN (0 = never).
+static POISON_PERIOD: AtomicU64 = AtomicU64::new(0);
+/// Corrupt every Nth resize batch (0 = never).
+static CORRUPT_PERIOD: AtomicU64 = AtomicU64::new(0);
+/// Seed the armed plan was derived from (for panic messages).
+static SEED: AtomicU64 = AtomicU64::new(0);
+
+static DISPATCHES: AtomicU64 = AtomicU64::new(0);
+static EVALS: AtomicU64 = AtomicU64::new(0);
+static BATCHES: AtomicU64 = AtomicU64::new(0);
+
+static PANICS_FIRED: AtomicU64 = AtomicU64::new(0);
+static POISONS_FIRED: AtomicU64 = AtomicU64::new(0);
+static CORRUPTIONS_FIRED: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Set while this thread is inside a parallel flush section —
+    /// coordinator body or worker loop. Poison only fires here, so the
+    /// sequential recovery sweep (and sequential reference twins running
+    /// in the same armed process) always computes clean values.
+    static IN_PARALLEL: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// A deterministic, seed-driven fault schedule.
+///
+/// Arm it with [`FaultPlan::arm`]; the engine then fires the configured
+/// faults process-wide until [`disarm`] is called. `None` disables a
+/// fault class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// Seed the plan was derived from (echoed in injected panic text).
+    pub seed: u64,
+    /// Panic the flush coordinator every Nth level dispatch.
+    pub panic_every_dispatches: Option<u64>,
+    /// Replace every Nth parallel corner-lane arrival write with NaN.
+    pub poison_every_evals: Option<u64>,
+    /// Replace one drive of every Nth resize batch with NaN.
+    pub corrupt_every_batches: Option<u64>,
+}
+
+/// One round of the SplitMix64 output function — the same generator the
+/// differential suites use, inlined so this module stays dependency-free.
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// Derive a panic + poison schedule from `seed`.
+    ///
+    /// Panic periods are small (4–15 dispatches) so they fire within the
+    /// level count of every suite circuit; poison periods span a few
+    /// hundred to a couple thousand evals so whole-fabric sweeps take
+    /// several hits. Batch corruption is **not** derived here: it makes
+    /// `try_resize_gates` return errors, which the infallible wrappers
+    /// escalate to panics, so it is only armed explicitly by tests that
+    /// call the fallible API.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut s = seed;
+        FaultPlan {
+            seed,
+            panic_every_dispatches: Some(4 + mix(&mut s) % 12),
+            poison_every_evals: Some(400 + mix(&mut s) % 1700),
+            corrupt_every_batches: None,
+        }
+    }
+
+    /// Arm this plan process-wide, resetting all trigger counters.
+    pub fn arm(&self) {
+        ARMED.store(false, Ordering::SeqCst);
+        SEED.store(self.seed, Ordering::SeqCst);
+        PANIC_PERIOD.store(self.panic_every_dispatches.unwrap_or(0), Ordering::SeqCst);
+        POISON_PERIOD.store(self.poison_every_evals.unwrap_or(0), Ordering::SeqCst);
+        CORRUPT_PERIOD.store(self.corrupt_every_batches.unwrap_or(0), Ordering::SeqCst);
+        DISPATCHES.store(0, Ordering::SeqCst);
+        EVALS.store(0, Ordering::SeqCst);
+        BATCHES.store(0, Ordering::SeqCst);
+        ARMED.store(true, Ordering::SeqCst);
+    }
+}
+
+/// Disarm all fault injection. Idempotent.
+pub fn disarm() {
+    ARMED.store(false, Ordering::SeqCst);
+}
+
+/// Whether any fault plan is currently armed.
+#[inline]
+pub fn armed() -> bool {
+    ARMED.load(Ordering::Relaxed)
+}
+
+/// Injected coordinator panics fired since the last [`FaultPlan::arm`]
+/// call with panics enabled (monotonic across arms otherwise).
+pub fn panics_fired() -> u64 {
+    PANICS_FIRED.load(Ordering::SeqCst)
+}
+
+/// NaN poisons fired.
+pub fn poisons_fired() -> u64 {
+    POISONS_FIRED.load(Ordering::SeqCst)
+}
+
+/// Resize batches corrupted.
+pub fn corruptions_fired() -> u64 {
+    CORRUPTIONS_FIRED.load(Ordering::SeqCst)
+}
+
+/// RAII marker for a thread participating in a parallel flush section.
+pub(crate) struct ParallelSection {
+    prev: bool,
+}
+
+impl ParallelSection {
+    pub(crate) fn enter() -> Self {
+        let prev = IN_PARALLEL.with(|f| f.replace(true));
+        ParallelSection { prev }
+    }
+}
+
+impl Drop for ParallelSection {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        IN_PARALLEL.with(|f| f.set(prev));
+    }
+}
+
+/// Hook: top of each level iteration of the coordinator's parallel
+/// flush body — between level barriers every worker is parked at the
+/// start barrier, so a panic here leaves the pool drainable by the
+/// `catch_unwind` shutdown without deadlock.
+#[inline]
+pub(crate) fn on_dispatch() {
+    if ARMED.load(Ordering::Relaxed) {
+        on_dispatch_armed();
+    }
+}
+
+#[cold]
+fn on_dispatch_armed() {
+    let period = PANIC_PERIOD.load(Ordering::Relaxed);
+    if period == 0 {
+        return;
+    }
+    let n = DISPATCHES.fetch_add(1, Ordering::Relaxed) + 1;
+    if n.is_multiple_of(period) {
+        PANICS_FIRED.fetch_add(1, Ordering::Relaxed);
+        panic!(
+            "injected fault: coordinator panic at dispatch {n} (seed {})",
+            SEED.load(Ordering::Relaxed)
+        );
+    }
+}
+
+/// Hook: a slab value about to be written by a parallel gate
+/// evaluation. Returns `v` untouched unless armed, in a parallel
+/// section, and the eval counter hits the poison period — then NaN.
+/// Sits on the *write* side so the injected NaN never feeds the delay
+/// model's debug-asserted inputs, only the assert-free max/add folds
+/// downstream reads run.
+#[inline]
+pub(crate) fn poison_write(v: f64) -> f64 {
+    if ARMED.load(Ordering::Relaxed) {
+        poison_write_armed(v)
+    } else {
+        v
+    }
+}
+
+#[cold]
+fn poison_write_armed(v: f64) -> f64 {
+    let period = POISON_PERIOD.load(Ordering::Relaxed);
+    if period == 0 || !IN_PARALLEL.with(|f| f.get()) {
+        return v;
+    }
+    let n = EVALS.fetch_add(1, Ordering::Relaxed) + 1;
+    if n.is_multiple_of(period) {
+        POISONS_FIRED.fetch_add(1, Ordering::Relaxed);
+        f64::NAN
+    } else {
+        v
+    }
+}
+
+/// Hook: a materialized resize batch about to be validated. When the
+/// batch trigger fires, one seed-chosen entry's drive becomes NaN — the
+/// boundary must reject the whole batch and leave the graph untouched.
+pub(crate) fn corrupt_resizes(changes: &mut [(GateId, f64)]) {
+    if !ARMED.load(Ordering::Relaxed) || changes.is_empty() {
+        return;
+    }
+    let period = CORRUPT_PERIOD.load(Ordering::Relaxed);
+    if period == 0 {
+        return;
+    }
+    let n = BATCHES.fetch_add(1, Ordering::Relaxed) + 1;
+    if n.is_multiple_of(period) {
+        CORRUPTIONS_FIRED.fetch_add(1, Ordering::Relaxed);
+        let mut s = SEED.load(Ordering::Relaxed) ^ n;
+        let victim = (mix(&mut s) % changes.len() as u64) as usize;
+        changes[victim].1 = f64::NAN;
+    }
+}
+
+/// Arm panics + poison from `STA_FAULT_SEED` once per process, so CI can
+/// drive the recovery path through the stock equivalence suites without
+/// code changes. Batch corruption is never armed from the environment —
+/// it would turn the infallible mutation wrappers into panics inside
+/// suites that have no business failing.
+pub(crate) fn arm_from_env_once() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        if let Ok(v) = std::env::var("STA_FAULT_SEED") {
+            match v.trim().parse::<u64>() {
+                Ok(seed) => FaultPlan::from_seed(seed).arm(),
+                Err(_) => eprintln!("STA_FAULT_SEED `{v}` is not a u64; fault injection stays off"),
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Global state: these tests share the process with everything else in
+    // the crate, so they only probe the disarmed fast path and the pure
+    // derivation logic — arming is exercised end-to-end by
+    // `tests/fault_injection.rs` under a serializing lock.
+
+    #[test]
+    fn disarmed_hooks_are_inert() {
+        assert!(!armed());
+        on_dispatch();
+        assert_eq!(poison_write(42.5).to_bits(), 42.5f64.to_bits());
+        let c = pops_netlist::builders::ripple_carry_adder(1);
+        let g = c.gate_ids().next().unwrap();
+        let mut batch = vec![(g, 3.0)];
+        corrupt_resizes(&mut batch);
+        assert_eq!(batch[0].1.to_bits(), 3.0f64.to_bits());
+    }
+
+    #[test]
+    fn seeds_derive_nonzero_periods() {
+        for seed in [0u64, 1, 0xDEAD_BEEF, u64::MAX] {
+            let plan = FaultPlan::from_seed(seed);
+            let p = plan.panic_every_dispatches.unwrap();
+            assert!((4..16).contains(&p), "panic period {p}");
+            let q = plan.poison_every_evals.unwrap();
+            assert!((400..2100).contains(&q), "poison period {q}");
+            assert_eq!(plan.corrupt_every_batches, None);
+            assert_eq!(plan, FaultPlan::from_seed(seed), "derivation is pure");
+        }
+    }
+
+    #[test]
+    fn parallel_section_nests_and_restores() {
+        assert!(!IN_PARALLEL.with(|f| f.get()));
+        {
+            let _outer = ParallelSection::enter();
+            assert!(IN_PARALLEL.with(|f| f.get()));
+            {
+                let _inner = ParallelSection::enter();
+                assert!(IN_PARALLEL.with(|f| f.get()));
+            }
+            assert!(IN_PARALLEL.with(|f| f.get()));
+        }
+        assert!(!IN_PARALLEL.with(|f| f.get()));
+    }
+}

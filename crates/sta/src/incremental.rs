@@ -144,6 +144,7 @@ use pops_netlist::{CellKind, Circuit, GateId, NetId, NetlistError, VtClass};
 use crate::analysis::{
     compatible_input_edges, eidx, AnalyzeOptions, EdgeDir, NetlistPath, TimingView, EDGES,
 };
+use crate::error::StaError;
 use crate::parallel::{
     gather_range, range_any, run_parallel, run_parallel_bwd, BwdView, EvalCtx, FwdView, PredPair,
     F_ARRIVAL, F_DELAY, F_OUT_CHANGED, F_SLOPE,
@@ -160,6 +161,13 @@ const PAR_MIN_GATES: usize = 10_000;
 /// inline by the coordinator — two barrier crossings to spread a
 /// handful of gates over the pool is a loss.
 const PAR_LEVEL_MIN: usize = 128;
+
+/// Marker returned by the flush internals when a worker-pool panic was
+/// caught and the pool drained: the slabs the panicked pass touched are
+/// suspect, so the caller discards them and rebuilds with a sequential
+/// full pass (the recovery state machine in the module docs). Never
+/// escapes the crate — queries always return the bit-exact answer.
+struct RecoveredPanic;
 
 /// Cumulative work counters, for benchmarks and cone-size assertions.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -204,6 +212,15 @@ pub struct UpdateStats {
     /// — the whole merged forward union stays unflushed (the K=1 probe
     /// fast path).
     pub gate_delay_settles: usize,
+    /// Worker-pool panics caught and recovered from: the flush
+    /// discarded the partially written slabs, rebuilt the state with a
+    /// sequential full sweep, and the query answered bit-exactly (see
+    /// the module docs' recovery state machine).
+    pub panic_recoveries: usize,
+    /// Flushes that abandoned the parallel path for a sequential full
+    /// rebuild — every panic recovery counts one, as does a poisoned
+    /// slab detected while fault injection is armed.
+    pub sequential_fallbacks: usize,
 }
 
 /// Per-(gate, corner) model constants, flattened out of the corner
@@ -828,6 +845,9 @@ impl<'c> TimingGraph<'c> {
         sizing: &Sizing,
         options: &AnalyzeOptions,
     ) -> Result<Self, NetlistError> {
+        // CI's armed runs inject faults via `STA_FAULT_SEED`; a no-op
+        // unless the variable is set (and parses).
+        crate::faultinject::arm_from_env_once();
         let s = build_structure(circuit)?;
         let n_nets = circuit.net_count();
         let n_gates = circuit.gate_count();
@@ -911,7 +931,21 @@ impl<'c> TimingGraph<'c> {
                     }
                 }
             }
-            graph.full_forward_sweep(&mut fwd, None);
+            // A worker panic or an injected NaN mid-construction (fault
+            // injection armed) rebuilds with the infallible sequential
+            // pass — same recovery as the flush-time path.
+            let recovered =
+                match graph.full_forward_sweep(&mut fwd, None, graph.use_parallel(n_gates)) {
+                    Ok(_) => crate::faultinject::armed() && Self::forward_slabs_poisoned(&fwd),
+                    Err(RecoveredPanic) => {
+                        graph.stat(|s| s.panic_recoveries += 1);
+                        true
+                    }
+                };
+            if recovered {
+                graph.stat(|s| s.sequential_fallbacks += 1);
+                graph.recover_forward(&mut fwd, None);
+            }
             graph.recompute_critical(&mut fwd);
         }
         Ok(graph)
@@ -938,6 +972,289 @@ impl<'c> TimingGraph<'c> {
     /// Cumulative incremental-work counters.
     pub fn stats(&self) -> UpdateStats {
         self.stats.get()
+    }
+
+    /// Deep-consistency audit of the engine's internal state — the
+    /// post-recovery oracle of the fault-containment story and a cheap
+    /// health check for long-lived service processes. Pending lazy
+    /// seeds are flushed first (the invariants hold over settled
+    /// state); the audit then checks, in order:
+    ///
+    /// * **slot/rank bijection** — driverless nets occupy slots
+    ///   `0..n_src` in net-id order, the net driven by the gate at topo
+    ///   position `p` occupies slot `n_src + p`, and `rank` inverts the
+    ///   topo order;
+    /// * **level monotonicity** — `level_start` partitions the topo
+    ///   positions and every gate's fanin drivers sit in strictly lower
+    ///   levels (the independence property the parallel barriers rely
+    ///   on);
+    /// * **dirty-bitset vs generation agreement** — bitset popcounts
+    ///   bit-match the maintained counts, and state flushed to the
+    ///   current mutation generation holds no pending marks, seed-log
+    ///   entries or rescan flags;
+    /// * **worst-slack tree agreement** — every leaf bit-matches an
+    ///   independent refold of the required/arrival slabs and every
+    ///   internal node (the root included) the min of its children;
+    /// * **per-corner finiteness policy** — loads finite and
+    ///   non-negative, slopes and worst gate delays finite, arrivals
+    ///   `-inf` or finite, required times `+inf` or finite, completion
+    ///   bounds `-inf` or finite; NaN nowhere.
+    ///
+    /// # Errors
+    ///
+    /// [`StaError::StateCorrupt`] naming the first violated invariant
+    /// and the offending values.
+    pub fn verify_state(&self) -> Result<(), StaError> {
+        self.flush_forward();
+        self.flush_required();
+        self.flush_completion();
+        let corrupt = |detail: String| Err(StaError::StateCorrupt { detail });
+
+        let n_nets = self.slot_of.len();
+        let n_gates = self.topo.len();
+        let nc = self.corner_libs.len();
+
+        // Slot/rank bijection.
+        let mut slot_seen = vec![false; n_nets];
+        let mut next_src = 0usize;
+        for net in 0..n_nets {
+            let slot = self.slot_of[net] as usize;
+            if slot >= n_nets {
+                return corrupt(format!(
+                    "net {net}: slot {slot} out of range ({n_nets} nets)"
+                ));
+            }
+            if slot_seen[slot] {
+                return corrupt(format!("net {net}: slot {slot} assigned twice"));
+            }
+            slot_seen[slot] = true;
+            match self.net_driver[net] {
+                None => {
+                    if slot != next_src {
+                        return corrupt(format!(
+                            "driverless net {net} at slot {slot}, expected source slot {next_src}"
+                        ));
+                    }
+                    next_src += 1;
+                }
+                Some(driver) => {
+                    let pos = self.rank[driver.index()] as usize;
+                    if slot != self.n_src + pos {
+                        return corrupt(format!(
+                            "net {net} driven by topo position {pos} occupies slot {slot}, \
+                             expected {}",
+                            self.n_src + pos
+                        ));
+                    }
+                }
+            }
+        }
+        if next_src != self.n_src {
+            return corrupt(format!(
+                "{next_src} driverless nets but n_src = {}",
+                self.n_src
+            ));
+        }
+        for (pos, &gate) in self.topo.iter().enumerate() {
+            if self.rank[gate.index()] as usize != pos {
+                return corrupt(format!(
+                    "rank[{}] = {} does not invert topo position {pos}",
+                    gate.index(),
+                    self.rank[gate.index()]
+                ));
+            }
+        }
+
+        // Level monotonicity.
+        if self.level_start.first() != Some(&0)
+            || self.level_start.last() != Some(&(n_gates as u32))
+            || self.level_start.windows(2).any(|w| w[0] >= w[1])
+        {
+            return corrupt(format!(
+                "level_start {:?} is not a strictly increasing partition of {n_gates} positions",
+                self.level_start
+            ));
+        }
+        for pos in 0..n_gates {
+            let gate = self.topo[pos];
+            let level = self.level_of(pos as u32);
+            let (lo, hi) = (
+                self.fanin_off[gate.index()] as usize,
+                self.fanin_off[gate.index() + 1] as usize,
+            );
+            for &in_net in &self.fanin[lo..hi] {
+                if let Some(driver) = self.net_driver[in_net.index()] {
+                    let dpos = self.rank[driver.index()] as usize;
+                    if dpos >= pos || self.level_of(dpos as u32) >= level {
+                        return corrupt(format!(
+                            "gate at position {pos} (level {level}) has a fanin driver at \
+                             position {dpos} (level {}) — not strictly lower",
+                            self.level_of(dpos as u32)
+                        ));
+                    }
+                }
+            }
+        }
+
+        let fwd = self.fwd.borrow();
+
+        // Dirty bookkeeping vs generation agreement. The flushes above
+        // settled everything to the current generation, so every mark,
+        // seed log and rescan flag must now be clear.
+        let pop: usize = fwd.dirty_bits.iter().map(|w| w.count_ones() as usize).sum();
+        if pop != fwd.dirty_count {
+            return corrupt(format!(
+                "forward dirty popcount {pop} != dirty_count {}",
+                fwd.dirty_count
+            ));
+        }
+        if fwd.flushed_gen != self.gen {
+            return corrupt(format!(
+                "forward state at generation {} behind mutation generation {} after a flush",
+                fwd.flushed_gen, self.gen
+            ));
+        }
+        if fwd.dirty_count != 0
+            || !fwd.resized_log.is_empty()
+            || !fwd.gate_log.is_empty()
+            || fwd.scan_loads
+            || fwd.reload_pos
+            || fwd.reslope_pis
+        {
+            return corrupt(format!(
+                "flushed forward state still dirty: {} marks, {} resize seeds, {} gate seeds, \
+                 flags {}/{}/{}",
+                fwd.dirty_count,
+                fwd.resized_log.len(),
+                fwd.gate_log.len(),
+                fwd.scan_loads,
+                fwd.reload_pos,
+                fwd.reslope_pis
+            ));
+        }
+
+        // Forward finiteness policy.
+        for (slot, &load) in fwd.load.iter().enumerate() {
+            if !load.is_finite() || load < 0.0 {
+                return corrupt(format!(
+                    "load at slot {slot} is {load} (finite ≥ 0 required)"
+                ));
+            }
+        }
+        for (i, a) in fwd.arrival.iter().enumerate() {
+            for &v in a {
+                if v.is_nan() || v == f64::INFINITY {
+                    return corrupt(format!(
+                        "arrival at slot {}/corner {} is {v} (-inf or finite required)",
+                        i / nc,
+                        i % nc
+                    ));
+                }
+            }
+        }
+        for (i, s) in fwd.slope.iter().enumerate() {
+            for &v in s {
+                if !v.is_finite() {
+                    return corrupt(format!(
+                        "slope at slot {}/corner {} is {v} (finite required)",
+                        i / nc,
+                        i % nc
+                    ));
+                }
+            }
+        }
+        for (i, &d) in fwd.gate_delay_worst.iter().enumerate() {
+            if !d.is_finite() {
+                return corrupt(format!(
+                    "worst gate delay at position {}/corner {} is {d} (finite required)",
+                    i / nc,
+                    i % nc
+                ));
+            }
+        }
+
+        let guard = self.backward.borrow();
+        if let Some(bw) = guard.as_ref() {
+            let req_pop: usize = bw.req_bits.iter().map(|w| w.count_ones() as usize).sum();
+            let comp_pop: usize = bw.comp_bits.iter().map(|w| w.count_ones() as usize).sum();
+            let pi_pop: usize = bw.pi_bits.iter().map(|w| w.count_ones() as usize).sum();
+            if req_pop != bw.req_count || comp_pop != bw.comp_count || pi_pop != bw.pi_dirty.len() {
+                return corrupt(format!(
+                    "backward dirty popcounts {req_pop}/{comp_pop}/{pi_pop} disagree with \
+                     counts {}/{}/{}",
+                    bw.req_count,
+                    bw.comp_count,
+                    bw.pi_dirty.len()
+                ));
+            }
+            if bw.req_flushed_gen != self.gen || bw.comp_flushed_gen != self.gen {
+                return corrupt(format!(
+                    "backward state at generations {}/{} behind mutation generation {} after \
+                     a flush",
+                    bw.req_flushed_gen, bw.comp_flushed_gen, self.gen
+                ));
+            }
+            if bw.req_count != 0
+                || bw.comp_count != 0
+                || !bw.pi_dirty.is_empty()
+                || !bw.resized_log.is_empty()
+                || !bw.req_net_log.is_empty()
+                || !bw.comp_gate_log.is_empty()
+                || !bw.slack_net_log.is_empty()
+                || bw.refold_all
+            {
+                return corrupt(format!(
+                    "flushed backward state still dirty: {}/{} marks, {} PI sinks, \
+                     {}+{}+{}+{} seeds, refold_all {}",
+                    bw.req_count,
+                    bw.comp_count,
+                    bw.pi_dirty.len(),
+                    bw.resized_log.len(),
+                    bw.req_net_log.len(),
+                    bw.comp_gate_log.len(),
+                    bw.slack_net_log.len(),
+                    bw.refold_all
+                ));
+            }
+
+            // Backward finiteness policy.
+            for (i, r) in bw.required.iter().enumerate() {
+                for &v in r {
+                    if v.is_nan() || v == f64::NEG_INFINITY {
+                        return corrupt(format!(
+                            "required at slot {}/corner {} is {v} (+inf or finite required)",
+                            i / nc,
+                            i % nc
+                        ));
+                    }
+                }
+            }
+            for (i, &v) in bw.completion.iter().enumerate() {
+                if v.is_nan() || v == f64::INFINITY {
+                    return corrupt(format!(
+                        "completion at position {}/corner {} is {v} (-inf or finite required)",
+                        i / nc,
+                        i % nc
+                    ));
+                }
+            }
+
+            // Worst-slack tree: leaves against an independent refold of
+            // the slabs, internal nodes (root included) against their
+            // children.
+            let keys: Vec<f64> = (0..n_nets)
+                .map(|slot| {
+                    WorstSlackIndex::key_over(
+                        &bw.required[slot * nc..(slot + 1) * nc],
+                        &fwd.arrival[slot * nc..(slot + 1) * nc],
+                    )
+                })
+                .collect();
+            if let Err(detail) = bw.worst.audit_against(&keys) {
+                return corrupt(detail);
+            }
+        }
+        Ok(())
     }
 
     /// Read-modify-write one or more stat counters (the counters sit in
@@ -1079,10 +1396,19 @@ impl<'c> TimingGraph<'c> {
     ///
     /// # Panics
     ///
-    /// Panics if the gate id is out of range or `cin_ff <= 0` (as
-    /// [`Sizing::set`]).
+    /// Panics if the gate id is out of range or `cin_ff` is not finite
+    /// and positive (the [`TimingGraph::try_resize_gate`] rejections).
     pub fn resize_gate(&mut self, gate: GateId, cin_ff: f64) {
         self.resize_gates([(gate, cin_ff)]);
+    }
+
+    /// Fallible form of [`TimingGraph::resize_gate`].
+    ///
+    /// # Errors
+    ///
+    /// As [`TimingGraph::try_resize_gates`].
+    pub fn try_resize_gate(&mut self, gate: GateId, cin_ff: f64) -> Result<(), StaError> {
+        self.try_resize_gates([(gate, cin_ff)])
     }
 
     /// Apply a batch of resizes. Nothing re-times here: each change is
@@ -1096,6 +1422,44 @@ impl<'c> TimingGraph<'c> {
     ///
     /// As [`TimingGraph::resize_gate`].
     pub fn resize_gates(&mut self, changes: impl IntoIterator<Item = (GateId, f64)>) {
+        self.try_resize_gates(changes)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible form of [`TimingGraph::resize_gates`]: the whole batch
+    /// is validated *before* any entry is applied, so a rejected batch
+    /// leaves the graph bit-identical to the state before the call —
+    /// no half-applied mutation, no seed-log entry, no generation bump.
+    ///
+    /// # Errors
+    ///
+    /// [`StaError::GateOutOfRange`] for a gate id past the graph's gate
+    /// count; [`StaError::InvalidDrive`] for a capacitance that is NaN,
+    /// infinite, zero or negative — values that would poison the corner
+    /// slabs where the bitwise convergence cuts never fire.
+    pub fn try_resize_gates(
+        &mut self,
+        changes: impl IntoIterator<Item = (GateId, f64)>,
+    ) -> Result<(), StaError> {
+        let mut changes: Vec<(GateId, f64)> = changes.into_iter().collect();
+        // Fault injection (no-op unless a `FaultPlan` armed batch
+        // corruption): the boundary below must catch what it plants.
+        crate::faultinject::corrupt_resizes(&mut changes);
+        let n_gates = self.rank.len();
+        for &(gate, cin_ff) in &changes {
+            if gate.index() >= n_gates {
+                return Err(StaError::GateOutOfRange {
+                    gate: gate.index(),
+                    n_gates,
+                });
+            }
+            if !cin_ff.is_finite() || cin_ff <= 0.0 {
+                return Err(StaError::InvalidDrive {
+                    gate: gate.index(),
+                    cin_ff,
+                });
+            }
+        }
         let mut any = false;
         for (gate, cin_ff) in changes {
             // Re-assigning an identical size is a no-op (and must not
@@ -1119,6 +1483,7 @@ impl<'c> TimingGraph<'c> {
             self.gen = self.gen.wrapping_add(1);
             self.stat(|s| s.updates += 1);
         }
+        Ok(())
     }
 
     /// Re-implement one gate in a different Vt variant (LVT/SVT/HVT).
@@ -1132,9 +1497,26 @@ impl<'c> TimingGraph<'c> {
     ///
     /// Panics if the gate id is out of range.
     pub fn set_vt_class(&mut self, gate: GateId, class: VtClass) {
+        self.try_set_vt_class(gate, class)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible form of [`TimingGraph::set_vt_class`].
+    ///
+    /// # Errors
+    ///
+    /// [`StaError::GateOutOfRange`] for a gate id past the graph's gate
+    /// count; the graph is untouched on error.
+    pub fn try_set_vt_class(&mut self, gate: GateId, class: VtClass) -> Result<(), StaError> {
         let gi = gate.index();
+        if gi >= self.vt_class.len() {
+            return Err(StaError::GateOutOfRange {
+                gate: gi,
+                n_gates: self.vt_class.len(),
+            });
+        }
         if self.vt_class[gi] == class {
-            return;
+            return Ok(());
         }
         self.vt_class[gi] = class;
         let nc = self.corner_libs.len();
@@ -1155,6 +1537,7 @@ impl<'c> TimingGraph<'c> {
         }
         self.gen = self.gen.wrapping_add(1);
         self.stat(|s| s.updates += 1);
+        Ok(())
     }
 
     /// Switch to new analysis options. What they touch (all
@@ -1217,14 +1600,19 @@ impl<'c> TimingGraph<'c> {
     ///
     /// # Errors
     ///
-    /// Propagates the first failing op's [`NetlistError`]. Ops before
-    /// it stay applied — the graph re-synchronizes its state to the
-    /// partially edited circuit before returning, so it remains
-    /// consistent and usable even on error.
+    /// A malformed plan — out-of-range ids, non-finite or non-positive
+    /// stage capacitances — is rejected by [`EditPlan::validate`]
+    /// *before* anything is applied, so it cannot abort a long flow run
+    /// or leave the graph half-edited. Past validation, the first
+    /// failing op's [`NetlistError`] propagates; ops before it stay
+    /// applied — the graph re-synchronizes its state to the partially
+    /// edited circuit before returning, so it remains consistent and
+    /// usable even on error.
     pub fn apply_edits(&mut self, plan: &EditPlan) -> Result<Vec<AppliedEdit>, NetlistError> {
         if plan.is_empty() {
             return Ok(Vec::new());
         }
+        plan.validate(self.circuit.as_ref())?;
         let mut applied = Vec::with_capacity(plan.len());
         let mut first_err = None;
         {
@@ -1246,6 +1634,18 @@ impl<'c> TimingGraph<'c> {
             Some(e) => Err(e),
             None => Ok(applied),
         }
+    }
+
+    /// [`TimingGraph::apply_edits`] behind the typed [`StaError`]
+    /// boundary: netlist failures arrive as [`StaError::InvalidEdit`],
+    /// with the same validate-first / partial-application semantics.
+    ///
+    /// # Errors
+    ///
+    /// As [`TimingGraph::apply_edits`], wrapped in
+    /// [`StaError::InvalidEdit`].
+    pub fn try_apply_edits(&mut self, plan: &EditPlan) -> Result<Vec<AppliedEdit>, StaError> {
+        self.apply_edits(plan).map_err(StaError::from)
     }
 
     /// Rebuild structure, extend state and seed the lazy re-time after
@@ -1336,14 +1736,16 @@ impl<'c> TimingGraph<'c> {
         // edit log lists each op's gates in creation order, but keying
         // (instead of trusting the traversal order) pins every size to
         // its gate regardless of log order, and makes a gapped or
-        // duplicated id set a loud panic rather than mis-sized gates.
+        // duplicated id set a typed error rather than mis-sized gates.
         let min_drive = self.lib.min_drive_ff();
-        self.sizing.extend_dense(applied.iter().flat_map(|edit| {
-            edit.new_gates
-                .iter()
-                .zip(&edit.new_gate_cin_ff)
-                .map(|(&g, &cin)| (g, cin.max(min_drive)))
-        }));
+        self.sizing
+            .try_extend_dense(applied.iter().flat_map(|edit| {
+                edit.new_gates
+                    .iter()
+                    .zip(&edit.new_gate_cin_ff)
+                    .map(|(&g, &cin)| (g, cin.max(min_drive)))
+            }))
+            .map_err(|e| NetlistError::InvalidId(e.to_string()))?;
         assert_eq!(self.sizing.len(), n_gates, "one size per gate");
         {
             let pis = &self.pis;
@@ -1710,12 +2112,30 @@ impl<'c> TimingGraph<'c> {
     ///
     /// # Panics
     ///
-    /// Panics if `tc_ps` is NaN.
+    /// Panics if `tc_ps` is NaN or negative (the
+    /// [`TimingGraph::try_set_constraint`] rejections), with a message
+    /// naming the offending value.
     pub fn set_constraint(&mut self, tc_ps: f64) {
-        assert!(!tc_ps.is_nan(), "constraint must not be NaN");
+        self.try_set_constraint(tc_ps)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible form of [`TimingGraph::set_constraint`].
+    ///
+    /// # Errors
+    ///
+    /// [`StaError::InvalidConstraint`] if `tc_ps` is NaN or negative
+    /// (including `-inf` — a required time below every arrival is not a
+    /// constraint, it is a contradiction); `+inf` stays accepted as the
+    /// documented "nothing is critical" constraint. The graph is
+    /// untouched on error.
+    pub fn try_set_constraint(&mut self, tc_ps: f64) -> Result<(), StaError> {
+        if tc_ps.is_nan() || tc_ps < 0.0 {
+            return Err(StaError::InvalidConstraint { tc_ps });
+        }
         if let Some(bw) = self.backward.get_mut().as_ref() {
             if bw.tc_ps.to_bits() == tc_ps.to_bits() {
-                return;
+                return Ok(());
             }
         }
         let n_nets = self.circuit.net_count();
@@ -1746,6 +2166,7 @@ impl<'c> TimingGraph<'c> {
             refold_all: false,
         });
         self.invalidate_backward();
+        Ok(())
     }
 
     /// Stop maintaining the backward state (forward-only mutations get
@@ -2097,18 +2518,53 @@ impl<'c> TimingGraph<'c> {
             // the synthetic fabrics; see `forward_closure_estimate`).
             sweep = self.forward_closure_estimate(fwd) >= budget;
         }
+        let mut recovered_panic = false;
         if !sweep && fwd.dirty_count > 0 {
-            let (r, c, a) = self.drain_forward(fwd, bw.as_deref_mut());
-            reevals = r;
-            cuts = c;
-            any_changed = a;
+            match self.drain_forward(fwd, bw.as_deref_mut()) {
+                Ok((r, c, a)) => {
+                    reevals = r;
+                    cuts = c;
+                    any_changed = a;
+                }
+                Err(RecoveredPanic) => recovered_panic = true,
+            }
         }
         fwd.min_dirty_rank = u32::MAX;
-        if sweep {
-            any_changed = self.full_forward_sweep(fwd, bw);
-            fwd.dirty_bits.iter_mut().for_each(|w| *w = 0);
-            fwd.dirty_count = 0;
+        if sweep && !recovered_panic {
+            match self.full_forward_sweep(fwd, bw.as_deref_mut(), self.use_parallel(n_gates)) {
+                Ok(a) => {
+                    any_changed = a;
+                    fwd.dirty_bits.iter_mut().for_each(|w| *w = 0);
+                    fwd.dirty_count = 0;
+                    reevals += n_gates;
+                }
+                Err(RecoveredPanic) => recovered_panic = true,
+            }
+        }
+        // Post-flush audit, armed only (zero cost otherwise): a NaN the
+        // fault layer injected into an eval's load lands in the slope
+        // slab at minimum (`arc_terms` propagates it into `tau_out`),
+        // so one scan over the forward slabs catches every poisoned
+        // pass even when it completed without panicking.
+        let poisoned =
+            !recovered_panic && crate::faultinject::armed() && Self::forward_slabs_poisoned(fwd);
+        if recovered_panic || poisoned {
+            // Recovery: the partially written (or poisoned) slabs are
+            // unusable and the seed bookkeeping consumed mid-pass no
+            // longer describes what is stale — discard wholesale and
+            // rebuild from the ground truth with the infallible
+            // sequential pass, then invalidate the backward state (its
+            // partial seeds under-report relative to the rebuilt
+            // forward slabs).
+            self.recover_forward(fwd, bw);
             reevals += n_gates;
+            any_changed = true;
+            self.stat(|s| {
+                if recovered_panic {
+                    s.panic_recoveries += 1;
+                }
+                s.sequential_fallbacks += 1;
+            });
         }
         self.stat(|s| {
             s.forward_flushes += 1;
@@ -2117,6 +2573,61 @@ impl<'c> TimingGraph<'c> {
         });
         if any_changed {
             self.recompute_critical(fwd);
+        }
+    }
+
+    /// Whether any forward slab holds a NaN — the armed-only poison
+    /// audit ([`crate::faultinject`] injects NaN loads; the policy slabs
+    /// never hold NaN legitimately, see the finiteness rules
+    /// [`TimingGraph::verify_state`] enforces).
+    fn forward_slabs_poisoned(fwd: &ForwardState) -> bool {
+        fwd.load.iter().any(|l| l.is_nan())
+            || fwd.gate_delay_worst.iter().any(|d| d.is_nan())
+            || fwd.slope.iter().any(|s| s[0].is_nan() || s[1].is_nan())
+            || fwd.arrival.iter().any(|a| a[0].is_nan() || a[1].is_nan())
+    }
+
+    /// Rebuild the forward state from the ground truth (circuit,
+    /// sizing, options) after a caught worker panic or a detected
+    /// poison: discard every pending mark and seed, recompute all net
+    /// loads, re-initialize the source slots and run the sequential
+    /// full sweep — the same pass construction runs, so the result is
+    /// bit-identical to a fresh build. Any maintained backward state is
+    /// invalidated wholesale: the change flags of the rebuild are
+    /// relative to corrupted values, so per-cone seeds would
+    /// under-report.
+    fn recover_forward(&self, fwd: &mut ForwardState, bw: Option<&mut BackwardState>) {
+        let n_gates = self.topo.len();
+        let n_nets = self.net_driver.len();
+        let nc = self.corner_libs.len();
+        fwd.dirty_bits.iter_mut().for_each(|w| *w = 0);
+        fwd.dirty_count = 0;
+        fwd.min_dirty_rank = u32::MAX;
+        fwd.resized_log.clear();
+        fwd.gate_log.clear();
+        fwd.scan_loads = false;
+        fwd.reload_pos = false;
+        fwd.reslope_pis = false;
+        for net in 0..n_nets {
+            self.recompute_net_load(fwd, net);
+        }
+        for i in 0..self.pis.len() {
+            let pi = self.pis[i];
+            let slot = self.slot_of[pi.index()] as usize;
+            for c in 0..nc {
+                for e in EDGES {
+                    fwd.arrival[slot * nc + c][eidx(e)] = 0.0;
+                    fwd.slope[slot * nc + c][eidx(e)] = self.options.input_transition_ps;
+                }
+            }
+        }
+        let swept = self.full_forward_sweep(fwd, None, false);
+        debug_assert!(swept.is_ok(), "the sequential sweep is infallible");
+        if let Some(bw) = bw {
+            // `mark_all_*` subsume and discard the pending seed logs
+            // and schedule the wholesale index refold.
+            Self::mark_all_required(bw, n_gates, &self.pis);
+            Self::mark_all_completion(bw, n_gates);
         }
     }
 
@@ -2191,11 +2702,19 @@ impl<'c> TimingGraph<'c> {
     /// level order is rank order. Below the threshold (or with one
     /// thread) the classic single-cursor `trailing_zeros` walk runs the
     /// same kernel; the two paths are bit-identical by construction.
+    ///
+    /// # Errors
+    ///
+    /// [`RecoveredPanic`] when the worker pool panicked mid-drain (the
+    /// pool is already drained); the slabs and dirty bookkeeping are
+    /// then partially written and the caller must rebuild through
+    /// [`TimingGraph::recover_forward`]. The sequential path is
+    /// infallible.
     fn drain_forward(
         &self,
         fwd: &mut ForwardState,
         mut bw: Option<&mut BackwardState>,
-    ) -> (usize, usize, bool) {
+    ) -> Result<(usize, usize, bool), RecoveredPanic> {
         let ForwardState {
             arrival,
             slope,
@@ -2214,9 +2733,15 @@ impl<'c> TimingGraph<'c> {
         if self.use_parallel(self.topo.len()) {
             let n_levels = self.level_start.len() - 1;
             let mut positions: Vec<u32> = Vec::new();
-            run_parallel(&ctx, &mut view, self.threads(), |d| {
+            let run = run_parallel(&ctx, &mut view, self.threads(), |d| {
                 let mut level = self.level_of(*min_dirty_rank);
                 while *dirty_count > 0 && level < n_levels {
+                    // Fault-injection point: between level barriers every
+                    // worker is parked at the start barrier, so an
+                    // injected panic unwinds through `run_parallel`'s
+                    // `catch_unwind` and its shutdown releases the pool
+                    // cleanly — no barrier deadlock.
+                    crate::faultinject::on_dispatch();
                     let (lo, hi) = (self.level_start[level], self.level_start[level + 1]);
                     level += 1;
                     positions.clear();
@@ -2253,6 +2778,9 @@ impl<'c> TimingGraph<'c> {
                     }
                 }
             });
+            if run.is_err() {
+                return Err(RecoveredPanic);
+            }
         } else {
             let mut word = *min_dirty_rank as usize / 64;
             while *dirty_count > 0 {
@@ -2281,20 +2809,27 @@ impl<'c> TimingGraph<'c> {
                 }
             }
         }
-        (reevals, reevals - changed, changed > 0)
+        Ok((reevals, reevals - changed, changed > 0))
     }
 
     /// Evaluate every gate once in topological order — exactly the full
     /// pass of `analyze_with` — streaming the slabs in memory order.
-    /// Above the parallel threshold each level is one pool dispatch
-    /// (tiny levels evaluate inline between barriers). Returns whether
+    /// With `parallel` set each level is one pool dispatch (tiny levels
+    /// evaluate inline between barriers); the recovery path passes
+    /// `false` to force the infallible sequential pass. Returns whether
     /// any output moved. The caller clears the dirty bitset: a full
     /// sweep subsumes every pending mark.
+    ///
+    /// # Errors
+    ///
+    /// [`RecoveredPanic`] as [`TimingGraph::drain_forward`] (parallel
+    /// path only).
     fn full_forward_sweep(
         &self,
         fwd: &mut ForwardState,
         mut bw: Option<&mut BackwardState>,
-    ) -> bool {
+        parallel: bool,
+    ) -> Result<bool, RecoveredPanic> {
         let ForwardState {
             arrival,
             slope,
@@ -2307,10 +2842,12 @@ impl<'c> TimingGraph<'c> {
         let mut view = FwdView::new(arrival, slope, pred, load, gate_delay_worst);
         let n_gates = self.topo.len();
         let mut any_changed = false;
-        if self.use_parallel(n_gates) {
+        if parallel {
             let n_levels = self.level_start.len() - 1;
-            run_parallel(&ctx, &mut view, self.threads(), |d| {
+            let run = run_parallel(&ctx, &mut view, self.threads(), |d| {
                 for level in 0..n_levels {
+                    // Injected-panic point: workers parked, deadlock-free.
+                    crate::faultinject::on_dispatch();
                     let (lo, hi) = (self.level_start[level], self.level_start[level + 1]);
                     if (hi - lo) < PAR_LEVEL_MIN as u32 {
                         for pos in lo as usize..hi as usize {
@@ -2332,6 +2869,9 @@ impl<'c> TimingGraph<'c> {
                     }
                 }
             });
+            if run.is_err() {
+                return Err(RecoveredPanic);
+            }
         } else {
             for pos in 0..n_gates {
                 let f = view.eval_gate(&ctx, pos);
@@ -2343,7 +2883,7 @@ impl<'c> TimingGraph<'c> {
                 }
             }
         }
-        any_changed
+        Ok(any_changed)
     }
 
     /// Same worst-output scan (and tie-breaking order) as the full
@@ -2573,14 +3113,27 @@ impl<'c> TimingGraph<'c> {
         let mut leaf_updates: Vec<(usize, f64)> = Vec::new();
         if !req_sweep && bw.req_count > 0 {
             if self.use_parallel(n_gates_total) {
-                req_sweep = self.drain_required_parallel(
+                req_sweep = match self.drain_required_parallel(
                     &fwd,
                     bw,
                     budget,
                     &mut req_reevals,
                     &mut req_cuts,
                     &mut leaf_updates,
-                );
+                ) {
+                    Ok(bailed) => bailed,
+                    // A caught worker panic: the required slab and the
+                    // dirty bookkeeping are partial — the full sweep
+                    // below reinitializes and rebuilds all of it (and
+                    // `refold_all` discards the partial leaf batch).
+                    Err(RecoveredPanic) => {
+                        self.stat(|s| {
+                            s.panic_recoveries += 1;
+                            s.sequential_fallbacks += 1;
+                        });
+                        true
+                    }
+                };
             } else {
                 // Hoist the kernel context and view once: rebuilding
                 // the slice bundle per net dominates the small probe
@@ -2653,7 +3206,12 @@ impl<'c> TimingGraph<'c> {
             // multiset is order-independent — bit-identical), at
             // once-per-gate hoisting cost. Subsumes the PI sinks and
             // every pending mark.
-            self.sweep_required_full(&fwd, bw);
+            if self.sweep_required_full(&fwd, bw) {
+                self.stat(|s| {
+                    s.panic_recoveries += 1;
+                    s.sequential_fallbacks += 1;
+                });
+            }
             bw.req_bits.iter_mut().for_each(|w| *w = 0);
             bw.req_count = 0;
             bw.req_max_rank = 0;
@@ -2800,7 +3358,20 @@ impl<'c> TimingGraph<'c> {
 
         if !comp_sweep && bw.comp_count > 0 {
             if self.use_parallel(n_gates_total) {
-                comp_sweep = self.drain_completion_parallel(&fwd, bw, budget, &mut comp_reevals);
+                comp_sweep =
+                    match self.drain_completion_parallel(&fwd, bw, budget, &mut comp_reevals) {
+                        Ok(bailed) => bailed,
+                        // Caught worker panic: the full sweep below
+                        // overwrites every completion slot in
+                        // dependency order, erasing the partial drain.
+                        Err(RecoveredPanic) => {
+                            self.stat(|s| {
+                                s.panic_recoveries += 1;
+                                s.sequential_fallbacks += 1;
+                            });
+                            true
+                        }
+                    };
             } else {
                 // Hoisted kernel context, as in the required drain.
                 let BackwardState {
@@ -2857,7 +3428,12 @@ impl<'c> TimingGraph<'c> {
             bw.comp_max_rank = 0;
         }
         if comp_sweep {
-            self.sweep_completion_full(&fwd, bw);
+            if self.sweep_completion_full(&fwd, bw) {
+                self.stat(|s| {
+                    s.panic_recoveries += 1;
+                    s.sequential_fallbacks += 1;
+                });
+            }
             bw.comp_bits.iter_mut().for_each(|w| *w = 0);
             bw.comp_count = 0;
             bw.comp_max_rank = 0;
@@ -2951,6 +3527,12 @@ impl<'c> TimingGraph<'c> {
     /// batched index fold. Returns whether the drain bailed to the full
     /// sweep — the caller then discards `leaf_updates` under
     /// `refold_all`.
+    ///
+    /// # Errors
+    ///
+    /// [`RecoveredPanic`] when the pool panicked mid-drain (already
+    /// drained); the caller must fall back to the full sweep, which
+    /// rebuilds everything the partial drain touched.
     fn drain_required_parallel(
         &self,
         fwd: &ForwardState,
@@ -2959,7 +3541,7 @@ impl<'c> TimingGraph<'c> {
         reevals: &mut usize,
         cuts: &mut usize,
         leaf_updates: &mut Vec<(usize, f64)>,
-    ) -> bool {
+    ) -> Result<bool, RecoveredPanic> {
         let BackwardState {
             tc_ps,
             required,
@@ -2983,9 +3565,11 @@ impl<'c> TimingGraph<'c> {
         );
         let mut bailed = false;
         let mut positions: Vec<u32> = Vec::new();
-        run_parallel_bwd(&ctx, &mut view, self.threads(), |d| {
+        let run = run_parallel_bwd(&ctx, &mut view, self.threads(), |d| {
             let mut level = self.level_of(*req_max_rank) as isize;
             while *req_count > 0 && level >= 0 {
+                // Injected-panic point: workers parked, deadlock-free.
+                crate::faultinject::on_dispatch();
                 let (lo, hi) = (
                     self.level_start[level as usize],
                     self.level_start[level as usize + 1],
@@ -3033,19 +3617,26 @@ impl<'c> TimingGraph<'c> {
                 }
             }
         });
-        bailed
+        if run.is_err() {
+            return Err(RecoveredPanic);
+        }
+        Ok(bailed)
     }
 
     /// Parallel completion drain — the completion mirror of
     /// [`TimingGraph::drain_required_parallel`] (no leaf updates: the
     /// worst-slack index is a required/arrival structure).
+    ///
+    /// # Errors
+    ///
+    /// [`RecoveredPanic`] as [`TimingGraph::drain_required_parallel`].
     fn drain_completion_parallel(
         &self,
         fwd: &ForwardState,
         bw: &mut BackwardState,
         budget: usize,
         reevals: &mut usize,
-    ) -> bool {
+    ) -> Result<bool, RecoveredPanic> {
         let BackwardState {
             tc_ps,
             required,
@@ -3067,9 +3658,11 @@ impl<'c> TimingGraph<'c> {
         );
         let mut bailed = false;
         let mut positions: Vec<u32> = Vec::new();
-        run_parallel_bwd(&ctx, &mut view, self.threads(), |d| {
+        let run = run_parallel_bwd(&ctx, &mut view, self.threads(), |d| {
             let mut level = self.level_of(*comp_max_rank) as isize;
             while *comp_count > 0 && level >= 0 {
+                // Injected-panic point: workers parked, deadlock-free.
+                crate::faultinject::on_dispatch();
                 let (lo, hi) = (
                     self.level_start[level as usize],
                     self.level_start[level as usize + 1],
@@ -3110,7 +3703,10 @@ impl<'c> TimingGraph<'c> {
                 }
             }
         });
-        bailed
+        if run.is_err() {
+            return Err(RecoveredPanic);
+        }
+        Ok(bailed)
     }
 
     /// Gate-centric full backward pass into `bw.required`: reinitialize
@@ -3122,7 +3718,95 @@ impl<'c> TimingGraph<'c> {
     /// so the same min and the same bits; used by the flush when every
     /// rank is marked, where the per-pin re-hoisting of the drain would
     /// cost more than this per-gate pass.
-    fn sweep_required_full(&self, fwd: &ForwardState, bw: &mut BackwardState) {
+    ///
+    /// Returns whether a caught worker panic forced the sequential
+    /// retry (the caller accounts the recovery): the retry
+    /// reinitializes the slab first, so the partially written parallel
+    /// pass is erased and the result is bit-identical regardless.
+    fn sweep_required_full(&self, fwd: &ForwardState, bw: &mut BackwardState) -> bool {
+        let n_gates = self.topo.len();
+        let mut recovered = false;
+        self.reinit_required_slab(bw);
+        {
+            let BackwardState {
+                tc_ps,
+                required,
+                completion,
+                ..
+            } = bw;
+            let ctx = self.eval_ctx();
+            let mut view = BwdView::new(
+                required,
+                completion,
+                &fwd.arrival,
+                &fwd.slope,
+                &fwd.load,
+                &fwd.gate_delay_worst,
+                *tc_ps,
+            );
+            if self.use_parallel(n_gates) {
+                // Descending level barriers: every candidate *into* a level
+                // comes from a gate in a strictly higher level (the gate's
+                // out-net fans out upward only), so each level's own
+                // required slots are settled before its workers read them;
+                // workers emit candidates into per-worker buffers and the
+                // coordinator min-folds at the barrier — order-independent,
+                // so bit-identical to the sequential scatter.
+                let n_levels = self.level_start.len() - 1;
+                let run = run_parallel_bwd(&ctx, &mut view, self.threads(), |d| {
+                    for level in (0..n_levels).rev() {
+                        // Injected-panic point: workers parked,
+                        // deadlock-free.
+                        crate::faultinject::on_dispatch();
+                        let (lo, hi) = (self.level_start[level], self.level_start[level + 1]);
+                        if (hi - lo) < PAR_LEVEL_MIN as u32 {
+                            for pos in (lo as usize..hi as usize).rev() {
+                                d.sweep_gate_one(pos);
+                            }
+                        } else {
+                            d.sweep_gate_range(lo, hi);
+                        }
+                    }
+                });
+                recovered = run.is_err();
+            } else {
+                for pos in (0..n_gates).rev() {
+                    view.sweep_gate_fold(&ctx, pos);
+                }
+            }
+        }
+        if recovered {
+            // Sequential retry over a fresh slab — infallible, and the
+            // min-fold recomputes every slot from the (untouched)
+            // forward state.
+            self.reinit_required_slab(bw);
+            let BackwardState {
+                tc_ps,
+                required,
+                completion,
+                ..
+            } = bw;
+            let ctx = self.eval_ctx();
+            let mut view = BwdView::new(
+                required,
+                completion,
+                &fwd.arrival,
+                &fwd.slope,
+                &fwd.load,
+                &fwd.gate_delay_worst,
+                *tc_ps,
+            );
+            for pos in (0..n_gates).rev() {
+                view.sweep_gate_fold(&ctx, pos);
+            }
+        }
+        recovered
+    }
+
+    /// Reinitialize every net's required slots (`tc` at primary
+    /// outputs, `+inf` elsewhere) — the full required sweep's base
+    /// case.
+    fn reinit_required_slab(&self, bw: &mut BackwardState) {
         let tc = bw.tc_ps;
         let nc = self.corner_libs.len();
         for net in 0..self.slot_of.len() {
@@ -3134,56 +3818,18 @@ impl<'c> TimingGraph<'c> {
             };
             bw.required[base..base + nc].fill(init);
         }
-        let BackwardState {
-            tc_ps,
-            required,
-            completion,
-            ..
-        } = bw;
-        let ctx = self.eval_ctx();
-        let mut view = BwdView::new(
-            required,
-            completion,
-            &fwd.arrival,
-            &fwd.slope,
-            &fwd.load,
-            &fwd.gate_delay_worst,
-            *tc_ps,
-        );
-        let n_gates = self.topo.len();
-        if self.use_parallel(n_gates) {
-            // Descending level barriers: every candidate *into* a level
-            // comes from a gate in a strictly higher level (the gate's
-            // out-net fans out upward only), so each level's own
-            // required slots are settled before its workers read them;
-            // workers emit candidates into per-worker buffers and the
-            // coordinator min-folds at the barrier — order-independent,
-            // so bit-identical to the sequential scatter.
-            let n_levels = self.level_start.len() - 1;
-            run_parallel_bwd(&ctx, &mut view, self.threads(), |d| {
-                for level in (0..n_levels).rev() {
-                    let (lo, hi) = (self.level_start[level], self.level_start[level + 1]);
-                    if (hi - lo) < PAR_LEVEL_MIN as u32 {
-                        for pos in (lo as usize..hi as usize).rev() {
-                            d.sweep_gate_one(pos);
-                        }
-                    } else {
-                        d.sweep_gate_range(lo, hi);
-                    }
-                }
-            });
-        } else {
-            for pos in (0..n_gates).rev() {
-                view.sweep_gate_fold(&ctx, pos);
-            }
-        }
     }
 
     /// Full completion pass into `bw.completion` — one descending
     /// evaluation per gate (dependency order makes re-marking
     /// unnecessary); parallel above the threshold with the same
     /// descending level barriers as [`TimingGraph::sweep_required_full`].
-    fn sweep_completion_full(&self, fwd: &ForwardState, bw: &mut BackwardState) {
+    ///
+    /// Returns whether a caught worker panic forced the sequential
+    /// retry (as [`TimingGraph::sweep_required_full`]; the retry
+    /// overwrites every slot in dependency order, so no reinit is
+    /// needed).
+    fn sweep_completion_full(&self, fwd: &ForwardState, bw: &mut BackwardState) -> bool {
         let BackwardState {
             tc_ps,
             required,
@@ -3201,10 +3847,13 @@ impl<'c> TimingGraph<'c> {
             *tc_ps,
         );
         let n_gates = self.topo.len();
+        let mut recovered = false;
         if self.use_parallel(n_gates) {
             let n_levels = self.level_start.len() - 1;
-            run_parallel_bwd(&ctx, &mut view, self.threads(), |d| {
+            let run = run_parallel_bwd(&ctx, &mut view, self.threads(), |d| {
                 for level in (0..n_levels).rev() {
+                    // Injected-panic point: workers parked, deadlock-free.
+                    crate::faultinject::on_dispatch();
                     let (lo, hi) = (self.level_start[level], self.level_start[level + 1]);
                     if (hi - lo) < PAR_LEVEL_MIN as u32 {
                         for pos in (lo as usize..hi as usize).rev() {
@@ -3215,11 +3864,14 @@ impl<'c> TimingGraph<'c> {
                     }
                 }
             });
-        } else {
+            recovered = run.is_err();
+        }
+        if !self.use_parallel(n_gates) || recovered {
             for pos in (0..n_gates).rev() {
                 view.eval_completion_gate(&ctx, pos);
             }
         }
+        recovered
     }
 
     /// `(lowest dirty level, highest, levels hit)` of a rank-keyed

@@ -43,7 +43,9 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod error;
 pub mod extract;
+pub mod faultinject;
 pub mod incremental;
 pub mod kpaths;
 mod parallel;
@@ -51,7 +53,9 @@ pub mod sizing;
 pub mod slack;
 
 pub use analysis::{analyze, NetlistPath, TimingReport, TimingView};
+pub use error::StaError;
 pub use extract::{extract_timed_path, ExtractOptions};
+pub use faultinject::FaultPlan;
 pub use incremental::TimingGraph;
 pub use kpaths::{completion_bounds, k_most_critical_paths, path_weight_ps};
 pub use sizing::Sizing;

@@ -250,20 +250,20 @@ impl<'a> FwdView<'a> {
                         let s_in = in_slope[eidx(in_edge)];
                         let i = eidx(in_edge);
                         let delay_ps = 0.5 * params.vt[i] * s_in + 0.5 * miller[i] * tau_out;
-                        debug_assert_eq!(
-                            delay_ps.to_bits(),
-                            gate_delay_with_output_edge_vt(
-                                &ctx.libs[c],
-                                cell,
-                                VtTiming::of(ctx.vt_class[gi]),
-                                cin,
-                                load,
-                                s_in,
-                                in_edge,
-                                out_edge,
-                            )
-                            .delay_ps
-                            .to_bits(),
+                        debug_assert!(
+                            delay_ps.to_bits()
+                                == gate_delay_with_output_edge_vt(
+                                    &ctx.libs[c],
+                                    cell,
+                                    VtTiming::of(ctx.vt_class[gi]),
+                                    cin,
+                                    load,
+                                    s_in,
+                                    in_edge,
+                                    out_edge,
+                                )
+                                .delay_ps
+                                .to_bits(),
                             "cached-constant arc delay must match the model"
                         );
                         worst_gate_delay = worst_gate_delay.max(delay_ps);
@@ -280,6 +280,15 @@ impl<'a> FwdView<'a> {
                     new_pred[i] = Some((n, e));
                 }
             }
+            // Fault-injection hook: disarmed this is the identity on a
+            // relaxed atomic load; armed it may turn a chosen parallel
+            // corner-lane's rising arrival into NaN just before the slab
+            // write — corruption bitwise convergence cannot wash out of
+            // the poisoned slot, and one the post-flush audit scan must
+            // catch. Injected here (not at the load/slope *reads*) so
+            // the delay model only ever sees clean operands: NaN flows
+            // through assert-free max/add folds only.
+            new_arrival[0] = crate::faultinject::poison_write(new_arrival[0]);
 
             // SAFETY: slot `n_src + pos` and delay slot `pos` (all
             // corners) belong to this gate alone within the current
@@ -768,12 +777,19 @@ fn run_chunk(
 /// Spin up `threads - 1` workers for the duration of `body` and hand
 /// the coordinator a [`Driver`]. The `&mut FwdView` guarantees the
 /// caller holds the only view; it is reborrowed shared across the pool.
+///
+/// A panic in `body` (an assertion in an inline eval, an injected
+/// fault) is contained, not propagated: the workers are released via
+/// the shutdown flag and the panic payload is returned as `Err`, with
+/// the slabs in an unspecified partially-written state. The caller owns
+/// recovery — it must discard the partial state and fall back to a
+/// sequential full sweep ([`crate::incremental`] does exactly that).
 pub(crate) fn run_parallel<R>(
     ctx: &EvalCtx<'_>,
     view: &mut FwdView<'_>,
     threads: usize,
     body: impl FnOnce(&mut Driver<'_, '_, '_>) -> R,
-) -> R {
+) -> std::thread::Result<R> {
     assert!(threads >= 2, "run_parallel needs a pool");
     let task = RwLock::new(Task::default());
     let start = Barrier::new(threads);
@@ -783,13 +799,16 @@ pub(crate) fn run_parallel<R>(
     std::thread::scope(|s| {
         for (w, out) in outs.iter().enumerate().skip(1) {
             let (task, start, end) = (&task, &start, &end);
-            s.spawn(move || loop {
-                start.wait();
-                if task.read().expect("pool lock").done {
-                    return;
+            s.spawn(move || {
+                let _sect = crate::faultinject::ParallelSection::enter();
+                loop {
+                    start.wait();
+                    if task.read().expect("pool lock").done {
+                        return;
+                    }
+                    run_chunk(ctx, view, task, w, threads, out);
+                    end.wait();
                 }
-                run_chunk(ctx, view, task, w, threads, out);
-                end.wait();
             });
         }
         let mut driver = Driver {
@@ -802,15 +821,15 @@ pub(crate) fn run_parallel<R>(
             outs: &outs,
             merged: Vec::new(),
         };
-        // Release the workers even when the body panics (an assertion
-        // in an inline eval, say) — otherwise they stay parked at the
-        // start barrier and the scope deadlocks instead of propagating.
-        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut driver)));
+        // Release the workers even when the body panics — otherwise
+        // they stay parked at the start barrier and the scope deadlocks
+        // instead of handing the panic back.
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _sect = crate::faultinject::ParallelSection::enter();
+            body(&mut driver)
+        }));
         driver.shutdown();
-        match r {
-            Ok(r) => r,
-            Err(p) => std::panic::resume_unwind(p),
-        }
+        r
     })
 }
 
@@ -1033,12 +1052,15 @@ fn run_bwd_chunk(
 
 /// Backward mirror of [`run_parallel`]: spin up `threads - 1` workers
 /// for the duration of `body` and hand the coordinator a [`BwdDriver`].
+/// Panics in `body` come back as `Err` with the backward slabs
+/// partially written — the caller falls back to a sequential full
+/// sweep, exactly as in the forward direction.
 pub(crate) fn run_parallel_bwd<R>(
     ctx: &EvalCtx<'_>,
     view: &mut BwdView<'_>,
     threads: usize,
     body: impl FnOnce(&mut BwdDriver<'_, '_, '_>) -> R,
-) -> R {
+) -> std::thread::Result<R> {
     assert!(threads >= 2, "run_parallel_bwd needs a pool");
     let task = RwLock::new(BwdTask::default());
     let start = Barrier::new(threads);
@@ -1048,13 +1070,16 @@ pub(crate) fn run_parallel_bwd<R>(
     std::thread::scope(|s| {
         for (w, out) in outs.iter().enumerate().skip(1) {
             let (task, start, end) = (&task, &start, &end);
-            s.spawn(move || loop {
-                start.wait();
-                if task.read().expect("pool lock").done {
-                    return;
+            s.spawn(move || {
+                let _sect = crate::faultinject::ParallelSection::enter();
+                loop {
+                    start.wait();
+                    if task.read().expect("pool lock").done {
+                        return;
+                    }
+                    run_bwd_chunk(ctx, view, task, w, threads, out);
+                    end.wait();
                 }
-                run_bwd_chunk(ctx, view, task, w, threads, out);
-                end.wait();
             });
         }
         let mut driver = BwdDriver {
@@ -1069,13 +1094,13 @@ pub(crate) fn run_parallel_bwd<R>(
         };
         // Release the workers even when the body panics — otherwise
         // they stay parked at the start barrier and the scope deadlocks
-        // instead of propagating.
-        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut driver)));
+        // instead of handing the panic back.
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _sect = crate::faultinject::ParallelSection::enter();
+            body(&mut driver)
+        }));
         driver.shutdown();
-        match r {
-            Ok(r) => r,
-            Err(p) => std::panic::resume_unwind(p),
-        }
+        r
     })
 }
 

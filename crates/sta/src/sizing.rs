@@ -3,6 +3,8 @@
 use pops_delay::Library;
 use pops_netlist::{Circuit, GateId};
 
+use crate::error::StaError;
+
 /// Input capacitance assigned to every gate of a circuit (fF, per input
 /// pin — the same sizing variable the path optimizers use).
 ///
@@ -100,19 +102,49 @@ impl Sizing {
     ///
     /// # Panics
     ///
-    /// Panics if the ids (sorted) do not extend `len()` contiguously,
-    /// or if any `cin_ff <= 0`.
+    /// Panics with the [`Sizing::try_extend_dense`] error's `Display`
+    /// text if the ids (sorted) do not extend `len()` contiguously, or
+    /// if any `cin_ff` is not finite and positive.
     pub fn extend_dense(&mut self, new: impl IntoIterator<Item = (GateId, f64)>) {
+        self.try_extend_dense(new).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible form of [`Sizing::extend_dense`]: the whole batch is
+    /// validated before any entry is applied, so a rejected log leaves
+    /// the sizing untouched instead of aborting a long flow run
+    /// mid-surgery.
+    ///
+    /// # Errors
+    ///
+    /// [`StaError::NonDenseSizing`] when the sorted ids do not extend
+    /// `len()` contiguously (gapped, duplicated, or not starting at
+    /// `len()`); [`StaError::InvalidDrive`] for a capacitance that is
+    /// NaN, infinite, zero or negative.
+    pub fn try_extend_dense(
+        &mut self,
+        new: impl IntoIterator<Item = (GateId, f64)>,
+    ) -> Result<(), StaError> {
         let mut entries: Vec<(GateId, f64)> = new.into_iter().collect();
         entries.sort_by_key(|&(g, _)| g.index());
-        for (g, cin_ff) in entries {
-            assert_eq!(
-                g.index(),
-                self.cins.len(),
-                "new gate ids must extend the sizing densely"
-            );
+        for (i, &(g, cin_ff)) in entries.iter().enumerate() {
+            let expected = self.cins.len() + i;
+            if g.index() != expected {
+                return Err(StaError::NonDenseSizing {
+                    gate: g.index(),
+                    expected,
+                });
+            }
+            if !cin_ff.is_finite() || cin_ff <= 0.0 {
+                return Err(StaError::InvalidDrive {
+                    gate: g.index(),
+                    cin_ff,
+                });
+            }
+        }
+        for (_, cin_ff) in entries {
             self.push(cin_ff);
         }
+        Ok(())
     }
 
     /// The dense id-indexed capacitance array, for hot loops that

@@ -226,6 +226,49 @@ impl WorstSlackIndex {
             self.tree[i] = min2(self.tree[2 * i], self.tree[2 * i + 1]);
         }
     }
+
+    /// Deep-consistency audit for
+    /// [`verify_state`](crate::TimingGraph::verify_state): every leaf
+    /// must bit-match its independently recomputed key, padding leaves
+    /// must still hold the `+inf` neutral element, and every internal
+    /// node (the root included) must bit-match the `min2` of its
+    /// children — i.e. the incrementally maintained tree is exactly the
+    /// tree [`WorstSlackIndex::rebuild`] would produce from `keys`.
+    pub(crate) fn audit_against(&self, keys: &[f64]) -> Result<(), String> {
+        if keys.len() > self.cap || self.tree.len() != 2 * self.cap {
+            return Err(format!(
+                "worst-slack tree sized for {} leaves, {} nets",
+                self.cap,
+                keys.len()
+            ));
+        }
+        for (slot, &key) in keys.iter().enumerate() {
+            let leaf = self.tree[self.cap + slot];
+            if leaf.to_bits() != key.to_bits() {
+                return Err(format!(
+                    "worst-slack leaf {slot} holds {leaf} but the slabs refold to {key}"
+                ));
+            }
+        }
+        for (i, &pad) in self.tree[self.cap + keys.len()..].iter().enumerate() {
+            if pad != f64::INFINITY {
+                return Err(format!(
+                    "worst-slack padding leaf {} holds {pad}, not the +inf neutral element",
+                    keys.len() + i
+                ));
+            }
+        }
+        for i in (1..self.cap).rev() {
+            let m = min2(self.tree[2 * i], self.tree[2 * i + 1]);
+            if self.tree[i].to_bits() != m.to_bits() {
+                return Err(format!(
+                    "worst-slack node {i} holds {} but its children fold to {m}",
+                    self.tree[i]
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Result of the backward (required-time) pass.

@@ -1,0 +1,583 @@
+//! Fault-injection twins: the engine under deterministic self-inflicted
+//! faults must converge to the **same bits** as a clean twin.
+//!
+//! The harness (`pops::sta::faultinject`) arms a seed-driven
+//! [`FaultPlan`] that panics the parallel-flush coordinator at chosen
+//! level dispatches, poisons chosen parallel gate evaluations with NaN
+//! loads, and corrupts chosen resize batches. The contracts proven here:
+//!
+//! * an absorbed worker panic or detected slab poisoning is recovered by
+//!   a sequential full re-sweep — every query still bit-matches a clean
+//!   sequential twin driven through the identical mutation burst
+//!   schedule, on all six suite circuits and the synth10k fabric at 2
+//!   and 4 threads;
+//! * [`TimingGraph::verify_state`] (the deep-consistency audit) passes
+//!   after recovery, and `panic_recoveries` / `sequential_fallbacks`
+//!   prove the recovery path actually ran (the clean twin stays at 0);
+//! * a corrupted mutation batch is rejected **atomically** at the
+//!   `try_*` boundary: typed error out, graph bit-untouched;
+//! * the validated boundaries reject out-of-range ids, non-finite
+//!   drives/constraints and malformed edit plans with typed
+//!   [`StaError`]s, never by corrupting state.
+//!
+//! Fault injection is process-global, so every test here serializes on
+//! one lock and disarms via an RAII guard (panic-safe).
+
+use std::sync::{Mutex, MutexGuard};
+
+use pops::netlist::rng::SplitMix64;
+use pops::netlist::surgery::{EditOp, EditPlan};
+use pops::netlist::{builders, suite, NetlistError, VtClass};
+use pops::prelude::*;
+use pops::sta::analysis::{AnalyzeOptions, EdgeDir};
+use pops::sta::faultinject::{self, FaultPlan};
+use pops::sta::{StaError, TimingGraph};
+
+/// All fault state is process-global: tests in this binary serialize on
+/// this lock so one test's armed plan never bleeds into another's graphs.
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+fn fault_lock() -> MutexGuard<'static, ()> {
+    // A previous test panicking with the lock held poisons it; the
+    // protected state (disarmed-ness) is restored by ArmGuard's Drop,
+    // so the poison itself carries no information.
+    FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Disarms fault injection when dropped, even on panic.
+struct ArmGuard;
+
+impl ArmGuard {
+    fn arm(plan: &FaultPlan) -> Self {
+        plan.arm();
+        ArmGuard
+    }
+}
+
+impl Drop for ArmGuard {
+    fn drop(&mut self) {
+        faultinject::disarm();
+    }
+}
+
+/// Every queryable value of `a` and `b` is bit-identical.
+fn assert_graphs_bit_equal(a: &TimingGraph, b: &TimingGraph, label: &str) {
+    let circuit = a.circuit();
+    assert_eq!(
+        a.critical_delay_ps().to_bits(),
+        b.critical_delay_ps().to_bits(),
+        "{label}: critical delay diverged"
+    );
+    for net in circuit.net_ids() {
+        for dir in [EdgeDir::Rising, EdgeDir::Falling] {
+            assert_eq!(
+                a.arrival_ps(net, dir).to_bits(),
+                b.arrival_ps(net, dir).to_bits(),
+                "{label}: arrival of {net} {dir:?}"
+            );
+            assert_eq!(
+                a.slope_ps(net, dir).to_bits(),
+                b.slope_ps(net, dir).to_bits(),
+                "{label}: slope of {net} {dir:?}"
+            );
+            assert_eq!(
+                a.slack_ps(net, dir).to_bits(),
+                b.slack_ps(net, dir).to_bits(),
+                "{label}: slack of {net} {dir:?}"
+            );
+        }
+        assert_eq!(
+            a.net_load_ff(net).to_bits(),
+            b.net_load_ff(net).to_bits(),
+            "{label}: load of {net}"
+        );
+    }
+    for g in circuit.gate_ids() {
+        assert_eq!(
+            a.gate_delay_worst_ps(g).to_bits(),
+            b.gate_delay_worst_ps(g).to_bits(),
+            "{label}: worst delay of {g}"
+        );
+        assert_eq!(
+            a.completion_ps(g).to_bits(),
+            b.completion_ps(g).to_bits(),
+            "{label}: completion bound of {g}"
+        );
+    }
+    assert_eq!(
+        a.worst_slack_overall_ps().map(f64::to_bits),
+        b.worst_slack_overall_ps().map(f64::to_bits),
+        "{label}: design-worst slack diverged"
+    );
+    assert_eq!(
+        a.critical_path().gates,
+        b.critical_path().gates,
+        "{label}: critical path diverged"
+    );
+}
+
+/// A buffer-insertion plan on a random fanout-heavy driven net (applied
+/// identically to every twin, so they evolve in lockstep).
+fn random_buffer_plan(
+    graph: &TimingGraph,
+    lib: &Library,
+    rng: &mut SplitMix64,
+) -> Option<EditPlan> {
+    let circuit = graph.circuit();
+    let candidates: Vec<_> = circuit
+        .net_ids()
+        .filter(|&n| circuit.driver_gate(n).is_some() && circuit.net(n).fanout() >= 2)
+        .collect();
+    if candidates.is_empty() {
+        return None;
+    }
+    let net = *rng.pick(&candidates);
+    let loads = circuit.net(net).loads()[1..].to_vec();
+    if loads.is_empty() {
+        return None;
+    }
+    Some(
+        vec![EditOp::InsertBuffer {
+            net,
+            loads,
+            stage_cin_ff: [
+                lib.min_drive_ff() * (1.0 + rng.next_f64()),
+                lib.min_drive_ff() * (2.0 + 4.0 * rng.next_f64()),
+            ],
+        }]
+        .into(),
+    )
+}
+
+/// The core twin driver: a clean sequential graph (built before arming,
+/// threads 1, so it never sees a fault) and forced-parallel twins at 2
+/// and 4 threads **built and mutated under an armed panic+poison plan**,
+/// all driven through identical mutation bursts with flush-forcing
+/// queries after every burst. Mid-sequence checks run armed (recovery
+/// must survive being re-faulted); the final check runs disarmed and
+/// also audits every twin with `verify_state`.
+fn faulted_twin_sequence(circuit: Circuit, seed: u64, steps: usize) {
+    let _lock = fault_lock();
+    let lib = Library::cmos025();
+    let sizing = Sizing::minimum(&circuit, &lib);
+    let mut clean = TimingGraph::new(&circuit, &lib, &sizing).expect("acyclic");
+    clean.set_threads(1);
+    let t0 = clean.critical_delay_ps();
+    clean.set_constraint(0.9 * t0);
+
+    let panics_before = faultinject::panics_fired();
+    let plan = FaultPlan::from_seed(seed);
+    let guard = ArmGuard::arm(&plan);
+
+    // Built while armed: the initial full sweep's recovery path is part
+    // of the contract.
+    let mut twins: Vec<TimingGraph> = [2usize, 4]
+        .iter()
+        .map(|&t| {
+            let mut g = TimingGraph::new(&circuit, &lib, &sizing).expect("acyclic");
+            g.set_threads(t);
+            g.set_parallel_threshold(0);
+            g.set_constraint(0.9 * t0);
+            g
+        })
+        .collect();
+
+    let mut rng = SplitMix64::new(seed);
+    let cref = lib.min_drive_ff();
+    for step in 0..steps {
+        let gates: Vec<GateId> = clean.circuit().gate_ids().collect();
+        match rng.below(6) {
+            0 => {
+                let batch: Vec<(GateId, f64)> = (0..2 + rng.below(8))
+                    .map(|_| (*rng.pick(&gates), cref * (1.0 + 25.0 * rng.next_f64())))
+                    .collect();
+                clean.resize_gates(batch.clone());
+                for g in &mut twins {
+                    g.resize_gates(batch.clone());
+                }
+            }
+            1 => {
+                if let Some(plan) = random_buffer_plan(&clean, &lib, &mut rng) {
+                    clean.apply_edits(&plan).expect("valid edit");
+                    for g in &mut twins {
+                        g.apply_edits(&plan).expect("valid edit");
+                    }
+                }
+            }
+            2 => {
+                let tc = t0 * (0.7 + 0.6 * rng.next_f64());
+                clean.set_constraint(tc);
+                for g in &mut twins {
+                    g.set_constraint(tc);
+                }
+            }
+            _ => {
+                let g = *rng.pick(&gates);
+                let cin = cref * (1.0 + 25.0 * rng.next_f64());
+                clean.resize_gate(g, cin);
+                for t in &mut twins {
+                    t.resize_gate(g, cin);
+                }
+            }
+        }
+        // Force forward + both backward flushes on every twin, under
+        // fire, and pin the answers to the clean twin's bits.
+        let delay = clean.critical_delay_ps().to_bits();
+        let worst = clean.worst_slack_overall_ps().map(f64::to_bits);
+        let probe = *rng.pick(&gates);
+        let completion = clean.completion_ps(probe).to_bits();
+        for (i, g) in twins.iter().enumerate() {
+            assert_eq!(
+                g.critical_delay_ps().to_bits(),
+                delay,
+                "step {step}, twin {i}: critical delay diverged under faults"
+            );
+            assert_eq!(
+                g.worst_slack_overall_ps().map(f64::to_bits),
+                worst,
+                "step {step}, twin {i}: design-worst slack diverged under faults"
+            );
+            assert_eq!(
+                g.completion_ps(probe).to_bits(),
+                completion,
+                "step {step}, twin {i}: completion of {probe} diverged under faults"
+            );
+        }
+    }
+
+    // A final option change forces the full-rescan parallel forward
+    // sweep on every twin — the widest poison cross-section (every
+    // gate's corner lanes evaluated under the armed plan).
+    let options = AnalyzeOptions {
+        po_load_ff: 42.0,
+        input_transition_ps: 77.0,
+    };
+    clean.set_options(&options);
+    let delay = clean.critical_delay_ps().to_bits();
+    let worst = clean.worst_slack_overall_ps().map(f64::to_bits);
+    for (i, g) in twins.iter_mut().enumerate() {
+        g.set_options(&options);
+        assert_eq!(
+            g.critical_delay_ps().to_bits(),
+            delay,
+            "twin {i}: critical delay diverged through the faulted full rescan"
+        );
+        assert_eq!(
+            g.worst_slack_overall_ps().map(f64::to_bits),
+            worst,
+            "twin {i}: design-worst slack diverged through the faulted full rescan"
+        );
+    }
+
+    // The harness must actually have hurt the twins...
+    assert!(
+        faultinject::panics_fired() > panics_before,
+        "the plan never fired a panic — the schedule is broken"
+    );
+    let recoveries: usize = twins.iter().map(|g| g.stats().panic_recoveries).sum();
+    let fallbacks: usize = twins.iter().map(|g| g.stats().sequential_fallbacks).sum();
+    assert!(recoveries > 0, "no twin recorded a panic recovery");
+    assert!(
+        fallbacks >= recoveries,
+        "every recovery runs a fallback sweep"
+    );
+    // ...and the clean twin must never have been touched.
+    assert_eq!(clean.stats().panic_recoveries, 0);
+    assert_eq!(clean.stats().sequential_fallbacks, 0);
+
+    // Final audit runs disarmed: settled state, full bit sweep, deep
+    // consistency check on every graph.
+    drop(guard);
+    for (i, g) in twins.iter().enumerate() {
+        assert_graphs_bit_equal(&clean, g, &format!("final, twin {i}"));
+        g.verify_state()
+            .unwrap_or_else(|e| panic!("twin {i} failed the audit after recovery: {e}"));
+    }
+    clean
+        .verify_state()
+        .unwrap_or_else(|e| panic!("clean twin failed the audit: {e}"));
+}
+
+#[test]
+fn fpd_recovers_bit_exact_under_faults() {
+    faulted_twin_sequence(suite::circuit("fpd").unwrap(), 0xFA17_F00D, 12);
+}
+
+#[test]
+fn c432_recovers_bit_exact_under_faults() {
+    faulted_twin_sequence(suite::circuit("c432").unwrap(), 0xFA17_0432, 12);
+}
+
+#[test]
+fn c880_recovers_bit_exact_under_faults() {
+    faulted_twin_sequence(suite::circuit("c880").unwrap(), 0xFA17_0880, 10);
+}
+
+#[test]
+fn c1908_recovers_bit_exact_under_faults() {
+    faulted_twin_sequence(suite::circuit("c1908").unwrap(), 0xFA17_1908, 10);
+}
+
+#[test]
+fn c6288_recovers_bit_exact_under_faults() {
+    faulted_twin_sequence(suite::circuit("c6288").unwrap(), 0xFA17_6288, 6);
+}
+
+#[test]
+fn c7552_recovers_bit_exact_under_faults() {
+    faulted_twin_sequence(suite::circuit("c7552").unwrap(), 0xFA17_7552, 6);
+}
+
+#[test]
+fn synth10k_recovers_bit_exact_under_faults() {
+    // Wide levels: the chunked pool dispatches, full-sweep cut-overs and
+    // (with ~10k evals per sweep against a 400–2100-eval poison period)
+    // guaranteed NaN poison hits, not just coordinator panics.
+    let poisons_before = faultinject::poisons_fired();
+    faulted_twin_sequence(suite::scaling_circuit("synth10k").unwrap(), 0xFA17_E010, 4);
+    assert!(
+        faultinject::poisons_fired() > poisons_before,
+        "a synth10k sweep must trip the eval poison at least once"
+    );
+}
+
+#[test]
+fn corrupted_batch_is_rejected_atomically() {
+    let _lock = fault_lock();
+    let lib = Library::cmos025();
+    let circuit = suite::circuit("c432").unwrap();
+    let sizing = Sizing::minimum(&circuit, &lib);
+    let mut graph = TimingGraph::new(&circuit, &lib, &sizing).unwrap();
+    let mut reference = TimingGraph::new(&circuit, &lib, &sizing).unwrap();
+    graph.set_threads(1);
+    reference.set_threads(1);
+    let t0 = graph.critical_delay_ps();
+    graph.set_constraint(0.9 * t0);
+    reference.set_constraint(0.9 * t0);
+
+    let gates: Vec<GateId> = circuit.gate_ids().collect();
+    let batch: Vec<(GateId, f64)> = gates
+        .iter()
+        .take(4)
+        .map(|&g| (g, 3.0 * lib.min_drive_ff()))
+        .collect();
+
+    // Corrupt every batch; no panics, no poison.
+    let plan = FaultPlan {
+        seed: 7,
+        corrupt_every_batches: Some(1),
+        ..FaultPlan::default()
+    };
+    let fired_before = faultinject::corruptions_fired();
+    let guard = ArmGuard::arm(&plan);
+    let err = graph
+        .try_resize_gates(batch.clone())
+        .expect_err("a corrupted batch must be rejected");
+    assert!(
+        matches!(err, StaError::InvalidDrive { .. }),
+        "wrong rejection: {err}"
+    );
+    assert!(
+        err.to_string().contains("NaN"),
+        "error must name the value: {err}"
+    );
+    assert!(faultinject::corruptions_fired() > fired_before);
+    drop(guard);
+
+    // Atomicity: the graph is bit-untouched by the rejected batch...
+    assert_graphs_bit_equal(&graph, &reference, "after rejected batch");
+    graph.verify_state().expect("audit after rejected batch");
+
+    // ...and the identical batch applies cleanly once disarmed.
+    graph
+        .try_resize_gates(batch.clone())
+        .expect("clean batch applies");
+    reference.resize_gates(batch);
+    assert_graphs_bit_equal(&graph, &reference, "after clean re-apply");
+}
+
+#[test]
+fn constraint_boundary_rejects_nan_and_negative() {
+    let _lock = fault_lock();
+    let lib = Library::cmos025();
+    let circuit = builders::inverter_chain(4);
+    let mut graph = TimingGraph::new(&circuit, &lib, &Sizing::minimum(&circuit, &lib)).unwrap();
+
+    let err = graph.try_set_constraint(f64::NAN).unwrap_err();
+    assert!(matches!(err, StaError::InvalidConstraint { .. }));
+    assert!(
+        err.to_string().contains("NaN"),
+        "must name the value: {err}"
+    );
+    let err = graph.try_set_constraint(-3.0).unwrap_err();
+    assert!(err.to_string().contains("-3"), "must name the value: {err}");
+    let err = graph.try_set_constraint(f64::NEG_INFINITY).unwrap_err();
+    assert!(matches!(err, StaError::InvalidConstraint { .. }));
+
+    // Zero and +inf are meaningful constraints (everything violated /
+    // nothing constrained) and must keep working.
+    graph.try_set_constraint(0.0).unwrap();
+    graph.try_set_constraint(f64::INFINITY).unwrap();
+    graph.try_set_constraint(250.0).unwrap();
+    graph.verify_state().expect("audit after constraint churn");
+}
+
+#[test]
+fn id_boundaries_reject_foreign_gates() {
+    let _lock = fault_lock();
+    let lib = Library::cmos025();
+    let small = builders::inverter_chain(3);
+    let mut graph = TimingGraph::new(&small, &lib, &Sizing::minimum(&small, &lib)).unwrap();
+    let d0 = graph.critical_delay_ps().to_bits();
+
+    // A high-index id from a bigger circuit is the realistic stale-id
+    // bug: a handle from a pre-surgery snapshot used after rebuild.
+    let big = suite::circuit("c432").unwrap();
+    let foreign = big.gate_ids().last().unwrap();
+
+    let err = graph.try_resize_gate(foreign, 5.0).unwrap_err();
+    assert!(
+        matches!(err, StaError::GateOutOfRange { n_gates: 3, .. }),
+        "wrong rejection: {err}"
+    );
+    let err = graph.try_set_vt_class(foreign, VtClass::Hvt).unwrap_err();
+    assert!(matches!(err, StaError::GateOutOfRange { .. }));
+
+    // Non-finite / non-positive drives, with a valid id.
+    let g = small.gate_ids().next().unwrap();
+    for bad in [f64::NAN, f64::INFINITY, 0.0, -1.0] {
+        let err = graph.try_resize_gate(g, bad).unwrap_err();
+        assert!(
+            matches!(err, StaError::InvalidDrive { .. }),
+            "cin {bad}: wrong rejection {err}"
+        );
+    }
+    // A batch with one bad entry is rejected whole.
+    let err = graph
+        .try_resize_gates(vec![(g, 4.0), (foreign, 4.0)])
+        .unwrap_err();
+    assert!(matches!(err, StaError::GateOutOfRange { .. }));
+
+    assert_eq!(
+        graph.critical_delay_ps().to_bits(),
+        d0,
+        "rejected mutations must not move timing"
+    );
+    graph.verify_state().expect("audit after rejections");
+}
+
+#[test]
+fn edit_plan_boundary_rejects_malformed_plans() {
+    let _lock = fault_lock();
+    let lib = Library::cmos025();
+    let small = builders::inverter_chain(3);
+    let mut graph = TimingGraph::new(&small, &lib, &Sizing::minimum(&small, &lib)).unwrap();
+    let d0 = graph.critical_delay_ps().to_bits();
+    let n_gates = graph.circuit().gate_count();
+
+    let big = suite::circuit("c432").unwrap();
+    let foreign_net = big.net_ids().last().unwrap();
+    let plan: EditPlan = vec![EditOp::InsertBuffer {
+        net: foreign_net,
+        loads: vec![],
+        stage_cin_ff: [1.0, 2.0],
+    }]
+    .into();
+    let err = graph.apply_edits(&plan).unwrap_err();
+    assert!(matches!(err, NetlistError::InvalidId(_)), "got {err}");
+    let err = graph.try_apply_edits(&plan).unwrap_err();
+    assert!(matches!(err, StaError::InvalidEdit(_)), "got {err}");
+
+    // Non-finite created-stage capacitance, on a net that exists.
+    let net = small.net_ids().next().unwrap();
+    let plan: EditPlan = vec![EditOp::InsertBuffer {
+        net,
+        loads: vec![],
+        stage_cin_ff: [f64::NAN, 2.0],
+    }]
+    .into();
+    let err = graph.apply_edits(&plan).unwrap_err();
+    assert!(matches!(err, NetlistError::UnsupportedEdit(_)), "got {err}");
+
+    assert_eq!(graph.circuit().gate_count(), n_gates, "nothing applied");
+    assert_eq!(graph.critical_delay_ps().to_bits(), d0);
+    graph.verify_state().expect("audit after rejected plans");
+}
+
+#[test]
+fn sizing_extend_dense_boundary() {
+    let _lock = fault_lock();
+    let lib = Library::cmos025();
+    let chain2 = builders::inverter_chain(2);
+    let chain4 = builders::inverter_chain(4);
+    let mut sizing = Sizing::minimum(&chain2, &lib); // len 2
+
+    // Gapped id set: index 3 cannot extend len()==2.
+    let g3 = chain4.gate_ids().nth(3).unwrap();
+    let err = sizing.try_extend_dense(vec![(g3, 1.0)]).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            StaError::NonDenseSizing {
+                gate: 3,
+                expected: 2
+            }
+        ),
+        "got {err}"
+    );
+    // Dense id, garbage capacitance.
+    let g2 = chain4.gate_ids().nth(2).unwrap();
+    let err = sizing.try_extend_dense(vec![(g2, f64::NAN)]).unwrap_err();
+    assert!(
+        matches!(err, StaError::InvalidDrive { gate: 2, .. }),
+        "got {err}"
+    );
+    // Rejections are atomic: nothing was pushed.
+    assert_eq!(sizing.len(), 2);
+
+    // A dense batch listed out of order still lands correctly.
+    sizing.try_extend_dense(vec![(g3, 4.0), (g2, 3.0)]).unwrap();
+    assert_eq!(sizing.len(), 4);
+    assert_eq!(sizing.cin_ff(g2), 3.0);
+    assert_eq!(sizing.cin_ff(g3), 4.0);
+}
+
+#[test]
+fn verify_state_passes_on_live_graphs() {
+    let _lock = fault_lock();
+    let lib = Library::cmos025();
+    let circuit = suite::circuit("c880").unwrap();
+    let sizing = Sizing::minimum(&circuit, &lib);
+
+    // Fresh, mutated, structurally edited and multi-corner graphs all
+    // pass the deep audit (it is a health check, not a fault detector —
+    // a healthy engine must never trip it).
+    let mut graph = TimingGraph::new(&circuit, &lib, &sizing).unwrap();
+    graph.verify_state().expect("fresh graph");
+    let t0 = graph.critical_delay_ps();
+    graph.set_constraint(0.9 * t0);
+    let gates: Vec<GateId> = circuit.gate_ids().collect();
+    graph.resize_gates(gates.iter().map(|&g| (g, 2.0 * lib.min_drive_ff())));
+    let _ = graph.worst_slack_overall_ps();
+    graph.verify_state().expect("after resizes");
+
+    let mut rng = SplitMix64::new(0xAD17_0880);
+    if let Some(plan) = random_buffer_plan(&graph, &lib, &mut rng) {
+        graph.apply_edits(&plan).unwrap();
+        let _ = graph.critical_delay_ps();
+        graph.verify_state().expect("after surgery");
+    }
+
+    let corners = CornerSet::slow_typical_fast(lib.process().clone());
+    let mut mc = TimingGraph::with_corners(
+        &circuit,
+        &lib,
+        &sizing,
+        &pops::sta::analysis::AnalyzeOptions::default(),
+        &corners,
+    )
+    .unwrap();
+    mc.set_constraint(0.95 * t0);
+    let _ = mc.worst_slack_overall_ps();
+    mc.verify_state().expect("multi-corner graph");
+}

@@ -214,8 +214,12 @@ fn random_parallel_twin_sequence(circuit: Circuit, seed: u64, steps: usize, chec
     }
     for (i, g) in twins.iter().enumerate() {
         assert_graphs_bit_equal(&seq, g, &format!("final, twin {i}"));
+        g.verify_state()
+            .unwrap_or_else(|e| panic!("twin {i} failed the deep-consistency audit: {e}"));
     }
     assert_matches_eager(&seq, &lib, "final");
+    seq.verify_state()
+        .unwrap_or_else(|e| panic!("sequential twin failed the deep-consistency audit: {e}"));
 }
 
 /// Backward-focused twins: every burst is *immediately* followed by
@@ -327,8 +331,12 @@ fn random_backward_twin_sequence(circuit: Circuit, seed: u64, steps: usize, chec
     }
     for (i, g) in twins.iter().enumerate() {
         assert_graphs_bit_equal(&seq, g, &format!("final, twin {i}"));
+        g.verify_state()
+            .unwrap_or_else(|e| panic!("twin {i} failed the deep-consistency audit: {e}"));
     }
     assert_matches_eager(&seq, &lib, "final");
+    seq.verify_state()
+        .unwrap_or_else(|e| panic!("sequential twin failed the deep-consistency audit: {e}"));
 }
 
 #[test]

@@ -1,0 +1,203 @@
+//! Hostile-input property tests for the `.bench` parser: whatever
+//! garbage arrives — truncated lines, duplicate drivers, undeclared
+//! nets, junk characters, shuffled fragments of valid netlists —
+//! [`parse_bench`] must return a typed [`NetlistError`], never panic,
+//! and every syntax error must carry a **real** 1-based line number
+//! pointing into the input (a `line: 0` placeholder is a bug: it sends
+//! whoever is debugging a malformed netlist to a line that does not
+//! exist).
+//!
+//! Seeded via `pops_netlist::rng::SplitMix64`, so failures reproduce.
+
+use pops::netlist::bench_format::{parse_bench, write_bench};
+use pops::netlist::rng::SplitMix64;
+use pops::netlist::{builders, NetlistError};
+
+/// Parse and enforce the error contract: syntax errors name a line that
+/// exists in the input (1-based, never 0) and render it in `Display`.
+fn parse_expecting_sane_errors(name: &str, text: &str) -> Result<(), NetlistError> {
+    match parse_bench(name, text) {
+        Ok(_) => Ok(()),
+        Err(e) => {
+            if let NetlistError::BenchSyntax { line, ref message } = e {
+                let n_lines = text.lines().count();
+                assert!(
+                    line >= 1 && line <= n_lines.max(1),
+                    "line {line} outside input ({n_lines} lines) for error `{message}`\n\
+                     --- input ---\n{text}"
+                );
+                assert!(
+                    e.to_string().contains(&format!("line {line}")),
+                    "display must cite the line: {e}"
+                );
+            }
+            assert!(!e.to_string().is_empty());
+            Err(e)
+        }
+    }
+}
+
+#[test]
+fn malformed_directives_cite_their_own_line() {
+    // The INPUT on line 3 is truncated: the error must say line 3, not
+    // line 0 (the historic placeholder) and not the line of some other
+    // directive.
+    let text = "INPUT(a)\nINPUT(b)\nINPUT\nOUTPUT(y)\ny = NAND(a, b)\n";
+    let err = parse_bench("t", text).unwrap_err();
+    match err {
+        NetlistError::BenchSyntax { line, ref message } => {
+            assert_eq!(line, 3, "wrong line for `{message}`");
+            assert!(message.contains("INPUT"), "got `{message}`");
+        }
+        other => panic!("expected a syntax error, got {other}"),
+    }
+
+    // Empty directive name, line 2.
+    let text = "INPUT(a)\nOUTPUT()\ny = INV(a)\n";
+    let err = parse_bench("t", text).unwrap_err();
+    match err {
+        NetlistError::BenchSyntax { line, ref message } => {
+            assert_eq!(line, 2, "wrong line for `{message}`");
+            assert!(message.contains("empty name"), "got `{message}`");
+        }
+        other => panic!("expected a syntax error, got {other}"),
+    }
+}
+
+#[test]
+fn classic_malformations_return_typed_errors() {
+    let cases: &[(&str, &str)] = &[
+        // Truncated gate line: no closing paren.
+        ("INPUT(a)\nOUTPUT(y)\ny = NAND(a,", "closing"),
+        // Truncated after `=`.
+        ("INPUT(a)\nOUTPUT(y)\ny =", "expected"),
+        // Missing output name.
+        ("INPUT(a)\nOUTPUT(y)\n= NAND(a, a)", "output name"),
+        // Operand list collapses to nothing.
+        ("INPUT(a)\nOUTPUT(y)\ny = NAND( , )", "no operands"),
+        // Sequential element.
+        ("INPUT(a)\nOUTPUT(q)\nq = DFF(a)", "DFF"),
+        // Free-standing junk statement.
+        (
+            "INPUT(a)\nOUTPUT(y)\ny = INV(a)\n🦀 junk 🦀",
+            "unrecognized",
+        ),
+        // Duplicate driver (caught at declaration, with the line).
+        (
+            "INPUT(a)\nOUTPUT(y)\ny = INV(a)\ny = NAND(a, a)",
+            "driven twice",
+        ),
+        // Input redeclared.
+        ("INPUT(a)\nINPUT(a)\nOUTPUT(y)\ny = INV(a)", "twice"),
+    ];
+    for (text, needle) in cases {
+        let err =
+            parse_expecting_sane_errors("t", text).expect_err(&format!("must reject:\n{text}"));
+        assert!(
+            err.to_string().contains(needle),
+            "error for\n{text}\nmust mention `{needle}`, got: {err}"
+        );
+    }
+
+    // Undeclared operand: typed, though not a positional syntax error.
+    let err =
+        parse_expecting_sane_errors("t", "INPUT(a)\nOUTPUT(y)\ny = NAND(a, ghost)\n").unwrap_err();
+    assert!(
+        matches!(err, NetlistError::UndefinedNet(ref n) if n == "ghost"),
+        "got {err}"
+    );
+
+    // Unknown operator: typed.
+    let err =
+        parse_expecting_sane_errors("t", "INPUT(a)\nOUTPUT(y)\ny = MAJ(a, a, a)\n").unwrap_err();
+    assert!(matches!(err, NetlistError::UnknownCell { .. }), "got {err}");
+}
+
+/// One random corruption of `text`.
+fn corrupt(text: &str, rng: &mut SplitMix64) -> String {
+    let lines: Vec<&str> = text.lines().collect();
+    if lines.is_empty() {
+        return "INPUT".to_string();
+    }
+    let victim = rng.below(lines.len());
+    let mut out: Vec<String> = lines.iter().map(|l| l.to_string()).collect();
+    // A palette of junk spanning control characters, multi-byte
+    // sequences and format-breaking ASCII.
+    const JUNK: [&str; 8] = ["\u{0}", "\u{fffd}", "🦀", "((", "))", "=", ",,,", "\t#\t("];
+    match rng.below(7) {
+        0 => {
+            // Truncate the line at a random char boundary.
+            let l = &out[victim];
+            let cut = rng.below(l.chars().count().max(1));
+            out[victim] = l.chars().take(cut).collect();
+        }
+        1 => {
+            // Duplicate a line verbatim (duplicate driver / declaration).
+            let dup = out[victim].clone();
+            out.insert(victim, dup);
+        }
+        2 => {
+            // Rename one operand to an undeclared net.
+            out[victim] = out[victim].replacen('a', "ghost_net", 1);
+        }
+        3 => {
+            // Splice junk into the middle of the line.
+            let l = &out[victim];
+            let cut = rng.below(l.chars().count().max(1));
+            let head: String = l.chars().take(cut).collect();
+            let tail: String = l.chars().skip(cut).collect();
+            out[victim] = format!("{head}{}{tail}", JUNK[rng.below(JUNK.len())]);
+        }
+        4 => {
+            // Delete a line outright (dangling references).
+            out.remove(victim);
+        }
+        5 => {
+            // Swap two lines (forward references are legal; driver
+            // moves may not be).
+            let last = out.len() - 1;
+            let other = rng.below(lines.len()).min(last);
+            out.swap(victim, other);
+        }
+        _ => {
+            // Replace the line with pure junk.
+            out[victim] = JUNK[rng.below(JUNK.len())].repeat(1 + rng.below(4));
+        }
+    }
+    out.join("\n")
+}
+
+#[test]
+fn fuzzed_netlists_never_panic_and_errors_stay_sane() {
+    let base = write_bench(&builders::ripple_carry_adder(4));
+    let mut rng = SplitMix64::new(0xBE7C_FA22);
+    for case in 0..400 {
+        let mut text = base.clone();
+        for _ in 0..=rng.below(4) {
+            text = corrupt(&text, &mut rng);
+        }
+        // The only contract on garbage: a typed error or a valid
+        // circuit — never a panic, never a phantom line number.
+        let _ = parse_expecting_sane_errors(&format!("fuzz{case}"), &text);
+    }
+}
+
+#[test]
+fn junk_only_inputs_are_rejected_cleanly() {
+    for text in [
+        "",
+        "\n\n\n",
+        "(((((",
+        "= = = =",
+        "\u{0}\u{0}\u{0}",
+        "🦀",
+        "INPUT OUTPUT NAND",
+        "# only a comment\n",
+    ] {
+        // Empty and comment-only inputs produce an (empty) circuit that
+        // fails structural validation or parses to nothing useful;
+        // everything else errors. Either way: typed, line-sane, no
+        // panic.
+        let _ = parse_expecting_sane_errors("junk", text);
+    }
+}
