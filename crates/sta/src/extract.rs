@@ -133,7 +133,8 @@ pub fn extract_timed_path(
         }
     }
 
-    let last_net = circuit.net(circuit.gate(*path.gates.last().unwrap()).output());
+    // `n >= 1` by the non-emptiness assertion above.
+    let last_net = circuit.net(circuit.gate(path.gates[n - 1]).output());
     let mut terminal = last_net
         .loads()
         .iter()

@@ -82,7 +82,9 @@ pub struct FaultPlan {
 
 /// One round of the SplitMix64 output function — the same generator the
 /// differential suites use, inlined so this module stays dependency-free.
-fn mix(state: &mut u64) -> u64 {
+/// Shared with [`crate::audit`]'s overlap-plan derivation so both seeded
+/// harnesses draw from the same stream family.
+pub(crate) fn mix(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut z = *state;
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);

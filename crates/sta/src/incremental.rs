@@ -221,6 +221,14 @@ pub struct UpdateStats {
     /// rebuild — every panic recovery counts one, as does a poisoned
     /// slab detected while fault injection is armed.
     pub sequential_fallbacks: usize,
+    /// Level batches verified by the shadow-access race auditor
+    /// ([`crate::audit`]) across this graph's parallel flushes. Zero
+    /// unless the auditor is armed (env `STA_AUDIT=1` or
+    /// [`TimingGraph::set_audit`]).
+    pub audit_levels_checked: usize,
+    /// Race hazards the auditor attributed to this graph's flushes (see
+    /// [`crate::audit::take_hazards`] for the typed reports).
+    pub audit_hazards: usize,
 }
 
 /// Per-(gate, corner) model constants, flattened out of the corner
@@ -411,6 +419,10 @@ pub struct TimingGraph<'c> {
     /// Backward (required/completion) sweep cut-over budget, same
     /// encoding.
     bwd_budget: (u32, u32),
+    /// Per-graph race-audit flag ([`TimingGraph::set_audit`]): audit
+    /// this graph's parallel flushes even when the process-wide
+    /// [`crate::audit::arm`] switch is off.
+    audit: bool,
     /// Maintained forward state (arrivals, slopes, loads, worst gate
     /// delays) plus its lazy seed logs. Interior-mutable so `&self`
     /// queries can perform the lazy flush — mutators go through
@@ -848,6 +860,8 @@ impl<'c> TimingGraph<'c> {
         // CI's armed runs inject faults via `STA_FAULT_SEED`; a no-op
         // unless the variable is set (and parses).
         crate::faultinject::arm_from_env_once();
+        // Likewise the race auditor via `STA_AUDIT=1`.
+        crate::audit::arm_from_env_once();
         let s = build_structure(circuit)?;
         let n_nets = circuit.net_count();
         let n_gates = circuit.gate_count();
@@ -890,6 +904,7 @@ impl<'c> TimingGraph<'c> {
             par_min_gates: PAR_MIN_GATES,
             fwd_budget: (3, 4),
             bwd_budget: (1, 3),
+            audit: false,
             fwd: RefCell::new(ForwardState {
                 arrival: vec![[f64::NEG_INFINITY; 2]; n_nets * nc],
                 slope: vec![[0.0; 2]; n_nets * nc],
@@ -1311,6 +1326,23 @@ impl<'c> TimingGraph<'c> {
         self.par_min_gates = min_gates;
     }
 
+    /// Whether this graph's parallel flushes are race-audited — the
+    /// per-graph flag OR the process-wide [`crate::audit::arm`] /
+    /// `STA_AUDIT=1` switch.
+    pub fn audit_enabled(&self) -> bool {
+        self.audit || crate::audit::armed()
+    }
+
+    /// Audit this graph's parallel flushes with the shadow-access race
+    /// detector ([`crate::audit`]) regardless of the process-wide
+    /// switch. Purely an observation knob: armed flushes stay
+    /// bit-identical to disarmed ones; hazards surface through
+    /// [`crate::audit::take_hazards`] and the
+    /// [`UpdateStats::audit_hazards`] counter.
+    pub fn set_audit(&mut self, on: bool) {
+        self.audit = on;
+    }
+
     /// The sweep cut-over budgets as `(forward, backward)` rational
     /// fractions `(num, den)` of the gate count: a flush abandons the
     /// dirty-cone drain for a straight full sweep once the dirty count
@@ -1345,6 +1377,37 @@ impl<'c> TimingGraph<'c> {
     /// for bit).
     fn budget(n: usize, (num, den): (u32, u32)) -> usize {
         n * num as usize / den as usize + 1
+    }
+
+    /// Open a race-audit scope for one parallel flush (the scope carries
+    /// the level geometry the barrier checks decode slab indices
+    /// against). Returns whether a scope was actually opened — `false`
+    /// when auditing is off *or* another flush is already being audited
+    /// (the session is process-global).
+    fn audit_begin(&self, backward: bool) -> bool {
+        if !self.audit_enabled() {
+            return false;
+        }
+        crate::audit::begin_scope(crate::audit::Scope {
+            level_start: self.level_start.clone(),
+            n_src: self.n_src as u32,
+            nc: self.corner_libs.len() as u32,
+            n_slots: self.slot_of.len() as u32,
+            n_pos: self.topo.len() as u32,
+            backward,
+        })
+    }
+
+    /// Close a scope opened by [`TimingGraph::audit_begin`] and fold its
+    /// counters into this graph's stats.
+    fn audit_end(&self, opened: bool) {
+        if opened {
+            let (levels, hazards) = crate::audit::end_scope();
+            self.stat(|s| {
+                s.audit_levels_checked += levels;
+                s.audit_hazards += hazards;
+            });
+        }
     }
 
     /// Slab slot of a net's timing state.
@@ -2733,6 +2796,7 @@ impl<'c> TimingGraph<'c> {
         if self.use_parallel(self.topo.len()) {
             let n_levels = self.level_start.len() - 1;
             let mut positions: Vec<u32> = Vec::new();
+            let audited = self.audit_begin(false);
             let run = run_parallel(&ctx, &mut view, self.threads(), |d| {
                 let mut level = self.level_of(*min_dirty_rank);
                 while *dirty_count > 0 && level < n_levels {
@@ -2742,6 +2806,7 @@ impl<'c> TimingGraph<'c> {
                     // `catch_unwind` and its shutdown releases the pool
                     // cleanly — no barrier deadlock.
                     crate::faultinject::on_dispatch();
+                    let lvl = level;
                     let (lo, hi) = (self.level_start[level], self.level_start[level + 1]);
                     level += 1;
                     positions.clear();
@@ -2776,8 +2841,12 @@ impl<'c> TimingGraph<'c> {
                             }
                         }
                     }
+                    // Workers are parked again: verify this level's
+                    // shadow-access batch at the barrier.
+                    crate::audit::check_level(lvl);
                 }
             });
+            self.audit_end(audited);
             if run.is_err() {
                 return Err(RecoveredPanic);
             }
@@ -2844,6 +2913,7 @@ impl<'c> TimingGraph<'c> {
         let mut any_changed = false;
         if parallel {
             let n_levels = self.level_start.len() - 1;
+            let audited = self.audit_begin(false);
             let run = run_parallel(&ctx, &mut view, self.threads(), |d| {
                 for level in 0..n_levels {
                     // Injected-panic point: workers parked, deadlock-free.
@@ -2867,8 +2937,11 @@ impl<'c> TimingGraph<'c> {
                             }
                         }
                     }
+                    // Workers parked again: verify this level's batch.
+                    crate::audit::check_level(level);
                 }
             });
+            self.audit_end(audited);
             if run.is_err() {
                 return Err(RecoveredPanic);
             }
@@ -3565,11 +3638,13 @@ impl<'c> TimingGraph<'c> {
         );
         let mut bailed = false;
         let mut positions: Vec<u32> = Vec::new();
+        let audited = self.audit_begin(true);
         let run = run_parallel_bwd(&ctx, &mut view, self.threads(), |d| {
             let mut level = self.level_of(*req_max_rank) as isize;
             while *req_count > 0 && level >= 0 {
                 // Injected-panic point: workers parked, deadlock-free.
                 crate::faultinject::on_dispatch();
+                let lvl = level as usize;
                 let (lo, hi) = (
                     self.level_start[level as usize],
                     self.level_start[level as usize + 1],
@@ -3610,6 +3685,8 @@ impl<'c> TimingGraph<'c> {
                         );
                     }
                 }
+                // Workers parked again: verify this level's batch.
+                crate::audit::check_level(lvl);
                 if *reevals >= budget && *req_count > 0 {
                     // The cone saturated mid-drain: bail to the sweep.
                     bailed = true;
@@ -3617,6 +3694,7 @@ impl<'c> TimingGraph<'c> {
                 }
             }
         });
+        self.audit_end(audited);
         if run.is_err() {
             return Err(RecoveredPanic);
         }
@@ -3658,11 +3736,13 @@ impl<'c> TimingGraph<'c> {
         );
         let mut bailed = false;
         let mut positions: Vec<u32> = Vec::new();
+        let audited = self.audit_begin(true);
         let run = run_parallel_bwd(&ctx, &mut view, self.threads(), |d| {
             let mut level = self.level_of(*comp_max_rank) as isize;
             while *comp_count > 0 && level >= 0 {
                 // Injected-panic point: workers parked, deadlock-free.
                 crate::faultinject::on_dispatch();
+                let lvl = level as usize;
                 let (lo, hi) = (
                     self.level_start[level as usize],
                     self.level_start[level as usize + 1],
@@ -3697,12 +3777,15 @@ impl<'c> TimingGraph<'c> {
                         );
                     }
                 }
+                // Workers parked again: verify this level's batch.
+                crate::audit::check_level(lvl);
                 if *reevals >= budget && *comp_count > 0 {
                     bailed = true;
                     break;
                 }
             }
         });
+        self.audit_end(audited);
         if run.is_err() {
             return Err(RecoveredPanic);
         }
@@ -3753,6 +3836,7 @@ impl<'c> TimingGraph<'c> {
                 // coordinator min-folds at the barrier — order-independent,
                 // so bit-identical to the sequential scatter.
                 let n_levels = self.level_start.len() - 1;
+                let audited = self.audit_begin(true);
                 let run = run_parallel_bwd(&ctx, &mut view, self.threads(), |d| {
                     for level in (0..n_levels).rev() {
                         // Injected-panic point: workers parked,
@@ -3766,8 +3850,14 @@ impl<'c> TimingGraph<'c> {
                         } else {
                             d.sweep_gate_range(lo, hi);
                         }
+                        // Workers parked and the coordinator's barrier
+                        // fold is done: verify this level's batch (own
+                        // settled-slot reads plus coordinator-only fold
+                        // writes into lower levels).
+                        crate::audit::check_level(level);
                     }
                 });
+                self.audit_end(audited);
                 recovered = run.is_err();
             } else {
                 for pos in (0..n_gates).rev() {
@@ -3850,6 +3940,7 @@ impl<'c> TimingGraph<'c> {
         let mut recovered = false;
         if self.use_parallel(n_gates) {
             let n_levels = self.level_start.len() - 1;
+            let audited = self.audit_begin(true);
             let run = run_parallel_bwd(&ctx, &mut view, self.threads(), |d| {
                 for level in (0..n_levels).rev() {
                     // Injected-panic point: workers parked, deadlock-free.
@@ -3862,8 +3953,11 @@ impl<'c> TimingGraph<'c> {
                     } else {
                         d.sweep_completion_range(lo, hi);
                     }
+                    // Workers parked again: verify this level's batch.
+                    crate::audit::check_level(level);
                 }
             });
+            self.audit_end(audited);
             recovered = run.is_err();
         }
         if !self.use_parallel(n_gates) || recovered {

@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod audit;
 pub mod error;
 pub mod extract;
 pub mod faultinject;
@@ -53,7 +54,8 @@ pub mod sizing;
 pub mod slack;
 
 pub use analysis::{analyze, NetlistPath, TimingReport, TimingView};
-pub use error::StaError;
+pub use audit::OverlapPlan;
+pub use error::{RaceKind, StaError};
 pub use extract::{extract_timed_path, ExtractOptions};
 pub use faultinject::FaultPlan;
 pub use incremental::TimingGraph;

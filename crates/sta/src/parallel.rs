@@ -42,16 +42,40 @@
 //!
 //! * a worker only writes the output slot and delay slot (forward), or
 //!   required/completion slot (backward), of gates in its own chunk of
-//!   the current level (chunks partition the level);
+//!   the current level (chunks partition the level) — *checked by the
+//!   auditor's write-write rule: same-level write-sets must be pairwise
+//!   disjoint across workers* ([`RaceKind::WriteWrite`](crate::RaceKind));
 //! * it only reads fanin slots (forward) or fanout slots (backward),
 //!   which belong to strictly lower resp. higher levels — settled
 //!   before the level's start barrier and written by no one until its
-//!   end barrier;
+//!   end barrier — *checked by the auditor's cross-level rule: forward
+//!   reads must decode (through the `slot·C + c` stride) to source
+//!   slots or strictly lower levels, backward reads to the current or
+//!   higher levels* ([`RaceKind::CrossLevel`](crate::RaceKind)); the
+//!   kernels' old-value reads of their own output slots are legal
+//!   because the same worker owns the batch's writes to those indices —
+//!   *checked by the read-write rule: a read may alias a same-level
+//!   write only if the reader wrote it*
+//!   ([`RaceKind::ReadWrite`](crate::RaceKind));
 //! * the backward sweep's scatter never writes slabs from workers at
 //!   all — candidates travel through per-worker buffers and are folded
-//!   by the coordinator between barriers;
+//!   by the coordinator between barriers — *visible to the auditor as
+//!   coordinator-only writes, so an accidental worker-side scatter
+//!   would surface as a write-write hazard*;
 //! * the coordinator evaluates gates and folds candidates only while
 //!   every worker is parked at the start barrier.
+//!
+//! When armed, [`crate::audit`] turns this prose into a barrier-time
+//! machine check: every `SyncCell` access in the shared kernels records
+//! `(worker, slab, widened index, kind)` into per-worker logs, workers
+//! commit them at the end of each chunk (before the end barrier), and
+//! the coordinator verifies the rules above after every level,
+//! surfacing violations as typed
+//! [`StaError::RaceHazard`](crate::StaError) values. Disarmed, each
+//! kernel pays one relaxed atomic load. The widened slot-index
+//! arithmetic itself is additionally `debug_assert!`-bounded inside
+//! every kernel, so a bad stride is caught in debug twins even with the
+//! auditor off.
 //!
 //! Every evaluation — sequential or parallel, either direction — goes
 //! through the same shared kernels ([`FwdView::eval_shared`],
@@ -217,6 +241,22 @@ impl<'a> FwdView<'a> {
         let nc = ctx.n_corners;
         let fanin_range = ctx.fanin_off[gi] as usize..ctx.fanin_off[gi + 1] as usize;
 
+        // Executable form of the SAFETY argument: the widened output
+        // indices must stay inside their slabs — an off-by-one in the
+        // `slot·C + c` stride would otherwise alias a neighboring slot.
+        debug_assert!(pos < ctx.topo.len(), "gate pos {pos} out of topo range");
+        debug_assert!(
+            (out_slot + 1) * nc <= self.arrival.len(),
+            "output slot {out_slot} stride overflows the arrival slab"
+        );
+        debug_assert_eq!(self.arrival.len(), self.slope.len());
+        debug_assert_eq!(self.arrival.len(), self.pred.len());
+        debug_assert!(
+            (pos + 1) * nc <= self.gate_delay.len(),
+            "gate pos {pos} stride overflows the delay slab"
+        );
+
+        let on = crate::audit::on();
         let mut flags = 0u8;
         for c in 0..nc {
             let params = &ctx.gate_params[gi * nc + c];
@@ -239,7 +279,16 @@ impl<'a> FwdView<'a> {
                     let in_net = ctx.fanin[idx];
                     let in_slot = ctx.fanin_slots[idx] as usize;
                     // SAFETY: fanin slots live in strictly lower levels,
-                    // settled before this level started.
+                    // settled before this level started — the auditor's
+                    // cross-level read check verifies exactly this.
+                    debug_assert!(
+                        (in_slot + 1) * nc <= self.arrival.len(),
+                        "fanin slot {in_slot} stride overflows the arrival slab"
+                    );
+                    if on {
+                        crate::audit::read(crate::audit::Slab::Arrival, in_slot * nc + c);
+                        crate::audit::read(crate::audit::Slab::Slope, in_slot * nc + c);
+                    }
                     let in_arrival = unsafe { self.arrival[in_slot * nc + c].get() };
                     let in_slope = unsafe { self.slope[in_slot * nc + c].get() };
                     for &in_edge in compatible_input_edges(cell, out_edge) {
@@ -292,7 +341,15 @@ impl<'a> FwdView<'a> {
 
             // SAFETY: slot `n_src + pos` and delay slot `pos` (all
             // corners) belong to this gate alone within the current
-            // level.
+            // level — the auditor's write-write check verifies the
+            // partition, and its read-write check legalizes these
+            // old-value reads only because the same worker owns the
+            // batch's writes to the same indices.
+            if on {
+                crate::audit::read(crate::audit::Slab::GateDelay, pos * nc + c);
+                crate::audit::read(crate::audit::Slab::Arrival, out_slot * nc + c);
+                crate::audit::read(crate::audit::Slab::Slope, out_slot * nc + c);
+            }
             let old_delay = unsafe { self.gate_delay[pos * nc + c].get() };
             let old_arrival = unsafe { self.arrival[out_slot * nc + c].get() };
             let old_slope = unsafe { self.slope[out_slot * nc + c].get() };
@@ -308,6 +365,12 @@ impl<'a> FwdView<'a> {
                 || new_arrival[1].to_bits() != old_arrival[1].to_bits()
             {
                 flags |= F_ARRIVAL;
+            }
+            if on {
+                crate::audit::write(crate::audit::Slab::GateDelay, pos * nc + c);
+                crate::audit::write(crate::audit::Slab::Arrival, out_slot * nc + c);
+                crate::audit::write(crate::audit::Slab::Slope, out_slot * nc + c);
+                crate::audit::write(crate::audit::Slab::Pred, out_slot * nc + c);
             }
             unsafe {
                 self.gate_delay[pos * nc + c].set(worst_gate_delay);
@@ -416,6 +479,13 @@ impl<'a> BwdView<'a> {
             ctx.fanout_off[net] as usize,
             ctx.fanout_off[net + 1] as usize,
         );
+        // Executable slot-bounds form of the SAFETY argument.
+        debug_assert!(
+            (slot + 1) * nc <= self.required.len(),
+            "required slot {slot} stride overflows the slab"
+        );
+        debug_assert_eq!(self.required.len(), self.slope.len());
+        let on = crate::audit::on();
         let mut changed = false;
         let mut key = f64::INFINITY;
         for c in 0..nc {
@@ -442,7 +512,16 @@ impl<'a> BwdView<'a> {
                 } = params.arc_terms(cin, load);
                 for out_edge in EDGES {
                     // SAFETY: fanout slots live in strictly higher
-                    // levels, settled before this level started.
+                    // levels, settled before this level started — the
+                    // auditor's backward cross-level check (read level
+                    // ≥ current) verifies exactly this.
+                    debug_assert!(
+                        (h_out_slot + 1) * nc <= self.required.len(),
+                        "fanout slot {h_out_slot} stride overflows the required slab"
+                    );
+                    if on {
+                        crate::audit::read(crate::audit::Slab::Required, h_out_slot * nc + c);
+                    }
                     let req_out =
                         unsafe { self.required[h_out_slot * nc + c].get() }[eidx(out_edge)];
                     if req_out == f64::INFINITY {
@@ -476,7 +555,12 @@ impl<'a> BwdView<'a> {
                 }
             }
             // SAFETY: slot `slot` (all corners) belongs to this net
-            // alone within the current level.
+            // alone within the current level — verified by the
+            // auditor's write-write partition check.
+            if on {
+                crate::audit::read(crate::audit::Slab::Required, slot * nc + c);
+                crate::audit::write(crate::audit::Slab::Required, slot * nc + c);
+            }
             let cur = unsafe { self.required[slot * nc + c].get() };
             changed |= req[0].to_bits() != cur[0].to_bits() || req[1].to_bits() != cur[1].to_bits();
             unsafe { self.required[slot * nc + c].set(req) };
@@ -511,6 +595,12 @@ impl<'a> BwdView<'a> {
             ctx.fanout_off[out] as usize,
             ctx.fanout_off[out + 1] as usize,
         );
+        // Executable slot-bounds form of the SAFETY argument.
+        debug_assert!(
+            (pos + 1) * nc <= self.completion.len(),
+            "completion pos {pos} stride overflows the slab"
+        );
+        let on = crate::audit::on();
         let mut changed = false;
         for c in 0..nc {
             let mut best = if ctx.is_po[out] {
@@ -520,9 +610,17 @@ impl<'a> BwdView<'a> {
             };
             for &succ in &ctx.fanout[lo..hi] {
                 // SAFETY: successors rank strictly higher — settled
-                // before this level started.
-                let comp =
-                    unsafe { self.completion[ctx.rank[succ.index()] as usize * nc + c].get() };
+                // before this level started; verified by the auditor's
+                // backward cross-level check on the pos-indexed slab.
+                let succ_pos = ctx.rank[succ.index()] as usize;
+                debug_assert!(
+                    (succ_pos + 1) * nc <= self.completion.len(),
+                    "successor pos {succ_pos} stride overflows the completion slab"
+                );
+                if on {
+                    crate::audit::read(crate::audit::Slab::Completion, succ_pos * nc + c);
+                }
+                let comp = unsafe { self.completion[succ_pos * nc + c].get() };
                 if comp.is_finite() {
                     best = best.max(comp);
                 }
@@ -533,7 +631,12 @@ impl<'a> BwdView<'a> {
                 f64::NEG_INFINITY
             };
             // SAFETY: completion slot `pos` (all corners) belongs to
-            // this gate alone within the current level.
+            // this gate alone within the current level — verified by
+            // the auditor's write-write partition check.
+            if on {
+                crate::audit::read(crate::audit::Slab::Completion, pos * nc + c);
+                crate::audit::write(crate::audit::Slab::Completion, pos * nc + c);
+            }
             let cur = unsafe { self.completion[pos * nc + c].get() };
             changed |= new.to_bits() != cur.to_bits();
             unsafe { self.completion[pos * nc + c].set(new) };
@@ -569,6 +672,12 @@ impl<'a> BwdView<'a> {
         let load = self.load[out_slot];
         let nc = ctx.n_corners;
         let fanin_range = ctx.fanin_off[gi] as usize..ctx.fanin_off[gi + 1] as usize;
+        // Executable slot-bounds form of the SAFETY argument.
+        debug_assert!(
+            (out_slot + 1) * nc <= self.required.len(),
+            "sweep out slot {out_slot} stride overflows the required slab"
+        );
+        let on = crate::audit::on();
         for c in 0..nc {
             let params = &ctx.gate_params[gi * nc + c];
             let ArcTerms {
@@ -577,7 +686,12 @@ impl<'a> BwdView<'a> {
             } = params.arc_terms(cin, load);
             for out_edge in EDGES {
                 // SAFETY: the gate's own slot; every candidate into this
-                // level was folded before its start barrier.
+                // level was folded before its start barrier — the
+                // auditor's backward cross-level check (read level ≥
+                // current) verifies exactly this.
+                if on {
+                    crate::audit::read(crate::audit::Slab::Required, out_slot * nc + c);
+                }
                 let req_out = unsafe { self.required[out_slot * nc + c].get() }[eidx(out_edge)];
                 if req_out == f64::INFINITY {
                     continue;
@@ -607,7 +721,16 @@ impl<'a> BwdView<'a> {
                         );
                         // The emit key carries the *widened* (corner-
                         // innermost) slab index, so the fold needs no
-                        // corner awareness.
+                        // corner awareness. The index must fit the 31
+                        // payload bits next to the edge tag.
+                        debug_assert!(
+                            in_slot * nc + c < (1usize << 31),
+                            "widened fanin index overflows the emit key payload"
+                        );
+                        debug_assert!(
+                            (in_slot + 1) * nc <= self.required.len(),
+                            "sweep fanin slot {in_slot} stride overflows the required slab"
+                        );
                         emit(
                             (in_slot * nc + c) as u32 | (i as u32) << 31,
                             req_out - delay_ps,
@@ -632,6 +755,18 @@ impl<'a> BwdView<'a> {
             (slot_edge & !(1 << 31)) as usize,
             (slot_edge >> 31) as usize,
         );
+        debug_assert!(
+            slot < self.required.len(),
+            "fold target {slot} outside the required slab"
+        );
+        // Recorded as a write only: the fold is a single-owner
+        // read-modify-write of a strictly-lower-level slot (the
+        // coordinator while workers are parked, or the sequential
+        // sweep), so the auditor's write-write check covers it without
+        // tripping the cross-level *read* rule.
+        if crate::audit::on() {
+            crate::audit::write(crate::audit::Slab::Required, slot);
+        }
         // SAFETY: caller guarantees exclusive access (see above).
         let mut cur = unsafe { self.required[slot].get() };
         if candidate < cur[i] {
@@ -772,6 +907,10 @@ fn run_chunk(
             }
         }
     }
+    drop(local);
+    // Commit this worker's shadow-access log before the end barrier, so
+    // the coordinator's barrier-time check sees the whole level batch.
+    crate::audit::commit_chunk();
 }
 
 /// Spin up `threads - 1` workers for the duration of `body` and hand
@@ -801,6 +940,7 @@ pub(crate) fn run_parallel<R>(
             let (task, start, end) = (&task, &start, &end);
             s.spawn(move || {
                 let _sect = crate::faultinject::ParallelSection::enter();
+                let _aud = crate::audit::WorkerGuard::enter(w);
                 loop {
                     start.wait();
                     if task.read().expect("pool lock").done {
@@ -826,6 +966,7 @@ pub(crate) fn run_parallel<R>(
         // instead of handing the panic back.
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let _sect = crate::faultinject::ParallelSection::enter();
+            let _aud = crate::audit::WorkerGuard::enter(0);
             body(&mut driver)
         }));
         driver.shutdown();
@@ -1048,6 +1189,10 @@ fn run_bwd_chunk(
             }
         }
     }
+    drop(local);
+    // Commit this worker's shadow-access log before the end barrier (see
+    // `run_chunk`).
+    crate::audit::commit_chunk();
 }
 
 /// Backward mirror of [`run_parallel`]: spin up `threads - 1` workers
@@ -1072,6 +1217,7 @@ pub(crate) fn run_parallel_bwd<R>(
             let (task, start, end) = (&task, &start, &end);
             s.spawn(move || {
                 let _sect = crate::faultinject::ParallelSection::enter();
+                let _aud = crate::audit::WorkerGuard::enter(w);
                 loop {
                     start.wait();
                     if task.read().expect("pool lock").done {
@@ -1097,6 +1243,7 @@ pub(crate) fn run_parallel_bwd<R>(
         // instead of handing the panic back.
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let _sect = crate::faultinject::ParallelSection::enter();
+            let _aud = crate::audit::WorkerGuard::enter(0);
             body(&mut driver)
         }));
         driver.shutdown();

@@ -1,0 +1,489 @@
+//! Shadow-access race auditor: armed parallel flushes are hazard-free
+//! and bit-identical, and seeded phantom overlaps demonstrably fire.
+//!
+//! The auditor (`pops::sta::audit`) shadows every `SyncCell` access of
+//! the six parallel flush bodies into per-worker logs and verifies at
+//! each level barrier that (1) same-level write-sets are pairwise
+//! disjoint, (2) reads never alias another worker's same-level writes,
+//! and (3) cross-level reads only touch slots finalized at strictly
+//! lower levels (forward) / strictly higher levels (backward), with the
+//! corner stride `slot·C + c` decoded and bounds-checked first. The
+//! contracts proven here:
+//!
+//! * **positive** — audited 2- and 4-thread twins stay bit-identical to
+//!   a clean sequential twin through mutation bursts on all six suite
+//!   circuits and the synth10k fabric, forward and backward, with zero
+//!   hazards and a nonzero number of checked levels (the auditor
+//!   demonstrably ran);
+//! * **corners** — the same holds for a 3-corner fused graph, so the
+//!   stride math is exercised with `C > 1`;
+//! * **negative** — a seeded [`OverlapPlan`] injecting phantom log
+//!   records (write-write, read-write, cross-level, forward and
+//!   backward) makes the auditor surface typed
+//!   [`StaError::RaceHazard`]s of exactly the provoked kind, while the
+//!   graph's answers stay bit-identical (phantoms live only in the
+//!   shadow log);
+//! * **disarmed** — an unaudited graph records no audit activity at
+//!   all.
+//!
+//! The audit session is process-global, so every test serializes on one
+//! lock and disarms via an RAII guard (panic-safe).
+
+use std::sync::{Mutex, MutexGuard};
+
+use pops::netlist::rng::SplitMix64;
+use pops::netlist::suite;
+use pops::prelude::*;
+use pops::sta::analysis::{AnalyzeOptions, EdgeDir};
+use pops::sta::audit::{self, OverlapPlan};
+use pops::sta::{RaceKind, StaError, TimingGraph};
+
+/// Audit state is process-global: tests in this binary serialize on this
+/// lock so one test's armed plan never bleeds into another's graphs.
+static AUDIT_LOCK: Mutex<()> = Mutex::new(());
+
+fn audit_lock() -> MutexGuard<'static, ()> {
+    AUDIT_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Disarms the auditor and drains leftover hazards when dropped, even on
+/// panic.
+struct AuditGuard;
+
+impl AuditGuard {
+    fn new() -> Self {
+        audit::take_hazards();
+        AuditGuard
+    }
+}
+
+impl Drop for AuditGuard {
+    fn drop(&mut self) {
+        audit::disarm();
+        audit::take_hazards();
+    }
+}
+
+/// Every queryable value of `a` and `b` is bit-identical.
+fn assert_graphs_bit_equal(a: &TimingGraph, b: &TimingGraph, label: &str) {
+    let circuit = a.circuit();
+    assert_eq!(
+        a.critical_delay_ps().to_bits(),
+        b.critical_delay_ps().to_bits(),
+        "{label}: critical delay diverged"
+    );
+    for net in circuit.net_ids() {
+        for dir in [EdgeDir::Rising, EdgeDir::Falling] {
+            assert_eq!(
+                a.arrival_ps(net, dir).to_bits(),
+                b.arrival_ps(net, dir).to_bits(),
+                "{label}: arrival of {net} {dir:?}"
+            );
+            assert_eq!(
+                a.slack_ps(net, dir).to_bits(),
+                b.slack_ps(net, dir).to_bits(),
+                "{label}: slack of {net} {dir:?}"
+            );
+        }
+    }
+    for g in circuit.gate_ids() {
+        assert_eq!(
+            a.completion_ps(g).to_bits(),
+            b.completion_ps(g).to_bits(),
+            "{label}: completion bound of {g}"
+        );
+    }
+    assert_eq!(
+        a.worst_slack_overall_ps().map(f64::to_bits),
+        b.worst_slack_overall_ps().map(f64::to_bits),
+        "{label}: design-worst slack diverged"
+    );
+}
+
+/// The positive driver: a clean sequential twin (threads 1, unaudited)
+/// against audited forced-parallel twins at 2 and 4 threads, driven
+/// through identical mutation bursts with flush-forcing queries after
+/// every burst (forward drains, both backward drains, and — via the
+/// final option change — the full forward and backward sweeps). The
+/// audited twins must stay bit-identical, check a nonzero number of
+/// levels, and record zero hazards.
+fn audited_twin_sequence(circuit: Circuit, seed: u64, steps: usize) {
+    let _lock = audit_lock();
+    let _guard = AuditGuard::new();
+    let hazards_before = audit::hazards_recorded();
+
+    let lib = Library::cmos025();
+    let sizing = Sizing::minimum(&circuit, &lib);
+    let mut clean = TimingGraph::new(&circuit, &lib, &sizing).expect("acyclic");
+    clean.set_threads(1);
+    let t0 = clean.critical_delay_ps();
+    clean.set_constraint(0.9 * t0);
+
+    let mut twins: Vec<TimingGraph> = [2usize, 4]
+        .iter()
+        .map(|&t| {
+            let mut g = TimingGraph::new(&circuit, &lib, &sizing).expect("acyclic");
+            g.set_threads(t);
+            g.set_parallel_threshold(0);
+            g.set_audit(true);
+            g.set_constraint(0.9 * t0);
+            g
+        })
+        .collect();
+
+    let mut rng = SplitMix64::new(seed);
+    let cref = lib.min_drive_ff();
+    let gates: Vec<GateId> = circuit.gate_ids().collect();
+    for step in 0..steps {
+        match rng.below(4) {
+            0 => {
+                let batch: Vec<(GateId, f64)> = (0..2 + rng.below(8))
+                    .map(|_| (*rng.pick(&gates), cref * (1.0 + 25.0 * rng.next_f64())))
+                    .collect();
+                clean.resize_gates(batch.clone());
+                for g in &mut twins {
+                    g.resize_gates(batch.clone());
+                }
+            }
+            1 => {
+                let tc = t0 * (0.7 + 0.6 * rng.next_f64());
+                clean.set_constraint(tc);
+                for g in &mut twins {
+                    g.set_constraint(tc);
+                }
+            }
+            _ => {
+                let g = *rng.pick(&gates);
+                let cin = cref * (1.0 + 25.0 * rng.next_f64());
+                clean.resize_gate(g, cin);
+                for t in &mut twins {
+                    t.resize_gate(g, cin);
+                }
+            }
+        }
+        // Force the forward drain and both backward drains on every
+        // audited twin and pin the answers to the clean twin's bits.
+        let delay = clean.critical_delay_ps().to_bits();
+        let worst = clean.worst_slack_overall_ps().map(f64::to_bits);
+        let probe = *rng.pick(&gates);
+        let completion = clean.completion_ps(probe).to_bits();
+        for (i, g) in twins.iter().enumerate() {
+            assert_eq!(
+                g.critical_delay_ps().to_bits(),
+                delay,
+                "step {step}, twin {i}: critical delay diverged under audit"
+            );
+            assert_eq!(
+                g.worst_slack_overall_ps().map(f64::to_bits),
+                worst,
+                "step {step}, twin {i}: design-worst slack diverged under audit"
+            );
+            assert_eq!(
+                g.completion_ps(probe).to_bits(),
+                completion,
+                "step {step}, twin {i}: completion of {probe} diverged under audit"
+            );
+        }
+    }
+
+    // An option change forces the full-rescan forward sweep and the full
+    // backward sweeps — the widest shadow-log cross-section.
+    let options = AnalyzeOptions {
+        po_load_ff: 42.0,
+        input_transition_ps: 77.0,
+    };
+    clean.set_options(&options);
+    let delay = clean.critical_delay_ps().to_bits();
+    let worst = clean.worst_slack_overall_ps().map(f64::to_bits);
+    for (i, g) in twins.iter_mut().enumerate() {
+        g.set_options(&options);
+        assert_eq!(
+            g.critical_delay_ps().to_bits(),
+            delay,
+            "twin {i}: critical delay diverged through the audited full rescan"
+        );
+        assert_eq!(
+            g.worst_slack_overall_ps().map(f64::to_bits),
+            worst,
+            "twin {i}: design-worst slack diverged through the audited full rescan"
+        );
+    }
+
+    // The auditor demonstrably ran on every audited twin, found nothing,
+    // and the clean twin was never audited.
+    for (i, g) in twins.iter().enumerate() {
+        let stats = g.stats();
+        assert!(
+            stats.audit_levels_checked > 0,
+            "twin {i}: the auditor never checked a level"
+        );
+        assert_eq!(stats.audit_hazards, 0, "twin {i}: hazards on clean code");
+    }
+    assert_eq!(clean.stats().audit_levels_checked, 0);
+    assert_eq!(
+        audit::hazards_recorded(),
+        hazards_before,
+        "clean parallel flushes must not record hazards"
+    );
+    assert!(audit::take_hazards().is_empty());
+
+    for (i, g) in twins.iter().enumerate() {
+        assert_graphs_bit_equal(&clean, g, &format!("final, twin {i}"));
+        g.verify_state()
+            .unwrap_or_else(|e| panic!("twin {i} failed the deep audit: {e}"));
+    }
+}
+
+#[test]
+fn fpd_audited_flushes_are_hazard_free_and_bit_identical() {
+    audited_twin_sequence(suite::circuit("fpd").unwrap(), 0xA0D1_F00D, 12);
+}
+
+#[test]
+fn c432_audited_flushes_are_hazard_free_and_bit_identical() {
+    audited_twin_sequence(suite::circuit("c432").unwrap(), 0xA0D1_0432, 12);
+}
+
+#[test]
+fn c880_audited_flushes_are_hazard_free_and_bit_identical() {
+    audited_twin_sequence(suite::circuit("c880").unwrap(), 0xA0D1_0880, 10);
+}
+
+#[test]
+fn c1908_audited_flushes_are_hazard_free_and_bit_identical() {
+    audited_twin_sequence(suite::circuit("c1908").unwrap(), 0xA0D1_1908, 10);
+}
+
+#[test]
+fn c6288_audited_flushes_are_hazard_free_and_bit_identical() {
+    audited_twin_sequence(suite::circuit("c6288").unwrap(), 0xA0D1_6288, 6);
+}
+
+#[test]
+fn c7552_audited_flushes_are_hazard_free_and_bit_identical() {
+    audited_twin_sequence(suite::circuit("c7552").unwrap(), 0xA0D1_7552, 6);
+}
+
+#[test]
+fn synth10k_audited_flushes_are_hazard_free_and_bit_identical() {
+    audited_twin_sequence(suite::scaling_circuit("synth10k").unwrap(), 0xA0D1_E010, 4);
+}
+
+/// A 3-corner fused graph exercises the `slot·C + c` stride decode with
+/// `C > 1` on both forward and backward slabs.
+#[test]
+fn three_corner_audited_flushes_are_hazard_free_and_bit_identical() {
+    let _lock = audit_lock();
+    let _guard = AuditGuard::new();
+    let hazards_before = audit::hazards_recorded();
+
+    let circuit = suite::circuit("c880").unwrap();
+    let lib = Library::cmos025();
+    let sizing = Sizing::minimum(&circuit, &lib);
+    let options = AnalyzeOptions::default();
+    let set = CornerSet::slow_typical_fast(Process::cmos025());
+
+    let mut clean =
+        TimingGraph::with_corners(&circuit, &lib, &sizing, &options, &set).expect("acyclic");
+    clean.set_threads(1);
+    let t0 = clean.critical_delay_ps();
+    clean.set_constraint(0.95 * t0);
+
+    let mut audited =
+        TimingGraph::with_corners(&circuit, &lib, &sizing, &options, &set).expect("acyclic");
+    audited.set_threads(4);
+    audited.set_parallel_threshold(0);
+    audited.set_audit(true);
+    audited.set_constraint(0.95 * t0);
+
+    let mut rng = SplitMix64::new(0xC0C0_0003);
+    let cref = lib.min_drive_ff();
+    let gates: Vec<GateId> = circuit.gate_ids().collect();
+    for step in 0..8 {
+        let g = *rng.pick(&gates);
+        let cin = cref * (1.0 + 20.0 * rng.next_f64());
+        clean.resize_gate(g, cin);
+        audited.resize_gate(g, cin);
+        for c in 0..clean.n_corners() {
+            assert_eq!(
+                clean.critical_delay_ps_corner(c).to_bits(),
+                audited.critical_delay_ps_corner(c).to_bits(),
+                "step {step}: corner {c} critical delay diverged under audit"
+            );
+        }
+        assert_eq!(
+            clean.worst_slack_overall_ps().map(f64::to_bits),
+            audited.worst_slack_overall_ps().map(f64::to_bits),
+            "step {step}: fused worst slack diverged under audit"
+        );
+    }
+
+    assert!(audited.stats().audit_levels_checked > 0);
+    assert_eq!(audited.stats().audit_hazards, 0);
+    assert_eq!(audit::hazards_recorded(), hazards_before);
+    audited.verify_state().expect("deep audit");
+}
+
+/// The negative driver: an audited forced-parallel graph flushed under a
+/// seeded phantom-overlap plan of the given kind. Returns the drained
+/// hazards. The phantoms live only in the shadow log, so the graph's
+/// answers must still bit-match an untouched twin.
+fn provoked_hazards(kind: RaceKind, seed: u64, backward: bool) -> Vec<StaError> {
+    let circuit = suite::circuit("c880").unwrap();
+    let lib = Library::cmos025();
+    let sizing = Sizing::minimum(&circuit, &lib);
+
+    let mut clean = TimingGraph::new(&circuit, &lib, &sizing).expect("acyclic");
+    clean.set_threads(1);
+    let t0 = clean.critical_delay_ps();
+    clean.set_constraint(0.9 * t0);
+
+    let mut graph = TimingGraph::new(&circuit, &lib, &sizing).expect("acyclic");
+    graph.set_threads(4);
+    graph.set_parallel_threshold(0);
+    graph.set_audit(true);
+    graph.set_constraint(0.9 * t0);
+    // Settle both graphs before arming so the provoked flush is the
+    // interesting one.
+    let _ = clean.worst_slack_overall_ps();
+    let _ = graph.worst_slack_overall_ps();
+
+    let injected_before = audit::overlaps_injected();
+    let hazards_before = audit::hazards_recorded();
+    audit::take_hazards();
+    OverlapPlan::from_seed(seed, kind).arm();
+
+    // One mutation, then force the targeted direction's drain.
+    let gate = circuit.gate_ids().next().expect("non-empty circuit");
+    let cin = 4.0 * lib.min_drive_ff();
+    clean.resize_gate(gate, cin);
+    graph.resize_gate(gate, cin);
+    let (c, g) = if backward {
+        (
+            clean.worst_slack_overall_ps().map(f64::to_bits),
+            graph.worst_slack_overall_ps().map(f64::to_bits),
+        )
+    } else {
+        (
+            Some(clean.critical_delay_ps().to_bits()),
+            Some(graph.critical_delay_ps().to_bits()),
+        )
+    };
+    audit::disarm();
+
+    assert_eq!(c, g, "phantom overlaps must never change real answers");
+    assert!(
+        audit::overlaps_injected() > injected_before,
+        "the plan never injected a phantom — the schedule is broken"
+    );
+    assert!(
+        audit::hazards_recorded() > hazards_before,
+        "injected phantoms were not detected"
+    );
+    assert!(
+        graph.stats().audit_hazards > 0,
+        "hazards must surface in the flush's UpdateStats"
+    );
+    // Full-precision cross-check after disarming: the shadow phantoms
+    // left no trace in the timing state.
+    assert_graphs_bit_equal(&clean, &graph, "after provoked flush");
+    audit::take_hazards()
+}
+
+/// Drained hazards are all `RaceHazard`s of the provoked kind and name
+/// worker, level and slot in their rendering.
+fn assert_hazards_are(hazards: &[StaError], kind: RaceKind) {
+    assert!(!hazards.is_empty(), "no hazards retained for {kind:?}");
+    for h in hazards {
+        match h {
+            StaError::RaceHazard {
+                kind: k,
+                worker,
+                level,
+                slot,
+                ..
+            } => {
+                assert_eq!(*k, kind, "wrong hazard kind: {h}");
+                let text = h.to_string();
+                for (what, v) in [("worker", worker), ("level", level), ("slot", slot)] {
+                    assert!(
+                        text.contains(&format!("{what} {v}")),
+                        "hazard must name {what}: {text}"
+                    );
+                }
+            }
+            other => panic!("non-race error drained from the auditor: {other}"),
+        }
+    }
+}
+
+#[test]
+fn seeded_write_write_overlap_fires_the_detector() {
+    let _lock = audit_lock();
+    let _guard = AuditGuard::new();
+    let hazards = provoked_hazards(RaceKind::WriteWrite, 0x5EED_0001, false);
+    assert_hazards_are(&hazards, RaceKind::WriteWrite);
+}
+
+#[test]
+fn seeded_read_write_overlap_fires_the_detector() {
+    let _lock = audit_lock();
+    let _guard = AuditGuard::new();
+    let hazards = provoked_hazards(RaceKind::ReadWrite, 0x5EED_0002, false);
+    assert_hazards_are(&hazards, RaceKind::ReadWrite);
+}
+
+#[test]
+fn seeded_cross_level_read_fires_the_detector_forward() {
+    let _lock = audit_lock();
+    let _guard = AuditGuard::new();
+    let hazards = provoked_hazards(RaceKind::CrossLevel, 0x5EED_0003, false);
+    assert_hazards_are(&hazards, RaceKind::CrossLevel);
+}
+
+#[test]
+fn seeded_cross_level_read_fires_the_detector_backward() {
+    let _lock = audit_lock();
+    let _guard = AuditGuard::new();
+    let hazards = provoked_hazards(RaceKind::CrossLevel, 0x5EED_0004, true);
+    assert_hazards_are(&hazards, RaceKind::CrossLevel);
+}
+
+#[test]
+fn seeded_write_write_overlap_fires_in_the_backward_drains() {
+    let _lock = audit_lock();
+    let _guard = AuditGuard::new();
+    let hazards = provoked_hazards(RaceKind::WriteWrite, 0x5EED_0005, true);
+    assert_hazards_are(&hazards, RaceKind::WriteWrite);
+}
+
+/// An unaudited graph records no audit activity: zero levels checked,
+/// zero hazards, and the process-global counters untouched.
+#[test]
+fn disarmed_graphs_record_no_audit_activity() {
+    let _lock = audit_lock();
+    let _guard = AuditGuard::new();
+    let injected_before = audit::overlaps_injected();
+    let hazards_before = audit::hazards_recorded();
+
+    let circuit = suite::circuit("c432").unwrap();
+    let lib = Library::cmos025();
+    let sizing = Sizing::minimum(&circuit, &lib);
+    let mut graph = TimingGraph::new(&circuit, &lib, &sizing).expect("acyclic");
+    graph.set_threads(4);
+    graph.set_parallel_threshold(0);
+    assert!(!graph.audit_enabled());
+    let t0 = graph.critical_delay_ps();
+    graph.set_constraint(0.9 * t0);
+    let gate = circuit.gate_ids().next().expect("non-empty circuit");
+    graph.resize_gate(gate, 3.0 * lib.min_drive_ff());
+    let _ = graph.critical_delay_ps();
+    let _ = graph.worst_slack_overall_ps();
+
+    let stats = graph.stats();
+    assert_eq!(stats.audit_levels_checked, 0);
+    assert_eq!(stats.audit_hazards, 0);
+    assert_eq!(audit::overlaps_injected(), injected_before);
+    assert_eq!(audit::hazards_recorded(), hazards_before);
+    assert!(audit::take_hazards().is_empty());
+}
